@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks for the hot substrate operations.
+//!
+//! These complement the `exp_*` experiment binaries: where the experiments
+//! measure end-to-end design-space behavior, these pin down the constant
+//! factors of the building blocks (memtable ops, filter probes, block
+//! codecs, merge throughput, workload generation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsm_filters::{BlockedBloomFilter, BloomFilter, CuckooFilter, PointFilter};
+use lsm_memtable::{make_memtable, MemTableKind};
+use lsm_sstable::{collect_all, BlockBuilder, BlockIter, MergeIter, VecEntryIter};
+use lsm_types::{InternalEntry, SeqNo};
+use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
+
+fn keys(n: u32) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("bench-key-{i:08}").into_bytes()).collect()
+}
+
+fn bench_memtables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memtable_insert");
+    group.sample_size(10);
+    for kind in MemTableKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mt = make_memtable(kind);
+                for i in 0..2000u64 {
+                    mt.insert(InternalEntry::put(
+                        format_key(i % 500),
+                        format_value(i, 64),
+                        i + 1,
+                        i,
+                    ));
+                }
+                mt.len()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("memtable_get");
+    group.sample_size(10);
+    for kind in MemTableKind::ALL {
+        let mt = make_memtable(kind);
+        for i in 0..2000u64 {
+            mt.insert(InternalEntry::put(
+                format_key(i % 500),
+                format_value(i, 64),
+                i + 1,
+                i,
+            ));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                mt.get(&format_key(i % 500), SeqNo::MAX)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let ks = keys(10_000);
+    let refs: Vec<&[u8]> = ks.iter().map(|k| k.as_slice()).collect();
+    let bloom = BloomFilter::build(&refs, 10.0);
+    let blocked = BlockedBloomFilter::build(&refs, 10.0);
+    let cuckoo = CuckooFilter::build(&refs, 16.0);
+
+    let mut group = c.benchmark_group("filter_probe");
+    group.sample_size(20);
+    let filters: Vec<(&str, &dyn PointFilter)> =
+        vec![("bloom", &bloom), ("blocked-bloom", &blocked), ("cuckoo", &cuckoo)];
+    for (name, filter) in filters {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % ks.len();
+                filter.may_contain(&ks[i])
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("filter_build_10k");
+    group.sample_size(10);
+    group.bench_function("bloom", |b| b.iter(|| BloomFilter::build(&refs, 10.0)));
+    group.bench_function("cuckoo", |b| b.iter(|| CuckooFilter::build(&refs, 16.0)));
+    group.finish();
+}
+
+fn bench_blocks(c: &mut Criterion) {
+    let entries: Vec<InternalEntry> = (0..60u64)
+        .map(|i| InternalEntry::put(format_key(i), format_value(i, 48), i + 1, i))
+        .collect();
+
+    let mut group = c.benchmark_group("block");
+    group.sample_size(20);
+    group.bench_function("encode_60_entries", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::new();
+            for e in &entries {
+                builder.add(e);
+            }
+            builder.finish()
+        });
+    });
+
+    let block = {
+        let mut builder = BlockBuilder::new();
+        for e in &entries {
+            builder.add(e);
+        }
+        bytes::Bytes::from(builder.finish())
+    };
+    group.bench_function("decode_60_entries", |b| {
+        b.iter(|| {
+            BlockIter::new(block.clone())
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_iter");
+    group.sample_size(10);
+    for sources in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sources", sources),
+            &sources,
+            |b, &sources| {
+                b.iter(|| {
+                    let iters: Vec<Box<dyn lsm_sstable::EntryIter>> = (0..sources)
+                        .map(|s| {
+                            let entries: Vec<InternalEntry> = (0..500u64)
+                                .map(|i| {
+                                    InternalEntry::put(
+                                        format_key(i * sources as u64 + s as u64),
+                                        format_value(i, 16),
+                                        i + 1,
+                                        i,
+                                    )
+                                })
+                                .collect();
+                            Box::new(VecEntryIter::new(entries)) as Box<dyn lsm_sstable::EntryIter>
+                        })
+                        .collect();
+                    collect_all(MergeIter::new(iters)).unwrap().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keygen");
+    group.sample_size(20);
+    group.bench_function("uniform", |b| {
+        let mut g = KeyGen::new(KeyDist::Uniform, 1_000_000, 1);
+        b.iter(|| g.next_id());
+    });
+    group.bench_function("zipfian_0.99", |b| {
+        let mut g = KeyGen::new(KeyDist::Zipfian(0.99), 1_000_000, 1);
+        b.iter(|| g.next_id());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memtables,
+    bench_filters,
+    bench_blocks,
+    bench_merge,
+    bench_workload
+);
+criterion_main!(benches);

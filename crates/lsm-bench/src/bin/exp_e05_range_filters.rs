@@ -1,0 +1,115 @@
+//! E5 — Range filters: prefix Bloom vs SuRF vs Rosetta (tutorial §2.1.3).
+//!
+//! Claim under test: prefix Blooms answer only prefix-aligned ranges (and
+//! false-positive on anything sharing a bucket with real keys); SuRF's
+//! truncated-key trie is cheap and accurate for long ranges but admits
+//! false positives on short ranges inside its truncation ambiguity zones;
+//! Rosetta's segment-tree of Blooms resolves short ranges at full key
+//! resolution — the strongest short-range filter — at a higher memory
+//! price.
+//!
+//! Keyspace: clustered 64-bit keys (entities with dense sub-keys), the
+//! workload shape range filters exist for. Queries are drawn around the
+//! clusters; ground truth is computed exactly, and any false negative
+//! aborts the experiment.
+
+use lsm_bench::{arg_u64, f3, print_table};
+use lsm_filters::{PrefixBloomFilter, RangeFilter, RosettaFilter, SurfFilter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEYS_PER_CLUSTER: u64 = 64;
+const KEY_STRIDE: u64 = 256;
+
+fn main() {
+    let n = arg_u64("--n", 50_000);
+    let queries = arg_u64("--queries", 20_000);
+    let seed = arg_u64("--seed", 42);
+
+    // Clustered keys: a random 40-bit cluster base, 64 keys spaced 256
+    // apart inside it (think "user id + order id").
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_clusters = n / KEYS_PER_CLUSTER;
+    let mut cluster_bases: Vec<u64> = (0..n_clusters)
+        .map(|_| (rng.gen::<u64>() >> 24) << 24)
+        .collect();
+    cluster_bases.sort_unstable();
+    cluster_bases.dedup();
+    let mut keys: Vec<u64> = Vec::with_capacity(n as usize);
+    for &base in &cluster_bases {
+        for j in 0..KEYS_PER_CLUSTER {
+            keys.push(base + j * KEY_STRIDE);
+        }
+    }
+    keys.sort_unstable();
+    let encoded: Vec<[u8; 8]> = keys.iter().map(|k| k.to_be_bytes()).collect();
+    let key_refs: Vec<&[u8]> = encoded.iter().map(|k| k.as_slice()).collect();
+
+    let truly_nonempty = |start: u64, end: u64| -> bool {
+        let i = keys.partition_point(|&k| k < start);
+        keys.get(i).is_some_and(|&k| k < end)
+    };
+
+    let prefix = PrefixBloomFilter::build(&key_refs, 6, 14.0);
+    let surf = SurfFilter::build(&key_refs, 8);
+    let rosetta = RosettaFilter::build(&key_refs, 22.0);
+    let filters: Vec<(&str, &dyn RangeFilter, usize)> = vec![
+        ("prefix-bloom", &prefix, prefix.memory_bits()),
+        ("surf", &surf, surf.memory_bits()),
+        ("rosetta", &rosetta, rosetta.memory_bits()),
+    ];
+
+    let mut rows = Vec::new();
+    for (span_name, span) in [
+        ("short (32)", 32u64),
+        ("mid (1Ki)", 1 << 10),
+        ("long (64Ki)", 1 << 16),
+    ] {
+        for (name, filter, bits) in &filters {
+            let mut rng = StdRng::seed_from_u64(seed ^ span);
+            let mut fp = 0u64;
+            let mut empties = 0u64;
+            let mut hits = 0u64;
+            for _ in 0..queries {
+                // query near a random cluster: the realistic placement
+                let base = cluster_bases[rng.gen_range(0..cluster_bases.len())];
+                let start = base + rng.gen_range(0..1u64 << 17);
+                let end = start + span;
+                let answer =
+                    filter.may_contain_range(&start.to_be_bytes(), &end.to_be_bytes());
+                if truly_nonempty(start, end) {
+                    assert!(answer, "{name}: FALSE NEGATIVE at [{start},{end})");
+                    hits += 1;
+                } else {
+                    empties += 1;
+                    if answer {
+                        fp += 1;
+                    }
+                }
+            }
+            rows.push(vec![
+                span_name.to_string(),
+                name.to_string(),
+                f3(fp as f64 / empties.max(1) as f64),
+                hits.to_string(),
+                empties.to_string(),
+                format!("{:.1}", *bits as f64 / keys.len() as f64),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!(
+            "E5: range filters, {} clustered keys, {queries} queries/row",
+            keys.len()
+        ),
+        &["range span", "filter", "FP rate", "true hits", "empty qs", "bits/key"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (tutorial §2.1.3): on short ranges rosetta's FP \
+         rate is far below surf's (truncation ambiguity) and prefix-bloom's \
+         (bucket granularity); on long ranges all converge and surf is the \
+         cheapest per key. No false negatives anywhere (asserted)."
+    );
+}

@@ -1,0 +1,76 @@
+//! E10 — The RUM tradeoff: tracing the read/write Pareto curve (tutorial
+//! §2.3.1).
+//!
+//! Claim under test (RUM conjecture + design continuum): varying the size
+//! ratio T and the layout traces a curve in (read cost, write cost) space —
+//! no design wins both axes; leveling variants populate the read-optimal
+//! end, tiering variants the write-optimal end.
+
+use lsm_bench::{arg_u64, bench_options, f2, f3, load, open_bench_db, print_table};
+use lsm_storage::Backend as _;
+use lsm_core::DataLayout;
+use lsm_workload::{format_key, KeyDist};
+
+fn main() {
+    let n = arg_u64("--n", 50_000);
+    let probes = arg_u64("--probes", 3000);
+    let seed = arg_u64("--seed", 42);
+    let mut points = Vec::new();
+
+    for t in [2u64, 4, 8, 12] {
+        for layout in [
+            DataLayout::Leveling,
+            DataLayout::Tiering {
+                runs_per_level: t as usize,
+            },
+            DataLayout::LazyLeveling {
+                runs_per_level: t as usize,
+            },
+        ] {
+            let name = format!("{}/T{}", layout.name(), t);
+            let mut opts = bench_options(layout, t);
+            // no filters: expose the raw structural read cost
+            opts.filter_kind = lsm_core::PointFilterKind::None;
+            let (backend, db) = open_bench_db(opts);
+            load(&db, n, 64, KeyDist::Uniform, seed);
+            let write_cost = db.stats().write_amplification();
+
+            let before = backend.stats().snapshot();
+            for i in 0..probes {
+                let id = (i * 6151) % n;
+                db.get(&format_key(id)).unwrap();
+            }
+            let read_cost =
+                backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            points.push((name, read_cost, write_cost, db.version().run_count()));
+        }
+    }
+
+    // Pareto frontier: points not dominated in (read, write)
+    let mut rows = Vec::new();
+    for (name, r, w, runs) in &points {
+        let dominated = points
+            .iter()
+            .any(|(n2, r2, w2, _)| n2 != name && r2 <= r && w2 <= w && (r2 < r || w2 < w));
+        rows.push(vec![
+            name.clone(),
+            f3(*r),
+            f2(*w),
+            runs.to_string(),
+            if dominated { "" } else { "pareto" }.to_string(),
+        ]);
+    }
+    rows.sort_by(|a, b| a[1].partial_cmp(&b[1]).unwrap_or(std::cmp::Ordering::Equal));
+
+    print_table(
+        &format!("E10: RUM read/write tradeoff, N={n} (filters off)"),
+        &["design", "read IO/get", "write-amp", "runs", "frontier"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (RUM): sorting by read cost shows write cost \
+         broadly falling — the frontier runs from leveling at large T \
+         (cheap reads, dear writes) to tiering (cheap writes, dear reads); \
+         no design dominates both axes."
+    );
+}

@@ -1,0 +1,160 @@
+//! Benchmark harness for `lsm-lab`.
+//!
+//! One binary per experiment in DESIGN.md's index (E1–E13), each printing
+//! the table that regenerates the corresponding design-space claim of the
+//! tutorial. Shared machinery lives here: database factories, loaders, and
+//! table formatting.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p lsm-bench --bin exp_e01_layouts
+//! ```
+//!
+//! Every binary accepts `--n <keys>` to scale the workload and `--seed <s>`
+//! for the RNG seed.
+
+use std::sync::Arc;
+
+use lsm_core::{CompactionConfig, DataLayout, Db, Options};
+use lsm_storage::{Backend, MemBackend};
+use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
+
+/// Parses `--flag value` style arguments with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a formatted experiment table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Experiment-scale options: small buffers so trees get deep at laptop
+/// scale, deterministic synchronous maintenance, no WAL.
+pub fn bench_options(layout: DataLayout, size_ratio: u64) -> Options {
+    let mut o = Options {
+        write_buffer_bytes: 64 << 10,
+        table_target_bytes: 64 << 10,
+        wal: false,
+        block_cache_bytes: 0,
+        compaction: CompactionConfig {
+            size_ratio,
+            level1_bytes: 256 << 10,
+            layout,
+            ..CompactionConfig::default()
+        },
+        ..Options::default()
+    };
+    o.max_immutable_memtables = 2;
+    o
+}
+
+/// Opens an in-memory database with its backend exposed (for I/O stats).
+pub fn open_bench_db(opts: Options) -> (Arc<MemBackend>, Db) {
+    let backend = Arc::new(MemBackend::new());
+    let db = Db::open(backend.clone() as Arc<dyn Backend>, opts).expect("open");
+    (backend, db)
+}
+
+/// Loads `n` keys drawn from `dist` with `value_len`-byte values.
+///
+/// For [`KeyDist::Uniform`] the load is a seeded random *permutation* of
+/// `0..n`: random arrival order (so runs overlap and compactions merge)
+/// with full coverage (so "present key" probes are guaranteed to hit).
+pub fn load(db: &Db, n: u64, value_len: usize, dist: KeyDist, seed: u64) {
+    match dist {
+        KeyDist::Uniform => {
+            let mut ids: Vec<u64> = (0..n).collect();
+            // seeded Fisher-Yates via xorshift
+            let mut x = seed | 1;
+            for i in (1..ids.len()).rev() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ids.swap(i, (x % (i as u64 + 1)) as usize);
+            }
+            for id in ids {
+                db.put(&format_key(id), &format_value(id, value_len))
+                    .expect("put");
+            }
+        }
+        _ => {
+            let mut gen = KeyGen::new(dist, n, seed);
+            for _ in 0..n {
+                let id = gen.next_id();
+                db.put(&format_key(id), &format_value(id, value_len))
+                    .expect("put");
+            }
+        }
+    }
+    db.maintain().expect("maintain");
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_options_are_valid() {
+        bench_options(DataLayout::Leveling, 4).validate().unwrap();
+        bench_options(DataLayout::Tiering { runs_per_level: 4 }, 4)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn load_and_read_smoke() {
+        let (_backend, db) = open_bench_db(bench_options(DataLayout::Leveling, 4));
+        // Sequential covers every id in [0, 2000), so any probe must hit.
+        load(&db, 2000, 32, KeyDist::Sequential, 1);
+        let hit = db.get(&format_key(5)).unwrap();
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "smoke",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! The tuning knobs of the compaction design space.
+
+/// *When* the planner initiates data movement.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Trigger {
+    /// A level's bytes exceed its capacity, or a tiered level's run count
+    /// reaches its cap. The baseline trigger; always active.
+    Saturation,
+    /// A file's fraction of tombstones exceeds this threshold
+    /// (delete-driven compaction, Lethe's first trigger).
+    TombstoneDensity(f64),
+    /// A file has held a tombstone for longer than this many logical clock
+    /// ticks (Lethe's delete-persistence deadline).
+    TombstoneAge(u64),
+    /// Live bytes divided by unique bytes exceeds this factor
+    /// (space-amplification-driven, RocksDB universal style).
+    SpaceAmp(f64),
+}
+
+/// *How runs are arranged* across levels.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DataLayout {
+    /// One run per level: minimum read cost, maximum write amplification.
+    Leveling,
+    /// Up to `runs_per_level` overlapping runs per level: minimum write
+    /// amplification, higher read and space cost (Cassandra STCS lineage).
+    Tiering {
+        /// Run cap per level (classically equal to the size ratio).
+        runs_per_level: usize,
+    },
+    /// Tiered intermediate levels with a leveled last level — Dostoevsky's
+    /// sweet spot: tiering's cheap writes where most merging happens,
+    /// leveling's cheap reads where most data lives.
+    LazyLeveling {
+        /// Run cap for the intermediate levels.
+        runs_per_level: usize,
+    },
+    /// RocksDB's default: a tiered level 0 absorbing flush bursts, leveled
+    /// everywhere below.
+    Hybrid {
+        /// Run cap for level 0.
+        l0_runs: usize,
+    },
+    /// An explicit per-level run cap (the LSM-Bush / Wacky continuum; caps
+    /// beyond the vector's length default to 1, i.e. leveled).
+    Custom {
+        /// `runs_per_level[i]` = run cap of level `i`.
+        runs_per_level: Vec<usize>,
+    },
+}
+
+impl DataLayout {
+    /// The run cap of `level` in a tree that currently has `num_levels`
+    /// levels. Level 0 is always allowed multiple runs (flush output).
+    pub fn max_runs(&self, level: usize, num_levels: usize) -> usize {
+        let last = num_levels.saturating_sub(1).max(1);
+        match self {
+            DataLayout::Leveling => {
+                if level == 0 {
+                    4
+                } else {
+                    1
+                }
+            }
+            DataLayout::Tiering { runs_per_level } => (*runs_per_level).max(1),
+            DataLayout::LazyLeveling { runs_per_level } => {
+                if level >= last {
+                    1
+                } else {
+                    (*runs_per_level).max(1)
+                }
+            }
+            DataLayout::Hybrid { l0_runs } => {
+                if level == 0 {
+                    (*l0_runs).max(1)
+                } else {
+                    1
+                }
+            }
+            DataLayout::Custom { runs_per_level } => {
+                runs_per_level.get(level).copied().unwrap_or(1).max(1)
+            }
+        }
+    }
+
+    /// Whether `level` holds at most one run (so incoming data must merge
+    /// with it) or accumulates runs (so incoming data just stacks).
+    pub fn is_leveled(&self, level: usize, num_levels: usize) -> bool {
+        self.max_runs(level, num_levels) == 1
+    }
+
+    /// Stable display name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataLayout::Leveling => "leveling",
+            DataLayout::Tiering { .. } => "tiering",
+            DataLayout::LazyLeveling { .. } => "lazy-leveling",
+            DataLayout::Hybrid { .. } => "hybrid",
+            DataLayout::Custom { .. } => "custom",
+        }
+    }
+}
+
+/// *How much data* one compaction moves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// Move every table of the saturated level at once (AsterixDB style:
+    /// few, large, bursty compactions).
+    Level,
+    /// Move one file at a time (RocksDB style: amortized, steady I/O).
+    File,
+}
+
+/// *Which file* a partial compaction moves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PickPolicy {
+    /// Cycle through the key space (RocksDB legacy default).
+    RoundRobin,
+    /// The file whose key range overlaps the fewest bytes in the next
+    /// level — minimizes merge fan-in, and thus write amplification.
+    LeastOverlap,
+    /// The file with the oldest data (smallest max timestamp): compacting
+    /// cold data disturbs the block cache least.
+    Coldest,
+    /// The file created earliest (FIFO-ish; approximates "most seasoned").
+    Oldest,
+    /// The file with the highest tombstone density: purges deleted data
+    /// soonest and recovers space (Lethe's picker).
+    MostTombstones,
+    /// The file with the oldest expired tombstone under the configured
+    /// [`Trigger::TombstoneAge`]; falls back to [`PickPolicy::MostTombstones`].
+    ExpiredTombstones,
+}
+
+impl PickPolicy {
+    /// All policies, for experiment sweeps.
+    pub const ALL: [PickPolicy; 6] = [
+        PickPolicy::RoundRobin,
+        PickPolicy::LeastOverlap,
+        PickPolicy::Coldest,
+        PickPolicy::Oldest,
+        PickPolicy::MostTombstones,
+        PickPolicy::ExpiredTombstones,
+    ];
+
+    /// Stable display name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PickPolicy::RoundRobin => "round-robin",
+            PickPolicy::LeastOverlap => "least-overlap",
+            PickPolicy::Coldest => "coldest",
+            PickPolicy::Oldest => "oldest",
+            PickPolicy::MostTombstones => "most-tombstones",
+            PickPolicy::ExpiredTombstones => "expired-tombstones",
+        }
+    }
+}
+
+/// The complete compaction configuration: one point in the design space.
+#[derive(Clone, Debug)]
+pub struct CompactionConfig {
+    /// Size ratio `T` between adjacent level capacities.
+    pub size_ratio: u64,
+    /// Capacity of level 1 in bytes (level `i` holds
+    /// `level1_bytes · T^(i-1)`).
+    pub level1_bytes: u64,
+    /// Run arrangement across levels.
+    pub layout: DataLayout,
+    /// Whole-level or per-file movement.
+    pub granularity: Granularity,
+    /// File selection policy for partial compactions.
+    pub pick: PickPolicy,
+    /// Extra triggers beyond saturation (density / age / space-amp).
+    pub extra_triggers: Vec<Trigger>,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            size_ratio: 4,
+            level1_bytes: 4 * 1024 * 1024,
+            layout: DataLayout::Hybrid { l0_runs: 4 },
+            granularity: Granularity::File,
+            pick: PickPolicy::LeastOverlap,
+            extra_triggers: Vec::new(),
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// Byte capacity of `level` (level 0 is governed by run count, not
+    /// bytes; it reports the level-1 capacity for scoring purposes).
+    pub fn level_capacity_bytes(&self, level: usize) -> u64 {
+        let exp = level.saturating_sub(1) as u32;
+        self.level1_bytes
+            .saturating_mul(self.size_ratio.saturating_pow(exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_run_caps() {
+        let n = 4; // levels
+        assert_eq!(DataLayout::Leveling.max_runs(1, n), 1);
+        assert_eq!(DataLayout::Leveling.max_runs(0, n), 4);
+        let t = DataLayout::Tiering { runs_per_level: 6 };
+        assert_eq!(t.max_runs(0, n), 6);
+        assert_eq!(t.max_runs(3, n), 6);
+        let lazy = DataLayout::LazyLeveling { runs_per_level: 6 };
+        assert_eq!(lazy.max_runs(1, n), 6);
+        assert_eq!(lazy.max_runs(3, n), 1, "last level leveled");
+        let h = DataLayout::Hybrid { l0_runs: 8 };
+        assert_eq!(h.max_runs(0, n), 8);
+        assert_eq!(h.max_runs(2, n), 1);
+        let c = DataLayout::Custom {
+            runs_per_level: vec![4, 3, 2],
+        };
+        assert_eq!(c.max_runs(1, n), 3);
+        assert_eq!(c.max_runs(9, n), 1, "beyond vector: leveled");
+    }
+
+    #[test]
+    fn is_leveled_matches_cap() {
+        let lazy = DataLayout::LazyLeveling { runs_per_level: 4 };
+        assert!(!lazy.is_leveled(1, 5));
+        assert!(lazy.is_leveled(4, 5));
+    }
+
+    #[test]
+    fn capacities_grow_geometrically() {
+        let cfg = CompactionConfig {
+            size_ratio: 10,
+            level1_bytes: 1000,
+            ..Default::default()
+        };
+        assert_eq!(cfg.level_capacity_bytes(1), 1000);
+        assert_eq!(cfg.level_capacity_bytes(2), 10_000);
+        assert_eq!(cfg.level_capacity_bytes(3), 100_000);
+    }
+
+    #[test]
+    fn capacity_saturates_instead_of_overflowing() {
+        let cfg = CompactionConfig {
+            size_ratio: u64::MAX,
+            level1_bytes: u64::MAX,
+            ..Default::default()
+        };
+        assert_eq!(cfg.level_capacity_bytes(5), u64::MAX);
+    }
+}

@@ -1,0 +1,178 @@
+//! Lightweight snapshots of the tree structure for planning.
+//!
+//! The planner never touches data: it sees only this metadata mirror, which
+//! the engine builds from its current version (and which tests build by
+//! hand).
+
+use lsm_types::KeyRange;
+
+/// What the planner knows about one table (file).
+#[derive(Clone, Debug)]
+pub struct TableDesc {
+    /// The table's file id (stable handle back into the engine's version).
+    pub id: u64,
+    /// Total on-disk size in bytes.
+    pub size_bytes: u64,
+    /// Number of entries.
+    pub entry_count: u64,
+    /// Point + single-delete + range tombstones.
+    pub tombstone_count: u64,
+    /// Range tombstones alone (subset of `tombstone_count`).
+    pub range_tombstone_count: u64,
+    /// Smallest/largest user keys.
+    pub key_range: KeyRange,
+    /// Oldest logical timestamp in the table.
+    pub min_ts: u64,
+    /// Newest logical timestamp in the table.
+    pub max_ts: u64,
+}
+
+impl TableDesc {
+    /// Point and single-delete tombstones (excluding range tombstones).
+    pub fn point_tombstones(&self) -> u64 {
+        self.tombstone_count.saturating_sub(self.range_tombstone_count)
+    }
+
+    /// Fraction of entries that are tombstones.
+    pub fn tombstone_density(&self) -> f64 {
+        if self.entry_count == 0 {
+            0.0
+        } else {
+            self.tombstone_count as f64 / self.entry_count as f64
+        }
+    }
+}
+
+/// One sorted run: non-overlapping tables in key order.
+#[derive(Clone, Debug, Default)]
+pub struct RunDesc {
+    /// Tables in ascending key order.
+    pub tables: Vec<TableDesc>,
+}
+
+impl RunDesc {
+    /// Total bytes in the run.
+    pub fn size_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.size_bytes).sum()
+    }
+
+    /// Tables overlapping `range`, with their total bytes.
+    pub fn overlapping(&self, range: &KeyRange) -> (Vec<&TableDesc>, u64) {
+        let mut out = Vec::new();
+        let mut bytes = 0;
+        for t in &self.tables {
+            if t.key_range.overlaps(range) {
+                bytes += t.size_bytes;
+                out.push(t);
+            }
+        }
+        (out, bytes)
+    }
+}
+
+/// One level: runs ordered newest-first (run 0 is the most recent).
+#[derive(Clone, Debug, Default)]
+pub struct LevelDesc {
+    /// Runs, newest first.
+    pub runs: Vec<RunDesc>,
+}
+
+impl LevelDesc {
+    /// Total bytes across all runs.
+    pub fn size_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.size_bytes()).sum()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the level holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.runs.iter().all(|r| r.tables.is_empty())
+    }
+}
+
+/// The whole tree: level 0 first.
+#[derive(Clone, Debug, Default)]
+pub struct TreeDesc {
+    /// Levels, shallow to deep.
+    pub levels: Vec<LevelDesc>,
+}
+
+impl TreeDesc {
+    /// Number of levels (including empty trailing ones).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Index of the deepest non-empty level, if any.
+    pub fn last_occupied(&self) -> Option<usize> {
+        self.levels.iter().rposition(|l| !l.is_empty())
+    }
+
+    /// Total bytes in the tree.
+    pub fn size_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn table(id: u64, min: &[u8], max: &[u8], size: u64) -> TableDesc {
+        TableDesc {
+            id,
+            size_bytes: size,
+            entry_count: size / 32,
+            tombstone_count: 0,
+            range_tombstone_count: 0,
+            key_range: KeyRange::new(min, max),
+            min_ts: 0,
+            max_ts: 0,
+        }
+    }
+
+    #[test]
+    fn run_overlap_math() {
+        let run = RunDesc {
+            tables: vec![
+                table(1, b"a", b"c", 100),
+                table(2, b"d", b"f", 200),
+                table(3, b"g", b"i", 300),
+            ],
+        };
+        let (tabs, bytes) = run.overlapping(&KeyRange::new(b"e", b"h"));
+        assert_eq!(tabs.len(), 2);
+        assert_eq!(bytes, 500);
+        let (tabs, bytes) = run.overlapping(&KeyRange::new(b"x", b"z"));
+        assert!(tabs.is_empty());
+        assert_eq!(bytes, 0);
+    }
+
+    #[test]
+    fn tree_accessors() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: vec![RunDesc {
+                        tables: vec![table(1, b"a", b"b", 10)],
+                    }],
+                },
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![RunDesc {
+                        tables: vec![table(2, b"a", b"z", 90)],
+                    }],
+                },
+                LevelDesc::default(),
+            ],
+        };
+        assert_eq!(tree.num_levels(), 4);
+        assert_eq!(tree.last_occupied(), Some(2));
+        assert_eq!(tree.size_bytes(), 100);
+        assert!(tree.levels[1].is_empty());
+    }
+}

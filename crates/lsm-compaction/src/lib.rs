@@ -1,0 +1,30 @@
+//! The LSM compaction design space, as first-class primitives.
+//!
+//! Sarkar et al. (VLDB'21, tutorial §2.2.4) decompose every compaction
+//! strategy — classical or exotic — into four orthogonal primitives:
+//!
+//! 1. **Trigger** — *when* to compact: level saturation, run count,
+//!    tombstone density, tombstone age (Lethe's delete-persistence
+//!    deadline), space amplification.
+//! 2. **Data layout** — *how runs are arranged*: leveling, tiering,
+//!    lazy-leveling (Dostoevsky), the RocksDB hybrid (tiered L0 + leveled
+//!    rest), or an arbitrary per-level run-count vector (LSM-Bush/Wacky).
+//! 3. **Granularity** — *how much moves at once*: whole levels versus one
+//!    file at a time (partial compaction).
+//! 4. **Data movement policy** — *which* file moves: round-robin,
+//!    least-overlap, coldest, oldest, most-tombstones, expired-TTL.
+//!
+//! This crate implements the primitives as data ([`CompactionConfig`]) and
+//! the planner ([`plan`]) as a pure function from a [`TreeDesc`] snapshot to
+//! an optional [`CompactionPlan`]. The engine (`lsm-core`) executes plans;
+//! keeping planning pure makes every strategy unit-testable without I/O.
+
+mod config;
+mod describe;
+mod picker;
+mod planner;
+
+pub use config::{CompactionConfig, DataLayout, Granularity, PickPolicy, Trigger};
+pub use describe::{LevelDesc, RunDesc, TableDesc, TreeDesc};
+pub use picker::pick_table;
+pub use planner::{plan, CompactionPlan, CompactionReason};

@@ -1,0 +1,215 @@
+//! File selection: the data-movement policy of partial compaction.
+
+use crate::config::PickPolicy;
+use crate::describe::{RunDesc, TableDesc};
+
+/// Chooses which table of `src_run` a partial compaction should move,
+/// given the destination run it would merge into.
+///
+/// * `cursor` — for [`PickPolicy::RoundRobin`], the upper bound of the key
+///   range compacted last time at this level (the engine threads it
+///   through); the picker chooses the first table beyond it, wrapping.
+/// * `now` / `ttl` — the logical clock and tombstone-age deadline for
+///   [`PickPolicy::ExpiredTombstones`].
+///
+/// Returns the index of the chosen table in `src_run.tables`, or `None`
+/// when the run is empty.
+pub fn pick_table(
+    policy: PickPolicy,
+    src_run: &RunDesc,
+    dst_run: Option<&RunDesc>,
+    cursor: Option<&[u8]>,
+    now: u64,
+    ttl: u64,
+) -> Option<usize> {
+    let tables = &src_run.tables;
+    if tables.is_empty() {
+        return None;
+    }
+    match policy {
+        PickPolicy::RoundRobin => {
+            let idx = match cursor {
+                Some(c) => tables
+                    .iter()
+                    .position(|t| t.key_range.min.as_bytes() > c)
+                    .unwrap_or(0),
+                None => 0,
+            };
+            Some(idx)
+        }
+        PickPolicy::LeastOverlap => {
+            let overlap_of = |t: &TableDesc| -> u64 {
+                dst_run.map_or(0, |dst| dst.overlapping(&t.key_range).1)
+            };
+            argmin_by_key(tables, |t| (overlap_of(t), t.id))
+        }
+        PickPolicy::Coldest => argmin_by_key(tables, |t| (t.max_ts, t.id)),
+        PickPolicy::Oldest => argmin_by_key(tables, |t| (t.id, 0)),
+        PickPolicy::MostTombstones => {
+            // max density == min negated density; use integer mill rate to
+            // keep the key Ord.
+            argmin_by_key(tables, |t| {
+                (1_000_000 - (t.tombstone_density() * 1_000_000.0) as u64, t.id)
+            })
+        }
+        PickPolicy::ExpiredTombstones => {
+            let expired: Vec<(usize, &TableDesc)> = tables
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.tombstone_count > 0 && now.saturating_sub(t.min_ts) >= ttl)
+                .collect();
+            if expired.is_empty() {
+                pick_table(PickPolicy::MostTombstones, src_run, dst_run, cursor, now, ttl)
+            } else {
+                // the file whose oldest data is oldest: most overdue
+                expired
+                    .into_iter()
+                    .min_by_key(|(_, t)| (t.min_ts, t.id))
+                    .map(|(i, _)| i)
+            }
+        }
+    }
+}
+
+fn argmin_by_key<K: Ord>(tables: &[TableDesc], key: impl Fn(&TableDesc) -> K) -> Option<usize> {
+    tables
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| key(t))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_types::KeyRange;
+
+    fn table(id: u64, min: &[u8], max: &[u8]) -> TableDesc {
+        TableDesc {
+            id,
+            size_bytes: 100,
+            entry_count: 100,
+            tombstone_count: 0,
+            range_tombstone_count: 0,
+            key_range: KeyRange::new(min, max),
+            min_ts: id * 10,
+            max_ts: id * 10 + 9,
+        }
+    }
+
+    fn src() -> RunDesc {
+        RunDesc {
+            tables: vec![
+                table(1, b"a", b"c"),
+                table(2, b"d", b"f"),
+                table(3, b"g", b"i"),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_robin_advances_and_wraps() {
+        let run = src();
+        assert_eq!(
+            pick_table(PickPolicy::RoundRobin, &run, None, None, 0, 0),
+            Some(0)
+        );
+        assert_eq!(
+            pick_table(PickPolicy::RoundRobin, &run, None, Some(b"c"), 0, 0),
+            Some(1)
+        );
+        assert_eq!(
+            pick_table(PickPolicy::RoundRobin, &run, None, Some(b"i"), 0, 0),
+            Some(0),
+            "wraps past the end"
+        );
+    }
+
+    #[test]
+    fn least_overlap_minimizes_merge_bytes() {
+        let run = src();
+        // dst heavily overlaps a..c and g..i, lightly overlaps d..f
+        let dst = RunDesc {
+            tables: vec![
+                TableDesc {
+                    size_bytes: 900,
+                    ..table(10, b"a", b"c")
+                },
+                TableDesc {
+                    size_bytes: 10,
+                    ..table(11, b"e", b"e")
+                },
+                TableDesc {
+                    size_bytes: 900,
+                    ..table(12, b"g", b"i")
+                },
+            ],
+        };
+        assert_eq!(
+            pick_table(PickPolicy::LeastOverlap, &run, Some(&dst), None, 0, 0),
+            Some(1)
+        );
+        // with no dst, everything overlaps nothing; ties break by id
+        assert_eq!(
+            pick_table(PickPolicy::LeastOverlap, &run, None, None, 0, 0),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn coldest_and_oldest() {
+        let mut run = src();
+        run.tables[2].max_ts = 1; // table 3 has the oldest data
+        assert_eq!(
+            pick_table(PickPolicy::Coldest, &run, None, None, 0, 0),
+            Some(2)
+        );
+        assert_eq!(
+            pick_table(PickPolicy::Oldest, &run, None, None, 0, 0),
+            Some(0),
+            "smallest id"
+        );
+    }
+
+    #[test]
+    fn most_tombstones_prefers_dense_files() {
+        let mut run = src();
+        run.tables[1].tombstone_count = 60; // density 0.6
+        run.tables[2].tombstone_count = 90; // density 0.9
+        assert_eq!(
+            pick_table(PickPolicy::MostTombstones, &run, None, None, 0, 0),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn expired_tombstones_picks_most_overdue() {
+        let mut run = src();
+        run.tables[0].tombstone_count = 1; // min_ts 10
+        run.tables[1].tombstone_count = 1; // min_ts 20
+        // now=100, ttl=85: only table 0 (age 90) is expired
+        assert_eq!(
+            pick_table(PickPolicy::ExpiredTombstones, &run, None, None, 100, 85),
+            Some(0)
+        );
+        // ttl=70: both expired; table 0 is more overdue
+        assert_eq!(
+            pick_table(PickPolicy::ExpiredTombstones, &run, None, None, 100, 70),
+            Some(0)
+        );
+        // nothing expired: falls back to most-tombstones
+        run.tables[2].tombstone_count = 50;
+        assert_eq!(
+            pick_table(PickPolicy::ExpiredTombstones, &run, None, None, 100, 1000),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn empty_run_yields_none() {
+        let run = RunDesc::default();
+        for p in PickPolicy::ALL {
+            assert_eq!(pick_table(p, &run, None, None, 0, 0), None);
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! The planner: from tree snapshot to compaction plan.
+
+use lsm_types::KeyRange;
+
+use crate::config::{CompactionConfig, Granularity, Trigger};
+use crate::describe::TreeDesc;
+use crate::picker::pick_table;
+
+/// Why a plan was produced (reported in compaction statistics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompactionReason {
+    /// Level 0 reached its run cap.
+    L0RunCount,
+    /// A tiered level reached its run cap.
+    RunCount,
+    /// A leveled level exceeded its byte capacity.
+    LevelBytes,
+    /// A file crossed the tombstone-density threshold.
+    TombstoneDensity,
+    /// A file held a tombstone past the age deadline.
+    TombstoneAge,
+    /// Space amplification exceeded its threshold.
+    SpaceAmp,
+}
+
+impl CompactionReason {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompactionReason::L0RunCount => "l0-runs",
+            CompactionReason::RunCount => "run-count",
+            CompactionReason::LevelBytes => "level-bytes",
+            CompactionReason::TombstoneDensity => "tombstone-density",
+            CompactionReason::TombstoneAge => "tombstone-age",
+            CompactionReason::SpaceAmp => "space-amp",
+        }
+    }
+}
+
+/// One unit of data movement for the engine to execute.
+#[derive(Clone, Debug)]
+pub struct CompactionPlan {
+    /// Level the data leaves.
+    pub src_level: usize,
+    /// Level the data lands in (`src_level + 1`).
+    pub dst_level: usize,
+    /// Ids of the source tables to consume.
+    pub src_tables: Vec<u64>,
+    /// Ids of destination tables to merge with (empty when `dst_append`).
+    pub dst_tables: Vec<u64>,
+    /// `true`: the output stacks as a new run on the destination (tiered
+    /// destination). `false`: the output replaces `dst_tables` inside the
+    /// destination's single run (leveled destination).
+    pub dst_append: bool,
+    /// Why this plan exists.
+    pub reason: CompactionReason,
+}
+
+/// Produces the highest-priority compaction for `tree` under `cfg`, if any.
+///
+/// Priority order: level-0 saturation, then per-level saturation shallow to
+/// deep, then the configured extra triggers (tombstone age, tombstone
+/// density, space amplification). The engine executes plans in a loop until
+/// `plan` returns `None`.
+///
+/// * `now` — current logical clock (for age triggers).
+/// * `cursors` — per-level round-robin cursors (last compacted upper key);
+///   pass `&[]` when not using [`PickPolicy::RoundRobin`].
+/// * `bottom_ok` — whether delete-driven triggers may rewrite files of the
+///   deepest leveled level **in place** to purge expired tombstones
+///   (Lethe-style). The engine enables this only when no snapshot could
+///   block the purge, which guarantees such plans make progress.
+pub fn plan(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    now: u64,
+    cursors: &[Option<Vec<u8>>],
+    bottom_ok: bool,
+) -> Option<CompactionPlan> {
+    let num_levels = tree.last_occupied().map_or(1, |l| l + 1);
+
+    // --- Level 0: run-count trigger ---
+    if let Some(l0) = tree.levels.first() {
+        if l0.run_count() >= cfg.layout.max_runs(0, num_levels) && !l0.is_empty() {
+            return Some(merge_whole_level(tree, cfg, 0, num_levels, CompactionReason::L0RunCount));
+        }
+    }
+
+    // --- Deeper levels: saturation, shallow to deep ---
+    for level in 1..tree.levels.len() {
+        let desc = &tree.levels[level];
+        if desc.is_empty() {
+            continue;
+        }
+        let cap_runs = cfg.layout.max_runs(level, num_levels);
+        if cap_runs > 1 {
+            // tiered level: trigger on run count
+            if desc.run_count() >= cap_runs {
+                return Some(merge_whole_level(
+                    tree,
+                    cfg,
+                    level,
+                    num_levels,
+                    CompactionReason::RunCount,
+                ));
+            }
+        } else if desc.size_bytes() > cfg.level_capacity_bytes(level) {
+            // leveled level: trigger on bytes
+            return Some(plan_leveled_overflow(tree, cfg, level, num_levels, cursors, now));
+        }
+    }
+
+    // --- Extra triggers ---
+    for trigger in &cfg.extra_triggers {
+        if let Some(p) = plan_extra_trigger(tree, cfg, *trigger, now, num_levels, bottom_ok) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Merge every run of `level` and push the result down.
+fn merge_whole_level(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    level: usize,
+    num_levels: usize,
+    reason: CompactionReason,
+) -> CompactionPlan {
+    let desc = &tree.levels[level];
+    let src_tables: Vec<u64> = desc
+        .runs
+        .iter()
+        .flat_map(|r| r.tables.iter().map(|t| t.id))
+        .collect();
+    let range = KeyRange::union_all(
+        desc.runs
+            .iter()
+            .flat_map(|r| r.tables.iter().map(|t| &t.key_range)),
+    )
+    .expect("non-empty level");
+    finish_plan(tree, cfg, level, num_levels, src_tables, range, reason)
+}
+
+/// A leveled level exceeded its capacity: move one file (or the whole run).
+fn plan_leveled_overflow(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    level: usize,
+    num_levels: usize,
+    cursors: &[Option<Vec<u8>>],
+    now: u64,
+) -> CompactionPlan {
+    let desc = &tree.levels[level];
+    let run = &desc.runs[0];
+    match cfg.granularity {
+        Granularity::Level => merge_whole_level(tree, cfg, level, num_levels, CompactionReason::LevelBytes),
+        Granularity::File => {
+            let dst_run = tree
+                .levels
+                .get(level + 1)
+                .and_then(|l| l.runs.first());
+            let cursor = cursors.get(level).and_then(|c| c.as_deref());
+            let ttl = age_ttl(cfg).unwrap_or(u64::MAX);
+            let idx = pick_table(cfg.pick, run, dst_run, cursor, now, ttl)
+                .expect("saturated level has tables");
+            let t = &run.tables[idx];
+            finish_plan(
+                tree,
+                cfg,
+                level,
+                num_levels,
+                vec![t.id],
+                t.key_range.clone(),
+                CompactionReason::LevelBytes,
+            )
+        }
+    }
+}
+
+/// Resolve the destination side of a plan.
+fn finish_plan(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    src_level: usize,
+    num_levels: usize,
+    src_tables: Vec<u64>,
+    src_range: KeyRange,
+    reason: CompactionReason,
+) -> CompactionPlan {
+    let dst_level = src_level + 1;
+    // A push into a brand-new deepest level makes the tree one level
+    // deeper, which can flip "which level is last" for lazy-leveling.
+    let new_num_levels = num_levels.max(dst_level + 1);
+    let dst_leveled = cfg.layout.is_leveled(dst_level, new_num_levels);
+    let dst_tables = if dst_leveled {
+        tree.levels
+            .get(dst_level)
+            .and_then(|l| l.runs.first())
+            .map(|r| {
+                r.overlapping(&src_range)
+                    .0
+                    .into_iter()
+                    .map(|t| t.id)
+                    .collect()
+            })
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    CompactionPlan {
+        src_level,
+        dst_level,
+        src_tables,
+        dst_tables,
+        dst_append: !dst_leveled,
+        reason,
+    }
+}
+
+fn age_ttl(cfg: &CompactionConfig) -> Option<u64> {
+    cfg.extra_triggers.iter().find_map(|t| match t {
+        Trigger::TombstoneAge(ttl) => Some(*ttl),
+        _ => None,
+    })
+}
+
+fn plan_extra_trigger(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    trigger: Trigger,
+    now: u64,
+    num_levels: usize,
+    bottom_ok: bool,
+) -> Option<CompactionPlan> {
+    let delete_plan = |level: usize, id: u64, range: KeyRange, reason: CompactionReason| {
+        let last = tree.last_occupied().unwrap_or(0);
+        if level >= last {
+            // In-place rewrite of a bottom-level file: the executor sees
+            // src == dst, no destination tables, and (with nothing below
+            // and disjoint leveled siblings) purges the tombstones.
+            CompactionPlan {
+                src_level: level,
+                dst_level: level,
+                src_tables: vec![id],
+                dst_tables: Vec::new(),
+                dst_append: false,
+                reason,
+            }
+        } else {
+            finish_plan(tree, cfg, level, num_levels, vec![id], range, reason)
+        }
+    };
+    match trigger {
+        Trigger::Saturation => None, // always handled above
+        Trigger::TombstoneDensity(threshold) => find_file(tree, bottom_ok, |t| {
+            t.tombstone_density() >= threshold && t.point_tombstones() > 0
+        })
+        .map(|(level, id, range)| {
+            delete_plan(level, id, range, CompactionReason::TombstoneDensity)
+        }),
+        Trigger::TombstoneAge(ttl) => find_file(tree, bottom_ok, |t| {
+            t.point_tombstones() > 0 && now.saturating_sub(t.min_ts) >= ttl
+        })
+        .map(|(level, id, range)| {
+            delete_plan(level, id, range, CompactionReason::TombstoneAge)
+        }),
+        Trigger::SpaceAmp(threshold) => {
+            let last = tree.last_occupied()?;
+            if last == 0 {
+                return None;
+            }
+            let last_bytes = tree.levels[last].size_bytes();
+            let above: u64 = tree.levels[..last].iter().map(|l| l.size_bytes()).sum();
+            if last_bytes == 0 || above as f64 / last_bytes as f64 <= threshold {
+                return None;
+            }
+            // Push the deepest overfull-ish level above `last` downward.
+            let level = tree.levels[..last].iter().rposition(|l| !l.is_empty())?;
+            Some(merge_whole_level(tree, cfg, level, num_levels, CompactionReason::SpaceAmp))
+        }
+    }
+}
+
+/// The shallowest file matching `pred`. Files of the deepest occupied
+/// level are considered only when `include_last` (they can only be
+/// rewritten in place, which requires the engine's go-ahead) and only when
+/// that level is leveled (a tiered last level has overlapping sibling runs,
+/// making an in-place rewrite unsound for recency).
+fn find_file(
+    tree: &TreeDesc,
+    include_last: bool,
+    pred: impl Fn(&crate::describe::TableDesc) -> bool,
+) -> Option<(usize, u64, KeyRange)> {
+    let last = tree.last_occupied()?;
+    for (level, desc) in tree.levels.iter().enumerate() {
+        if level > last {
+            break;
+        }
+        if level >= last && (!include_last || desc.run_count() > 1) {
+            break;
+        }
+        for run in &desc.runs {
+            for t in &run.tables {
+                if pred(t) {
+                    return Some((level, t.id, t.key_range.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DataLayout, PickPolicy};
+    use crate::describe::{LevelDesc, RunDesc, TableDesc};
+
+    fn table(id: u64, min: &[u8], max: &[u8], size: u64) -> TableDesc {
+        TableDesc {
+            id,
+            size_bytes: size,
+            entry_count: (size / 32).max(1),
+            tombstone_count: 0,
+            range_tombstone_count: 0,
+            key_range: KeyRange::new(min, max),
+            min_ts: id,
+            max_ts: id + 1,
+        }
+    }
+
+    fn run_of(tables: Vec<TableDesc>) -> RunDesc {
+        RunDesc { tables }
+    }
+
+    fn cfg(layout: DataLayout) -> CompactionConfig {
+        CompactionConfig {
+            size_ratio: 4,
+            level1_bytes: 1000,
+            layout,
+            granularity: Granularity::File,
+            pick: PickPolicy::LeastOverlap,
+            extra_triggers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiet_tree_plans_nothing() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: vec![run_of(vec![table(1, b"a", b"m", 100)])],
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(2, b"a", b"z", 900)])],
+                },
+            ],
+        };
+        assert!(plan(&tree, &cfg(DataLayout::Leveling), 0, &[], false).is_none());
+    }
+
+    #[test]
+    fn l0_saturation_merges_all_runs_into_l1() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: (0..4)
+                        .map(|i| run_of(vec![table(i, b"a", b"z", 100)]))
+                        .collect(),
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![
+                        table(10, b"a", b"m", 400),
+                        table(11, b"n", b"z", 400),
+                    ])],
+                },
+            ],
+        };
+        let p = plan(&tree, &cfg(DataLayout::Leveling), 0, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::L0RunCount);
+        assert_eq!(p.src_level, 0);
+        assert_eq!(p.dst_level, 1);
+        assert_eq!(p.src_tables.len(), 4);
+        assert_eq!(p.dst_tables, vec![10, 11], "L1 overlap merged in");
+        assert!(!p.dst_append);
+    }
+
+    #[test]
+    fn tiered_dst_appends_without_reading_it() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: (0..4)
+                        .map(|i| run_of(vec![table(i, b"a", b"z", 100)]))
+                        .collect(),
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(10, b"a", b"z", 400)])],
+                },
+            ],
+        };
+        let p = plan(&tree, &cfg(DataLayout::Tiering { runs_per_level: 4 }), 0, &[], false).unwrap();
+        assert!(p.dst_append);
+        assert!(p.dst_tables.is_empty());
+    }
+
+    #[test]
+    fn tiered_level_full_of_runs_cascades() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: vec![run_of(vec![table(0, b"a", b"z", 100)])],
+                },
+                LevelDesc {
+                    runs: (1..5)
+                        .map(|i| run_of(vec![table(i, b"a", b"z", 300)]))
+                        .collect(),
+                },
+            ],
+        };
+        let p = plan(&tree, &cfg(DataLayout::Tiering { runs_per_level: 4 }), 0, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::RunCount);
+        assert_eq!(p.src_level, 1);
+        assert_eq!(p.dst_level, 2);
+        assert_eq!(p.src_tables.len(), 4);
+    }
+
+    #[test]
+    fn lazy_leveling_merges_into_leveled_last() {
+        // 3 occupied levels; level 2 is last -> leveled under lazy-leveling.
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: vec![run_of(vec![table(0, b"a", b"z", 100)])],
+                },
+                LevelDesc {
+                    runs: (1..5)
+                        .map(|i| run_of(vec![table(i, b"a", b"z", 300)]))
+                        .collect(),
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(9, b"a", b"z", 5000)])],
+                },
+            ],
+        };
+        let p = plan(
+            &tree,
+            &cfg(DataLayout::LazyLeveling { runs_per_level: 4 }),
+            0,
+            &[],
+            false,
+        )
+        .unwrap();
+        assert_eq!(p.src_level, 1);
+        assert!(!p.dst_append, "last level is leveled: must merge");
+        assert_eq!(p.dst_tables, vec![9]);
+    }
+
+    #[test]
+    fn leveled_overflow_picks_one_file() {
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    // capacity 1000, holds 1200
+                    runs: vec![run_of(vec![
+                        table(1, b"a", b"f", 600),
+                        table(2, b"g", b"z", 600),
+                    ])],
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![
+                        table(10, b"a", b"e", 2000),
+                        table(11, b"f", b"z", 100),
+                    ])],
+                },
+            ],
+        };
+        let p = plan(&tree, &cfg(DataLayout::Leveling), 0, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::LevelBytes);
+        assert_eq!(p.src_level, 1);
+        // least-overlap picks table 2 (overlaps only table 11's 100 bytes)
+        assert_eq!(p.src_tables, vec![2]);
+        assert_eq!(p.dst_tables, vec![11]);
+    }
+
+    #[test]
+    fn whole_level_granularity_moves_everything() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.granularity = Granularity::Level;
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![
+                        table(1, b"a", b"f", 600),
+                        table(2, b"g", b"z", 600),
+                    ])],
+                },
+            ],
+        };
+        let p = plan(&tree, &c, 0, &[], false).unwrap();
+        assert_eq!(p.src_tables, vec![1, 2]);
+    }
+
+    #[test]
+    fn tombstone_age_trigger_fires() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.extra_triggers = vec![Trigger::TombstoneAge(50)];
+        let mut t = table(1, b"a", b"f", 100);
+        t.tombstone_count = 5;
+        t.min_ts = 10;
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![t])],
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(9, b"a", b"z", 3000)])],
+                },
+            ],
+        };
+        // age = 100 - 10 = 90 >= 50: fire
+        let p = plan(&tree, &c, 100, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::TombstoneAge);
+        assert_eq!(p.src_tables, vec![1]);
+        // age below ttl: quiet
+        assert!(plan(&tree, &c, 30, &[], false).is_none());
+    }
+
+    #[test]
+    fn tombstone_density_trigger_fires() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.extra_triggers = vec![Trigger::TombstoneDensity(0.5)];
+        let mut t = table(1, b"a", b"f", 100);
+        t.entry_count = 10;
+        t.tombstone_count = 6;
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![t])],
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(9, b"a", b"z", 3000)])],
+                },
+            ],
+        };
+        let p = plan(&tree, &c, 0, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::TombstoneDensity);
+    }
+
+    #[test]
+    fn bottom_level_files_not_picked_by_delete_triggers() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.extra_triggers = vec![Trigger::TombstoneDensity(0.1)];
+        let mut t = table(9, b"a", b"z", 300); // below L1 byte capacity
+        t.tombstone_count = 8;
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![t])],
+                },
+            ],
+        };
+        assert!(plan(&tree, &c, 0, &[], false).is_none());
+    }
+
+    #[test]
+    fn bottom_ok_enables_in_place_delete_compaction() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.extra_triggers = vec![Trigger::TombstoneDensity(0.1)];
+        let mut t = table(9, b"a", b"z", 300);
+        t.tombstone_count = 8;
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![t])],
+                },
+            ],
+        };
+        // forbidden: quiet
+        assert!(plan(&tree, &c, 0, &[], false).is_none());
+        // allowed: in-place rewrite of the bottom file
+        let p = plan(&tree, &c, 0, &[], true).unwrap();
+        assert_eq!(p.src_level, 1);
+        assert_eq!(p.dst_level, 1, "in place");
+        assert_eq!(p.src_tables, vec![9]);
+        assert!(p.dst_tables.is_empty());
+        assert!(!p.dst_append);
+        assert_eq!(p.reason, CompactionReason::TombstoneDensity);
+    }
+
+    #[test]
+    fn range_tombstone_only_files_not_rewritten_in_place() {
+        let mut c = cfg(DataLayout::Leveling);
+        c.extra_triggers = vec![Trigger::TombstoneDensity(0.01)];
+        let mut t = table(9, b"a", b"z", 300);
+        t.tombstone_count = 2;
+        t.range_tombstone_count = 2; // all tombstones are range deletes
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc::default(),
+                LevelDesc {
+                    runs: vec![run_of(vec![t])],
+                },
+            ],
+        };
+        assert!(
+            plan(&tree, &c, 0, &[], true).is_none(),
+            "rt-only bottom files are left alone (progress not guaranteed)"
+        );
+    }
+
+    #[test]
+    fn space_amp_trigger() {
+        let mut c = cfg(DataLayout::Tiering { runs_per_level: 8 });
+        c.extra_triggers = vec![Trigger::SpaceAmp(0.5)];
+        let tree = TreeDesc {
+            levels: vec![
+                LevelDesc {
+                    runs: vec![run_of(vec![table(1, b"a", b"z", 700)])],
+                },
+                LevelDesc {
+                    runs: vec![run_of(vec![table(9, b"a", b"z", 1000)])],
+                },
+            ],
+        };
+        // above/last = 0.7 > 0.5: fire from level 0
+        let p = plan(&tree, &c, 0, &[], false).unwrap();
+        assert_eq!(p.reason, CompactionReason::SpaceAmp);
+        assert_eq!(p.src_level, 0);
+    }
+}

@@ -1,0 +1,1363 @@
+//! The database: write path, read path, maintenance, recovery.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lsm_compaction::{plan, CompactionPlan, Granularity, PickPolicy};
+use lsm_memtable::{make_memtable, MemTable};
+use lsm_sstable::{Table, TableBuilder, VecEntryIter};
+use lsm_storage::{wal, Backend, BlockCache, FileId, FsBackend, MemBackend};
+use lsm_types::encoding::Decoder;
+use lsm_types::{
+    EntryKind, Error, InternalEntry, Result, SeqNo, UserKey, Value,
+};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::compact::execute_plan;
+use crate::manifest::Manifest;
+use crate::options::Options;
+use crate::scan::{build_scan_merge, VisibleIter};
+use crate::stats::{DbStats, StatsSnapshot};
+use crate::version::{Run, Version, VersionEdit};
+
+/// One write buffer plus its side state: range-tombstone list and WAL
+/// segment.
+struct MemHandle {
+    id: u64,
+    table: Box<dyn MemTable>,
+    rts: RwLock<Vec<(UserKey, UserKey, SeqNo)>>,
+    wal: Option<FileId>,
+}
+
+impl MemHandle {
+    fn max_rt_covering(&self, key: &[u8], snapshot: SeqNo) -> SeqNo {
+        self.rts
+            .read()
+            .iter()
+            .filter(|(start, end, seqno)| {
+                *seqno <= snapshot && start.as_bytes() <= key && key < end.as_bytes()
+            })
+            .map(|(_, _, s)| *s)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn rt_list(&self) -> Vec<(UserKey, UserKey, SeqNo)> {
+        self.rts.read().clone()
+    }
+}
+
+struct MemState {
+    active: Arc<MemHandle>,
+    /// Frozen memtables, oldest first.
+    immutables: VecDeque<Arc<MemHandle>>,
+    next_id: u64,
+}
+
+struct Scheduler {
+    /// Levels currently involved in a compaction.
+    busy_levels: HashSet<usize>,
+    /// Memtable ids currently being flushed.
+    flushing: HashSet<u64>,
+    /// Per-level round-robin cursors (last compacted max key).
+    cursors: Vec<Option<Vec<u8>>>,
+}
+
+struct DbInner {
+    opts: Options,
+    backend: Arc<dyn Backend>,
+    cache: Option<Arc<BlockCache>>,
+    stats: DbStats,
+    /// Last assigned sequence number.
+    seqno: AtomicU64,
+    /// Logical clock (one tick per write).
+    clock: AtomicU64,
+    mem: RwLock<MemState>,
+    /// Current version; the mutex doubles as the install lock.
+    current: Mutex<Arc<Version>>,
+    snapshots: Mutex<BTreeMap<SeqNo, usize>>,
+    sched: Mutex<Scheduler>,
+    /// Serializes writers (the single-writer queue); batches publish their
+    /// sequence numbers atomically under it.
+    write_mx: Mutex<()>,
+    /// Signalled whenever background work may exist.
+    work_mx: Mutex<bool>,
+    work_cv: Condvar,
+    /// Signalled when the immutable queue shrinks (stall release) and when
+    /// flush commit order advances.
+    stall_mx: Mutex<()>,
+    stall_cv: Condvar,
+    shutdown: AtomicBool,
+    bg_error: Mutex<Option<String>>,
+    /// When set, every structural change rewrites `<dir>/MANIFEST`.
+    manifest_path: Option<PathBuf>,
+}
+
+/// The `lsm-lab` storage engine. Cheap to clone handles are not provided;
+/// wrap in `Arc` to share across threads (all methods take `&self`).
+pub struct Db {
+    inner: Arc<DbInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A consistent read view pinned at a sequence number. Dropping the
+/// snapshot releases its pin on compaction garbage collection.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    seqno: SeqNo,
+}
+
+impl Snapshot {
+    /// The sequence number this snapshot reads at.
+    pub fn seqno(&self) -> SeqNo {
+        self.seqno
+    }
+
+    /// Point lookup at this snapshot.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        self.inner.get_at(key, self.seqno)
+    }
+
+    /// Range scan at this snapshot.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        self.inner.scan_at(start, end, self.seqno)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut snaps = self.inner.snapshots.lock();
+        if let Some(count) = snaps.get_mut(&self.seqno) {
+            *count -= 1;
+            if *count == 0 {
+                snaps.remove(&self.seqno);
+            }
+        }
+    }
+}
+
+/// A group of writes applied atomically: one WAL record, contiguous
+/// sequence numbers, and all-or-nothing visibility to readers and
+/// snapshots.
+#[derive(Default, Clone, Debug)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    SingleDelete(Vec<u8>),
+    DeleteRange(Vec<u8>, Vec<u8>),
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queues an insert/update.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::Put(key.to_vec(), value.to_vec()));
+        self
+    }
+
+    /// Queues a point delete.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::Delete(key.to_vec()));
+        self
+    }
+
+    /// Queues a single-delete.
+    pub fn single_delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push(BatchOp::SingleDelete(key.to_vec()));
+        self
+    }
+
+    /// Queues a range delete of `[start, end)`.
+    pub fn delete_range(&mut self, start: &[u8], end: &[u8]) -> &mut Self {
+        self.ops
+            .push(BatchOp::DeleteRange(start.to_vec(), end.to_vec()));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Db {
+    /// Opens a fresh database on an in-memory backend (the experiment
+    /// substrate).
+    pub fn open_in_memory(opts: Options) -> Result<Db> {
+        Db::open(Arc::new(MemBackend::new()), opts)
+    }
+
+    /// Opens a fresh, empty database on `backend`.
+    pub fn open(backend: Arc<dyn Backend>, opts: Options) -> Result<Db> {
+        opts.validate()?;
+        let inner = DbInner::new(backend, opts, None)?;
+        Db::finish_open(inner)
+    }
+
+    /// Opens (creating or recovering) a database in a filesystem directory.
+    /// The manifest lives in `<dir>/MANIFEST`; table files and logs in the
+    /// same directory.
+    pub fn open_dir(dir: impl Into<PathBuf>, opts: Options) -> Result<Db> {
+        opts.validate()?;
+        let dir = dir.into();
+        let backend: Arc<dyn Backend> = Arc::new(FsBackend::open(&dir)?);
+        let manifest_path = dir.join("MANIFEST");
+        if manifest_path.exists() {
+            let bytes = std::fs::read(&manifest_path)?;
+            let inner =
+                DbInner::recover(backend, opts, &bytes, Some(manifest_path))?;
+            Db::finish_open(inner)
+        } else {
+            let inner = DbInner::new(backend, opts, Some(manifest_path))?;
+            inner.save_manifest()?;
+            Db::finish_open(inner)
+        }
+    }
+
+    /// Recovers a database from a manifest blob previously returned by
+    /// [`Db::manifest_bytes`] (plus WAL replay for the buffered tail).
+    pub fn open_with_manifest(
+        backend: Arc<dyn Backend>,
+        opts: Options,
+        manifest: &[u8],
+    ) -> Result<Db> {
+        opts.validate()?;
+        let inner = DbInner::recover(backend, opts, manifest, None)?;
+        Db::finish_open(inner)
+    }
+
+    fn finish_open(inner: Arc<DbInner>) -> Result<Db> {
+        let mut workers = Vec::new();
+        for i in 0..inner.opts.background_threads {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("lsm-bg-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .map_err(Error::Io)?,
+            );
+        }
+        Ok(Db {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The current serialized manifest (tree shape + WAL list + clocks).
+    pub fn manifest_bytes(&self) -> Vec<u8> {
+        self.inner.build_manifest().encode()
+    }
+
+    /// Inserts or updates `key -> value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .user_bytes
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        self.inner.write_one(|seqno, ts| {
+            InternalEntry::put(key, value.to_vec(), seqno, ts)
+        })
+    }
+
+    /// Deletes `key` (writes a point tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .user_bytes
+            .fetch_add(key.len() as u64, Ordering::Relaxed);
+        self.inner
+            .write_one(|seqno, ts| InternalEntry::delete(key, seqno, ts))
+    }
+
+    /// Deletes `key`, promising it was written at most once since the last
+    /// delete (RocksDB `SingleDelete`: the tombstone annihilates with the
+    /// matching put during compaction instead of surviving to the bottom).
+    pub fn single_delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .user_bytes
+            .fetch_add(key.len() as u64, Ordering::Relaxed);
+        self.inner
+            .write_one(|seqno, ts| InternalEntry::single_delete(key, seqno, ts))
+    }
+
+    /// Deletes every key in `[start, end)` with one range tombstone.
+    pub fn delete_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        if start >= end {
+            return Err(Error::InvalidArgument(
+                "delete_range requires start < end".into(),
+            ));
+        }
+        self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .user_bytes
+            .fetch_add((start.len() + end.len()) as u64, Ordering::Relaxed);
+        self.inner
+            .write_one(|seqno, ts| InternalEntry::range_delete(start, end, seqno, ts))
+    }
+
+    /// Applies a [`WriteBatch`] atomically.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for op in &batch.ops {
+            if let BatchOp::DeleteRange(start, end) = op {
+                if start >= end {
+                    return Err(Error::InvalidArgument(
+                        "delete_range requires start < end".into(),
+                    ));
+                }
+            }
+        }
+        // account stats per op
+        for op in &batch.ops {
+            match op {
+                BatchOp::Put(k, v) => {
+                    self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .user_bytes
+                        .fetch_add((k.len() + v.len()) as u64, Ordering::Relaxed);
+                }
+                BatchOp::Delete(k) | BatchOp::SingleDelete(k) => {
+                    self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .user_bytes
+                        .fetch_add(k.len() as u64, Ordering::Relaxed);
+                }
+                BatchOp::DeleteRange(s, e) => {
+                    self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .user_bytes
+                        .fetch_add((s.len() + e.len()) as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner.write_entries(|base, ts| {
+            batch
+                .ops
+                .iter()
+                .enumerate()
+                .map(|(i, op)| {
+                    let seqno = base + 1 + i as u64;
+                    let ts = ts + i as u64;
+                    match op {
+                        BatchOp::Put(k, v) => {
+                            InternalEntry::put(k.clone(), v.clone(), seqno, ts)
+                        }
+                        BatchOp::Delete(k) => InternalEntry::delete(k.clone(), seqno, ts),
+                        BatchOp::SingleDelete(k) => {
+                            InternalEntry::single_delete(k.clone(), seqno, ts)
+                        }
+                        BatchOp::DeleteRange(s, e) => {
+                            InternalEntry::range_delete(s.clone(), e.clone(), seqno, ts)
+                        }
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Atomic read-modify-write (the FASTER-style operation of tutorial
+    /// §2.2.6, RocksDB's merge-operator use case): `f` receives the current
+    /// value (if any) and returns the new value (`None` deletes the key).
+    /// The read and the write happen under the writer lock, so concurrent
+    /// `update`s to the same key never lose increments.
+    pub fn update(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(Option<&[u8]>) -> Option<Vec<u8>>,
+    ) -> Result<()> {
+        self.inner.check_bg_error()?;
+        self.inner.maybe_stall()?;
+        {
+            let _writer = self.inner.write_mx.lock();
+            let snapshot = self.inner.seqno.load(Ordering::Acquire);
+            let current = self.inner.get_at(key, snapshot)?;
+            match f(current.as_deref()) {
+                Some(new) => {
+                    self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .user_bytes
+                        .fetch_add((key.len() + new.len()) as u64, Ordering::Relaxed);
+                    self.inner.apply_locked(|base, ts| {
+                        vec![InternalEntry::put(key, new, base + 1, ts)]
+                    })?;
+                }
+                None if current.is_some() => {
+                    self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .stats
+                        .user_bytes
+                        .fetch_add(key.len() as u64, Ordering::Relaxed);
+                    self.inner.apply_locked(|base, ts| {
+                        vec![InternalEntry::delete(key, base + 1, ts)]
+                    })?;
+                }
+                None => {}
+            }
+        }
+        self.inner.maybe_freeze()
+    }
+
+    /// Bulk-loads sorted, unique `(key, value)` pairs directly into the
+    /// deepest level, bypassing the memtable, the WAL, and every
+    /// compaction — the fast-loading path the tutorial credits WiscKey
+    /// with (§2.2.2) and the reason LSM bulk ingestion can be ~100× faster
+    /// than put-at-a-time.
+    ///
+    /// Requirements (checked): keys strictly ascending; the memtables are
+    /// empty; the loaded key range overlaps no existing table.
+    pub fn bulk_load<I>(&self, pairs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let _writer = self.inner.write_mx.lock();
+        {
+            let mem = self.inner.mem.read();
+            if !mem.active.table.is_empty() || !mem.immutables.is_empty() {
+                return Err(Error::InvalidArgument(
+                    "bulk_load requires empty memtables (flush first)".into(),
+                ));
+            }
+        }
+        let base = self.inner.seqno.load(Ordering::Acquire);
+        let ts = self.inner.clock.load(Ordering::Acquire);
+        let version = self.inner.current.lock().clone();
+
+        let mut builder: Option<TableBuilder> = None;
+        let mut tables = Vec::new();
+        let mut count: u64 = 0;
+        let mut last_key: Option<Vec<u8>> = None;
+        let mut first_key: Option<Vec<u8>> = None;
+        let mut bytes: u64 = 0;
+        let bits = self.inner.opts.filter_bits_per_key;
+        for (key, value) in pairs {
+            if last_key.as_deref().is_some_and(|l| l >= key.as_slice()) {
+                return Err(Error::InvalidArgument(
+                    "bulk_load input must be strictly ascending".into(),
+                ));
+            }
+            first_key.get_or_insert_with(|| key.clone());
+            last_key = Some(key.clone());
+            count += 1;
+            bytes += (key.len() + value.len()) as u64;
+            let b = builder.get_or_insert_with(|| {
+                TableBuilder::new(self.inner.opts.table_options(bits))
+            });
+            b.add(&InternalEntry::put(key, value, base + count, ts))?;
+            if b.data_bytes() >= self.inner.opts.table_target_bytes {
+                let b = builder.take().expect("present");
+                let (file, _) = b.finish(self.inner.backend.as_ref())?;
+                tables.push(Table::open(
+                    self.inner.backend.clone(),
+                    file,
+                    self.inner.cache.clone(),
+                )?);
+            }
+        }
+        if let Some(b) = builder.take() {
+            if !b.is_empty() {
+                let (file, _) = b.finish(self.inner.backend.as_ref())?;
+                tables.push(Table::open(
+                    self.inner.backend.clone(),
+                    file,
+                    self.inner.cache.clone(),
+                )?);
+            }
+        }
+        if tables.is_empty() {
+            return Ok(());
+        }
+        let (first, last) = (first_key.expect("non-empty"), last_key.expect("non-empty"));
+        let loaded = lsm_types::KeyRange::new(first, last);
+        if version
+            .all_tables()
+            .any(|t| t.meta().key_range.overlaps(&loaded))
+        {
+            for t in &tables {
+                t.mark_obsolete();
+            }
+            return Err(Error::InvalidArgument(
+                "bulk_load key range overlaps existing data".into(),
+            ));
+        }
+
+        // Install as a new run at the deepest occupied level.
+        let last_level = version
+            .levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .unwrap_or(0);
+        {
+            let mut current = self.inner.current.lock();
+            let edit = VersionEdit {
+                add_runs: vec![(last_level, Run::new(tables))],
+                ..Default::default()
+            };
+            *current = Arc::new(edit.apply(current.as_ref()));
+        }
+        self.inner.stats.puts.fetch_add(count, Ordering::Relaxed);
+        self.inner
+            .stats
+            .user_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .stats
+            .flush_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.inner.clock.fetch_add(count, Ordering::AcqRel);
+        self.inner.seqno.store(base + count, Ordering::Release);
+        self.inner.save_manifest()?;
+        Ok(())
+    }
+
+    /// Returns the newest value of `key`, if it exists.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        self.inner
+            .get_at(key, self.inner.seqno.load(Ordering::Acquire))
+    }
+
+    /// Scans `[start, end)` (`None` = unbounded above) at the current
+    /// sequence number.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        self.inner
+            .scan_at(start, end, self.inner.seqno.load(Ordering::Acquire))
+    }
+
+    /// Pins a consistent read view.
+    pub fn snapshot(&self) -> Snapshot {
+        let seqno = self.inner.seqno.load(Ordering::Acquire);
+        *self.inner.snapshots.lock().entry(seqno).or_insert(0) += 1;
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            seqno,
+        }
+    }
+
+    /// Runs flushes and compactions until the tree satisfies every trigger
+    /// (synchronous mode) or until background workers have nothing queued.
+    pub fn maintain(&self) -> Result<()> {
+        if self.inner.opts.background_threads > 0 {
+            self.inner.kick_work();
+            return Ok(());
+        }
+        self.inner.drain_maintenance()
+    }
+
+    /// Blocks until no maintenance work remains (flushes done, no plan
+    /// pending). In synchronous mode this is [`Db::maintain`].
+    pub fn wait_idle(&self) -> Result<()> {
+        if self.inner.opts.background_threads == 0 {
+            return self.inner.drain_maintenance();
+        }
+        loop {
+            self.inner.check_bg_error()?;
+            let mem_idle = self.inner.mem.read().immutables.is_empty();
+            let plan_idle = self.inner.next_plan().is_none();
+            let busy = {
+                let sched = self.inner.sched.lock();
+                !sched.busy_levels.is_empty() || !sched.flushing.is_empty()
+            };
+            if mem_idle && plan_idle && !busy {
+                return Ok(());
+            }
+            self.inner.kick_work();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Forces the active memtable to freeze and flush, even if not full.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.freeze_active(true)?;
+        if self.inner.opts.background_threads == 0 {
+            self.inner.drain_maintenance()
+        } else {
+            self.inner.kick_work();
+            self.wait_idle()
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The storage backend's I/O counters.
+    pub fn io_stats(&self) -> lsm_storage::IoSnapshot {
+        self.inner.backend.stats().snapshot()
+    }
+
+    /// Block-cache statistics, when a cache is configured.
+    pub fn cache_stats(&self) -> Option<lsm_storage::CacheStats> {
+        self.inner.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The current tree shape, for inspection and experiments.
+    pub fn version(&self) -> Arc<Version> {
+        self.inner.current.lock().clone()
+    }
+
+    /// Space amplification: bytes on the backend divided by the bytes of
+    /// live (visible) entries is hard to measure cheaply, so we report the
+    /// standard proxy: total tree bytes over last-level bytes.
+    pub fn space_amplification(&self) -> f64 {
+        let v = self.version();
+        let last = v
+            .levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .unwrap_or(0);
+        let last_bytes: u64 = v.levels[last].iter().map(|r| r.size_bytes()).sum();
+        if last_bytes == 0 {
+            1.0
+        } else {
+            v.total_bytes() as f64 / last_bytes as f64
+        }
+    }
+
+    /// The options this database was opened with.
+    pub fn options(&self) -> &Options {
+        &self.inner.opts
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.work_cv.notify_all();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// An owning iterator over visible `(key, value)` pairs of a scan.
+pub struct DbScanIter {
+    vis: VisibleIter,
+}
+
+impl Iterator for DbScanIter {
+    type Item = Result<(UserKey, Value)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.vis.next_visible().transpose()
+    }
+}
+
+impl DbInner {
+    fn new(
+        backend: Arc<dyn Backend>,
+        opts: Options,
+        manifest_path: Option<PathBuf>,
+    ) -> Result<Arc<DbInner>> {
+        let cache = (opts.block_cache_bytes > 0)
+            .then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
+        let wal_id = if opts.wal {
+            Some(backend.create_appendable()?)
+        } else {
+            None
+        };
+        let active = Arc::new(MemHandle {
+            id: 0,
+            table: make_memtable(opts.memtable_kind),
+            rts: RwLock::new(Vec::new()),
+            wal: wal_id,
+        });
+        Ok(Arc::new(DbInner {
+            opts,
+            backend,
+            cache,
+            stats: DbStats::default(),
+            seqno: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            mem: RwLock::new(MemState {
+                active,
+                immutables: VecDeque::new(),
+                next_id: 1,
+            }),
+            current: Mutex::new(Arc::new(Version::default())),
+            snapshots: Mutex::new(BTreeMap::new()),
+            sched: Mutex::new(Scheduler {
+                busy_levels: HashSet::new(),
+                flushing: HashSet::new(),
+                cursors: Vec::new(),
+            }),
+            write_mx: Mutex::new(()),
+            work_mx: Mutex::new(false),
+            work_cv: Condvar::new(),
+            stall_mx: Mutex::new(()),
+            stall_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            bg_error: Mutex::new(None),
+            manifest_path,
+        }))
+    }
+
+    fn recover(
+        backend: Arc<dyn Backend>,
+        opts: Options,
+        manifest_bytes: &[u8],
+        manifest_path: Option<PathBuf>,
+    ) -> Result<Arc<DbInner>> {
+        let manifest = Manifest::decode(manifest_bytes)?;
+        let inner = DbInner::new(backend.clone(), opts, manifest_path)?;
+
+        // Rebuild the tree.
+        let mut levels = Vec::with_capacity(manifest.levels.len());
+        for level in &manifest.levels {
+            let mut runs = Vec::with_capacity(level.len());
+            for run_ids in level {
+                let mut tables = Vec::with_capacity(run_ids.len());
+                for &id in run_ids {
+                    tables.push(Table::open(
+                        backend.clone(),
+                        id,
+                        inner.cache.clone(),
+                    )?);
+                }
+                runs.push(Run::new(tables));
+            }
+            levels.push(runs);
+        }
+        if levels.is_empty() {
+            levels.push(Vec::new());
+        }
+        *inner.current.lock() = Arc::new(Version { levels });
+        inner.seqno.store(manifest.next_seqno, Ordering::Release);
+        inner.clock.store(manifest.next_ts, Ordering::Release);
+
+        // Replay WAL segments (oldest first) into the active memtable.
+        let mut max_seqno = manifest.next_seqno;
+        let mut max_ts = manifest.next_ts;
+        for &segment in &manifest.wal_segments {
+            for record in wal::replay(backend.as_ref(), segment)? {
+                let mut dec = Decoder::new(&record);
+                while !dec.is_empty() {
+                    let entry = InternalEntry::decode_from(&mut dec)?;
+                    max_seqno = max_seqno.max(entry.seqno());
+                    max_ts = max_ts.max(entry.ts + 1);
+                    inner.apply_to_active(entry);
+                }
+            }
+            // Old segment's contents now live in the new active memtable
+            // (covered by its WAL once re-written on flush); we fold them
+            // forward by re-appending below.
+        }
+        inner.seqno.store(max_seqno, Ordering::Release);
+        inner.clock.store(max_ts, Ordering::Release);
+
+        // Re-log the replayed entries into the fresh active WAL so the old
+        // segments can be dropped.
+        if inner.opts.wal {
+            let mem = inner.mem.read();
+            if let Some(wal_id) = mem.active.wal {
+                let entries = mem.active.table.sorted_entries();
+                if !entries.is_empty() {
+                    let mut payload = Vec::new();
+                    for e in &entries {
+                        e.encode_into(&mut payload);
+                    }
+                    let writer = wal::WalWriter::open(inner.backend.as_ref(), wal_id);
+                    writer.append(&payload)?;
+                }
+            }
+            drop(mem);
+            for &segment in &manifest.wal_segments {
+                let _ = inner.backend.delete(segment);
+            }
+        }
+        inner.save_manifest()?;
+        Ok(inner)
+    }
+
+    fn apply_to_active(&self, entry: InternalEntry) {
+        let mem = self.mem.read();
+        if entry.kind() == EntryKind::RangeDelete {
+            let end = entry.range_delete_end().expect("range delete has end");
+            mem.active.rts.write().push((
+                entry.user_key().clone(),
+                end,
+                entry.seqno(),
+            ));
+        }
+        mem.active.table.insert(entry);
+    }
+
+    fn check_bg_error(&self) -> Result<()> {
+        if let Some(msg) = self.bg_error.lock().as_ref() {
+            return Err(Error::Corruption(format!("background error: {msg}")));
+        }
+        Ok(())
+    }
+
+    fn kick_work(&self) {
+        let mut flag = self.work_mx.lock();
+        *flag = true;
+        self.work_cv.notify_all();
+    }
+
+    // ---------------------------------------------------------------- write
+
+    fn write_one(&self, make: impl FnOnce(SeqNo, u64) -> InternalEntry) -> Result<()> {
+        self.write_entries(|base, ts| vec![make(base + 1, ts)])
+    }
+
+    /// Applies a group of entries atomically: one WAL record, contiguous
+    /// sequence numbers, and the published sequence number advances only
+    /// after every entry is in the memtable — so no reader or snapshot can
+    /// observe part of a batch. Writers serialize on `write_mx` (the
+    /// classic single-writer queue).
+    fn write_entries(
+        &self,
+        make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>,
+    ) -> Result<()> {
+        self.check_bg_error()?;
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(Error::ShuttingDown);
+        }
+        self.maybe_stall()?;
+
+        {
+            let _writer = self.write_mx.lock();
+            self.apply_locked(make)?;
+        }
+
+        self.maybe_freeze()?;
+        Ok(())
+    }
+
+    /// Applies entries while the caller holds `write_mx`.
+    fn apply_locked(&self, make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>) -> Result<()> {
+        {
+            let mem = self.mem.read();
+            let base = self.seqno.load(Ordering::Acquire);
+            let ts = self.clock.load(Ordering::Acquire);
+            let entries = make(base, ts);
+            let n = entries.len() as u64;
+            if n == 0 {
+                return Ok(());
+            }
+            if self.opts.wal {
+                if let Some(wal_id) = mem.active.wal {
+                    let mut payload = Vec::new();
+                    for entry in &entries {
+                        entry.encode_into(&mut payload);
+                    }
+                    wal::WalWriter::open(self.backend.as_ref(), wal_id).append(&payload)?;
+                }
+            }
+            for entry in entries {
+                debug_assert!(entry.seqno() > base && entry.seqno() <= base + n);
+                if entry.kind() == EntryKind::RangeDelete {
+                    let end = entry.range_delete_end().expect("range delete has end");
+                    mem.active
+                        .rts
+                        .write()
+                        .push((entry.user_key().clone(), end, entry.seqno()));
+                }
+                mem.active.table.insert(entry);
+            }
+            self.clock.fetch_add(n, Ordering::AcqRel);
+            // Publish: the batch becomes visible as a unit.
+            self.seqno.store(base + n, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Blocks (or inline-maintains) while the immutable queue is full.
+    fn maybe_stall(&self) -> Result<()> {
+        loop {
+            let full =
+                self.mem.read().immutables.len() >= self.opts.max_immutable_memtables;
+            if !full {
+                return Ok(());
+            }
+            let started = Instant::now();
+            self.stats.stall_count.fetch_add(1, Ordering::Relaxed);
+            if self.opts.background_threads == 0 {
+                self.drain_maintenance()?;
+            } else {
+                self.kick_work();
+                let mut guard = self.stall_mx.lock();
+                // Re-check under the lock to avoid missed wakeups.
+                if self.mem.read().immutables.len() >= self.opts.max_immutable_memtables {
+                    self.stall_cv
+                        .wait_for(&mut guard, Duration::from_millis(10));
+                }
+            }
+            self.stats
+                .stall_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.check_bg_error()?;
+        }
+    }
+
+    /// Freezes the active memtable if it crossed the buffer size.
+    fn maybe_freeze(&self) -> Result<()> {
+        if self.mem.read().active.table.approximate_size() < self.opts.write_buffer_bytes {
+            return Ok(());
+        }
+        self.freeze_active(false)?;
+        if self.opts.background_threads == 0 {
+            self.drain_maintenance()
+        } else {
+            self.kick_work();
+            Ok(())
+        }
+    }
+
+    fn freeze_active(&self, even_if_small: bool) -> Result<()> {
+        let mut mem = self.mem.write();
+        let size = mem.active.table.approximate_size();
+        if !even_if_small && size < self.opts.write_buffer_bytes {
+            return Ok(()); // raced with another freezer
+        }
+        if mem.active.table.is_empty() {
+            return Ok(());
+        }
+        let wal_id = if self.opts.wal {
+            Some(self.backend.create_appendable()?)
+        } else {
+            None
+        };
+        let id = mem.next_id;
+        mem.next_id += 1;
+        let fresh = Arc::new(MemHandle {
+            id,
+            table: make_memtable(self.opts.memtable_kind),
+            rts: RwLock::new(Vec::new()),
+            wal: wal_id,
+        });
+        let frozen = std::mem::replace(&mut mem.active, fresh);
+        mem.immutables.push_back(frozen);
+        drop(mem);
+        self.save_manifest()?;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------- read
+
+    fn get_at(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Value>> {
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let (mem_sources, version) = self.read_view();
+
+        // Range tombstones do not obey per-level recency under partial
+        // compaction, so coverage is computed across every source up front
+        // (the per-run lists are tiny and memory-resident).
+        let mut covering: SeqNo = 0;
+        for h in &mem_sources {
+            covering = covering.max(h.max_rt_covering(key, snapshot));
+        }
+        for run in version.runs_newest_first() {
+            covering = covering.max(run.max_rt_covering(key, snapshot));
+        }
+
+        for h in &mem_sources {
+            if let Some(e) = h.table.get(key, snapshot) {
+                if e.kind() == EntryKind::RangeDelete {
+                    // A range tombstone occupies its start key's slot but
+                    // says nothing about a point value; keep descending.
+                    continue;
+                }
+                return Ok(Self::interpret(e, covering));
+            }
+        }
+        for run in version.runs_newest_first() {
+            if let Some(e) = run.get(key, snapshot)? {
+                if e.kind() == EntryKind::RangeDelete {
+                    continue;
+                }
+                return Ok(Self::interpret(e, covering));
+            }
+        }
+        Ok(None)
+    }
+
+    fn interpret(e: InternalEntry, covering: SeqNo) -> Option<Value> {
+        if covering > e.seqno() {
+            return None; // masked by a newer range tombstone
+        }
+        match e.kind() {
+            EntryKind::Put | EntryKind::ValuePtr => Some(e.value),
+            _ => None,
+        }
+    }
+
+    /// Memtable handles (newest first) plus the current version.
+    fn read_view(&self) -> (Vec<Arc<MemHandle>>, Arc<Version>) {
+        let mem = self.mem.read();
+        let mut sources = Vec::with_capacity(1 + mem.immutables.len());
+        sources.push(Arc::clone(&mem.active));
+        for h in mem.immutables.iter().rev() {
+            sources.push(Arc::clone(h));
+        }
+        drop(mem);
+        let version = self.current.lock().clone();
+        (sources, version)
+    }
+
+    fn scan_at(&self, start: &[u8], end: Option<&[u8]>, snapshot: SeqNo) -> Result<DbScanIter> {
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        let (mem_sources, version) = self.read_view();
+        let mut rts: Vec<(UserKey, UserKey, SeqNo)> = Vec::new();
+        let mut mem_entries = Vec::with_capacity(mem_sources.len());
+        for h in &mem_sources {
+            rts.extend(h.rt_list());
+            mem_entries.push(h.table.range_entries(start, end));
+        }
+        for run in version.runs_newest_first() {
+            rts.extend(run.range_tombstones.iter().cloned());
+        }
+        let merge = build_scan_merge(mem_entries, &version, start, end);
+        Ok(DbScanIter {
+            vis: VisibleIter::new(merge, snapshot, rts, end.map(|e| e.to_vec())),
+        })
+    }
+
+    // ---------------------------------------------------------- maintenance
+
+    fn drain_maintenance(&self) -> Result<()> {
+        loop {
+            if self.try_flush_one()? {
+                continue;
+            }
+            if self.try_compact_one()? {
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let did = (|| -> Result<bool> {
+                Ok(self.try_flush_one()? || self.try_compact_one()?)
+            })();
+            match did {
+                Ok(true) => continue,
+                Ok(false) => {
+                    let mut flag = self.work_mx.lock();
+                    if !*flag {
+                        self.work_cv
+                            .wait_for(&mut flag, Duration::from_millis(20));
+                    }
+                    *flag = false;
+                }
+                Err(e) => {
+                    self.bg_error.lock().get_or_insert(e.to_string());
+                    self.stall_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Filter budget (bits/key) for a table landing at `level`.
+    fn bits_for_level(&self, version: &Version, level: usize) -> f64 {
+        if !self.opts.monkey_filters {
+            return self.opts.filter_bits_per_key;
+        }
+        let mut entries = version.entries_per_level();
+        while entries.len() <= level {
+            entries.push(0);
+        }
+        // Budget follows the classical total: bits/key times total entries.
+        let total: u64 = entries.iter().sum();
+        if total == 0 {
+            return self.opts.filter_bits_per_key;
+        }
+        let alloc =
+            lsm_filters::monkey::allocate(&entries, self.opts.filter_bits_per_key * total as f64);
+        alloc.get(level).copied().unwrap_or(0.0)
+    }
+
+    fn try_flush_one(&self) -> Result<bool> {
+        // Claim the oldest immutable memtable not already being flushed.
+        let handle = {
+            let mem = self.mem.read();
+            let mut sched = self.sched.lock();
+            let candidate = mem
+                .immutables
+                .iter()
+                .find(|h| !sched.flushing.contains(&h.id))
+                .cloned();
+            match candidate {
+                Some(h) => {
+                    sched.flushing.insert(h.id);
+                    h
+                }
+                None => return Ok(false),
+            }
+        };
+
+        let result = self.flush_handle(&handle);
+        self.sched.lock().flushing.remove(&handle.id);
+        result?;
+        self.kick_work();
+        Ok(true)
+    }
+
+    fn flush_handle(&self, handle: &Arc<MemHandle>) -> Result<()> {
+        let entries = handle.table.sorted_entries();
+        let new_run = if entries.is_empty() {
+            None
+        } else {
+            let version = self.current.lock().clone();
+            let bits = self.bits_for_level(&version, 0);
+            let mut builder = TableBuilder::new(self.opts.table_options(bits));
+            let mut it = VecEntryIter::new(entries);
+            use lsm_sstable::EntryIter;
+            while let Some(e) = it.next_entry()? {
+                builder.add(&e)?;
+            }
+            let (file, _) = builder.finish(self.backend.as_ref())?;
+            let bytes = self.backend.len(file)?;
+            self.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
+            let table = Table::open(self.backend.clone(), file, self.cache.clone())?;
+            Some(Run::new(vec![table]))
+        };
+
+        // Commit in memtable order: wait until this handle is the oldest
+        // remaining immutable so L0 runs stay recency-sorted.
+        loop {
+            let is_front = {
+                let mem = self.mem.read();
+                mem.immutables.front().map(|h| h.id) == Some(handle.id)
+            };
+            if is_front {
+                break;
+            }
+            let mut guard = self.stall_mx.lock();
+            self.stall_cv
+                .wait_for(&mut guard, Duration::from_millis(5));
+        }
+
+        {
+            let mut current = self.current.lock();
+            if let Some(run) = new_run {
+                let edit = VersionEdit {
+                    add_runs: vec![(0, run)],
+                    ..Default::default()
+                };
+                *current = Arc::new(edit.apply(current.as_ref()));
+            }
+            let mut mem = self.mem.write();
+            let popped = mem.immutables.pop_front();
+            debug_assert_eq!(popped.map(|h| h.id), Some(handle.id));
+        }
+        if let Some(wal_id) = handle.wal {
+            let _ = self.backend.delete(wal_id);
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.save_manifest()?;
+        self.stall_cv.notify_all();
+        Ok(())
+    }
+
+    /// In-place bottom-level delete compactions are only safe (and only
+    /// guaranteed to make progress) when nothing can block the purge.
+    fn bottom_ok(&self) -> bool {
+        let snapshots_empty = self.snapshots.lock().is_empty();
+        let mem = self.mem.read();
+        snapshots_empty && mem.active.table.is_empty() && mem.immutables.is_empty()
+    }
+
+    fn next_plan(&self) -> Option<CompactionPlan> {
+        let version = self.current.lock().clone();
+        let bottom_ok = self.bottom_ok();
+        let sched = self.sched.lock();
+        let desc = version.describe();
+        let now = self.clock.load(Ordering::Acquire);
+        plan(&desc, &self.opts.compaction, now, &sched.cursors, bottom_ok)
+    }
+
+    fn try_compact_one(&self) -> Result<bool> {
+        // Plan under the scheduler lock so busy levels are respected.
+        let (version, task) = {
+            let version = self.current.lock().clone();
+            let bottom_ok = self.bottom_ok();
+            let mut sched = self.sched.lock();
+            let desc = version.describe();
+            let now = self.clock.load(Ordering::Acquire);
+            let Some(task) = plan(&desc, &self.opts.compaction, now, &sched.cursors, bottom_ok)
+            else {
+                return Ok(false);
+            };
+            if sched.busy_levels.contains(&task.src_level)
+                || sched.busy_levels.contains(&task.dst_level)
+            {
+                return Ok(false);
+            }
+            sched.busy_levels.insert(task.src_level);
+            sched.busy_levels.insert(task.dst_level);
+            (version, task)
+        };
+
+        let result = self.run_compaction(&version, &task);
+        {
+            let mut sched = self.sched.lock();
+            sched.busy_levels.remove(&task.src_level);
+            sched.busy_levels.remove(&task.dst_level);
+        }
+        result?;
+        self.kick_work();
+        Ok(true)
+    }
+
+    fn run_compaction(&self, version: &Arc<Version>, task: &CompactionPlan) -> Result<()> {
+        let snapshots: Vec<SeqNo> = self.snapshots.lock().keys().copied().collect();
+        let bits = self.bits_for_level(version, task.dst_level);
+        let mem_nonempty = {
+            let mem = self.mem.read();
+            !mem.active.table.is_empty() || !mem.immutables.is_empty()
+        };
+        let outcome = execute_plan(
+            &self.backend,
+            self.cache.as_ref(),
+            version,
+            task,
+            &self.opts,
+            bits,
+            &snapshots,
+            mem_nonempty,
+        )?;
+
+        // Install.
+        let consumed: Vec<u64> = task
+            .src_tables
+            .iter()
+            .chain(task.dst_tables.iter())
+            .copied()
+            .collect();
+        {
+            let mut current = self.current.lock();
+            let mut edit = VersionEdit {
+                remove: consumed.iter().copied().collect(),
+                ..Default::default()
+            };
+            if !outcome.new_tables.is_empty() {
+                if task.dst_append {
+                    edit.add_runs
+                        .push((task.dst_level, Run::new(outcome.new_tables.clone())));
+                } else {
+                    edit.merge_into_run =
+                        Some((task.dst_level, outcome.new_tables.clone()));
+                }
+            }
+            // Mark inputs obsolete (deleted when the last reader drops).
+            for t in current.as_ref().all_tables() {
+                if edit.remove.contains(&t.file_id()) {
+                    t.mark_obsolete();
+                }
+            }
+            *current = Arc::new(edit.apply(current.as_ref()));
+        }
+
+        // Round-robin cursor: remember how far into the key space this
+        // level has been compacted.
+        if self.opts.compaction.pick == PickPolicy::RoundRobin
+            && self.opts.compaction.granularity == Granularity::File
+        {
+            let max_key = version
+                .levels
+                .get(task.src_level)
+                .into_iter()
+                .flat_map(|runs| runs.iter())
+                .flat_map(|r| r.tables.iter())
+                .filter(|t| task.src_tables.contains(&t.file_id()))
+                .map(|t| t.meta().key_range.max.as_bytes().to_vec())
+                .max();
+            let mut sched = self.sched.lock();
+            while sched.cursors.len() <= task.src_level {
+                sched.cursors.push(None);
+            }
+            sched.cursors[task.src_level] = max_key;
+        }
+
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .compact_bytes_read
+            .fetch_add(outcome.bytes_read, Ordering::Relaxed);
+        self.stats
+            .compact_bytes_written
+            .fetch_add(outcome.bytes_written, Ordering::Relaxed);
+        self.stats
+            .gc_dropped_entries
+            .fetch_add(outcome.dropped_entries, Ordering::Relaxed);
+        self.stats
+            .tombstones_purged
+            .fetch_add(outcome.tombstones_purged, Ordering::Relaxed);
+        self.save_manifest()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- manifest
+
+    fn build_manifest(&self) -> Manifest {
+        let version = self.current.lock().clone();
+        let mem = self.mem.read();
+        let mut wal_segments = Vec::new();
+        for h in &mem.immutables {
+            if let Some(id) = h.wal {
+                wal_segments.push(id);
+            }
+        }
+        if let Some(id) = mem.active.wal {
+            wal_segments.push(id);
+        }
+        Manifest {
+            next_seqno: self.seqno.load(Ordering::Acquire),
+            next_ts: self.clock.load(Ordering::Acquire),
+            levels: version
+                .levels
+                .iter()
+                .map(|level| {
+                    level
+                        .iter()
+                        .map(|run| run.tables.iter().map(|t| t.file_id()).collect())
+                        .collect()
+                })
+                .collect(),
+            wal_segments,
+        }
+    }
+
+    fn save_manifest(&self) -> Result<()> {
+        if let Some(path) = &self.manifest_path {
+            let bytes = self.build_manifest().encode();
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, path)?;
+        }
+        Ok(())
+    }
+}

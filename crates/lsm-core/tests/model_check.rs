@@ -1,0 +1,177 @@
+//! Property test: the engine behaves exactly like an in-memory model under
+//! random operation sequences, across every data layout, with flushes and
+//! compactions interleaved.
+
+use std::collections::BTreeMap;
+
+use lsm_core::{DataLayout, Db, Options};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    DeleteRange(u8, u8),
+    Get(u8),
+    Scan(u8, u8),
+    Flush,
+    Maintain,
+}
+
+fn key(b: u8) -> Vec<u8> {
+    format!("key{:03}", b % 40).into_bytes()
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), prop::collection::vec(any::<u8>(), 0..12)).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::DeleteRange(a, b)),
+        3 => any::<u8>().prop_map(Op::Get),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Scan(a, b)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Maintain),
+    ]
+}
+
+fn run_model(layout: DataLayout, ops: &[Op]) {
+    let mut opts = Options::small_for_benchmarks();
+    opts.write_buffer_bytes = 2 << 10; // tiny: force frequent flushes
+    opts.table_target_bytes = 2 << 10;
+    opts.compaction.level1_bytes = 8 << 10;
+    opts.compaction.size_ratio = 2;
+    opts.compaction.layout = layout.clone();
+    let db = Db::open_in_memory(opts).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                db.put(&key(*k), v).unwrap();
+                model.insert(key(*k), v.clone());
+            }
+            Op::Delete(k) => {
+                db.delete(&key(*k)).unwrap();
+                model.remove(&key(*k));
+            }
+            Op::DeleteRange(a, b) => {
+                let (lo, hi) = (key(*a).min(key(*b)), key(*a).max(key(*b)));
+                if lo < hi {
+                    db.delete_range(&lo, &hi).unwrap();
+                    let doomed: Vec<Vec<u8>> = model
+                        .range(lo.clone()..hi.clone())
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    for k in doomed {
+                        model.remove(&k);
+                    }
+                }
+            }
+            Op::Get(k) => {
+                let got = db.get(&key(*k)).unwrap();
+                let want = model.get(&key(*k));
+                assert_eq!(
+                    got.as_deref(),
+                    want.map(|v| v.as_slice()),
+                    "{}: get({:?})",
+                    layout.name(),
+                    key(*k)
+                );
+            }
+            Op::Scan(a, b) => {
+                let (lo, hi) = (key(*a).min(key(*b)), key(*a).max(key(*b)));
+                let got: Vec<(Vec<u8>, Vec<u8>)> = db
+                    .scan(&lo, Some(&hi))
+                    .unwrap()
+                    .map(|r| {
+                        let (k, v) = r.unwrap();
+                        (k.as_bytes().to_vec(), v.to_vec())
+                    })
+                    .collect();
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(lo..hi)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "{}: scan", layout.name());
+            }
+            Op::Flush => db.flush().unwrap(),
+            Op::Maintain => db.maintain().unwrap(),
+        }
+    }
+
+    // Final: full scan equivalence.
+    let got: Vec<(Vec<u8>, Vec<u8>)> = db
+        .scan(b"", None)
+        .unwrap()
+        .map(|r| {
+            let (k, v) = r.unwrap();
+            (k.as_bytes().to_vec(), v.to_vec())
+        })
+        .collect();
+    let want: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(got, want, "{}: final scan", layout.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn leveling_matches_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        run_model(DataLayout::Leveling, &ops);
+    }
+
+    #[test]
+    fn tiering_matches_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        run_model(DataLayout::Tiering { runs_per_level: 3 }, &ops);
+    }
+
+    #[test]
+    fn lazy_leveling_matches_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        run_model(DataLayout::LazyLeveling { runs_per_level: 3 }, &ops);
+    }
+
+    #[test]
+    fn hybrid_matches_model(ops in prop::collection::vec(arb_op(), 0..120)) {
+        run_model(DataLayout::Hybrid { l0_runs: 3 }, &ops);
+    }
+}
+
+#[test]
+fn snapshot_isolation_under_churn() {
+    let mut opts = Options::small_for_benchmarks();
+    opts.write_buffer_bytes = 2 << 10;
+    let db = Db::open_in_memory(opts).unwrap();
+    let mut model_states: Vec<(lsm_core::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+    for round in 0..6u32 {
+        for i in 0..60u8 {
+            let v = format!("r{round}-{i}").into_bytes();
+            db.put(&key(i), &v).unwrap();
+            model.insert(key(i), v);
+        }
+        if round % 2 == 0 {
+            for i in (0..60u8).step_by(3) {
+                db.delete(&key(i)).unwrap();
+                model.remove(&key(i));
+            }
+        }
+        model_states.push((db.snapshot(), model.clone()));
+        db.maintain().unwrap();
+    }
+
+    for (snap, want) in &model_states {
+        let got: Vec<(Vec<u8>, Vec<u8>)> = snap
+            .scan(b"", None)
+            .unwrap()
+            .map(|r| {
+                let (k, v) = r.unwrap();
+                (k.as_bytes().to_vec(), v.to_vec())
+            })
+            .collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            want.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(got, want, "snapshot at seqno {}", snap.seqno());
+    }
+}

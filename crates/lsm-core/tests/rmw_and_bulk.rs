@@ -1,0 +1,162 @@
+//! Read-modify-write and bulk loading.
+
+use std::sync::Arc;
+
+use lsm_core::{Db, Options};
+fn format_key(id: u64) -> Vec<u8> {
+    format!("user{id:012}").into_bytes()
+}
+
+fn small() -> Options {
+    let mut o = Options::small_for_benchmarks();
+    o.write_buffer_bytes = 16 << 10;
+    o
+}
+
+#[test]
+fn update_implements_counters() {
+    let db = Db::open_in_memory(small()).unwrap();
+    let bump = |cur: Option<&[u8]>| -> Option<Vec<u8>> {
+        let v = cur
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .unwrap_or(0);
+        Some((v + 1).to_le_bytes().to_vec())
+    };
+    for _ in 0..100 {
+        db.update(b"counter", bump).unwrap();
+    }
+    let got = db.get(b"counter").unwrap().unwrap();
+    assert_eq!(u64::from_le_bytes(got[..].try_into().unwrap()), 100);
+}
+
+#[test]
+fn concurrent_updates_lose_nothing() {
+    let db = Arc::new(Db::open_in_memory(small()).unwrap());
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..250 {
+                db.update(b"counter", |cur| {
+                    let v = cur
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    Some((v + 1).to_le_bytes().to_vec())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let got = db.get(b"counter").unwrap().unwrap();
+    assert_eq!(
+        u64::from_le_bytes(got[..].try_into().unwrap()),
+        1000,
+        "atomic RMW must not lose increments"
+    );
+}
+
+#[test]
+fn update_returning_none_deletes() {
+    let db = Db::open_in_memory(small()).unwrap();
+    db.put(b"k", b"v").unwrap();
+    db.update(b"k", |_| None).unwrap();
+    assert_eq!(db.get(b"k").unwrap(), None);
+    // deleting a missing key is a no-op, not an error
+    let before = db.stats();
+    db.update(b"missing", |cur| {
+        assert!(cur.is_none());
+        None
+    })
+    .unwrap();
+    assert_eq!(db.stats().deletes, before.deletes);
+}
+
+#[test]
+fn bulk_load_into_empty_db_and_read() {
+    let db = Db::open_in_memory(small()).unwrap();
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20_000u64)
+        .map(|i| (format_key(i), format!("bulk-{i}").into_bytes()))
+        .collect();
+    db.bulk_load(pairs).unwrap();
+
+    // no flushes or compactions happened: data went straight to the bottom
+    assert_eq!(db.stats().compactions, 0);
+    let v = db.version();
+    assert_eq!(v.levels.iter().filter(|l| !l.is_empty()).count(), 1);
+    assert!(v.all_tables().count() > 1, "split into multiple tables");
+
+    for i in (0..20_000u64).step_by(997) {
+        assert_eq!(
+            db.get(&format_key(i)).unwrap().as_deref(),
+            Some(format!("bulk-{i}").as_bytes())
+        );
+    }
+    assert_eq!(db.scan(b"", None).unwrap().count(), 20_000);
+
+    // normal writes on top of bulk data resolve correctly
+    db.put(&format_key(5), b"updated").unwrap();
+    assert_eq!(db.get(&format_key(5)).unwrap().as_deref(), Some(&b"updated"[..]));
+}
+
+#[test]
+fn bulk_load_rejects_unsorted_and_overlap() {
+    let db = Db::open_in_memory(small()).unwrap();
+    assert!(db
+        .bulk_load(vec![
+            (b"b".to_vec(), b"1".to_vec()),
+            (b"a".to_vec(), b"2".to_vec()),
+        ])
+        .is_err());
+    assert!(db
+        .bulk_load(vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"a".to_vec(), b"2".to_vec()),
+        ])
+        .is_err());
+
+    db.bulk_load(vec![(b"m".to_vec(), b"1".to_vec())]).unwrap();
+    assert!(
+        db.bulk_load(vec![(b"m".to_vec(), b"2".to_vec())]).is_err(),
+        "overlapping range rejected"
+    );
+    // disjoint second load is fine
+    db.bulk_load(vec![(b"z".to_vec(), b"3".to_vec())]).unwrap();
+    assert_eq!(db.get(b"z").unwrap().as_deref(), Some(&b"3"[..]));
+}
+
+#[test]
+fn bulk_load_requires_empty_memtable() {
+    let db = Db::open_in_memory(small()).unwrap();
+    db.put(b"buffered", b"v").unwrap();
+    assert!(db.bulk_load(vec![(b"x".to_vec(), b"1".to_vec())]).is_err());
+    db.flush().unwrap();
+    db.bulk_load(vec![(b"x".to_vec(), b"1".to_vec())]).unwrap();
+}
+
+#[test]
+fn bulk_load_is_fast_loading_path() {
+    // Same data via put-at-a-time vs bulk: bulk writes ~1x the data, puts
+    // write several x (flushes + compactions).
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..30_000u64)
+        .map(|i| (format_key(i), vec![b'v'; 64]))
+        .collect();
+
+    let db_puts = Db::open_in_memory(small()).unwrap();
+    for (k, v) in &pairs {
+        db_puts.put(k, v).unwrap();
+    }
+    db_puts.maintain().unwrap();
+
+    let db_bulk = Db::open_in_memory(small()).unwrap();
+    db_bulk.bulk_load(pairs).unwrap();
+
+    let wa_puts = db_puts.stats().write_amplification();
+    let wa_bulk = db_bulk.stats().write_amplification();
+    assert!(
+        wa_bulk < wa_puts / 2.0,
+        "bulk load should write far less: bulk {wa_bulk:.2} vs puts {wa_puts:.2}"
+    );
+}

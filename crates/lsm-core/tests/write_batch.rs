@@ -1,0 +1,113 @@
+//! Atomic write batches: visibility, recovery, and semantics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lsm_core::{Db, Options, WriteBatch};
+use lsm_storage::{Backend, MemBackend};
+
+fn small() -> Options {
+    let mut o = Options::small_for_benchmarks();
+    o.write_buffer_bytes = 16 << 10;
+    o
+}
+
+#[test]
+fn batch_applies_all_ops_in_order() {
+    let db = Db::open_in_memory(small()).unwrap();
+    db.put(b"pre", b"existing").unwrap();
+
+    let mut batch = WriteBatch::new();
+    batch
+        .put(b"a", b"1")
+        .put(b"b", b"2")
+        .put(b"a", b"3") // later op in the batch wins
+        .delete(b"pre")
+        .delete_range(b"x", b"z");
+    assert_eq!(batch.len(), 5);
+    db.write(batch).unwrap();
+
+    assert_eq!(db.get(b"a").unwrap().as_deref(), Some(&b"3"[..]));
+    assert_eq!(db.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+    assert_eq!(db.get(b"pre").unwrap(), None);
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let db = Db::open_in_memory(small()).unwrap();
+    let before = db.stats();
+    db.write(WriteBatch::new()).unwrap();
+    assert_eq!(db.stats(), before);
+}
+
+#[test]
+fn invalid_range_rejects_whole_batch() {
+    let db = Db::open_in_memory(small()).unwrap();
+    let mut batch = WriteBatch::new();
+    batch.put(b"k", b"v").delete_range(b"z", b"a");
+    assert!(db.write(batch).is_err());
+    assert_eq!(db.get(b"k").unwrap(), None, "nothing applied");
+}
+
+#[test]
+fn snapshot_never_sees_partial_batch() {
+    // A writer applies batches of {k1, k2} repeatedly while a reader takes
+    // snapshots and checks that k1 and k2 are always in the same state.
+    let db = Arc::new(Db::open_in_memory(small()).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let mut b = WriteBatch::new();
+                let v = i.to_le_bytes();
+                b.put(b"k1", &v).put(b"k2", &v);
+                db.write(b).unwrap();
+                i += 1;
+            }
+        })
+    };
+
+    for _ in 0..2000 {
+        let snap = db.snapshot();
+        let v1 = snap.get(b"k1").unwrap();
+        let v2 = snap.get(b"k2").unwrap();
+        assert_eq!(v1, v2, "snapshot observed a torn batch");
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn batch_survives_wal_recovery_as_a_unit() {
+    let backend = Arc::new(MemBackend::new());
+    let mut opts = small();
+    opts.wal = true;
+    let manifest = {
+        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts.clone()).unwrap();
+        let mut b = WriteBatch::new();
+        b.put(b"x", b"1").put(b"y", b"2").delete(b"x");
+        db.write(b).unwrap();
+        db.manifest_bytes()
+        // dropped without flushing: the batch lives only in the WAL
+    };
+    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, opts, &manifest).unwrap();
+    assert_eq!(db.get(b"x").unwrap(), None);
+    assert_eq!(db.get(b"y").unwrap().as_deref(), Some(&b"2"[..]));
+}
+
+#[test]
+fn large_batch_triggers_freeze_and_flush() {
+    let db = Db::open_in_memory(small()).unwrap();
+    let mut b = WriteBatch::new();
+    for i in 0..2000u32 {
+        b.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]);
+    }
+    db.write(b).unwrap();
+    db.maintain().unwrap();
+    assert!(db.stats().flushes > 0);
+    assert_eq!(db.scan(b"", None).unwrap().count(), 2000);
+}

@@ -1,0 +1,115 @@
+//! The 64-bit hash function used by every filter.
+//!
+//! A from-scratch implementation in the xxHash/wyhash family: mix 8-byte
+//! lanes with multiply-xorshift rounds, finalize with an avalanche. The
+//! exact constants follow splitmix64's finalizer, which passes standard
+//! avalanche tests. Filters derive all their probe positions from one
+//! 128-bit-ish digest via double hashing (Kirsch–Mitzenmacher), so only two
+//! independent 64-bit values are needed per key.
+
+/// Hashes `data` with a `seed`.
+pub fn hash64(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h ^= mix(lane);
+        h = h.rotate_left(27).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= mix(u64::from_le_bytes(tail) ^ rem.len() as u64);
+    }
+    mix(h)
+}
+
+/// splitmix64 finalizer: full avalanche on 64 bits.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Two independent digests of `data`, the basis for double hashing.
+#[inline]
+pub fn hash_pair(data: &[u8]) -> (u64, u64) {
+    (hash64(data, 0x1234_5678_9abc_def0), hash64(data, 0x0fed_cba9_8765_4321))
+}
+
+/// The i-th probe position derived from a hash pair
+/// (Kirsch–Mitzenmacher double hashing: `h1 + i*h2`).
+#[inline]
+pub fn probe(pair: (u64, u64), i: u32) -> u64 {
+    pair.0.wrapping_add((i as u64).wrapping_mul(pair.1 | 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash64(b"hello", 1), hash64(b"hello", 1));
+        assert_ne!(hash64(b"hello", 1), hash64(b"hello", 2));
+        assert_ne!(hash64(b"hello", 1), hash64(b"hellp", 1));
+    }
+
+    #[test]
+    fn length_extension_differs() {
+        // "ab" and "ab\0" must differ even though the padded tail is equal.
+        assert_ne!(hash64(b"ab", 0), hash64(b"ab\0", 0));
+        assert_ne!(hash64(b"", 0), hash64(b"\0", 0));
+    }
+
+    #[test]
+    fn avalanche_quality() {
+        // Flipping any single input bit should flip ~half the output bits.
+        let base = b"the quick brown fox".to_vec();
+        let h0 = hash64(&base, 7);
+        let mut total_flips = 0u32;
+        let trials = base.len() * 8;
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                total_flips += (hash64(&m, 7) ^ h0).count_ones();
+            }
+        }
+        let avg = total_flips as f64 / trials as f64;
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "average flipped bits {avg} outside [24, 40]"
+        );
+    }
+
+    #[test]
+    fn distribution_over_buckets() {
+        // Hashing sequential integers must spread evenly over 64 buckets.
+        let mut counts = [0u32; 64];
+        let n = 64_000u32;
+        for i in 0..n {
+            let h = hash64(&i.to_le_bytes(), 0);
+            counts[(h % 64) as usize] += 1;
+        }
+        let expected = n / 64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected as f64).abs() / expected as f64;
+            assert!(dev < 0.15, "bucket {b} count {c} deviates {dev:.2}");
+        }
+    }
+
+    #[test]
+    fn probe_sequence_varies() {
+        let pair = hash_pair(b"key");
+        let p0 = probe(pair, 0);
+        let p1 = probe(pair, 1);
+        let p2 = probe(pair, 2);
+        assert_ne!(p0, p1);
+        assert_ne!(p1, p2);
+        assert_eq!(p1.wrapping_sub(p0), p2.wrapping_sub(p1), "arithmetic progression");
+    }
+}

@@ -1,0 +1,186 @@
+//! Monkey: optimal allocation of filter memory across levels.
+//!
+//! Dayan et al. (SIGMOD'17) observed that LSM engines classically give every
+//! level the same bits-per-key, which is suboptimal: the expected I/O cost
+//! of a point lookup is the *sum of false-positive rates* across runs, and a
+//! bit of memory spent on a small shallow level reduces that sum more than
+//! the same bit spread across the huge last level. Minimizing
+//! `Σ N_i · exp(-b_i · ln²2)`-style costs subject to `Σ N_i · b_i = M`
+//! yields false-positive rates *proportional to level size* — deeper levels
+//! get exponentially higher FP rates, and below a threshold no filter at
+//! all.
+//!
+//! [`allocate`] solves exactly that program (with the `b_i ≥ 0` clamp) by
+//! bisection on the Lagrange multiplier.
+
+use std::f64::consts::LN_2;
+
+/// `ln²2`: FP rate of a Bloom filter with `b` bits/key is `exp(-b · LN2SQ)`.
+const LN2SQ: f64 = LN_2 * LN_2;
+
+/// The optimal bits-per-entry for each level.
+///
+/// * `entries[i]` — number of entries in level `i`'s runs.
+/// * `total_bits` — the overall filter-memory budget in bits.
+///
+/// Returns one bits-per-entry value per level (possibly `0.0` for the
+/// deepest levels when the budget is tight). The allocation satisfies
+/// `Σ entries[i] * out[i] ≈ total_bits`.
+pub fn allocate(entries: &[u64], total_bits: f64) -> Vec<f64> {
+    if entries.is_empty() || total_bits <= 0.0 {
+        return vec![0.0; entries.len()];
+    }
+    let n: Vec<f64> = entries.iter().map(|&e| (e.max(1)) as f64).collect();
+
+    // b_i(λ) = max(0, -(ln λ + ln N_i) / LN2SQ); total spend is decreasing
+    // in λ, so bisect λ in log space.
+    let spend = |ln_lambda: f64| -> f64 {
+        n.iter()
+            .map(|&ni| {
+                let b = -(ln_lambda + ni.ln()) / LN2SQ;
+                ni * b.max(0.0)
+            })
+            .sum()
+    };
+
+    let mut lo = -200.0; // λ -> 0: huge allocation
+    let mut hi = 200.0; // λ -> inf: zero allocation
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if spend(mid) > total_bits {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let ln_lambda = 0.5 * (lo + hi);
+    n.iter()
+        .map(|&ni| (-(ln_lambda + ni.ln()) / LN2SQ).max(0.0))
+        .collect()
+}
+
+/// The classical baseline: the same bits-per-entry everywhere.
+pub fn uniform(entries: &[u64], total_bits: f64) -> Vec<f64> {
+    let total_entries: u64 = entries.iter().sum();
+    if total_entries == 0 {
+        return vec![0.0; entries.len()];
+    }
+    let bpk = total_bits / total_entries as f64;
+    vec![bpk; entries.len()]
+}
+
+/// Expected false-positive rate of a level given its bits-per-entry.
+pub fn fp_rate(bits_per_entry: f64) -> f64 {
+    if bits_per_entry <= 0.0 {
+        1.0
+    } else {
+        (-bits_per_entry * LN2SQ).exp()
+    }
+}
+
+/// The expected number of superfluous run probes for a zero-result point
+/// lookup: the sum of per-level FP rates weighted by `runs_per_level`.
+pub fn expected_false_probes(bits_per_entry: &[f64], runs_per_level: &[usize]) -> f64 {
+    bits_per_entry
+        .iter()
+        .zip(runs_per_level)
+        .map(|(&b, &r)| fp_rate(b) * r as f64)
+        .sum()
+}
+
+/// Total bits consumed by an allocation.
+pub fn total_bits(entries: &[u64], bits_per_entry: &[f64]) -> f64 {
+    entries
+        .iter()
+        .zip(bits_per_entry)
+        .map(|(&n, &b)| n as f64 * b)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A leveled tree with size ratio 10: levels of 1e4 .. 1e7 entries.
+    fn tree() -> Vec<u64> {
+        vec![10_000, 100_000, 1_000_000, 10_000_000]
+    }
+
+    #[test]
+    fn allocation_spends_the_budget() {
+        let entries = tree();
+        let budget = 8.0 * entries.iter().sum::<u64>() as f64; // 8 bits/entry overall
+        let alloc = allocate(&entries, budget);
+        let spent = total_bits(&entries, &alloc);
+        assert!(
+            (spent - budget).abs() / budget < 1e-6,
+            "spent {spent} vs budget {budget}"
+        );
+    }
+
+    #[test]
+    fn shallow_levels_get_more_bits() {
+        let entries = tree();
+        let alloc = allocate(&entries, 8.0 * entries.iter().sum::<u64>() as f64);
+        for w in alloc.windows(2) {
+            assert!(
+                w[0] > w[1],
+                "bits/entry must decrease with depth: {alloc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn monkey_beats_uniform_on_expected_probes() {
+        let entries = tree();
+        let budget = 5.0 * entries.iter().sum::<u64>() as f64;
+        let runs = vec![1usize; entries.len()];
+        let m = expected_false_probes(&allocate(&entries, budget), &runs);
+        let u = expected_false_probes(&uniform(&entries, budget), &runs);
+        assert!(m < u, "monkey {m} must beat uniform {u}");
+        // And substantially so for a size-ratio-10 tree.
+        assert!(m < u * 0.8, "monkey {m} vs uniform {u}: expected >20% win");
+    }
+
+    #[test]
+    fn tight_budget_zeroes_deep_levels_first() {
+        let entries = tree();
+        // A budget so small only shallow levels deserve filters.
+        let alloc = allocate(&entries, 0.5 * entries.iter().sum::<u64>() as f64);
+        assert!(alloc[0] > 0.0);
+        assert_eq!(*alloc.last().unwrap(), 0.0, "last level unfiltered: {alloc:?}");
+    }
+
+    #[test]
+    fn fp_proportional_to_level_size_when_unclamped() {
+        let entries = tree();
+        let alloc = allocate(&entries, 12.0 * entries.iter().sum::<u64>() as f64);
+        // FP_i / N_i constant across levels (Lagrange condition).
+        let ratios: Vec<f64> = alloc
+            .iter()
+            .zip(&entries)
+            .map(|(&b, &n)| fp_rate(b) / n as f64)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() / w[0] < 1e-3,
+                "FP not proportional to size: {ratios:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(allocate(&[], 100.0).is_empty());
+        assert_eq!(allocate(&[100], 0.0), vec![0.0]);
+        assert_eq!(uniform(&[], 100.0), Vec::<f64>::new());
+        assert_eq!(fp_rate(0.0), 1.0);
+        assert!(fp_rate(10.0) < 0.01);
+    }
+
+    #[test]
+    fn single_level_gets_everything() {
+        let alloc = allocate(&[1000], 10_000.0);
+        assert!((alloc[0] - 10.0).abs() < 1e-6);
+    }
+}

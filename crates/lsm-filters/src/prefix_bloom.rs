@@ -1,0 +1,191 @@
+//! The prefix Bloom filter: RocksDB's range filter for prefix scans.
+//!
+//! Store a Bloom filter over fixed-length key *prefixes* instead of whole
+//! keys. A range query entirely contained within one prefix (`[user42#a,
+//! user42#z)`) can be answered by probing that single prefix; ranges that
+//! span prefixes are answered by enumerating the covered prefixes, up to a
+//! bound, beyond which the filter answers "maybe". Good for long ranges
+//! aligned with the prefix structure, useless for arbitrary short ranges —
+//! the contrast with Rosetta that experiment E5 measures.
+//!
+//! Keys shorter than the prefix length are zero-padded, making the prefix
+//! space fixed-length; prefix extraction is then monotone
+//! (`k1 <= k2 ⇒ prefix(k1) <= prefix(k2)`), which is what makes the range
+//! enumeration free of false negatives.
+
+use crate::bloom::BloomFilter;
+use crate::{PointFilter, RangeFilter};
+
+/// Bloom filter over `prefix_len`-byte (zero-padded) key prefixes.
+pub struct PrefixBloomFilter {
+    bloom: BloomFilter,
+    prefix_len: usize,
+    /// How many consecutive prefixes a range query will enumerate before
+    /// giving up and answering "maybe".
+    max_enumeration: usize,
+}
+
+impl PrefixBloomFilter {
+    /// Builds a filter from `keys`, hashing each key's (padded) prefix and
+    /// spending `bits_per_key` bits per *key* (duplicate prefixes make the
+    /// effective bits-per-prefix higher).
+    pub fn build(keys: &[&[u8]], prefix_len: usize, bits_per_key: f64) -> Self {
+        assert!(prefix_len > 0, "prefix length must be positive");
+        let mut prefixes: Vec<Vec<u8>> = keys.iter().map(|k| pad(k, prefix_len)).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        let refs: Vec<&[u8]> = prefixes.iter().map(|p| p.as_slice()).collect();
+        let total_bits = (keys.len() as f64 * bits_per_key).max(64.0);
+        let bits_per_prefix = total_bits / refs.len().max(1) as f64;
+        PrefixBloomFilter {
+            bloom: BloomFilter::build(&refs, bits_per_prefix),
+            prefix_len,
+            max_enumeration: 64,
+        }
+    }
+
+    /// The configured prefix length.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+}
+
+/// Truncate to `len` bytes and zero-pad.
+fn pad(key: &[u8], len: usize) -> Vec<u8> {
+    let mut p = key[..key.len().min(len)].to_vec();
+    p.resize(len, 0);
+    p
+}
+
+/// Fixed-length increment with carry; `None` when the prefix is all 0xff.
+fn increment(prefix: &mut [u8]) -> bool {
+    for i in (0..prefix.len()).rev() {
+        if prefix[i] != 0xff {
+            prefix[i] += 1;
+            for b in &mut prefix[i + 1..] {
+                *b = 0;
+            }
+            return true;
+        }
+        // carry through
+    }
+    false
+}
+
+impl RangeFilter for PrefixBloomFilter {
+    fn may_contain_range(&self, start: &[u8], end: &[u8]) -> bool {
+        if start >= end {
+            return false;
+        }
+        let last = pad(end, self.prefix_len);
+        // The prefix of `end` itself contains in-range keys when `end`
+        // extends strictly beyond the prefix (end = "user03x": keys
+        // "user03a..w" are < end) or when `end` ends in a zero byte, whose
+        // stripped form is a shorter key < end with the same padded prefix
+        // ("a\x00" excludes nothing: "a" pads identically and is < end).
+        let include_last = end.len() > self.prefix_len || end.last() == Some(&0);
+        let mut p = pad(start, self.prefix_len);
+        for _ in 0..self.max_enumeration {
+            let in_bounds = p < last || (p == last && include_last);
+            if !in_bounds {
+                return false;
+            }
+            if self.bloom.may_contain(&p) {
+                return true;
+            }
+            if !increment(&mut p) {
+                return false;
+            }
+        }
+        true // too many prefixes to enumerate: cannot rule the range out
+    }
+
+    fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(&pad(key, self.prefix_len))
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.bloom.memory_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(keys: &[&str], plen: usize) -> PrefixBloomFilter {
+        let raw: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        PrefixBloomFilter::build(&raw, plen, 16.0)
+    }
+
+    #[test]
+    fn point_probe_via_prefix() {
+        let f = build(&["user01#a", "user01#b", "user07#x"], 6);
+        assert!(f.may_contain(b"user01#zzz"), "same prefix: maybe");
+        assert!(f.may_contain(b"user07#anything"));
+        assert!(!f.may_contain(b"user99#a"));
+    }
+
+    #[test]
+    fn range_within_single_prefix() {
+        let f = build(&["user01#a", "user07#x"], 6);
+        assert!(f.may_contain_range(b"user01#a", b"user01#z"));
+        assert!(!f.may_contain_range(b"user03#a", b"user03#z"));
+    }
+
+    #[test]
+    fn range_spanning_prefixes_enumerates() {
+        let f = build(&["b-key", "x-key"], 1);
+        // [c, f) spans prefixes c, d, e — none present.
+        assert!(!f.may_contain_range(b"c", b"f"));
+        // [a, c) includes prefix b.
+        assert!(f.may_contain_range(b"a", b"c"));
+    }
+
+    #[test]
+    fn end_prefix_inclusion_rules() {
+        let f = build(&["user03#m"], 6);
+        // end extends beyond the prefix: "user03" keys below it count.
+        assert!(f.may_contain_range(b"user03", b"user03#z"));
+        // end exactly at the prefix boundary: "user03"-prefixed keys are
+        // all >= end, so the range is empty of them.
+        assert!(!f.may_contain_range(b"user02", b"user03"));
+    }
+
+    #[test]
+    fn short_keys_are_padded_not_lost() {
+        let f = build(&["us"], 6);
+        assert!(f.may_contain(b"us"));
+        // The padded prefix "us\0\0\0\0" lies in [u, v) but enumeration
+        // from "u\0\0\0\0\0" cannot reach it in 64 steps; the filter must
+        // answer "maybe" (true), never a false negative.
+        assert!(f.may_contain_range(b"u", b"v"));
+        // An exactly-aligned probe still works.
+        assert!(f.may_contain_range(b"us", b"us\x01"));
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let f = build(&["abc"], 2);
+        assert!(!f.may_contain_range(b"zz", b"aa"));
+        assert!(!f.may_contain_range(b"ab", b"ab"));
+    }
+
+    #[test]
+    fn huge_span_answers_maybe() {
+        let f = build(&["mmmm"], 1);
+        assert!(f.may_contain_range(&[0x00], &[0xff; 4]));
+    }
+
+    #[test]
+    fn increment_arithmetic() {
+        let mut p = b"aa".to_vec();
+        assert!(increment(&mut p));
+        assert_eq!(p, b"ab");
+        let mut p = vec![0x61, 0xff];
+        assert!(increment(&mut p));
+        assert_eq!(p, vec![0x62, 0x00], "carry resets low bytes");
+        let mut p = vec![0xff, 0xff];
+        assert!(!increment(&mut p));
+    }
+}

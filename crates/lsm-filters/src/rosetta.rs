@@ -1,0 +1,265 @@
+//! A Rosetta-like range filter: a hierarchy of Bloom filters over dyadic
+//! bit-prefix intervals.
+//!
+//! Rosetta (Luo et al., SIGMOD'20) logically builds a segment tree over the
+//! key space: level ℓ holds a Bloom filter of every stored key's ℓ-bit
+//! prefix. A range query decomposes into O(log R) dyadic intervals, probes
+//! each, and on a positive *drills down* ("doubts") to the bottom level so
+//! that only ranges confirmed at full key resolution report "maybe". This
+//! makes it strongest exactly where prefix filters and SuRF are weakest —
+//! short ranges — at the price of CPU (many Bloom probes) and memory in the
+//! deep levels (tutorial §2.1.3, experiment E5).
+//!
+//! Keys are mapped to `u64` by their first 8 bytes, big-endian, zero-padded
+//! — a monotone mapping, so range queries over byte strings translate
+//! soundly to ranges over `u64` images (byte strings that share their first
+//! 8 bytes collide, which can only cause false positives, never negatives).
+
+use crate::bloom::BloomFilter;
+use crate::RangeFilter;
+
+/// Bit depth of the hierarchy (levels 1..=64).
+const DEPTH: u32 = 64;
+
+/// A hierarchy of prefix Bloom filters supporting range-emptiness probes.
+pub struct RosettaFilter {
+    /// `blooms[i]` indexes (i+1)-bit prefixes.
+    blooms: Vec<BloomFilter>,
+    key_count: usize,
+}
+
+/// Monotone map from byte keys to the `u64` prefix space.
+fn to_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+impl RosettaFilter {
+    /// Builds a filter over `keys` with a total budget of `bits_per_key`
+    /// bits per key across all levels.
+    ///
+    /// Memory allocation follows Rosetta's insight: the bottom level does
+    /// the confirming and gets half the budget; each level above gets half
+    /// of the remainder (short prefixes are cheap — few distinct values).
+    pub fn build(keys: &[&[u8]], bits_per_key: f64) -> Self {
+        let values: Vec<u64> = {
+            let mut v: Vec<u64> = keys.iter().map(|k| to_u64(k)).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut budgets = vec![0.0f64; DEPTH as usize];
+        let mut remaining = bits_per_key.max(2.0);
+        for level in (0..DEPTH as usize).rev() {
+            let share = if level == 0 { remaining } else { remaining / 2.0 };
+            budgets[level] = share.max(0.5);
+            remaining -= share;
+        }
+        let blooms = (0..DEPTH as usize)
+            .map(|level| {
+                let bits = level as u32 + 1;
+                let prefixes: Vec<Vec<u8>> = values
+                    .iter()
+                    .map(|&v| (v >> (DEPTH - bits)).to_be_bytes().to_vec())
+                    .collect();
+                let mut dedup = prefixes;
+                dedup.dedup(); // values sorted => prefixes sorted
+                let refs: Vec<&[u8]> = dedup.iter().map(|p| p.as_slice()).collect();
+                // Budget is per original key; distinct-prefix count shrinks
+                // toward the root, concentrating bits where they matter.
+                let total = budgets[level] * values.len().max(1) as f64;
+                let per_prefix = total / refs.len().max(1) as f64;
+                BloomFilter::build(&refs, per_prefix)
+            })
+            .collect();
+        RosettaFilter {
+            blooms,
+            key_count: values.len(),
+        }
+    }
+
+    /// Probe the (level+1)-bit prefix filter.
+    fn probe(&self, prefix: u64, bits: u32) -> bool {
+        use crate::PointFilter;
+        if self.key_count == 0 {
+            return false;
+        }
+        self.blooms[(bits - 1) as usize].may_contain(&prefix.to_be_bytes())
+    }
+
+    /// Rosetta's "doubt": confirm a positive prefix probe by drilling to
+    /// the bottom of the hierarchy.
+    fn doubt(&self, prefix: u64, bits: u32) -> bool {
+        if !self.probe(prefix, bits) {
+            return false;
+        }
+        if bits == DEPTH {
+            return true;
+        }
+        self.doubt(prefix << 1, bits + 1) || self.doubt((prefix << 1) | 1, bits + 1)
+    }
+
+    /// Whether any stored key's image lies in `[lo, hi]` (inclusive).
+    fn range_u64(&self, mut lo: u64, hi: u64) -> bool {
+        if self.key_count == 0 || lo > hi {
+            return false;
+        }
+        // Dyadic decomposition of [lo, hi]: repeatedly take the largest
+        // aligned block starting at lo that fits.
+        loop {
+            let align = if lo == 0 { DEPTH } else { lo.trailing_zeros() };
+            let span = hi - lo; // block may cover at most span+1 values
+            let fit = if span == u64::MAX {
+                DEPTH
+            } else {
+                63 - (span + 1).leading_zeros().min(63)
+            };
+            // Block of 2^k values; capped at 2^63 so even the full space
+            // decomposes into probeable (>= 1-bit-prefix) blocks.
+            let k = align.min(fit).min(63);
+            let bits = DEPTH - k;
+            if self.doubt(lo >> k, bits) {
+                return true;
+            }
+            let step = (1u64 << k) - 1;
+            match lo.checked_add(step).and_then(|x| x.checked_add(1)) {
+                Some(next) if next <= hi => lo = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Number of distinct key images indexed.
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+}
+
+impl RangeFilter for RosettaFilter {
+    fn may_contain_range(&self, start: &[u8], end: &[u8]) -> bool {
+        if start >= end {
+            return false;
+        }
+        let lo = to_u64(start);
+        // `end` is exclusive over byte strings, but keys strictly below it
+        // can still share its 8-byte image: when `end` extends beyond 8
+        // bytes, or when its image pads with / ends in zero bytes (e.g.
+        // "\x00" < "\x00\x00" yet both map to 0). Only exclude the image
+        // when no such key can exist.
+        let image_excluded = end.len() <= 8 && end.last().is_some_and(|&b| b != 0);
+        let hi = if image_excluded {
+            match to_u64(end).checked_sub(1) {
+                Some(h) => h,
+                None => return false,
+            }
+        } else {
+            to_u64(end)
+        };
+        self.range_u64(lo, hi)
+    }
+
+    fn may_contain(&self, key: &[u8]) -> bool {
+        let v = to_u64(key);
+        self.range_u64(v, v)
+    }
+
+    fn memory_bits(&self) -> usize {
+        use crate::PointFilter;
+        self.blooms.iter().map(|b| b.memory_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(keys: &[u64], bpk: f64) -> RosettaFilter {
+        let encoded: Vec<[u8; 8]> = keys.iter().map(|k| k.to_be_bytes()).collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(|k| k.as_slice()).collect();
+        RosettaFilter::build(&refs, bpk)
+    }
+
+    #[test]
+    fn point_no_false_negatives() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 7919).collect();
+        let f = build(&keys, 22.0);
+        for &k in &keys {
+            assert!(f.may_contain(&k.to_be_bytes()), "lost {k}");
+        }
+    }
+
+    #[test]
+    fn range_no_false_negatives() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 1000 + 500).collect();
+        let f = build(&keys, 22.0);
+        for &k in &keys {
+            // short ranges straddling the key
+            let lo = (k - 3).to_be_bytes();
+            let hi = (k + 3).to_be_bytes();
+            assert!(f.may_contain_range(&lo, &hi), "range around {k} lost");
+        }
+    }
+
+    #[test]
+    fn short_empty_ranges_rejected() {
+        let keys: Vec<u64> = (0..200).map(|i| i * 1000).collect();
+        let f = build(&keys, 22.0);
+        let mut fps = 0;
+        let mut trials = 0;
+        for i in 0..200u64 {
+            // [i*1000 + 400, i*1000 + 432): 32-wide, firmly between keys
+            let lo = (i * 1000 + 400).to_be_bytes();
+            let hi = (i * 1000 + 432).to_be_bytes();
+            trials += 1;
+            if f.may_contain_range(&lo, &hi) {
+                fps += 1;
+            }
+        }
+        assert!(
+            fps * 5 < trials,
+            "short-range FP rate too high: {fps}/{trials}"
+        );
+    }
+
+    #[test]
+    fn adjacent_keys_not_confused() {
+        let f = build(&[100, 200], 24.0);
+        assert!(f.may_contain(&100u64.to_be_bytes()));
+        assert!(!f.may_contain(&101u64.to_be_bytes()));
+        assert!(f.may_contain_range(&99u64.to_be_bytes(), &101u64.to_be_bytes()));
+        assert!(!f.may_contain_range(&101u64.to_be_bytes(), &150u64.to_be_bytes()));
+    }
+
+    #[test]
+    fn byte_string_mapping_is_safe() {
+        let keys = [b"apple".as_slice(), b"banana".as_slice()];
+        let f = RosettaFilter::build(&keys, 22.0);
+        assert!(f.may_contain(b"apple"));
+        assert!(f.may_contain_range(b"app", b"apz"));
+        assert!(!f.may_contain_range(b"x", b"z"));
+        // Keys longer than 8 bytes collide in image space: FP, never FN.
+        let long = [b"abcdefgh-one".as_slice()];
+        let f = RosettaFilter::build(&long, 22.0);
+        assert!(f.may_contain(b"abcdefgh-one"));
+        assert!(f.may_contain(b"abcdefgh-two"), "image collision is a (safe) FP");
+    }
+
+    #[test]
+    fn boundary_values() {
+        let f = build(&[0, u64::MAX], 24.0);
+        assert!(f.may_contain(&0u64.to_be_bytes()));
+        assert!(f.may_contain(&u64::MAX.to_be_bytes()));
+        // Full-space range must terminate and find them.
+        assert!(f.may_contain_range(&0u64.to_be_bytes(), &[0xff; 9]));
+        assert!(!f.may_contain_range(&1u64.to_be_bytes(), &100u64.to_be_bytes()));
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = RosettaFilter::build(&[], 22.0);
+        assert!(!f.may_contain(b"x"));
+        assert!(!f.may_contain_range(&[0], &[0xff; 9]));
+    }
+}

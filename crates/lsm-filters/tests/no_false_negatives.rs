@@ -1,0 +1,85 @@
+//! The one property every filter must uphold: no false negatives.
+
+use lsm_filters::{
+    build_point_filter, PointFilterKind, PrefixBloomFilter, RangeFilter, RosettaFilter,
+    SurfFilter,
+};
+use proptest::prelude::*;
+
+fn arb_keys() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 1..24), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn point_filters_never_lose_keys(keys in arb_keys(), bpk in 2.0f64..20.0) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        for kind in [PointFilterKind::Bloom, PointFilterKind::BlockedBloom, PointFilterKind::Cuckoo] {
+            let f = build_point_filter(kind, &refs, bpk).unwrap();
+            for k in &refs {
+                prop_assert!(f.may_contain(k), "{kind:?} lost a key at bpk={bpk}");
+            }
+        }
+    }
+
+    #[test]
+    fn surf_never_loses_points_or_ranges(keys in arb_keys(), suffix_bits in 0u32..=8) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = SurfFilter::build(&refs, suffix_bits);
+        for k in &refs {
+            prop_assert!(f.may_contain(k));
+            let mut end = k.to_vec();
+            end.push(0);
+            prop_assert!(f.may_contain_range(k, &end));
+        }
+    }
+
+    #[test]
+    fn rosetta_never_loses_points_or_ranges(keys in arb_keys()) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = RosettaFilter::build(&refs, 20.0);
+        for k in &refs {
+            prop_assert!(f.may_contain(k));
+            let mut end = k.to_vec();
+            end.push(0);
+            prop_assert!(f.may_contain_range(k, &end));
+        }
+    }
+
+    #[test]
+    fn prefix_bloom_never_loses_points_or_ranges(
+        keys in arb_keys(),
+        prefix_len in 1usize..12,
+    ) {
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = PrefixBloomFilter::build(&refs, prefix_len, 16.0);
+        for k in &refs {
+            prop_assert!(f.may_contain(k));
+            let mut end = k.to_vec();
+            end.push(0);
+            prop_assert!(f.may_contain_range(k, &end));
+        }
+    }
+
+    #[test]
+    fn range_filters_agree_range_contains_point(
+        keys in arb_keys(),
+        probe in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // If a point may be present, any range containing it may be
+        // non-empty (monotonicity of the filter's answers).
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let surf = SurfFilter::build(&refs, 4);
+        let mut end = probe.clone();
+        end.push(0);
+        if surf.may_contain(&probe) {
+            prop_assert!(surf.may_contain_range(&probe, &end));
+        }
+        let ros = RosettaFilter::build(&refs, 16.0);
+        if ros.may_contain(&probe) {
+            prop_assert!(ros.may_contain_range(&probe, &end));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: every memtable implementation behaves like the
+//! `BTreeMemTable` oracle under random operation sequences.
+
+use lsm_memtable::{make_memtable, BTreeMemTable, MemTable, MemTableKind};
+use lsm_types::{InternalEntry, SeqNo};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>, u64),
+    Range(Vec<u8>, Option<Vec<u8>>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small keyspace so versions and collisions actually happen.
+    (0u8..32).prop_map(|b| vec![b'k', b / 10 + b'0', b % 10 + b'0'])
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), prop::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| Op::Put(k, v)),
+        arb_key().prop_map(Op::Delete),
+        (arb_key(), 0u64..60).prop_map(|(k, s)| Op::Get(k, s)),
+        (arb_key(), prop::option::of(arb_key())).prop_map(|(a, b)| Op::Range(a, b)),
+    ]
+}
+
+fn check_kind(kind: MemTableKind, ops: &[Op]) {
+    let mt = make_memtable(kind);
+    let oracle = BTreeMemTable::new();
+    let mut seqno: SeqNo = 0;
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                seqno += 1;
+                mt.insert(InternalEntry::put(k.clone(), v.clone(), seqno, seqno));
+                oracle.insert(InternalEntry::put(k.clone(), v.clone(), seqno, seqno));
+            }
+            Op::Delete(k) => {
+                seqno += 1;
+                mt.insert(InternalEntry::delete(k.clone(), seqno, seqno));
+                oracle.insert(InternalEntry::delete(k.clone(), seqno, seqno));
+            }
+            Op::Get(k, snap) => {
+                let got = mt.get(k, *snap);
+                let want = oracle.get(k, *snap);
+                assert_eq!(got, want, "{}: get({k:?}, {snap})", kind.name());
+            }
+            Op::Range(start, end) => {
+                let got = mt.range_entries(start, end.as_deref());
+                let want = oracle.range_entries(start, end.as_deref());
+                assert_eq!(got, want, "{}: range({start:?}, {end:?})", kind.name());
+            }
+        }
+    }
+    assert_eq!(mt.len(), oracle.len(), "{}", kind.name());
+    assert_eq!(
+        mt.sorted_entries(),
+        oracle.sorted_entries(),
+        "{}: full sorted dump",
+        kind.name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vector_matches_oracle(ops in prop::collection::vec(arb_op(), 0..60)) {
+        check_kind(MemTableKind::Vector, &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_oracle(ops in prop::collection::vec(arb_op(), 0..60)) {
+        check_kind(MemTableKind::SkipList, &ops);
+    }
+
+    #[test]
+    fn hash_skiplist_matches_oracle(ops in prop::collection::vec(arb_op(), 0..60)) {
+        check_kind(MemTableKind::HashSkipList, &ops);
+    }
+
+    #[test]
+    fn hash_linklist_matches_oracle(ops in prop::collection::vec(arb_op(), 0..60)) {
+        check_kind(MemTableKind::HashLinkList, &ops);
+    }
+}

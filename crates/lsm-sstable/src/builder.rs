@@ -1,0 +1,345 @@
+//! Writing tables: the flush and compaction output path.
+
+use lsm_filters::{build_point_filter, PointFilterKind};
+use lsm_storage::{Backend, FileId};
+use lsm_types::encoding::{put_len_prefixed, put_varint, Decoder};
+use lsm_types::{
+    EntryKind, Error, InternalEntry, InternalKey, KeyRange, Result, SeqNo, UserKey,
+};
+
+use crate::block::BlockBuilder;
+use crate::meta::{encode_footer, TableMeta};
+use crate::BLOCK_SIZE;
+
+/// Knobs for table construction.
+#[derive(Clone, Debug)]
+pub struct TableBuilderOptions {
+    /// Target data-block size in bytes (a block closes once it reaches
+    /// this); defaults to one page.
+    pub block_size: usize,
+    /// Which point filter to embed.
+    pub filter_kind: PointFilterKind,
+    /// Filter budget in bits per key.
+    pub bits_per_key: f64,
+}
+
+impl Default for TableBuilderOptions {
+    fn default() -> Self {
+        TableBuilderOptions {
+            block_size: BLOCK_SIZE,
+            filter_kind: PointFilterKind::Bloom,
+            bits_per_key: 10.0,
+        }
+    }
+}
+
+/// One fence pointer: the first internal key of a data block plus its
+/// location.
+#[derive(Clone, Debug)]
+pub(crate) struct Fence {
+    pub first_key: InternalKey,
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// Serializes the index block from fences.
+pub(crate) fn encode_index(fences: &[Fence]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(fences.len() * 32);
+    put_varint(&mut buf, fences.len() as u64);
+    for f in fences {
+        put_varint(&mut buf, f.offset);
+        put_varint(&mut buf, f.len);
+        put_len_prefixed(&mut buf, f.first_key.user_key.as_bytes());
+        put_varint(&mut buf, f.first_key.seqno);
+        buf.push(f.first_key.kind as u8);
+    }
+    buf
+}
+
+/// Parses the index block back into fences.
+pub(crate) fn decode_index(data: &[u8]) -> Result<Vec<Fence>> {
+    let mut dec = Decoder::new(data);
+    let n = dec.varint()? as usize;
+    let mut fences = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let offset = dec.varint()?;
+        let len = dec.varint()?;
+        let user_key = UserKey::copy_from(dec.len_prefixed()?);
+        let seqno = dec.varint()?;
+        let kind = EntryKind::from_u8(dec.u8()?)?;
+        fences.push(Fence {
+            first_key: InternalKey {
+                user_key,
+                seqno,
+                kind,
+            },
+            offset,
+            len,
+        });
+    }
+    Ok(fences)
+}
+
+/// Builds one immutable table from entries supplied in ascending
+/// internal-key order.
+pub struct TableBuilder {
+    opts: TableBuilderOptions,
+    file: Vec<u8>,
+    block: BlockBuilder,
+    fences: Vec<Fence>,
+    pending_first: Option<InternalKey>,
+    last_key: Option<InternalKey>,
+    // statistics
+    entry_count: u64,
+    tombstone_count: u64,
+    range_tombstones: Vec<(UserKey, UserKey, SeqNo)>,
+    min_key: Option<UserKey>,
+    max_key: Option<UserKey>,
+    min_seqno: SeqNo,
+    max_seqno: SeqNo,
+    min_ts: u64,
+    max_ts: u64,
+    filter_keys: Vec<Vec<u8>>,
+}
+
+impl TableBuilder {
+    /// Creates a builder with the given options.
+    pub fn new(opts: TableBuilderOptions) -> Self {
+        TableBuilder {
+            opts,
+            file: Vec::with_capacity(64 * 1024),
+            block: BlockBuilder::new(),
+            fences: Vec::new(),
+            pending_first: None,
+            last_key: None,
+            entry_count: 0,
+            tombstone_count: 0,
+            range_tombstones: Vec::new(),
+            min_key: None,
+            max_key: None,
+            min_seqno: SeqNo::MAX,
+            max_seqno: 0,
+            min_ts: u64::MAX,
+            max_ts: 0,
+            filter_keys: Vec::new(),
+        }
+    }
+
+    /// Appends one entry. Entries must arrive in strictly ascending
+    /// internal-key order.
+    pub fn add(&mut self, entry: &InternalEntry) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if *last >= entry.key {
+                return Err(Error::InvalidArgument(format!(
+                    "entries out of order: {:?} then {:?}",
+                    last, entry.key
+                )));
+            }
+        }
+        self.last_key = Some(entry.key.clone());
+
+        if self.pending_first.is_none() {
+            self.pending_first = Some(entry.key.clone());
+        }
+        self.block.add(entry);
+        self.entry_count += 1;
+        match entry.kind() {
+            EntryKind::Delete | EntryKind::SingleDelete => self.tombstone_count += 1,
+            EntryKind::RangeDelete => {
+                let end = entry.range_delete_end().expect("range delete has end");
+                self.range_tombstones
+                    .push((entry.user_key().clone(), end, entry.seqno()));
+            }
+            _ => {}
+        }
+        if self.min_key.is_none() {
+            self.min_key = Some(entry.user_key().clone());
+        }
+        self.max_key = Some(entry.user_key().clone());
+        self.min_seqno = self.min_seqno.min(entry.seqno());
+        self.max_seqno = self.max_seqno.max(entry.seqno());
+        self.min_ts = self.min_ts.min(entry.ts);
+        self.max_ts = self.max_ts.max(entry.ts);
+        // Consecutive versions of one user key need a single filter entry.
+        if self
+            .filter_keys
+            .last()
+            .is_none_or(|k| k.as_slice() != entry.user_key().as_bytes())
+        {
+            self.filter_keys.push(entry.user_key().as_bytes().to_vec());
+        }
+
+        if self.block.payload_len() >= self.opts.block_size {
+            self.seal_block();
+        }
+        Ok(())
+    }
+
+    /// Number of entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Bytes of data blocks written so far (a proxy for output file size).
+    pub fn data_bytes(&self) -> u64 {
+        self.file.len() as u64 + self.block.payload_len() as u64
+    }
+
+    /// Whether nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    fn seal_block(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        let offset = self.file.len() as u64;
+        let block = self.block.finish();
+        self.fences.push(Fence {
+            first_key: self.pending_first.take().expect("non-empty block"),
+            offset,
+            len: block.len() as u64,
+        });
+        self.file.extend_from_slice(&block);
+    }
+
+    /// Seals the table and persists it to `backend`. Returns the file id
+    /// and the decoded metadata. Fails on an empty table.
+    pub fn finish(mut self, backend: &dyn Backend) -> Result<(FileId, TableMeta)> {
+        if self.entry_count == 0 {
+            return Err(Error::InvalidArgument("cannot write an empty table".into()));
+        }
+        self.seal_block();
+        let data_bytes = self.file.len() as u64;
+
+        let index = encode_index(&self.fences);
+        let index_offset = self.file.len() as u64;
+        self.file.extend_from_slice(&index);
+
+        let filter_offset = self.file.len() as u64;
+        let key_refs: Vec<&[u8]> = self.filter_keys.iter().map(|k| k.as_slice()).collect();
+        let filter_bytes = build_point_filter(self.opts.filter_kind, &key_refs, self.opts.bits_per_key)
+            .map(|f| f.to_bytes())
+            .unwrap_or_default();
+        self.file.extend_from_slice(&filter_bytes);
+
+        let meta = TableMeta {
+            entry_count: self.entry_count,
+            tombstone_count: self.tombstone_count,
+            range_tombstone_count: self.range_tombstones.len() as u64,
+            key_range: KeyRange {
+                min: self.min_key.expect("non-empty"),
+                max: self.max_key.expect("non-empty"),
+            },
+            min_seqno: self.min_seqno,
+            max_seqno: self.max_seqno,
+            min_ts: self.min_ts,
+            max_ts: self.max_ts,
+            data_bytes,
+            index_offset,
+            index_len: index.len() as u64,
+            filter_offset,
+            filter_len: filter_bytes.len() as u64,
+            filter_kind: self.opts.filter_kind.as_u8(),
+            range_tombstones: self.range_tombstones,
+        };
+        let meta_bytes = meta.encode();
+        let meta_offset = self.file.len() as u64;
+        self.file.extend_from_slice(&meta_bytes);
+        self.file
+            .extend_from_slice(&encode_footer(meta_offset, meta_bytes.len() as u32));
+
+        let file = backend.write_blob(&self.file)?;
+        Ok((file, meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::MemBackend;
+
+    fn entry(i: u64) -> InternalEntry {
+        InternalEntry::put(
+            format!("key{i:06}").into_bytes(),
+            vec![b'v'; 20],
+            i + 1,
+            i,
+        )
+    }
+
+    #[test]
+    fn builds_multi_block_table() {
+        let backend = MemBackend::new();
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        for i in 0..1000 {
+            b.add(&entry(i)).unwrap();
+        }
+        let (file, meta) = b.finish(&backend).unwrap();
+        assert_eq!(meta.entry_count, 1000);
+        assert_eq!(meta.key_range.min.as_bytes(), b"key000000");
+        assert_eq!(meta.key_range.max.as_bytes(), b"key000999");
+        assert_eq!(meta.min_seqno, 1);
+        assert_eq!(meta.max_seqno, 1000);
+        assert!(meta.data_bytes > BLOCK_SIZE as u64, "should span blocks");
+        assert!(backend.len(file).unwrap() > meta.data_bytes);
+    }
+
+    #[test]
+    fn rejects_out_of_order() {
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        b.add(&entry(5)).unwrap();
+        assert!(b.add(&entry(3)).is_err());
+        // equal internal keys also rejected
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        b.add(&entry(5)).unwrap();
+        assert!(b.add(&entry(5)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_table() {
+        let backend = MemBackend::new();
+        let b = TableBuilder::new(TableBuilderOptions::default());
+        assert!(b.finish(&backend).is_err());
+    }
+
+    #[test]
+    fn counts_tombstones_and_collects_range_deletes() {
+        let backend = MemBackend::new();
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        b.add(&InternalEntry::put(b"a", b"x".to_vec(), 1, 0)).unwrap();
+        b.add(&InternalEntry::delete(b"b", 2, 0)).unwrap();
+        b.add(&InternalEntry::range_delete(b"c", b"f", 3, 0)).unwrap();
+        b.add(&InternalEntry::single_delete(b"g", 4, 0)).unwrap();
+        let (_, meta) = b.finish(&backend).unwrap();
+        assert_eq!(meta.tombstone_count, 2);
+        assert_eq!(meta.range_tombstone_count, 1);
+        assert_eq!(meta.range_tombstones.len(), 1);
+        assert_eq!(meta.range_tombstones[0].0.as_bytes(), b"c");
+        assert_eq!(meta.range_tombstones[0].1.as_bytes(), b"f");
+        assert!((meta.tombstone_density() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let fences = vec![
+            Fence {
+                first_key: InternalKey::new(b"a", 5, EntryKind::Put),
+                offset: 0,
+                len: 100,
+            },
+            Fence {
+                first_key: InternalKey::new(b"m", 9, EntryKind::Delete),
+                offset: 100,
+                len: 222,
+            },
+        ];
+        let encoded = encode_index(&fences);
+        let back = decode_index(&encoded).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].first_key, fences[0].first_key);
+        assert_eq!(back[1].offset, 100);
+        assert_eq!(back[1].len, 222);
+    }
+}

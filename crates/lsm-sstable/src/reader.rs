@@ -1,0 +1,445 @@
+//! Reading tables: the point-lookup and scan path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lsm_filters::{point_filter_from_bytes, PointFilter, PointFilterKind};
+use lsm_storage::{Backend, BlockCache, BlockKey, FileId};
+use lsm_types::{InternalEntry, InternalKey, Result, SeqNo};
+
+use crate::builder::{decode_index, Fence};
+use crate::iter::EntryIter;
+use crate::meta::{decode_footer, TableMeta, FOOTER_LEN};
+
+/// Per-table read statistics.
+#[derive(Default, Debug)]
+struct ReadStats {
+    /// Point probes answered negatively by the filter (I/O saved).
+    filter_negatives: AtomicU64,
+    /// Point probes that went to a data block.
+    block_probes: AtomicU64,
+}
+
+/// An open, immutable sorted-run file.
+///
+/// Opening a table reads its footer, metadata, fence pointers, and filter
+/// into memory — the standard LSM arrangement where the per-run auxiliary
+/// structures are memory-resident and a point lookup costs at most one data
+/// block read (tutorial §2.1.3).
+pub struct Table {
+    backend: Arc<dyn Backend>,
+    cache: Option<Arc<BlockCache>>,
+    file: FileId,
+    meta: TableMeta,
+    fences: Vec<Fence>,
+    filter: Option<Box<dyn PointFilter>>,
+    stats: ReadStats,
+    /// When set, the backing file is deleted (and its cache blocks dropped)
+    /// once the last reference to this table goes away. Compaction marks
+    /// consumed inputs obsolete; in-flight iterators and snapshots keep the
+    /// file alive until they finish.
+    obsolete: AtomicBool,
+}
+
+impl Table {
+    /// Opens the table stored in `file`, loading its auxiliary structures.
+    pub fn open(
+        backend: Arc<dyn Backend>,
+        file: FileId,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Arc<Table>> {
+        let len = backend.len(file)?;
+        let footer = backend.read(file, len - FOOTER_LEN as u64, FOOTER_LEN)?;
+        let (meta_offset, meta_len) = decode_footer(&footer)?;
+        let meta_bytes = backend.read(file, meta_offset, meta_len as usize)?;
+        let meta = TableMeta::decode(&meta_bytes)?;
+
+        let index_bytes = backend.read(file, meta.index_offset, meta.index_len as usize)?;
+        let fences = decode_index(&index_bytes)?;
+
+        let filter = if meta.filter_len > 0 {
+            let filter_bytes =
+                backend.read(file, meta.filter_offset, meta.filter_len as usize)?;
+            point_filter_from_bytes(PointFilterKind::from_u8(meta.filter_kind)?, &filter_bytes)?
+        } else {
+            None
+        };
+
+        Ok(Arc::new(Table {
+            backend,
+            cache,
+            file,
+            meta,
+            fences,
+            filter,
+            stats: ReadStats::default(),
+            obsolete: AtomicBool::new(false),
+        }))
+    }
+
+    /// Marks the table's file for deletion when the last reference drops.
+    pub fn mark_obsolete(&self) {
+        self.obsolete.store(true, Ordering::Release);
+    }
+
+    /// The table's metadata (counts, key range, ages).
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// The backing file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of data blocks.
+    pub fn block_count(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// Memory held by this table's filter, in bits.
+    pub fn filter_memory_bits(&self) -> usize {
+        self.filter.as_ref().map_or(0, |f| f.memory_bits())
+    }
+
+    /// How many point probes the filter answered negatively (I/O saved).
+    pub fn filter_negatives(&self) -> u64 {
+        self.stats.filter_negatives.load(Ordering::Relaxed)
+    }
+
+    /// How many point probes read a data block.
+    pub fn block_probes(&self) -> u64 {
+        self.stats.block_probes.load(Ordering::Relaxed)
+    }
+
+    /// Reads data block `idx`, through the cache when one is configured.
+    fn read_block(&self, idx: usize) -> Result<Bytes> {
+        let fence = &self.fences[idx];
+        if let Some(cache) = &self.cache {
+            let key = BlockKey {
+                file: self.file,
+                offset: fence.offset,
+            };
+            if let Some(block) = cache.get(&key) {
+                return Ok(block);
+            }
+            let block = self.backend.read(self.file, fence.offset, fence.len as usize)?;
+            cache.insert(key, block.clone());
+            return Ok(block);
+        }
+        self.backend.read(self.file, fence.offset, fence.len as usize)
+    }
+
+    /// Loads every data block into the cache (Leaper-style prefetch after
+    /// compaction). No-op without a cache.
+    pub fn warm_cache(&self) -> Result<()> {
+        if let Some(cache) = &self.cache {
+            for fence in &self.fences {
+                let key = BlockKey {
+                    file: self.file,
+                    offset: fence.offset,
+                };
+                if cache.get(&key).is_none() {
+                    let block = self
+                        .backend
+                        .read(self.file, fence.offset, fence.len as usize)?;
+                    cache.warm(key, block);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the data block that could contain `probe` (the last block
+    /// whose first key is `<= probe`).
+    fn block_for(&self, probe: &InternalKey) -> usize {
+        let idx = self.fences.partition_point(|f| f.first_key <= *probe);
+        idx.saturating_sub(1)
+    }
+
+    /// The newest version of `key` visible at `snapshot`, if this table has
+    /// one. Tombstones are returned, not interpreted.
+    pub fn get(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<InternalEntry>> {
+        if !self.meta.key_range.contains(key) {
+            return Ok(None);
+        }
+        if let Some(filter) = &self.filter {
+            if !filter.may_contain(key) {
+                self.stats.filter_negatives.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+        }
+        self.stats.block_probes.fetch_add(1, Ordering::Relaxed);
+        let probe = InternalKey::lookup(key, snapshot);
+        let mut idx = self.block_for(&probe);
+        // The candidate is the first entry >= probe; it may sit at the head
+        // of the next block when the probe falls past the chosen block's
+        // last entry.
+        loop {
+            let mut it = crate::block::BlockIter::new(self.read_block(idx)?)?;
+            it.seek(&probe)?;
+            match it.next().transpose()? {
+                Some(entry) => {
+                    return Ok((entry.user_key().as_bytes() == key).then_some(entry));
+                }
+                None if idx + 1 < self.fences.len() => {
+                    // Only worth following when the next block can still
+                    // hold this user key.
+                    if self.fences[idx + 1].first_key.user_key.as_bytes() != key {
+                        return Ok(None);
+                    }
+                    idx += 1;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// An owning iterator over the whole table.
+    pub fn scan(self: &Arc<Self>) -> TableIter {
+        TableIter {
+            table: Arc::clone(self),
+            next_block: 0,
+            current: None,
+            start: None,
+        }
+    }
+
+    /// An owning iterator positioned at the first entry with internal key
+    /// `>= probe`.
+    pub fn scan_from(self: &Arc<Self>, probe: InternalKey) -> TableIter {
+        let block = self.block_for(&probe);
+        TableIter {
+            table: Arc::clone(self),
+            next_block: block,
+            current: None,
+            start: Some(probe),
+        }
+    }
+}
+
+impl Drop for Table {
+    fn drop(&mut self) {
+        if self.obsolete.load(Ordering::Acquire) {
+            if let Some(cache) = &self.cache {
+                cache.invalidate_file(self.file);
+            }
+            let _ = self.backend.delete(self.file);
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("file", &self.file)
+            .field("entries", &self.meta.entry_count)
+            .field("range", &self.meta.key_range)
+            .finish()
+    }
+}
+
+/// An owning forward iterator over one table.
+pub struct TableIter {
+    table: Arc<Table>,
+    next_block: usize,
+    current: Option<crate::block::BlockIter>,
+    /// Seek target applied to the first opened block.
+    start: Option<InternalKey>,
+}
+
+impl EntryIter for TableIter {
+    fn next_entry(&mut self) -> Result<Option<InternalEntry>> {
+        loop {
+            if let Some(block) = &mut self.current {
+                if let Some(entry) = block.next().transpose()? {
+                    return Ok(Some(entry));
+                }
+                self.current = None;
+            }
+            if self.next_block >= self.table.fences.len() {
+                return Ok(None);
+            }
+            let bytes = self.table.read_block(self.next_block)?;
+            self.next_block += 1;
+            let mut block = crate::block::BlockIter::new(bytes)?;
+            if let Some(probe) = self.start.take() {
+                block.seek(&probe)?;
+            }
+            self.current = Some(block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{TableBuilder, TableBuilderOptions};
+    use lsm_storage::MemBackend;
+
+    fn build_table(
+        n: u64,
+        cache: Option<Arc<BlockCache>>,
+    ) -> (Arc<MemBackend>, Arc<Table>) {
+        let backend = Arc::new(MemBackend::new());
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        for i in 0..n {
+            b.add(&InternalEntry::put(
+                format!("key{i:06}").into_bytes(),
+                format!("value-{i}").into_bytes(),
+                i + 1,
+                i,
+            ))
+            .unwrap();
+        }
+        let (file, _) = b.finish(backend.as_ref()).unwrap();
+        let table = Table::open(backend.clone() as Arc<dyn Backend>, file, cache).unwrap();
+        (backend, table)
+    }
+
+    #[test]
+    fn point_lookup_hits_and_misses() {
+        let (_, t) = build_table(2000, None);
+        for i in [0u64, 777, 1999] {
+            let got = t.get(format!("key{i:06}").as_bytes(), SeqNo::MAX).unwrap();
+            assert_eq!(got.unwrap().value, format!("value-{i}").as_bytes());
+        }
+        assert!(t.get(b"key999999", SeqNo::MAX).unwrap().is_none());
+        assert!(t.get(b"absent", SeqNo::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn lookup_costs_one_block_read() {
+        let (backend, t) = build_table(2000, None);
+        let before = backend.stats().snapshot();
+        t.get(b"key000777", SeqNo::MAX).unwrap();
+        let delta = backend.stats().snapshot().delta(&before);
+        assert_eq!(delta.read_ops, 1, "one block read per lookup");
+        assert!(delta.read_pages <= 2);
+    }
+
+    #[test]
+    fn filter_skips_absent_keys_without_io() {
+        let (backend, t) = build_table(2000, None);
+        let before = backend.stats().snapshot();
+        let mut skipped = 0;
+        for i in 0..100 {
+            // absent keys lexicographically inside the table's key range
+            if t.get(format!("key{:06}x", i * 17).as_bytes(), SeqNo::MAX)
+                .unwrap()
+                .is_none()
+            {
+                skipped += 1;
+            }
+        }
+        assert_eq!(skipped, 100);
+        let delta = backend.stats().snapshot().delta(&before);
+        // Bloom at 10 bits/key: ~1% FP, so almost all probes are free.
+        assert!(delta.read_ops < 10, "filter should skip most reads: {delta:?}");
+        assert!(t.filter_negatives() > 90);
+    }
+
+    #[test]
+    fn block_cache_eliminates_repeat_reads() {
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let backend = Arc::new(MemBackend::new());
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        for i in 0..2000u64 {
+            b.add(&InternalEntry::put(
+                format!("key{i:06}").into_bytes(),
+                vec![b'v'; 16],
+                i + 1,
+                i,
+            ))
+            .unwrap();
+        }
+        let (file, _) = b.finish(backend.as_ref()).unwrap();
+        let t = Table::open(backend.clone() as Arc<dyn Backend>, file, Some(cache.clone())).unwrap();
+
+        t.get(b"key000500", SeqNo::MAX).unwrap();
+        let before = backend.stats().snapshot();
+        for _ in 0..50 {
+            t.get(b"key000500", SeqNo::MAX).unwrap();
+        }
+        let delta = backend.stats().snapshot().delta(&before);
+        assert_eq!(delta.read_ops, 0, "hot block must come from cache");
+        assert!(cache.stats().hits >= 50);
+    }
+
+    #[test]
+    fn scan_returns_everything_in_order() {
+        let (_, t) = build_table(3000, None);
+        let mut it = t.scan();
+        let mut count = 0u64;
+        let mut last: Option<InternalKey> = None;
+        while let Some(e) = it.next_entry().unwrap() {
+            if let Some(l) = &last {
+                assert!(*l < e.key);
+            }
+            last = Some(e.key.clone());
+            count += 1;
+        }
+        assert_eq!(count, 3000);
+    }
+
+    #[test]
+    fn scan_from_seeks_across_blocks() {
+        let (_, t) = build_table(3000, None);
+        let probe = InternalKey::lookup(b"key002500", SeqNo::MAX);
+        let mut it = t.scan_from(probe);
+        let first = it.next_entry().unwrap().unwrap();
+        assert_eq!(first.user_key().as_bytes(), b"key002500");
+        let mut count = 1;
+        while it.next_entry().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn snapshot_reads_see_old_versions() {
+        let backend = Arc::new(MemBackend::new());
+        let mut b = TableBuilder::new(TableBuilderOptions::default());
+        // key "k": seqnos 30 (newest) then 10, internal order newest-first
+        b.add(&InternalEntry::put(b"k", b"new".to_vec(), 30, 0)).unwrap();
+        b.add(&InternalEntry::put(b"k", b"old".to_vec(), 10, 0)).unwrap();
+        let (file, _) = b.finish(backend.as_ref()).unwrap();
+        let t = Table::open(backend as Arc<dyn Backend>, file, None).unwrap();
+        assert_eq!(&t.get(b"k", SeqNo::MAX).unwrap().unwrap().value[..], b"new");
+        assert_eq!(&t.get(b"k", 20).unwrap().unwrap().value[..], b"old");
+        assert!(t.get(b"k", 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn warm_cache_loads_all_blocks() {
+        let cache = Arc::new(BlockCache::new(1 << 22));
+        let (backend, t) = {
+            let backend = Arc::new(MemBackend::new());
+            let mut b = TableBuilder::new(TableBuilderOptions::default());
+            for i in 0..2000u64 {
+                b.add(&InternalEntry::put(
+                    format!("key{i:06}").into_bytes(),
+                    vec![b'v'; 16],
+                    i + 1,
+                    i,
+                ))
+                .unwrap();
+            }
+            let (file, _) = b.finish(backend.as_ref()).unwrap();
+            let t =
+                Table::open(backend.clone() as Arc<dyn Backend>, file, Some(cache.clone()))
+                    .unwrap();
+            (backend, t)
+        };
+        t.warm_cache().unwrap();
+        assert_eq!(cache.block_count(), t.block_count());
+        let before = backend.stats().snapshot();
+        t.get(b"key001234", SeqNo::MAX).unwrap();
+        assert_eq!(
+            backend.stats().snapshot().delta(&before).read_ops,
+            0,
+            "post-warm lookups are free"
+        );
+    }
+}

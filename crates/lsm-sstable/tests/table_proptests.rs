@@ -1,0 +1,96 @@
+//! Property tests: a table must faithfully reproduce any sorted entry set.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm_sstable::{collect_all, Table, TableBuilder, TableBuilderOptions};
+use lsm_storage::{Backend, MemBackend};
+use lsm_types::{InternalEntry, InternalKey, SeqNo};
+use proptest::prelude::*;
+
+fn arb_entries() -> impl Strategy<Value = Vec<InternalEntry>> {
+    // unique user keys with random seqnos; sorted by internal key
+    prop::collection::btree_map(
+        prop::collection::vec(any::<u8>(), 1..12),
+        (prop::collection::vec(any::<u8>(), 0..40), 1u64..1000),
+        1..300,
+    )
+    .prop_map(|m: BTreeMap<Vec<u8>, (Vec<u8>, u64)>| {
+        m.into_iter()
+            .map(|(k, (v, seqno))| InternalEntry::put(k, v, seqno, seqno))
+            .collect()
+    })
+}
+
+fn build(entries: &[InternalEntry], block_size: usize) -> (Arc<MemBackend>, Arc<Table>) {
+    let backend = Arc::new(MemBackend::new());
+    let mut b = TableBuilder::new(TableBuilderOptions {
+        block_size,
+        ..TableBuilderOptions::default()
+    });
+    for e in entries {
+        b.add(e).unwrap();
+    }
+    let (file, _) = b.finish(backend.as_ref()).unwrap();
+    let t = Table::open(backend.clone() as Arc<dyn Backend>, file, None).unwrap();
+    (backend, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_entry_retrievable(entries in arb_entries(), block_size in 256usize..2048) {
+        let (_backend, t) = build(&entries, block_size);
+        for e in &entries {
+            let got = t.get(e.user_key().as_bytes(), SeqNo::MAX).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(e), "lost {:?}", e.key);
+            // below its seqno it is invisible
+            if e.seqno() > 1 {
+                let hidden = t.get(e.user_key().as_bytes(), e.seqno() - 1).unwrap();
+                prop_assert!(hidden.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn full_scan_reproduces_input(entries in arb_entries(), block_size in 256usize..2048) {
+        let (_backend, t) = build(&entries, block_size);
+        let scanned = collect_all(t.scan()).unwrap();
+        prop_assert_eq!(scanned, entries);
+    }
+
+    #[test]
+    fn scan_from_matches_suffix(entries in arb_entries(), pivot in any::<prop::sample::Index>()) {
+        let (_backend, t) = build(&entries, 512);
+        let pivot = pivot.index(entries.len());
+        let probe = InternalKey::lookup(
+            entries[pivot].user_key().as_bytes(),
+            SeqNo::MAX,
+        );
+        let scanned = collect_all(t.scan_from(probe)).unwrap();
+        prop_assert_eq!(&scanned[..], &entries[pivot..]);
+    }
+
+    #[test]
+    fn meta_stats_are_exact(entries in arb_entries()) {
+        let (_backend, t) = build(&entries, 1024);
+        let m = t.meta();
+        prop_assert_eq!(m.entry_count, entries.len() as u64);
+        prop_assert_eq!(&m.key_range.min, entries.first().unwrap().user_key());
+        prop_assert_eq!(&m.key_range.max, entries.last().unwrap().user_key());
+        let min_seq = entries.iter().map(|e| e.seqno()).min().unwrap();
+        let max_seq = entries.iter().map(|e| e.seqno()).max().unwrap();
+        prop_assert_eq!(m.min_seqno, min_seq);
+        prop_assert_eq!(m.max_seqno, max_seq);
+    }
+
+    #[test]
+    fn absent_keys_return_none(entries in arb_entries(), probe in prop::collection::vec(any::<u8>(), 1..12)) {
+        let (_backend, t) = build(&entries, 512);
+        let exists = entries.iter().any(|e| e.user_key().as_bytes() == probe.as_slice());
+        if !exists {
+            prop_assert!(t.get(&probe, SeqNo::MAX).unwrap().is_none());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Storage substrate for `lsm-lab`.
+//!
+//! LSM papers evaluate designs in terms of *logical I/O* — how many pages a
+//! lookup or a compaction touches — because that is the quantity the data
+//! structure controls; the device merely scales it. This crate provides that
+//! measurement plane:
+//!
+//! * [`Backend`] — the device abstraction: immutable blob writes (sorted
+//!   runs), appendable files (WAL, value log), positional reads.
+//! * [`MemBackend`] — an in-memory device with **exact page-level I/O
+//!   accounting**; the default substrate for experiments because it is
+//!   deterministic and laptop-fast.
+//! * [`FsBackend`] — the same interface over real files, for end-to-end
+//!   runs against a filesystem.
+//! * [`IoStats`] — shared atomic counters charged by both backends.
+//! * [`BlockCache`] — a sharded LRU over 4 KiB-aligned blocks with hit /
+//!   miss / eviction statistics and per-file invalidation (used to study
+//!   compaction-induced cache thrashing, tutorial §2.1.3).
+//! * [`wal`] — checksummed record framing for the write-ahead log.
+
+mod backend;
+mod cache;
+mod stats;
+pub mod wal;
+
+pub use backend::{Backend, FileId, FsBackend, MemBackend};
+pub use cache::{BlockCache, BlockKey, CacheStats};
+pub use stats::{IoSnapshot, IoStats};

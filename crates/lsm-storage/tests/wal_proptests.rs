@@ -1,0 +1,53 @@
+//! Property tests for WAL framing: arbitrary payloads round-trip, and any
+//! single truncation of the log replays exactly a prefix of the records.
+
+use lsm_storage::{wal, Backend, MemBackend};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_payloads_roundtrip(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 0..20)
+    ) {
+        let b = MemBackend::new();
+        let w = wal::WalWriter::create(&b).unwrap();
+        for p in &payloads {
+            w.append(p).unwrap();
+        }
+        let records = wal::replay(&b, w.file_id()).unwrap();
+        prop_assert_eq!(records.len(), payloads.len());
+        for (r, p) in records.iter().zip(&payloads) {
+            prop_assert_eq!(&r[..], p.as_slice());
+        }
+    }
+
+    #[test]
+    fn any_truncation_replays_a_prefix(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..50), 1..10),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        // Write the full log, then simulate a crash by copying a prefix of
+        // its bytes into a fresh log file.
+        let b = MemBackend::new();
+        let w = wal::WalWriter::create(&b).unwrap();
+        for p in &payloads {
+            w.append(p).unwrap();
+        }
+        let full_len = b.len(w.file_id()).unwrap();
+        let cut = (full_len as f64 * cut_fraction) as u64;
+        let prefix = b.read(w.file_id(), 0, cut as usize).unwrap();
+
+        let torn = b.create_appendable().unwrap();
+        b.append(torn, &prefix).unwrap();
+        let records = wal::replay(&b, torn).unwrap();
+
+        // Replay must be a prefix of the original payloads: no corruption,
+        // no reordering, no invented records.
+        prop_assert!(records.len() <= payloads.len());
+        for (r, p) in records.iter().zip(&payloads) {
+            prop_assert_eq!(&r[..], p.as_slice());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Closed-form worst-case I/O cost models.
+//!
+//! These are the standard analytical models of the Monkey / Dostoevsky
+//! lineage (Dayan et al.), expressed per-operation in units of page I/Os
+//! (amortized for writes). They are deliberately simple — the point of
+//! experiment E13 is to check that the *real* engine tracks their shape.
+//!
+//! Notation: `N` entries of `E` bytes; buffer of `M_buf` bytes; size ratio
+//! `T`; `L = ceil(log_T(N·E / M_buf))` levels; Bloom filters with `b` bits
+//! per key giving false-positive rate `p = e^(−b·ln²2)`; pages of `B`
+//! entries.
+
+use serde::{Deserialize, Serialize};
+
+/// The three canonical layouts the models cover.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// One run per level.
+    Leveling,
+    /// `T − 1` runs per level.
+    Tiering,
+    /// Tiered intermediates, leveled last level (Dostoevsky).
+    LazyLeveling,
+}
+
+impl LayoutKind {
+    /// All layouts, for sweeps.
+    pub const ALL: [LayoutKind; 3] = [
+        LayoutKind::Leveling,
+        LayoutKind::Tiering,
+        LayoutKind::LazyLeveling,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Leveling => "leveling",
+            LayoutKind::Tiering => "tiering",
+            LayoutKind::LazyLeveling => "lazy-leveling",
+        }
+    }
+}
+
+/// One analytical design point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LsmSpec {
+    /// Total entries.
+    pub n_entries: u64,
+    /// Bytes per entry.
+    pub entry_bytes: u64,
+    /// Write-buffer bytes.
+    pub buffer_bytes: u64,
+    /// Size ratio `T >= 2`.
+    pub size_ratio: u64,
+    /// Data layout.
+    pub layout: LayoutKind,
+    /// Bloom bits per key (0 disables filters).
+    pub bits_per_key: f64,
+    /// Entries per page.
+    pub entries_per_page: u64,
+}
+
+impl LsmSpec {
+    /// A reasonable default spec for examples: 10 M × 64 B entries, 1 MiB
+    /// buffer, T = 10, 10 bits/key.
+    pub fn example() -> Self {
+        LsmSpec {
+            n_entries: 10_000_000,
+            entry_bytes: 64,
+            buffer_bytes: 1 << 20,
+            size_ratio: 10,
+            layout: LayoutKind::Leveling,
+            bits_per_key: 10.0,
+            entries_per_page: 64,
+        }
+    }
+
+    /// Number of levels `L`.
+    pub fn num_levels(&self) -> u32 {
+        let data = (self.n_entries * self.entry_bytes) as f64;
+        let buf = self.buffer_bytes.max(1) as f64;
+        let t = (self.size_ratio.max(2)) as f64;
+        ((data / buf).ln() / t.ln()).ceil().max(1.0) as u32
+    }
+
+    /// Bloom false-positive rate at `bits_per_key`.
+    pub fn fp_rate(&self) -> f64 {
+        if self.bits_per_key <= 0.0 {
+            1.0
+        } else {
+            (-self.bits_per_key * std::f64::consts::LN_2 * std::f64::consts::LN_2).exp()
+        }
+    }
+
+    /// Runs a point lookup may probe.
+    pub fn runs(&self) -> f64 {
+        let l = self.num_levels() as f64;
+        let t = self.size_ratio as f64;
+        match self.layout {
+            LayoutKind::Leveling => l,
+            LayoutKind::Tiering => l * (t - 1.0),
+            LayoutKind::LazyLeveling => (l - 1.0) * (t - 1.0) + 1.0,
+        }
+    }
+
+    /// Amortized device writes per ingested entry, normalized per page of
+    /// `entries_per_page` entries (the classical `O(T·L/B)` vs `O(L/B)`
+    /// distinction).
+    pub fn write_amp(&self) -> f64 {
+        let l = self.num_levels() as f64;
+        let t = self.size_ratio as f64;
+        // per-entry rewrite counts:
+        match self.layout {
+            LayoutKind::Leveling => l * (t - 1.0) / 2.0 + l,
+            LayoutKind::Tiering => l,
+            LayoutKind::LazyLeveling => (l - 1.0) + (t - 1.0) / 2.0 + 1.0,
+        }
+    }
+
+    /// Expected I/Os for a point lookup on a **missing** key: the sum of
+    /// false-positive probabilities across runs.
+    pub fn point_lookup_empty(&self) -> f64 {
+        self.runs() * self.fp_rate()
+    }
+
+    /// Expected I/Os for a point lookup on an **existing** key: one true
+    /// hit plus expected false positives on the runs above it.
+    pub fn point_lookup_nonempty(&self) -> f64 {
+        1.0 + (self.runs() - 1.0).max(0.0) * self.fp_rate()
+    }
+
+    /// I/Os for a short range query (seek every run; selectivity below one
+    /// page per run).
+    pub fn short_range(&self) -> f64 {
+        self.runs()
+    }
+
+    /// I/Os for a long range query returning `selectivity · N` entries:
+    /// sequential pages in the last level plus a seek per run.
+    pub fn long_range(&self, selectivity: f64) -> f64 {
+        let pages = (selectivity * self.n_entries as f64) / self.entries_per_page as f64;
+        let amplification = match self.layout {
+            // overlapping runs re-read the range once per run in the worst
+            // case at shallower levels; dominated by the last level
+            LayoutKind::Leveling => 1.0 + 1.0 / self.size_ratio as f64,
+            LayoutKind::Tiering => self.size_ratio as f64,
+            LayoutKind::LazyLeveling => 1.0 + 1.0 / self.size_ratio as f64,
+        };
+        self.runs() + pages * amplification
+    }
+
+    /// Worst-case space amplification (obsolete versions awaiting merge).
+    pub fn space_amp(&self) -> f64 {
+        let t = self.size_ratio as f64;
+        match self.layout {
+            LayoutKind::Leveling => 1.0 + 1.0 / t,
+            LayoutKind::Tiering => t,
+            LayoutKind::LazyLeveling => 1.0 + 1.0 / t + 1.0 / t, // last leveled, shallow tiers are small
+        }
+    }
+
+    /// Total filter memory in bits.
+    pub fn filter_memory_bits(&self) -> f64 {
+        self.bits_per_key * self.n_entries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(layout: LayoutKind, t: u64) -> LsmSpec {
+        LsmSpec {
+            layout,
+            size_ratio: t,
+            ..LsmSpec::example()
+        }
+    }
+
+    #[test]
+    fn level_count_grows_with_data_shrinks_with_t() {
+        let base = spec(LayoutKind::Leveling, 10);
+        let bigger = LsmSpec {
+            n_entries: base.n_entries * 100,
+            ..base
+        };
+        assert!(bigger.num_levels() > base.num_levels());
+        let wide = spec(LayoutKind::Leveling, 100);
+        assert!(wide.num_levels() < base.num_levels());
+        assert!(base.num_levels() >= 1);
+    }
+
+    #[test]
+    fn tiering_writes_cheaper_reads_dearer() {
+        for t in [4u64, 8, 16] {
+            let lev = spec(LayoutKind::Leveling, t);
+            let tier = spec(LayoutKind::Tiering, t);
+            assert!(
+                tier.write_amp() < lev.write_amp(),
+                "T={t}: tiering must write less"
+            );
+            assert!(
+                tier.point_lookup_empty() > lev.point_lookup_empty(),
+                "T={t}: tiering must read more"
+            );
+            assert!(tier.space_amp() > lev.space_amp());
+        }
+    }
+
+    #[test]
+    fn lazy_leveling_sits_between() {
+        let t = 8;
+        let lev = spec(LayoutKind::Leveling, t);
+        let tier = spec(LayoutKind::Tiering, t);
+        let lazy = spec(LayoutKind::LazyLeveling, t);
+        assert!(lazy.write_amp() < lev.write_amp());
+        assert!(lazy.write_amp() >= tier.write_amp());
+        assert!(lazy.point_lookup_empty() <= tier.point_lookup_empty());
+        // lazy's short-range cost is below tiering's
+        assert!(lazy.short_range() < tier.short_range());
+    }
+
+    #[test]
+    fn filters_cut_empty_lookup_cost_exponentially() {
+        let none = LsmSpec {
+            bits_per_key: 0.0,
+            ..spec(LayoutKind::Leveling, 10)
+        };
+        let ten = spec(LayoutKind::Leveling, 10);
+        assert!(none.point_lookup_empty() > 1.0);
+        assert!(ten.point_lookup_empty() < 0.1 * none.point_lookup_empty());
+        // non-empty lookups always pay the one true I/O
+        assert!(ten.point_lookup_nonempty() >= 1.0);
+    }
+
+    #[test]
+    fn size_ratio_navigates_read_write_tradeoff_for_leveling() {
+        // Larger T: fewer levels, cheaper reads, pricier merges (per level).
+        let t4 = spec(LayoutKind::Leveling, 4);
+        let t32 = spec(LayoutKind::Leveling, 32);
+        assert!(t32.runs() < t4.runs());
+        assert!(t32.write_amp() > t4.write_amp() * 0.5, "sanity");
+    }
+
+    #[test]
+    fn long_range_dominated_by_selectivity() {
+        let s = spec(LayoutKind::Leveling, 10);
+        assert!(s.long_range(0.1) > s.long_range(0.001) * 10.0);
+        assert!(s.long_range(0.0) >= s.short_range());
+    }
+}

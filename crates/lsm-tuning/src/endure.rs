@@ -1,0 +1,196 @@
+//! Endure-style robust tuning: min-max over a workload neighborhood.
+//!
+//! Nominal tuning picks the design that is cheapest at the *expected*
+//! workload; when the observed workload drifts (shared clouds, diurnal
+//! shifts), that design can be far from optimal. Endure (Huynh et al.)
+//! reformulates tuning as a min-max problem: choose the design whose
+//! **worst-case** cost over an uncertainty neighborhood of the expected
+//! workload is smallest. The robust design gives up a little at the center
+//! to avoid the cliff at the edges — exactly the shape experiment E11
+//! reproduces.
+//!
+//! The neighborhood here is the L1 ball of radius `rho` around the expected
+//! mix, intersected with the probability simplex, sampled at its extreme
+//! points (mass moved pairwise between operation types), which is where the
+//! linear-ish cost attains its maximum.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{LayoutKind, LsmSpec};
+use crate::navigator::{navigate, Design, Environment, Workload};
+
+/// The outcome of a robust-tuning run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RobustTuning {
+    /// Design optimal at the expected workload.
+    pub nominal: Design,
+    /// Design with the best worst-case cost over the neighborhood.
+    pub robust: Design,
+    /// Worst-case cost of the nominal design over the neighborhood.
+    pub nominal_worst_case: f64,
+    /// Worst-case cost of the robust design over the neighborhood.
+    pub robust_worst_case: f64,
+}
+
+/// Perturbed workloads at the extreme points of the L1 ball of radius
+/// `rho` around `w` (mass `rho/2`... up to `rho` moved from one op class
+/// to another), clipped to the simplex.
+pub fn neighborhood(w: &Workload, rho: f64) -> Vec<Workload> {
+    let w = w.normalize();
+    let mut out = vec![w];
+    let get = |w: &Workload, i: usize| match i {
+        0 => w.writes,
+        1 => w.empty_lookups,
+        2 => w.lookups,
+        _ => w.ranges,
+    };
+    let set = |w: &mut Workload, i: usize, v: f64| match i {
+        0 => w.writes = v,
+        1 => w.empty_lookups = v,
+        2 => w.lookups = v,
+        _ => w.ranges = v,
+    };
+    for from in 0..4 {
+        for to in 0..4 {
+            if from == to {
+                continue;
+            }
+            let moved = rho.min(get(&w, from));
+            if moved <= 0.0 {
+                continue;
+            }
+            let mut p = w;
+            set(&mut p, from, get(&w, from) - moved);
+            set(&mut p, to, get(&w, to) + moved);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn spec_for(env: &Environment, d: &Design) -> LsmSpec {
+    LsmSpec {
+        n_entries: env.n_entries,
+        entry_bytes: env.entry_bytes,
+        buffer_bytes: d.buffer_bytes,
+        size_ratio: d.size_ratio,
+        layout: d.layout,
+        bits_per_key: d.bits_per_key,
+        entries_per_page: env.entries_per_page,
+    }
+}
+
+/// Worst-case cost of a design over a workload set.
+pub fn worst_case_cost(env: &Environment, d: &Design, workloads: &[Workload]) -> f64 {
+    let spec = spec_for(env, d);
+    workloads
+        .iter()
+        .map(|w| w.normalize().cost(&spec))
+        .fold(0.0, f64::max)
+}
+
+/// Tunes nominally and robustly for `expected` with uncertainty `rho`.
+pub fn robust_tune(env: &Environment, expected: &Workload, rho: f64) -> RobustTuning {
+    let nominal = navigate(env, expected);
+    let hood = neighborhood(expected, rho);
+
+    // Candidate designs: the nominal optimum of every workload in the
+    // neighborhood plus a dense sweep; evaluate each on the whole
+    // neighborhood and keep the min-max.
+    let mut candidates: Vec<Design> = hood.iter().map(|w| navigate(env, w)).collect();
+    candidates.push(nominal);
+    // dense sweep candidates
+    for layout in LayoutKind::ALL {
+        for size_ratio in [2u64, 4, 6, 8, 12, 16, 24] {
+            let mut d = nominal;
+            d.layout = layout;
+            d.size_ratio = size_ratio;
+            candidates.push(d);
+        }
+    }
+
+    let mut robust = nominal;
+    let mut robust_wc = f64::INFINITY;
+    for d in candidates {
+        let wc = worst_case_cost(env, &d, &hood);
+        if wc < robust_wc {
+            robust_wc = wc;
+            robust = d;
+        }
+    }
+    RobustTuning {
+        nominal,
+        robust,
+        nominal_worst_case: worst_case_cost(env, &nominal, &hood),
+        robust_worst_case: robust_wc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::example()
+    }
+
+    #[test]
+    fn neighborhood_contains_center_and_stays_on_simplex() {
+        let w = Workload::balanced();
+        let hood = neighborhood(&w, 0.2);
+        assert!(hood.len() > 1);
+        for p in &hood {
+            let sum = p.writes + p.empty_lookups + p.lookups + p.ranges;
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.writes >= 0.0 && p.lookups >= 0.0);
+        }
+    }
+
+    #[test]
+    fn robust_never_worse_in_worst_case() {
+        for rho in [0.1, 0.25, 0.5] {
+            let w = Workload {
+                writes: 0.8,
+                empty_lookups: 0.1,
+                lookups: 0.05,
+                ranges: 0.05,
+                range_selectivity: 1e-4,
+            };
+            let t = robust_tune(&env(), &w, rho);
+            assert!(
+                t.robust_worst_case <= t.nominal_worst_case + 1e-9,
+                "rho={rho}: robust {0} > nominal {1}",
+                t.robust_worst_case,
+                t.nominal_worst_case
+            );
+        }
+    }
+
+    #[test]
+    fn uncertainty_changes_the_choice_for_skewed_workloads() {
+        // A near-pure-write workload tunes to tiering nominally; with heavy
+        // uncertainty the robust tuner must hedge (different design or at
+        // least a measurably better worst case).
+        let w = Workload {
+            writes: 0.98,
+            empty_lookups: 0.01,
+            lookups: 0.005,
+            ranges: 0.005,
+            range_selectivity: 1e-4,
+        };
+        let t = robust_tune(&env(), &w, 0.6);
+        assert!(
+            t.robust_worst_case < t.nominal_worst_case * 0.999
+                || t.robust.layout != t.nominal.layout
+                || t.robust.size_ratio != t.nominal.size_ratio,
+            "robust tuning should differ under large uncertainty: {t:?}"
+        );
+    }
+
+    #[test]
+    fn zero_uncertainty_collapses_to_nominal() {
+        let w = Workload::balanced();
+        let t = robust_tune(&env(), &w, 0.0);
+        assert!((t.nominal_worst_case - t.robust_worst_case).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! Cost models and tuners for the LSM design space (tutorial Module III).
+//!
+//! * [`cost`] — closed-form worst-case I/O cost models for each data layout
+//!   (the models Monkey, Dostoevsky, and the design-continuum line of work
+//!   navigate by): write amplification, point-lookup cost with Bloom
+//!   filters, range costs, space amplification.
+//! * [`navigator`] — workload-aware design navigation: given an operation
+//!   mix, search the (layout × size-ratio × memory-split) space for the
+//!   cheapest design (§2.3.1).
+//! * [`endure`] — robust tuning under workload uncertainty: minimize the
+//!   worst-case cost over a neighborhood of the expected workload rather
+//!   than the cost at the expected workload itself (§2.3.2).
+
+pub mod cost;
+pub mod endure;
+pub mod navigator;
+
+pub use cost::{LayoutKind, LsmSpec};
+pub use endure::{neighborhood, robust_tune, worst_case_cost, RobustTuning};
+pub use navigator::{navigate, Design, Environment, Workload};

@@ -1,0 +1,222 @@
+//! Workload-aware design navigation.
+//!
+//! Given a workload mix, sweep the design space — layout × size ratio ×
+//! (buffer ↔ filter) memory split — and return the design with the lowest
+//! expected cost per operation. This is the navigation loop the tutorial's
+//! Module III describes: Monkey's memory allocation, Dostoevsky's layout
+//! choice, and the design continuum's size-ratio knob, driven by the
+//! operation mix.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{LayoutKind, LsmSpec};
+
+/// An operation mix (fractions sum to 1; `normalize` enforces it).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Fraction of inserts/updates.
+    pub writes: f64,
+    /// Fraction of point lookups on missing keys.
+    pub empty_lookups: f64,
+    /// Fraction of point lookups on existing keys.
+    pub lookups: f64,
+    /// Fraction of range queries.
+    pub ranges: f64,
+    /// Mean selectivity of a range query (fraction of `N` returned).
+    pub range_selectivity: f64,
+}
+
+impl Workload {
+    /// A balanced mix.
+    pub fn balanced() -> Self {
+        Workload {
+            writes: 0.25,
+            empty_lookups: 0.25,
+            lookups: 0.25,
+            ranges: 0.25,
+            range_selectivity: 1e-4,
+        }
+    }
+
+    /// Rescales the four operation fractions to sum to 1.
+    pub fn normalize(mut self) -> Self {
+        let total = self.writes + self.empty_lookups + self.lookups + self.ranges;
+        if total > 0.0 {
+            self.writes /= total;
+            self.empty_lookups /= total;
+            self.lookups /= total;
+            self.ranges /= total;
+        }
+        self
+    }
+
+    /// Expected I/O cost per operation under `spec`.
+    pub fn cost(&self, spec: &LsmSpec) -> f64 {
+        self.writes * spec.write_amp() / spec.entries_per_page as f64
+            + self.empty_lookups * spec.point_lookup_empty()
+            + self.lookups * spec.point_lookup_nonempty()
+            + self.ranges * spec.long_range(self.range_selectivity)
+    }
+}
+
+/// A fully-resolved tuning recommendation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Design {
+    /// Chosen layout.
+    pub layout: LayoutKind,
+    /// Chosen size ratio.
+    pub size_ratio: u64,
+    /// Chosen bits per key for filters.
+    pub bits_per_key: f64,
+    /// Chosen buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Expected cost per operation.
+    pub cost: f64,
+}
+
+/// The environment the navigator tunes within.
+#[derive(Clone, Copy, Debug)]
+pub struct Environment {
+    /// Total entries.
+    pub n_entries: u64,
+    /// Bytes per entry.
+    pub entry_bytes: u64,
+    /// Total main memory budget (buffer + filters) in bytes.
+    pub memory_bytes: u64,
+    /// Entries per page.
+    pub entries_per_page: u64,
+}
+
+impl Environment {
+    /// A laptop-scale default: 10 M × 64 B entries, 64 MiB of memory.
+    pub fn example() -> Self {
+        Environment {
+            n_entries: 10_000_000,
+            entry_bytes: 64,
+            memory_bytes: 64 << 20,
+            entries_per_page: 64,
+        }
+    }
+}
+
+/// Sweeps the design space for the cheapest design under `workload`.
+pub fn navigate(env: &Environment, workload: &Workload) -> Design {
+    let workload = workload.normalize();
+    let mut best: Option<Design> = None;
+    // memory split: fraction of memory given to the buffer
+    let splits = [0.02, 0.05, 0.1, 0.2, 0.4, 0.8];
+    let ratios = [2u64, 3, 4, 6, 8, 10, 12, 16, 24, 32];
+    for layout in LayoutKind::ALL {
+        for &size_ratio in &ratios {
+            for &split in &splits {
+                let buffer_bytes = ((env.memory_bytes as f64) * split) as u64;
+                let filter_bits =
+                    (env.memory_bytes as f64 - buffer_bytes as f64) * 8.0;
+                let bits_per_key = (filter_bits / env.n_entries as f64).min(20.0);
+                let spec = LsmSpec {
+                    n_entries: env.n_entries,
+                    entry_bytes: env.entry_bytes,
+                    buffer_bytes: buffer_bytes.max(4096),
+                    size_ratio,
+                    layout,
+                    bits_per_key,
+                    entries_per_page: env.entries_per_page,
+                };
+                let cost = workload.cost(&spec);
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    best = Some(Design {
+                        layout,
+                        size_ratio,
+                        bits_per_key,
+                        buffer_bytes: spec.buffer_bytes,
+                        cost,
+                    });
+                }
+            }
+        }
+    }
+    best.expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Environment {
+        Environment::example()
+    }
+
+    #[test]
+    fn write_heavy_prefers_tiering() {
+        let w = Workload {
+            writes: 0.95,
+            empty_lookups: 0.02,
+            lookups: 0.02,
+            ranges: 0.01,
+            range_selectivity: 1e-5,
+        };
+        let d = navigate(&env(), &w);
+        assert!(
+            matches!(d.layout, LayoutKind::Tiering | LayoutKind::LazyLeveling),
+            "write-heavy should avoid pure leveling, got {:?}",
+            d.layout
+        );
+    }
+
+    #[test]
+    fn read_heavy_prefers_leveling() {
+        let w = Workload {
+            writes: 0.02,
+            empty_lookups: 0.18,
+            lookups: 0.60,
+            ranges: 0.20,
+            range_selectivity: 1e-4,
+        };
+        let d = navigate(&env(), &w);
+        assert!(
+            matches!(d.layout, LayoutKind::Leveling | LayoutKind::LazyLeveling),
+            "read-heavy should avoid pure tiering, got {:?}",
+            d.layout
+        );
+    }
+
+    #[test]
+    fn navigator_never_beats_itself() {
+        // The returned design's cost must equal the workload cost of the
+        // equivalent spec and be minimal among a spot-check of others.
+        let w = Workload::balanced();
+        let d = navigate(&env(), &w);
+        let check = LsmSpec {
+            n_entries: env().n_entries,
+            entry_bytes: env().entry_bytes,
+            buffer_bytes: d.buffer_bytes,
+            size_ratio: d.size_ratio,
+            layout: d.layout,
+            bits_per_key: d.bits_per_key,
+            entries_per_page: env().entries_per_page,
+        };
+        assert!((w.normalize().cost(&check) - d.cost).abs() < 1e-9);
+        for layout in LayoutKind::ALL {
+            let other = LsmSpec {
+                layout,
+                size_ratio: 8,
+                ..check
+            };
+            assert!(d.cost <= w.normalize().cost(&other) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalize_fixes_sums() {
+        let w = Workload {
+            writes: 2.0,
+            empty_lookups: 1.0,
+            lookups: 1.0,
+            ranges: 0.0,
+            range_selectivity: 0.0,
+        }
+        .normalize();
+        assert!((w.writes - 0.5).abs() < 1e-9);
+        assert!((w.writes + w.empty_lookups + w.lookups + w.ranges - 1.0).abs() < 1e-9);
+    }
+}

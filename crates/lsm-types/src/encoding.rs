@@ -1,0 +1,228 @@
+//! Variable-length and fixed-width integer codecs.
+//!
+//! The sorted-run format, WAL, and manifest all use LEB128 varints for
+//! lengths/sequence numbers and little-endian fixed-width integers for block
+//! offsets and checksums.
+
+use crate::{Error, Result};
+
+/// Encoded length of `v` as a LEB128 varint (1–10 bytes).
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // Each output byte carries 7 bits of payload.
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Appends the LEB128 encoding of `v` to `buf`.
+#[inline]
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Appends a little-endian `u32` to `buf`.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to `buf`.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `varint(len)` followed by the raw bytes of `data`.
+#[inline]
+pub fn put_len_prefixed(buf: &mut Vec<u8>, data: &[u8]) {
+    put_varint(buf, data.len() as u64);
+    buf.extend_from_slice(data);
+}
+
+/// A cursor over an immutable byte slice with checked reads.
+///
+/// Every read either consumes from the front of the remaining slice or
+/// returns [`Error::Corruption`]; the decoder never panics on malformed
+/// input, which lets block/WAL readers surface corruption as an error.
+#[derive(Clone, Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps `data` in a decoder positioned at its start.
+    #[inline]
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether all input has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unconsumed tail of the input.
+    #[inline]
+    pub fn rest(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8> {
+        let (&first, rest) = self
+            .data
+            .split_first()
+            .ok_or_else(|| Error::Corruption("unexpected end of input (u8)".into()))?;
+        self.data = rest;
+        Ok(first)
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("len checked")))
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(Error::Corruption("varint overflows u64".into()));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(Error::Corruption("varint too long".into()));
+            }
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() < n {
+            return Err(Error::Corruption(format!(
+                "unexpected end of input: want {n} bytes, have {}",
+                self.data.len()
+            )));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    /// Reads a `varint(len)`-prefixed byte string.
+    #[inline]
+    pub fn len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let n = self.varint()? as usize;
+        self.bytes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+            let mut dec = Decoder::new(&buf);
+            assert_eq!(dec.varint().unwrap(), v);
+            assert!(dec.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_len_exact() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, 0x0123_4567_89ab_cdef);
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.u64().unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"hello");
+        put_len_prefixed(&mut buf, b"");
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.len_prefixed().unwrap(), b"hello");
+        assert_eq!(dec.len_prefixed().unwrap(), b"");
+    }
+
+    #[test]
+    fn decoder_rejects_short_reads() {
+        let mut dec = Decoder::new(&[1, 2]);
+        assert!(dec.u32().is_err());
+        assert!(dec.bytes(3).is_err());
+        // failed reads must not consume
+        assert_eq!(dec.remaining(), 2);
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let buf = [0x80u8; 11];
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.varint().is_err());
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 10 bytes whose top byte pushes past 64 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut dec = Decoder::new(&buf);
+        assert!(dec.varint().is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! The error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by any `lsm-lab` crate.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (file backend, WAL, manifest).
+    Io(std::io::Error),
+    /// On-disk or in-log data failed validation (bad checksum, truncated
+    /// record, invalid discriminant).
+    Corruption(String),
+    /// A referenced file, key, or component does not exist.
+    NotFound(String),
+    /// The caller violated an API contract (e.g. unsorted bulk input,
+    /// zero-sized buffer, invalid option combination).
+    InvalidArgument(String),
+    /// The database is shutting down and cannot accept the operation.
+    ShuttingDown,
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::ShuttingDown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Whether the error indicates data corruption (as opposed to an
+    /// environmental or usage error).
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Corruption("bad block".into());
+        assert_eq!(e.to_string(), "corruption: bad block");
+        assert!(e.is_corruption());
+        let e = Error::NotFound("file 7".into());
+        assert_eq!(e.to_string(), "not found: file 7");
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Keys, values, and the internal-key ordering of the LSM-tree.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::entry::EntryKind;
+
+/// An application-visible key: an arbitrary byte string, compared
+/// lexicographically.
+///
+/// `UserKey` is a cheap-to-clone handle (`bytes::Bytes`) so that memtables,
+/// block iterators, and merge iterators can share key storage without
+/// copying.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserKey(pub Bytes);
+
+impl UserKey {
+    /// Creates a key by copying `data`.
+    pub fn copy_from(data: &[u8]) -> Self {
+        UserKey(Bytes::copy_from_slice(data))
+    }
+
+    /// The raw bytes of the key.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the prefix of the key of at most `n` bytes.
+    #[inline]
+    pub fn prefix(&self, n: usize) -> &[u8] {
+        &self.0[..self.0.len().min(n)]
+    }
+}
+
+impl fmt::Debug for UserKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "k{s:?}"),
+            _ => write!(f, "k{:02x?}", &self.0[..self.0.len().min(16)]),
+        }
+    }
+}
+
+impl From<&[u8]> for UserKey {
+    fn from(data: &[u8]) -> Self {
+        UserKey::copy_from(data)
+    }
+}
+
+impl From<Vec<u8>> for UserKey {
+    fn from(data: Vec<u8>) -> Self {
+        UserKey(Bytes::from(data))
+    }
+}
+
+impl From<Bytes> for UserKey {
+    fn from(data: Bytes) -> Self {
+        UserKey(data)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for UserKey {
+    fn from(data: &[u8; N]) -> Self {
+        UserKey::copy_from(data)
+    }
+}
+
+impl AsRef<[u8]> for UserKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for UserKey {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// An application-visible value: an arbitrary byte string.
+pub type Value = Bytes;
+
+/// A monotonically increasing sequence number assigned to every write.
+///
+/// Sequence numbers establish recency: among entries with the same user key,
+/// the one with the larger `SeqNo` is newer. Snapshots pin a `SeqNo` and see
+/// only entries at or below it.
+pub type SeqNo = u64;
+
+/// The largest possible sequence number, used to build lookup keys that sort
+/// before every real version of a user key.
+pub const SEQNO_MAX: SeqNo = u64::MAX;
+
+/// A user key qualified by recency and kind — the sort key of the tree.
+///
+/// Internal keys order by:
+/// 1. user key, ascending;
+/// 2. sequence number, **descending** (newest first);
+/// 3. entry kind, descending (a tie-break that never fires in practice
+///    because sequence numbers are unique).
+///
+/// This ordering means a forward scan positioned at
+/// `InternalKey::lookup(key)` lands exactly on the newest visible version of
+/// `key`, which is what point lookups and merge iterators rely on.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct InternalKey {
+    /// The application key.
+    pub user_key: UserKey,
+    /// Recency of this version.
+    pub seqno: SeqNo,
+    /// What kind of entry this version is (put, tombstone, ...).
+    pub kind: EntryKind,
+}
+
+impl InternalKey {
+    /// Creates an internal key.
+    pub fn new(user_key: impl Into<UserKey>, seqno: SeqNo, kind: EntryKind) -> Self {
+        InternalKey {
+            user_key: user_key.into(),
+            seqno,
+            kind,
+        }
+    }
+
+    /// The key that sorts at-or-before every version of `user_key` visible
+    /// at `snapshot`: the starting position for a point lookup.
+    pub fn lookup(user_key: impl Into<UserKey>, snapshot: SeqNo) -> Self {
+        InternalKey::new(user_key, snapshot, EntryKind::MAX_ORDERED)
+    }
+}
+
+impl Ord for InternalKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.user_key
+            .cmp(&other.user_key)
+            .then_with(|| other.seqno.cmp(&self.seqno))
+            .then_with(|| (other.kind as u8).cmp(&(self.kind as u8)))
+    }
+}
+
+impl PartialOrd for InternalKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for InternalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{}:{:?}", self.user_key, self.seqno, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_key_orders_lexicographically() {
+        let a = UserKey::from(b"abc");
+        let b = UserKey::from(b"abd");
+        let c = UserKey::from(b"abcd");
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn internal_key_newest_first() {
+        let old = InternalKey::new(b"k", 5, EntryKind::Put);
+        let new = InternalKey::new(b"k", 9, EntryKind::Put);
+        assert!(new < old, "higher seqno must sort first");
+    }
+
+    #[test]
+    fn lookup_key_sorts_before_all_versions() {
+        let probe = InternalKey::lookup(b"k", SEQNO_MAX);
+        let newest = InternalKey::new(b"k", SEQNO_MAX - 1, EntryKind::Put);
+        assert!(probe < newest);
+
+        let snap_probe = InternalKey::lookup(b"k", 10);
+        let at_snap = InternalKey::new(b"k", 10, EntryKind::Put);
+        let above_snap = InternalKey::new(b"k", 11, EntryKind::Put);
+        assert!(snap_probe <= at_snap);
+        assert!(above_snap < snap_probe, "versions above snapshot sort before probe");
+    }
+
+    #[test]
+    fn internal_key_user_key_dominates() {
+        let a = InternalKey::new(b"a", 1, EntryKind::Put);
+        let b = InternalKey::new(b"b", 100, EntryKind::Put);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn user_key_prefix() {
+        let k = UserKey::from(b"abcdef");
+        assert_eq!(k.prefix(3), b"abc");
+        assert_eq!(k.prefix(100), b"abcdef");
+    }
+
+    #[test]
+    fn debug_formats() {
+        let k = UserKey::from(b"hello");
+        assert_eq!(format!("{k:?}"), "k\"hello\"");
+        let ik = InternalKey::new(b"x", 3, EntryKind::Delete);
+        assert!(format!("{ik:?}").contains("@3"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Inclusive key intervals and their overlap arithmetic.
+
+use crate::key::UserKey;
+
+/// An inclusive interval `[min, max]` over user keys.
+///
+/// Every sorted run and every SSTable advertises its key range; compaction
+/// planning is almost entirely interval arithmetic over these.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KeyRange {
+    /// Smallest key in the range (inclusive).
+    pub min: UserKey,
+    /// Largest key in the range (inclusive).
+    pub max: UserKey,
+}
+
+impl KeyRange {
+    /// Creates a range; `min` must not exceed `max`.
+    pub fn new(min: impl Into<UserKey>, max: impl Into<UserKey>) -> Self {
+        let (min, max) = (min.into(), max.into());
+        debug_assert!(min <= max, "KeyRange min must be <= max");
+        KeyRange { min, max }
+    }
+
+    /// Whether `key` lies inside the range.
+    #[inline]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.min.as_bytes() <= key && key <= self.max.as_bytes()
+    }
+
+    /// Whether the two ranges share at least one key.
+    #[inline]
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.min <= other.max && other.min <= self.max
+    }
+
+    /// Whether the range intersects the half-open query interval
+    /// `[start, end)`; an empty `end` (`None`) means unbounded above.
+    pub fn overlaps_query(&self, start: &[u8], end: Option<&[u8]>) -> bool {
+        if let Some(end) = end {
+            if end <= self.min.as_bytes() {
+                return false;
+            }
+        }
+        start <= self.max.as_bytes()
+    }
+
+    /// The smallest range covering both inputs.
+    pub fn union(&self, other: &KeyRange) -> KeyRange {
+        KeyRange {
+            min: self.min.clone().min(other.min.clone()),
+            max: self.max.clone().max(other.max.clone()),
+        }
+    }
+
+    /// The union of a non-empty sequence of ranges, or `None` when empty.
+    pub fn union_all<'a>(ranges: impl IntoIterator<Item = &'a KeyRange>) -> Option<KeyRange> {
+        let mut it = ranges.into_iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, r| acc.union(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: &[u8], b: &[u8]) -> KeyRange {
+        KeyRange::new(a, b)
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let kr = r(b"b", b"d");
+        assert!(kr.contains(b"b"));
+        assert!(kr.contains(b"c"));
+        assert!(kr.contains(b"d"));
+        assert!(!kr.contains(b"a"));
+        assert!(!kr.contains(b"e"));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_tight() {
+        let a = r(b"a", b"c");
+        let b = r(b"c", b"e");
+        let c = r(b"d", b"f");
+        assert!(a.overlaps(&b), "touching at endpoint counts");
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn query_overlap_half_open() {
+        let kr = r(b"m", b"p");
+        assert!(kr.overlaps_query(b"a", None));
+        assert!(kr.overlaps_query(b"p", None));
+        assert!(!kr.overlaps_query(b"q", None));
+        assert!(!kr.overlaps_query(b"a", Some(b"m")), "end is exclusive");
+        assert!(kr.overlaps_query(b"a", Some(b"n")));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(b"b", b"d");
+        let b = r(b"f", b"h");
+        let u = a.union(&b);
+        assert_eq!(u, r(b"b", b"h"));
+        let all = KeyRange::union_all([&a, &b, &r(b"a", b"a")]).unwrap();
+        assert_eq!(all, r(b"a", b"h"));
+        assert!(KeyRange::union_all(std::iter::empty()).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the core codecs and orderings.
+
+use bytes::Bytes;
+use lsm_types::encoding::{put_varint, Decoder};
+use lsm_types::{checksum, EntryKind, InternalEntry, InternalKey};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = EntryKind> {
+    prop_oneof![
+        Just(EntryKind::Put),
+        Just(EntryKind::Delete),
+        Just(EntryKind::SingleDelete),
+        Just(EntryKind::RangeDelete),
+        Just(EntryKind::ValuePtr),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = InternalEntry> {
+    (
+        prop::collection::vec(any::<u8>(), 0..64),
+        prop::collection::vec(any::<u8>(), 0..256),
+        any::<u64>(),
+        any::<u64>(),
+        arb_kind(),
+    )
+        .prop_map(|(k, v, seqno, ts, kind)| InternalEntry {
+            key: InternalKey::new(k, seqno, kind),
+            value: Bytes::from(v),
+            ts,
+        })
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        let mut dec = Decoder::new(&buf);
+        prop_assert_eq!(dec.varint().unwrap(), v);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn entry_roundtrip(e in arb_entry()) {
+        let mut buf = Vec::new();
+        e.encode_into(&mut buf);
+        prop_assert_eq!(buf.len(), e.encoded_len());
+        let mut dec = Decoder::new(&buf);
+        let back = InternalEntry::decode_from(&mut dec).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn entry_stream_roundtrip(entries in prop::collection::vec(arb_entry(), 0..20)) {
+        let mut buf = Vec::new();
+        for e in &entries {
+            e.encode_into(&mut buf);
+        }
+        let mut dec = Decoder::new(&buf);
+        let mut back = Vec::new();
+        while !dec.is_empty() {
+            back.push(InternalEntry::decode_from(&mut dec).unwrap());
+        }
+        prop_assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn internal_key_ordering_total(
+        k1 in prop::collection::vec(any::<u8>(), 0..16),
+        k2 in prop::collection::vec(any::<u8>(), 0..16),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let a = InternalKey::new(k1.clone(), s1, EntryKind::Put);
+        let b = InternalKey::new(k2.clone(), s2, EntryKind::Put);
+        // user key dominates; same user key -> newer first
+        if k1 < k2 {
+            prop_assert!(a < b);
+        } else if k1 == k2 && s1 > s2 {
+            prop_assert!(a < b);
+        } else if k1 == k2 && s1 == s2 {
+            prop_assert!(a == b);
+        }
+    }
+
+    #[test]
+    fn crc_is_a_function_and_detects_prefix_changes(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        extra in any::<u8>(),
+    ) {
+        let c = checksum::crc32c(&data);
+        prop_assert_eq!(checksum::crc32c(&data), c);
+        let mut longer = data.clone();
+        longer.push(extra);
+        // Appending a byte virtually always changes the checksum; assert the
+        // deterministic part only: verify() agrees with crc32c().
+        prop_assert!(checksum::verify(&data, c));
+        prop_assert_eq!(checksum::verify(&longer, c), checksum::crc32c(&longer) == c);
+    }
+}

@@ -1,0 +1,293 @@
+//! WiscKey-style key-value separation.
+//!
+//! WiscKey (Lu et al., FAST'16; tutorial §2.2.2) observes that LSM write
+//! amplification is paid on every byte that moves through compaction — so
+//! move fewer bytes: store large values once in an append-only *value log*
+//! and keep only `(key → pointer)` entries in the tree. Compactions then
+//! shuffle pointers, not payloads, cutting write amplification by roughly
+//! the value/key size ratio (the paper reports ~4× on its workloads and up
+//! to 100× faster loading). The costs: an extra indirection on reads, a
+//! random-I/O penalty on range scans (values are scattered in the log), and
+//! a garbage-collection duty for the log itself.
+//!
+//! [`KvSeparatedDb`] wraps [`lsm_core::Db`]: values at or above
+//! `value_threshold` go to the [`ValueLog`]; smaller values stay inline.
+//! [`KvSeparatedDb::gc_oldest_segment`] implements WiscKey's liveness-probing
+//! garbage collector.
+
+mod vlog;
+
+pub use vlog::{ValueLog, ValuePointer, VlogStats};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lsm_core::{Db, Options};
+use lsm_storage::Backend;
+use lsm_types::{Error, Result, UserKey, Value};
+
+/// Tag byte distinguishing inline values from value-log pointers.
+const TAG_INLINE: u8 = 0;
+const TAG_POINTER: u8 = 1;
+
+/// An LSM store with large values separated into a value log.
+pub struct KvSeparatedDb {
+    db: Db,
+    vlog: ValueLog,
+    value_threshold: usize,
+    user_bytes: AtomicU64,
+}
+
+impl KvSeparatedDb {
+    /// Opens a separated store on `backend`. Values of at least
+    /// `value_threshold` bytes are logged; smaller ones inline.
+    pub fn open(
+        backend: Arc<dyn Backend>,
+        opts: Options,
+        value_threshold: usize,
+        segment_target_bytes: u64,
+    ) -> Result<Self> {
+        let vlog = ValueLog::new(backend.clone(), segment_target_bytes)?;
+        let db = Db::open(backend, opts)?;
+        Ok(KvSeparatedDb {
+            db,
+            vlog,
+            value_threshold,
+            user_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Inserts or updates `key -> value`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.user_bytes
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        if value.len() >= self.value_threshold {
+            let ptr = self.vlog.append(key, value)?;
+            let mut stored = Vec::with_capacity(1 + 24);
+            stored.push(TAG_POINTER);
+            ptr.encode_into(&mut stored);
+            self.db.put(key, &stored)
+        } else {
+            let mut stored = Vec::with_capacity(1 + value.len());
+            stored.push(TAG_INLINE);
+            stored.extend_from_slice(value);
+            self.db.put(key, &stored)
+        }
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.user_bytes
+            .fetch_add(key.len() as u64, Ordering::Relaxed);
+        self.db.delete(key)
+    }
+
+    fn resolve(&self, stored: Value) -> Result<Value> {
+        match stored.first() {
+            Some(&TAG_INLINE) => Ok(stored.slice(1..)),
+            Some(&TAG_POINTER) => {
+                let ptr = ValuePointer::decode(&stored[1..])?;
+                self.vlog.read(&ptr)
+            }
+            _ => Err(Error::Corruption("empty separated value".into())),
+        }
+    }
+
+    /// Returns the value of `key`, following the log indirection if needed.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        match self.db.get(key)? {
+            Some(stored) => Ok(Some(self.resolve(stored)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Range scan. Every separated value costs one log read — the WiscKey
+    /// scan penalty experiment E6 measures.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(UserKey, Value)>> {
+        let mut out = Vec::new();
+        for item in self.db.scan(start, end)? {
+            let (k, stored) = item?;
+            out.push((k, self.resolve(stored)?));
+        }
+        Ok(out)
+    }
+
+    /// Garbage-collects the oldest log segment: live values (those whose
+    /// key still points at them) relocate to the log head; dead ones are
+    /// dropped with the segment. Returns `(live, dead)` record counts, or
+    /// `None` when only the active segment remains.
+    pub fn gc_oldest_segment(&self) -> Result<Option<(usize, usize)>> {
+        let Some((segment, records)) = self.vlog.seal_oldest_segment()? else {
+            return Ok(None);
+        };
+        let mut live = 0;
+        let mut dead = 0;
+        for (key, value, old_ptr) in records {
+            let still_live = match self.db.get(&key)? {
+                Some(stored) if stored.first() == Some(&TAG_POINTER) => {
+                    ValuePointer::decode(&stored[1..])? == old_ptr
+                }
+                _ => false,
+            };
+            if still_live {
+                live += 1;
+                // Relocate: append at the head and re-point the key.
+                let ptr = self.vlog.append(&key, &value)?;
+                let mut stored = Vec::with_capacity(25);
+                stored.push(TAG_POINTER);
+                ptr.encode_into(&mut stored);
+                self.db.put(&key, &stored)?;
+            } else {
+                dead += 1;
+            }
+        }
+        self.vlog.delete_segment(segment)?;
+        Ok(Some((live, dead)))
+    }
+
+    /// Runs pending flushes and compactions on the underlying tree.
+    pub fn maintain(&self) -> Result<()> {
+        self.db.maintain()
+    }
+
+    /// Write amplification including both the tree and the value log.
+    pub fn write_amplification(&self) -> f64 {
+        let user = self.user_bytes.load(Ordering::Relaxed);
+        if user == 0 {
+            return 0.0;
+        }
+        let s = self.db.stats();
+        let tree = s.flush_bytes + s.compact_bytes_written;
+        let log = self.vlog.stats().bytes_appended;
+        (tree + log) as f64 / user as f64
+    }
+
+    /// The underlying engine (for stats and inspection).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// The value log (for stats and inspection).
+    pub fn vlog(&self) -> &ValueLog {
+        &self.vlog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_storage::MemBackend;
+
+    fn open_small(threshold: usize) -> KvSeparatedDb {
+        let mut opts = Options::small_for_benchmarks();
+        opts.write_buffer_bytes = 16 << 10;
+        KvSeparatedDb::open(Arc::new(MemBackend::new()), opts, threshold, 64 << 10).unwrap()
+    }
+
+    #[test]
+    fn small_values_inline_large_values_logged() {
+        let kv = open_small(64);
+        kv.put(b"small", b"tiny").unwrap();
+        kv.put(b"large", &[b'x'; 500]).unwrap();
+        assert_eq!(kv.get(b"small").unwrap().as_deref(), Some(&b"tiny"[..]));
+        assert_eq!(kv.get(b"large").unwrap().as_deref(), Some(&[b'x'; 500][..]));
+        assert!(kv.vlog().stats().records_appended == 1);
+    }
+
+    #[test]
+    fn updates_and_deletes() {
+        let kv = open_small(32);
+        kv.put(b"k", &[b'a'; 100]).unwrap();
+        kv.put(b"k", &[b'b'; 100]).unwrap();
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&[b'b'; 100][..]));
+        kv.delete(b"k").unwrap();
+        assert_eq!(kv.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_resolves_pointers() {
+        let kv = open_small(16);
+        for i in 0..100u32 {
+            kv.put(format!("key{i:03}").as_bytes(), format!("value-{i:0>40}").as_bytes())
+                .unwrap();
+        }
+        kv.maintain().unwrap();
+        let all = kv.scan(b"", None).unwrap();
+        assert_eq!(all.len(), 100);
+        assert_eq!(&all[7].1[..], format!("value-{:0>40}", 7).as_bytes());
+    }
+
+    #[test]
+    fn gc_reclaims_dead_values_and_preserves_live() {
+        let kv = open_small(16);
+        // Fill several segments.
+        for i in 0..200u32 {
+            kv.put(format!("key{i:03}").as_bytes(), &[b'v'; 800]).unwrap();
+        }
+        // Overwrite half: their old log records become garbage.
+        for i in 0..100u32 {
+            kv.put(format!("key{i:03}").as_bytes(), &[b'w'; 800]).unwrap();
+        }
+        kv.maintain().unwrap();
+        let before_segments = kv.vlog().segment_count();
+        assert!(before_segments > 1, "need multiple segments for GC");
+
+        // GC relocations refill the head, which can roll into fresh sealed
+        // segments of live data — bound the sweep to the initial segment
+        // count so it terminates (as a real GC daemon would pace itself).
+        let mut total_live = 0;
+        let mut total_dead = 0;
+        for _ in 0..before_segments {
+            match kv.gc_oldest_segment().unwrap() {
+                Some((live, dead)) => {
+                    total_live += live;
+                    total_dead += dead;
+                }
+                None => break,
+            }
+        }
+        assert!(total_dead > 0, "overwrites must produce garbage");
+        let _ = total_live;
+        // Everything still readable with correct (newest) contents.
+        for i in 0..200u32 {
+            let want = if i < 100 { [b'w'; 800] } else { [b'v'; 800] };
+            assert_eq!(
+                kv.get(format!("key{i:03}").as_bytes()).unwrap().as_deref(),
+                Some(&want[..]),
+                "key{i:03} after GC"
+            );
+        }
+    }
+
+    #[test]
+    fn write_amp_lower_than_plain_db_for_large_values() {
+        // Same workload; compare separated vs inline write amplification.
+        let mut opts = Options::small_for_benchmarks();
+        opts.write_buffer_bytes = 16 << 10;
+
+        let kv = KvSeparatedDb::open(
+            Arc::new(MemBackend::new()),
+            opts.clone(),
+            64,
+            256 << 10,
+        )
+        .unwrap();
+        let plain = Db::open_in_memory(opts).unwrap();
+        for round in 0..4u32 {
+            for i in 0..400u32 {
+                let key = format!("key{i:04}");
+                let val = vec![round as u8; 512];
+                kv.put(key.as_bytes(), &val).unwrap();
+                plain.put(key.as_bytes(), &val).unwrap();
+            }
+        }
+        kv.maintain().unwrap();
+        plain.maintain().unwrap();
+        let plain_wa = plain.stats().write_amplification();
+        let kv_wa = kv.write_amplification();
+        assert!(
+            kv_wa < plain_wa,
+            "separation must reduce WA: separated {kv_wa:.2} vs plain {plain_wa:.2}"
+        );
+    }
+}

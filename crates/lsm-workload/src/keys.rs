@@ -1,0 +1,234 @@
+//! Key distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are drawn from the keyspace `[0, space)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent (`theta ≈ 0.99` is the YCSB
+    /// default); popular keys drawn heavily.
+    Zipfian(f64),
+    /// Monotonically increasing ids (time-series ingest).
+    Sequential,
+    /// A hot set: `hot_fraction` of the keyspace receives
+    /// `hot_probability` of accesses.
+    HotSet {
+        /// Fraction of the keyspace that is hot.
+        hot_fraction: f64,
+        /// Probability an access goes to the hot set.
+        hot_probability: f64,
+    },
+}
+
+/// Zipfian sampler (Gray et al.'s method, as used by YCSB).
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfGen {
+    /// Builds a sampler over `[0, n)` with exponent `theta in (0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        // eta folds zeta(2) into the correction term (Gray et al.).
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfGen {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, integral approximation for large n.
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from 10000 to n
+            head + ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+}
+
+/// A seeded key-id generator over `[0, space)`.
+pub struct KeyGen {
+    dist: KeyDist,
+    space: u64,
+    rng: StdRng,
+    zipf: Option<ZipfGen>,
+    next_seq: u64,
+}
+
+impl KeyGen {
+    /// Creates a generator with a fixed seed (reproducible streams).
+    pub fn new(dist: KeyDist, space: u64, seed: u64) -> Self {
+        let zipf = match dist {
+            KeyDist::Zipfian(theta) => Some(ZipfGen::new(space, theta)),
+            _ => None,
+        };
+        KeyGen {
+            dist,
+            space: space.max(1),
+            rng: StdRng::seed_from_u64(seed),
+            zipf,
+            next_seq: 0,
+        }
+    }
+
+    /// Draws the next key id.
+    pub fn next_id(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..self.space),
+            KeyDist::Zipfian(_) => {
+                // Scramble the rank so hot keys spread over the keyspace
+                // (YCSB's scrambled-zipfian), keeping ingest unsorted.
+                let rank = self.zipf.as_ref().expect("zipf built").sample(&mut self.rng);
+                fnv_scramble(rank) % self.space
+            }
+            KeyDist::Sequential => {
+                let id = self.next_seq;
+                self.next_seq = (self.next_seq + 1) % self.space;
+                id
+            }
+            KeyDist::HotSet {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_keys = ((self.space as f64) * hot_fraction).max(1.0) as u64;
+                if self.rng.gen::<f64>() < hot_probability {
+                    self.rng.gen_range(0..hot_keys)
+                } else {
+                    self.rng.gen_range(hot_keys..self.space.max(hot_keys + 1))
+                }
+            }
+        }
+    }
+
+    /// The keyspace size.
+    pub fn space(&self) -> u64 {
+        self.space
+    }
+}
+
+fn fnv_scramble(x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut g = KeyGen::new(KeyDist::Uniform, 100, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let id = g.next_id();
+            assert!(id < 100);
+            seen.insert(id);
+        }
+        assert!(seen.len() > 95, "uniform should cover nearly all keys");
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut g = KeyGen::new(KeyDist::Sequential, 5, 0);
+        let ids: Vec<u64> = (0..7).map(|_| g.next_id()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut g = KeyGen::new(KeyDist::Zipfian(0.99), 10_000, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.next_id()).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.2 * 20_000.0,
+            "top-10 keys should dominate a zipf(0.99) stream, got {top10}"
+        );
+        assert!(counts.len() > 500, "tail must still appear");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = ZipfGen::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rank0 = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                rank0 += 1;
+            }
+        }
+        assert!(rank0 > 500, "rank 0 should be sampled often: {rank0}");
+    }
+
+    #[test]
+    fn hot_set_concentrates() {
+        let mut g = KeyGen::new(
+            KeyDist::HotSet {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            1000,
+            9,
+        );
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if g.next_id() < 100 {
+                hot += 1;
+            }
+        }
+        assert!((8_500..9_500).contains(&hot), "hot hits {hot}");
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = KeyGen::new(KeyDist::Zipfian(0.9), 1000, 5);
+        let mut b = KeyGen::new(KeyDist::Zipfian(0.9), 1000, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_id(), b.next_id());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic workload generators for `lsm-lab`.
+//!
+//! Experiments need workloads whose *composition* (operation mix) and
+//! *distribution* (key skew) are controlled precisely — the two factors the
+//! tutorial identifies as dominating compaction and filter behavior
+//! (§2.2.4). This crate provides seeded, reproducible generators:
+//!
+//! * [`KeyDist`] — uniform, Zipfian, sequential, and hot-set key
+//!   distributions over a fixed keyspace.
+//! * [`OpMix`] / [`WorkloadGen`] — operation streams mixing inserts,
+//!   updates, point lookups (present and absent), range scans, and deletes.
+//! * [`ycsb`] — the YCSB A–F presets as configured mixes.
+
+mod keys;
+mod ops;
+pub mod ycsb;
+
+pub use keys::{KeyDist, KeyGen, ZipfGen};
+pub use ops::{Op, OpMix, WorkloadGen};
+
+/// Formats a numeric key id as a fixed-width byte key (sortable).
+pub fn format_key(id: u64) -> Vec<u8> {
+    format!("user{id:012}").into_bytes()
+}
+
+/// Generates a deterministic value of `len` bytes derived from `id`.
+pub fn format_value(id: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    let bytes = id.to_le_bytes();
+    while v.len() < len {
+        v.extend_from_slice(&bytes);
+    }
+    v.truncate(len);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_sortable_and_stable() {
+        assert!(format_key(1) < format_key(2));
+        assert!(format_key(99) < format_key(100));
+        assert_eq!(format_key(7), format_key(7));
+    }
+
+    #[test]
+    fn values_have_exact_length() {
+        for len in [0, 1, 7, 8, 100] {
+            assert_eq!(format_value(42, len).len(), len);
+        }
+        assert_ne!(format_value(1, 16), format_value(2, 16));
+    }
+}

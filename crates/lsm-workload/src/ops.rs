@@ -1,0 +1,194 @@
+//! Operation mixes and the workload stream generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keys::{KeyDist, KeyGen};
+use crate::{format_key, format_value};
+
+/// One operation in a workload stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Insert or update `key -> value`.
+    Put(Vec<u8>, Vec<u8>),
+    /// Point lookup expected to find a key.
+    Get(Vec<u8>),
+    /// Point lookup on a key outside the loaded keyspace.
+    GetAbsent(Vec<u8>),
+    /// Range scan `[start, end)`.
+    Scan(Vec<u8>, Vec<u8>),
+    /// Point delete.
+    Delete(Vec<u8>),
+}
+
+/// Fractions of each operation type (need not sum to 1; normalized).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpMix {
+    /// Inserts/updates.
+    pub put: f64,
+    /// Present-key point lookups.
+    pub get: f64,
+    /// Absent-key point lookups.
+    pub get_absent: f64,
+    /// Range scans.
+    pub scan: f64,
+    /// Point deletes.
+    pub delete: f64,
+}
+
+impl OpMix {
+    /// Write-only loading.
+    pub fn load_only() -> Self {
+        OpMix {
+            put: 1.0,
+            get: 0.0,
+            get_absent: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+        }
+    }
+
+    /// Half reads, half writes.
+    pub fn mixed() -> Self {
+        OpMix {
+            put: 0.5,
+            get: 0.5,
+            get_absent: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.put + self.get + self.get_absent + self.scan + self.delete
+    }
+}
+
+/// A seeded stream of operations.
+pub struct WorkloadGen {
+    mix: OpMix,
+    keys: KeyGen,
+    rng: StdRng,
+    value_len: usize,
+    scan_len: u64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator drawing keys from `dist` over `[0, space)` with
+    /// `value_len`-byte values and `scan_len`-key ranges.
+    pub fn new(
+        mix: OpMix,
+        dist: KeyDist,
+        space: u64,
+        value_len: usize,
+        scan_len: u64,
+        seed: u64,
+    ) -> Self {
+        WorkloadGen {
+            mix,
+            keys: KeyGen::new(dist, space, seed),
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            value_len,
+            scan_len: scan_len.max(1),
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let total = self.mix.total();
+        let mut x: f64 = self.rng.gen::<f64>() * total;
+        let id = self.keys.next_id();
+        x -= self.mix.put;
+        if x < 0.0 {
+            return Op::Put(format_key(id), format_value(id, self.value_len));
+        }
+        x -= self.mix.get;
+        if x < 0.0 {
+            return Op::Get(format_key(id));
+        }
+        x -= self.mix.get_absent;
+        if x < 0.0 {
+            // keys outside the loaded space: same format, shifted ids
+            return Op::GetAbsent(format_key(self.keys.space() + id + 1));
+        }
+        x -= self.mix.scan;
+        if x < 0.0 {
+            let start = format_key(id);
+            let end = format_key(id.saturating_add(self.scan_len));
+            return Op::Scan(start, end);
+        }
+        Op::Delete(format_key(id))
+    }
+
+    /// Draws `n` operations.
+    pub fn take(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_fractions_respected() {
+        let mix = OpMix {
+            put: 0.5,
+            get: 0.3,
+            get_absent: 0.1,
+            scan: 0.05,
+            delete: 0.05,
+        };
+        let mut g = WorkloadGen::new(mix, KeyDist::Uniform, 1000, 8, 10, 1);
+        let ops = g.take(20_000);
+        let puts = ops.iter().filter(|o| matches!(o, Op::Put(..))).count();
+        let gets = ops.iter().filter(|o| matches!(o, Op::Get(_))).count();
+        let absents = ops.iter().filter(|o| matches!(o, Op::GetAbsent(_))).count();
+        assert!((9_000..11_000).contains(&puts), "puts {puts}");
+        assert!((5_000..7_000).contains(&gets), "gets {gets}");
+        assert!((1_500..2_500).contains(&absents), "absents {absents}");
+    }
+
+    #[test]
+    fn absent_keys_are_outside_loaded_space() {
+        let mix = OpMix {
+            put: 0.0,
+            get: 0.0,
+            get_absent: 1.0,
+            scan: 0.0,
+            delete: 0.0,
+        };
+        let mut g = WorkloadGen::new(mix, KeyDist::Uniform, 100, 8, 10, 1);
+        let max_loaded = format_key(99);
+        for op in g.take(100) {
+            match op {
+                Op::GetAbsent(k) => assert!(k > max_loaded),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scans_are_well_formed() {
+        let mix = OpMix {
+            put: 0.0,
+            get: 0.0,
+            get_absent: 0.0,
+            scan: 1.0,
+            delete: 0.0,
+        };
+        let mut g = WorkloadGen::new(mix, KeyDist::Uniform, 1000, 8, 50, 1);
+        for op in g.take(100) {
+            match op {
+                Op::Scan(start, end) => assert!(start < end),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let mk = || WorkloadGen::new(OpMix::mixed(), KeyDist::Zipfian(0.9), 500, 16, 10, 77);
+        assert_eq!(mk().take(200), mk().take(200));
+    }
+}

@@ -1,0 +1,151 @@
+//! The YCSB core workload presets as operation mixes.
+//!
+//! | Preset | Mix | Distribution |
+//! |---|---|---|
+//! | A | 50% update / 50% read | zipfian |
+//! | B | 5% update / 95% read | zipfian |
+//! | C | 100% read | zipfian |
+//! | D | 5% insert / 95% read-latest | latest (modeled as hot-set) |
+//! | E | 5% insert / 95% short scan | zipfian |
+//! | F | 50% read-modify-write / 50% read (modeled as put+get) | zipfian |
+
+use crate::keys::KeyDist;
+use crate::ops::{OpMix, WorkloadGen};
+
+/// A YCSB core workload identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbWorkload {
+    /// Update heavy.
+    A,
+    /// Read mostly.
+    B,
+    /// Read only.
+    C,
+    /// Read latest.
+    D,
+    /// Short ranges.
+    E,
+    /// Read-modify-write.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All presets.
+    pub const ALL: [YcsbWorkload; 6] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "YCSB-A",
+            YcsbWorkload::B => "YCSB-B",
+            YcsbWorkload::C => "YCSB-C",
+            YcsbWorkload::D => "YCSB-D",
+            YcsbWorkload::E => "YCSB-E",
+            YcsbWorkload::F => "YCSB-F",
+        }
+    }
+
+    /// The operation mix of the preset.
+    pub fn mix(self) -> OpMix {
+        match self {
+            YcsbWorkload::A => OpMix {
+                put: 0.5,
+                get: 0.5,
+                get_absent: 0.0,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            YcsbWorkload::B => OpMix {
+                put: 0.05,
+                get: 0.95,
+                get_absent: 0.0,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            YcsbWorkload::C => OpMix {
+                put: 0.0,
+                get: 1.0,
+                get_absent: 0.0,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            YcsbWorkload::D => OpMix {
+                put: 0.05,
+                get: 0.95,
+                get_absent: 0.0,
+                scan: 0.0,
+                delete: 0.0,
+            },
+            YcsbWorkload::E => OpMix {
+                put: 0.05,
+                get: 0.0,
+                get_absent: 0.0,
+                scan: 0.95,
+                delete: 0.0,
+            },
+            YcsbWorkload::F => OpMix {
+                put: 0.5,
+                get: 0.5,
+                get_absent: 0.0,
+                scan: 0.0,
+                delete: 0.0,
+            },
+        }
+    }
+
+    /// The key distribution of the preset.
+    pub fn dist(self) -> KeyDist {
+        match self {
+            YcsbWorkload::D => KeyDist::HotSet {
+                hot_fraction: 0.05,
+                hot_probability: 0.9,
+            },
+            _ => KeyDist::Zipfian(0.99),
+        }
+    }
+
+    /// Builds a generator for this preset.
+    pub fn generator(self, space: u64, value_len: usize, seed: u64) -> WorkloadGen {
+        let scan_len = if self == YcsbWorkload::E { 100 } else { 10 };
+        WorkloadGen::new(self.mix(), self.dist(), space, value_len, scan_len, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    #[test]
+    fn presets_generate_expected_shapes() {
+        for w in YcsbWorkload::ALL {
+            let mut g = w.generator(10_000, 64, 3);
+            let ops = g.take(2000);
+            let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+            let gets = ops.iter().filter(|o| matches!(o, Op::Get(_))).count();
+            let puts = ops.iter().filter(|o| matches!(o, Op::Put(..))).count();
+            match w {
+                YcsbWorkload::C => {
+                    assert_eq!(puts, 0, "{}", w.name());
+                    assert_eq!(gets, 2000);
+                }
+                YcsbWorkload::E => {
+                    assert!(scans > 1700, "{}: scans {scans}", w.name());
+                }
+                YcsbWorkload::A | YcsbWorkload::F => {
+                    assert!((800..1200).contains(&puts), "{}: puts {puts}", w.name());
+                }
+                _ => {
+                    assert!(gets > puts, "{}", w.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: open a database, write, read, scan, delete, inspect.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lsm_lab::core::{Db, Options};
+
+fn main() -> lsm_lab::types::Result<()> {
+    // An in-memory database with default tuning (hybrid layout: tiered L0,
+    // leveled below; skiplist memtable; Bloom filters at 10 bits/key).
+    let db = Db::open_in_memory(Options::default())?;
+
+    // Point writes and reads.
+    db.put(b"user:1:name", b"ada")?;
+    db.put(b"user:1:email", b"ada@example.com")?;
+    db.put(b"user:2:name", b"grace")?;
+    assert_eq!(db.get(b"user:1:name")?.as_deref(), Some(&b"ada"[..]));
+
+    // Out-of-place update: the newer version wins.
+    db.put(b"user:1:name", b"ada lovelace")?;
+    assert_eq!(db.get(b"user:1:name")?.as_deref(), Some(&b"ada lovelace"[..]));
+
+    // Range scan over one user's attributes.
+    println!("user:1 attributes:");
+    for item in db.scan(b"user:1:", Some(b"user:1;"))? {
+        let (k, v) = item?;
+        println!("  {} = {}", String::from_utf8_lossy(k.as_bytes()), String::from_utf8_lossy(&v));
+    }
+
+    // Deletes are tombstones applied lazily; reads see them immediately.
+    db.delete(b"user:2:name")?;
+    assert_eq!(db.get(b"user:2:name")?, None);
+
+    // Range deletes cover whole intervals with one entry.
+    db.put(b"tmp:a", b"1")?;
+    db.put(b"tmp:b", b"2")?;
+    db.delete_range(b"tmp:", b"tmp;")?;
+    assert_eq!(db.get(b"tmp:a")?, None);
+
+    // Snapshots pin a consistent view.
+    let snap = db.snapshot();
+    db.put(b"user:1:name", b"changed-later")?;
+    assert_eq!(snap.get(b"user:1:name")?.as_deref(), Some(&b"ada lovelace"[..]));
+
+    // Force maintenance and look at the tree.
+    db.flush()?;
+    db.maintain()?;
+    let v = db.version();
+    println!(
+        "\ntree: {} levels, {} runs, {} bytes; stats: {:?}",
+        v.levels.len(),
+        v.run_count(),
+        v.total_bytes(),
+        db.stats()
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! A time-series ingestion scenario (the motivation of tutorial §1:
+//! ingest-dominated applications like InfluxDB's TSM engine).
+//!
+//! Timestamps make keys arrive in sorted order, which is the LSM's best
+//! case: flushed runs never overlap, so compaction moves them without
+//! merging. The example ingests metrics, then serves "last hour" window
+//! scans and point reads, comparing a tiered vs leveled tuning.
+//!
+//! ```text
+//! cargo run --release --example time_series
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_lab::core::{CompactionConfig, DataLayout, Db, Options};
+use lsm_lab::storage::{Backend, MemBackend};
+
+/// Key: `metric_id (2 B) | timestamp (8 B, big-endian)` — series-major.
+fn key(metric: u16, ts: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(10);
+    k.extend_from_slice(&metric.to_be_bytes());
+    k.extend_from_slice(&ts.to_be_bytes());
+    k
+}
+
+fn opts(layout: DataLayout) -> Options {
+    Options {
+        write_buffer_bytes: 256 << 10,
+        table_target_bytes: 256 << 10,
+        wal: false,
+        compaction: CompactionConfig {
+            size_ratio: 4,
+            level1_bytes: 1 << 20,
+            layout,
+            ..CompactionConfig::default()
+        },
+        ..Options::default()
+    }
+}
+
+fn main() {
+    let metrics: u16 = 16;
+    let points_per_metric: u64 = 20_000;
+
+    for (name, layout) in [
+        ("tiering (ingest-tuned)", DataLayout::Tiering { runs_per_level: 4 }),
+        ("leveling (query-tuned)", DataLayout::Leveling),
+    ] {
+        let backend = Arc::new(MemBackend::new());
+        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts(layout)).unwrap();
+
+        // Ingest: round-robin across series, timestamps increasing.
+        let start = Instant::now();
+        for ts in 0..points_per_metric {
+            for m in 0..metrics {
+                let value = ((ts as f64 * 0.1).sin() * 1000.0) as i64;
+                db.put(&key(m, ts), &value.to_le_bytes()).unwrap();
+            }
+        }
+        db.maintain().unwrap();
+        let ingest_secs = start.elapsed().as_secs_f64();
+        let total_points = metrics as u64 * points_per_metric;
+
+        // Window queries: the most recent 1,000 points of each series.
+        let io_before = backend.stats().snapshot();
+        let start = Instant::now();
+        let mut returned = 0usize;
+        for m in 0..metrics {
+            let lo = key(m, points_per_metric - 1_000);
+            let hi = key(m, points_per_metric);
+            returned += db.scan(&lo, Some(&hi)).unwrap().count();
+        }
+        let scan_secs = start.elapsed().as_secs_f64();
+        let io = backend.stats().snapshot().delta(&io_before);
+
+        println!("{name}:");
+        println!(
+            "  ingest : {:>8.1} kpoints/s  write-amp {:.2}",
+            total_points as f64 / ingest_secs / 1000.0,
+            db.stats().write_amplification()
+        );
+        println!(
+            "  windows: {:>8.1} kpoints/s  ({} points, {:.2} read IO/point)",
+            returned as f64 / scan_secs / 1000.0,
+            returned,
+            io.read_ops as f64 / returned.max(1) as f64
+        );
+        println!(
+            "  tree   : {} levels, {} runs\n",
+            db.version().levels.len(),
+            db.version().run_count()
+        );
+    }
+    println!(
+        "Sequential keys keep write-amp low in both tunings (non-overlapping \
+         runs); tiering ingests faster, leveling answers windows with fewer \
+         read I/Os — the §2.2.2 tradeoff in a time-series costume."
+    );
+}

@@ -1,0 +1,100 @@
+//! Run the YCSB core workloads against the engine and report throughput
+//! and I/O per operation for two contrasting tunings.
+//!
+//! ```text
+//! cargo run --release --example ycsb [-- --n 50000 --ops 100000]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_lab::core::{CompactionConfig, DataLayout, Db, Options};
+use lsm_lab::storage::{Backend, MemBackend};
+use lsm_lab::workload::ycsb::YcsbWorkload;
+use lsm_lab::workload::{format_key, format_value, Op};
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn tuned(layout: DataLayout) -> Options {
+    Options {
+        write_buffer_bytes: 256 << 10,
+        table_target_bytes: 256 << 10,
+        wal: false,
+        block_cache_bytes: 4 << 20,
+        compaction: CompactionConfig {
+            size_ratio: 4,
+            level1_bytes: 1 << 20,
+            layout,
+            ..CompactionConfig::default()
+        },
+        ..Options::default()
+    }
+}
+
+fn main() {
+    let n = arg("--n", 50_000);
+    let ops = arg("--ops", 100_000);
+
+    println!("YCSB on lsm-lab: {n} preloaded keys, {ops} ops per workload\n");
+    println!(
+        "{:<8} {:<14} {:>12} {:>12} {:>10}",
+        "preset", "tuning", "kops/s", "IO/op", "write-amp"
+    );
+
+    for preset in YcsbWorkload::ALL {
+        for (tuning_name, layout) in [
+            ("leveling", DataLayout::Leveling),
+            ("tiering", DataLayout::Tiering { runs_per_level: 4 }),
+        ] {
+            let backend = Arc::new(MemBackend::new());
+            let db = Db::open(backend.clone() as Arc<dyn Backend>, tuned(layout.clone()))
+                .expect("open");
+
+            // preload
+            for id in 0..n {
+                db.put(&format_key(id), &format_value(id, 100)).unwrap();
+            }
+            db.maintain().unwrap();
+
+            let mut gen = preset.generator(n, 100, 7);
+            let io_before = backend.stats().snapshot();
+            let start = Instant::now();
+            for _ in 0..ops {
+                match gen.next_op() {
+                    Op::Put(k, v) => db.put(&k, &v).unwrap(),
+                    Op::Get(k) | Op::GetAbsent(k) => {
+                        db.get(&k).unwrap();
+                    }
+                    Op::Scan(a, b) => {
+                        let _ = db.scan(&a, Some(&b)).unwrap().count();
+                    }
+                    Op::Delete(k) => db.delete(&k).unwrap(),
+                }
+            }
+            db.maintain().unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            let io = backend.stats().snapshot().delta(&io_before);
+
+            println!(
+                "{:<8} {:<14} {:>12.1} {:>12.3} {:>10.2}",
+                preset.name(),
+                tuning_name,
+                ops as f64 / secs / 1000.0,
+                (io.read_ops + io.write_ops) as f64 / ops as f64,
+                db.stats().write_amplification(),
+            );
+        }
+    }
+    println!(
+        "\nReading the table: update-heavy presets (A, F) favor tiering \
+         (lower write-amp); read and scan presets (B, C, E) favor leveling \
+         (fewer runs per lookup)."
+    );
+}

@@ -1,0 +1,47 @@
+//! # lsm-lab
+//!
+//! A laboratory for the log-structured merge (LSM) design space.
+//!
+//! This crate is the umbrella for a family of crates that together implement
+//! a complete, tunable LSM storage engine along with the design-space
+//! instrumentation surveyed in *Dissecting, Designing, and Optimizing
+//! LSM-based Data Stores* (Sarkar & Athanassoulis, SIGMOD 2022):
+//!
+//! * [`types`] — keys, internal entries, encodings, errors.
+//! * [`storage`] — storage backends with page-level I/O accounting, the
+//!   block cache, and the write-ahead log.
+//! * [`memtable`] — the in-memory write buffer implementations (vector,
+//!   skiplist, hash-skiplist, hash-linklist).
+//! * [`filters`] — point filters (Bloom, blocked Bloom, cuckoo) and range
+//!   filters (prefix Bloom, SuRF-like trie, Rosetta-like segment Blooms).
+//! * [`sstable`] — the immutable sorted-run file format with fence pointers.
+//! * [`compaction`] — the compaction design space: triggers, data layouts,
+//!   granularity, and data-movement policies as first-class primitives.
+//! * [`core`] — the engine itself: [`core::Db`].
+//! * [`wisckey`] — key-value separation (value log + garbage collection).
+//! * [`tuning`] — cost models, Monkey filter allocation, design navigation,
+//!   and robust (Endure-style) tuning.
+//! * [`workload`] — deterministic workload generators (YCSB-style).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lsm_lab::core::{Db, Options};
+//!
+//! let db = Db::open_in_memory(Options::default()).unwrap();
+//! db.put(b"hello", b"world").unwrap();
+//! assert_eq!(db.get(b"hello").unwrap().as_deref(), Some(&b"world"[..]));
+//! db.delete(b"hello").unwrap();
+//! assert_eq!(db.get(b"hello").unwrap(), None);
+//! ```
+
+pub use lsm_compaction as compaction;
+pub use lsm_core as core;
+pub use lsm_filters as filters;
+pub use lsm_memtable as memtable;
+pub use lsm_sstable as sstable;
+pub use lsm_storage as storage;
+pub use lsm_tuning as tuning;
+pub use lsm_types as types;
+pub use lsm_wisckey as wisckey;
+pub use lsm_workload as workload;

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: the full stack exercised through the
+//! umbrella crate's public API, the way a downstream user would.
+
+use std::sync::Arc;
+
+use lsm_lab::core::{CompactionConfig, DataLayout, Db, Options, PickPolicy, Trigger};
+use lsm_lab::storage::{Backend, MemBackend};
+use lsm_lab::tuning::{navigate, Environment, LayoutKind, Workload};
+use lsm_lab::wisckey::KvSeparatedDb;
+use lsm_lab::workload::ycsb::YcsbWorkload;
+use lsm_lab::workload::{format_key, format_value, Op};
+
+fn small() -> Options {
+    Options {
+        write_buffer_bytes: 32 << 10,
+        table_target_bytes: 32 << 10,
+        wal: false,
+        compaction: CompactionConfig {
+            size_ratio: 3,
+            level1_bytes: 128 << 10,
+            ..CompactionConfig::default()
+        },
+        ..Options::default()
+    }
+}
+
+#[test]
+fn ycsb_presets_run_clean_on_both_canonical_tunings() {
+    for preset in [YcsbWorkload::A, YcsbWorkload::B, YcsbWorkload::E] {
+        for layout in [
+            DataLayout::Leveling,
+            DataLayout::Tiering { runs_per_level: 3 },
+        ] {
+            let mut opts = small();
+            opts.compaction.layout = layout.clone();
+            let db = Db::open_in_memory(opts).unwrap();
+            for id in 0..3000u64 {
+                db.put(&format_key(id), &format_value(id, 50)).unwrap();
+            }
+            db.maintain().unwrap();
+            let mut gen = preset.generator(3000, 50, 11);
+            for _ in 0..5000 {
+                match gen.next_op() {
+                    Op::Put(k, v) => db.put(&k, &v).unwrap(),
+                    Op::Get(k) | Op::GetAbsent(k) => {
+                        db.get(&k).unwrap();
+                    }
+                    Op::Scan(a, b) => {
+                        let _ = db.scan(&a, Some(&b)).unwrap().count();
+                    }
+                    Op::Delete(k) => db.delete(&k).unwrap(),
+                }
+            }
+            db.maintain().unwrap();
+            assert!(db.stats().flushes > 0, "{} {:?}", preset.name(), layout);
+        }
+    }
+}
+
+#[test]
+fn navigator_recommendation_opens_and_serves() {
+    let design = navigate(
+        &Environment::example(),
+        &Workload {
+            writes: 0.7,
+            empty_lookups: 0.1,
+            lookups: 0.15,
+            ranges: 0.05,
+            range_selectivity: 1e-4,
+        },
+    );
+    let mut opts = small();
+    opts.compaction.size_ratio = design.size_ratio;
+    opts.filter_bits_per_key = design.bits_per_key.max(2.0);
+    opts.compaction.layout = match design.layout {
+        LayoutKind::Leveling => DataLayout::Leveling,
+        LayoutKind::Tiering => DataLayout::Tiering {
+            runs_per_level: design.size_ratio as usize,
+        },
+        LayoutKind::LazyLeveling => DataLayout::LazyLeveling {
+            runs_per_level: design.size_ratio as usize,
+        },
+    };
+    let db = Db::open_in_memory(opts).unwrap();
+    for id in 0..5000u64 {
+        db.put(&format_key(id), &format_value(id, 64)).unwrap();
+    }
+    db.maintain().unwrap();
+    for id in (0..5000u64).step_by(331) {
+        assert!(db.get(&format_key(id)).unwrap().is_some());
+    }
+}
+
+#[test]
+fn wisckey_over_the_engine_with_gc_and_recovery_of_values() {
+    let kv = KvSeparatedDb::open(Arc::new(MemBackend::new()), small(), 100, 128 << 10).unwrap();
+    for id in 0..2000u64 {
+        kv.put(&format_key(id), &format_value(id, 400)).unwrap();
+    }
+    // churn: overwrite evens
+    for id in (0..2000u64).step_by(2) {
+        kv.put(&format_key(id), &format_value(id + 1, 400)).unwrap();
+    }
+    kv.maintain().unwrap();
+    let rounds = kv.vlog().segment_count();
+    for _ in 0..rounds {
+        if kv.gc_oldest_segment().unwrap().is_none() {
+            break;
+        }
+    }
+    for id in (0..2000u64).step_by(97) {
+        let want = if id % 2 == 0 {
+            format_value(id + 1, 400)
+        } else {
+            format_value(id, 400)
+        };
+        assert_eq!(kv.get(&format_key(id)).unwrap().as_deref(), Some(&want[..]));
+    }
+    assert!(kv.vlog().stats().segments_reclaimed > 0);
+}
+
+#[test]
+fn delete_heavy_workload_with_lethe_triggers_end_to_end() {
+    let mut opts = small();
+    opts.compaction.extra_triggers = vec![Trigger::TombstoneAge(5_000)];
+    opts.compaction.pick = PickPolicy::ExpiredTombstones;
+    let db = Db::open_in_memory(opts).unwrap();
+    for id in 0..4000u64 {
+        db.put(&format_key(id), &format_value(id, 60)).unwrap();
+    }
+    db.maintain().unwrap();
+    for id in 0..1000u64 {
+        db.delete(&format_key(id * 4)).unwrap();
+    }
+    db.flush().unwrap();
+    db.maintain().unwrap();
+    // age tombstones with unrelated churn
+    for id in 10_000..22_000u64 {
+        db.put(&format_key(id), &format_value(id, 60)).unwrap();
+    }
+    db.maintain().unwrap();
+    for id in 0..1000u64 {
+        assert_eq!(db.get(&format_key(id * 4)).unwrap(), None);
+    }
+    assert!(db.stats().tombstones_purged > 0);
+}
+
+#[test]
+fn filters_from_the_umbrella_crate() {
+    use lsm_lab::filters::{BloomFilter, PointFilter, RangeFilter, SurfFilter};
+    let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("k{i:05}").into_bytes()).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let bloom = BloomFilter::build(&refs, 10.0);
+    let surf = SurfFilter::build(&refs, 8);
+    for k in &refs {
+        assert!(bloom.may_contain(k));
+        assert!(surf.may_contain(k));
+    }
+    assert!(surf.may_contain_range(b"k00500", b"k00501"));
+}
+
+#[test]
+fn manifest_plus_wal_recovery_through_umbrella() {
+    let backend = Arc::new(MemBackend::new());
+    let mut opts = small();
+    opts.wal = true;
+    let manifest = {
+        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts.clone()).unwrap();
+        for id in 0..2500u64 {
+            db.put(&format_key(id), &format_value(id, 48)).unwrap();
+        }
+        db.maintain().unwrap();
+        for id in 2500..2600u64 {
+            db.put(&format_key(id), &format_value(id, 48)).unwrap();
+        }
+        db.manifest_bytes()
+    };
+    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, opts, &manifest).unwrap();
+    let count = db.scan(b"", None).unwrap().count();
+    assert_eq!(count, 2600);
+}
