@@ -14,27 +14,33 @@ use lsm_types::{InternalEntry, SeqNo};
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
 
 fn keys(n: u32) -> Vec<Vec<u8>> {
-    (0..n).map(|i| format!("bench-key-{i:08}").into_bytes()).collect()
+    (0..n)
+        .map(|i| format!("bench-key-{i:08}").into_bytes())
+        .collect()
 }
 
 fn bench_memtables(c: &mut Criterion) {
     let mut group = c.benchmark_group("memtable_insert");
     group.sample_size(10);
     for kind in MemTableKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mt = make_memtable(kind);
-                for i in 0..2000u64 {
-                    mt.insert(InternalEntry::put(
-                        format_key(i % 500),
-                        format_value(i, 64),
-                        i + 1,
-                        i,
-                    ));
-                }
-                mt.len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mt = make_memtable(kind);
+                    for i in 0..2000u64 {
+                        mt.insert(InternalEntry::put(
+                            format_key(i % 500),
+                            format_value(i, 64),
+                            i + 1,
+                            i,
+                        ));
+                    }
+                    mt.len()
+                });
+            },
+        );
     }
     group.finish();
 
@@ -70,8 +76,11 @@ fn bench_filters(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("filter_probe");
     group.sample_size(20);
-    let filters: Vec<(&str, &dyn PointFilter)> =
-        vec![("bloom", &bloom), ("blocked-bloom", &blocked), ("cuckoo", &cuckoo)];
+    let filters: Vec<(&str, &dyn PointFilter)> = vec![
+        ("bloom", &bloom),
+        ("blocked-bloom", &blocked),
+        ("cuckoo", &cuckoo),
+    ];
     for (name, filter) in filters {
         group.bench_function(name, |b| {
             let mut i = 0usize;

@@ -7,8 +7,8 @@
 //! curve.
 
 use lsm_bench::{arg_u64, bench_options, f2, load, open_bench_db, print_table};
-use lsm_storage::Backend as _;
 use lsm_core::DataLayout;
+use lsm_storage::Backend as _;
 use lsm_workload::KeyDist;
 
 fn main() {

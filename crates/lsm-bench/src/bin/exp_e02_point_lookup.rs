@@ -65,7 +65,13 @@ fn main() {
 
     print_table(
         &format!("E2: point-lookup I/O, N={n}, {probes} probes"),
-        &["layout", "filter", "runs", "IO/present-get", "IO/absent-get"],
+        &[
+            "layout",
+            "filter",
+            "runs",
+            "IO/present-get",
+            "IO/absent-get",
+        ],
         &rows,
     );
     println!(

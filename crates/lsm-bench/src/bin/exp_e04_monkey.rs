@@ -8,9 +8,9 @@
 //! widens as the budget shrinks.
 
 use lsm_bench::{arg_u64, bench_options, f3, load, open_bench_db, print_table};
-use lsm_storage::Backend as _;
 use lsm_core::DataLayout;
 use lsm_filters::monkey;
+use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist};
 
 fn main() {

@@ -75,8 +75,7 @@ fn main() {
                 let base = cluster_bases[rng.gen_range(0..cluster_bases.len())];
                 let start = base + rng.gen_range(0..1u64 << 17);
                 let end = start + span;
-                let answer =
-                    filter.may_contain_range(&start.to_be_bytes(), &end.to_be_bytes());
+                let answer = filter.may_contain_range(&start.to_be_bytes(), &end.to_be_bytes());
                 if truly_nonempty(start, end) {
                     assert!(answer, "{name}: FALSE NEGATIVE at [{start},{end})");
                     hits += 1;
@@ -103,7 +102,14 @@ fn main() {
             "E5: range filters, {} clustered keys, {queries} queries/row",
             keys.len()
         ),
-        &["range span", "filter", "FP rate", "true hits", "empty qs", "bits/key"],
+        &[
+            "range span",
+            "filter",
+            "FP rate",
+            "true hits",
+            "empty qs",
+            "bits/key",
+        ],
         &rows,
     );
     println!(

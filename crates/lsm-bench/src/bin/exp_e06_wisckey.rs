@@ -46,7 +46,9 @@ fn main() {
             let mut gen = KeyGen::new(KeyDist::Uniform, n, seed);
             for _ in 0..n * rounds {
                 let id = gen.next_id();
-                plain.put(&format_key(id), &format_value(id, value_len)).unwrap();
+                plain
+                    .put(&format_key(id), &format_value(id, value_len))
+                    .unwrap();
             }
             timings.push(start.elapsed().as_secs_f64());
         }
@@ -55,7 +57,8 @@ fn main() {
             let mut gen = KeyGen::new(KeyDist::Uniform, n, seed);
             for _ in 0..n * rounds {
                 let id = gen.next_id();
-                kv.put(&format_key(id), &format_value(id, value_len)).unwrap();
+                kv.put(&format_key(id), &format_value(id, value_len))
+                    .unwrap();
             }
             timings.push(start.elapsed().as_secs_f64());
         }

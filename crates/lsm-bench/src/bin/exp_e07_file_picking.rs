@@ -50,10 +50,7 @@ fn main() {
 
         let s = db.stats();
         let v = db.version();
-        let live_tombstones: u64 = v
-            .all_tables()
-            .map(|t| t.meta().tombstone_count)
-            .sum();
+        let live_tombstones: u64 = v.all_tables().map(|t| t.meta().tombstone_count).sum();
         rows.push(vec![
             pick.name().to_string(),
             f2(s.write_amplification()),

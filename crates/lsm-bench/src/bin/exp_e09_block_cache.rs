@@ -8,8 +8,8 @@
 //! restores the hit rate.
 
 use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table};
-use lsm_storage::Backend as _;
 use lsm_core::DataLayout;
+use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist, KeyGen};
 
 fn main() {

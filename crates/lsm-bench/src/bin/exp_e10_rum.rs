@@ -7,8 +7,8 @@
 //! end, tiering variants the write-optimal end.
 
 use lsm_bench::{arg_u64, bench_options, f2, f3, load, open_bench_db, print_table};
-use lsm_storage::Backend as _;
 use lsm_core::DataLayout;
+use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist};
 
 fn main() {

@@ -9,8 +9,8 @@
 //! predictions.
 
 use lsm_bench::{arg_u64, bench_options, f2, f3, load, open_bench_db, print_table};
-use lsm_storage::Backend as _;
 use lsm_core::DataLayout;
+use lsm_storage::Backend as _;
 use lsm_tuning::{LayoutKind, LsmSpec};
 use lsm_workload::{format_key, KeyDist};
 

@@ -30,7 +30,8 @@ pub struct TableDesc {
 impl TableDesc {
     /// Point and single-delete tombstones (excluding range tombstones).
     pub fn point_tombstones(&self) -> u64 {
-        self.tombstone_count.saturating_sub(self.range_tombstone_count)
+        self.tombstone_count
+            .saturating_sub(self.range_tombstone_count)
     }
 
     /// Fraction of entries that are tombstones.

@@ -38,9 +38,8 @@ pub fn pick_table(
             Some(idx)
         }
         PickPolicy::LeastOverlap => {
-            let overlap_of = |t: &TableDesc| -> u64 {
-                dst_run.map_or(0, |dst| dst.overlapping(&t.key_range).1)
-            };
+            let overlap_of =
+                |t: &TableDesc| -> u64 { dst_run.map_or(0, |dst| dst.overlapping(&t.key_range).1) };
             argmin_by_key(tables, |t| (overlap_of(t), t.id))
         }
         PickPolicy::Coldest => argmin_by_key(tables, |t| (t.max_ts, t.id)),
@@ -49,7 +48,10 @@ pub fn pick_table(
             // max density == min negated density; use integer mill rate to
             // keep the key Ord.
             argmin_by_key(tables, |t| {
-                (1_000_000 - (t.tombstone_density() * 1_000_000.0) as u64, t.id)
+                (
+                    1_000_000 - (t.tombstone_density() * 1_000_000.0) as u64,
+                    t.id,
+                )
             })
         }
         PickPolicy::ExpiredTombstones => {
@@ -59,7 +61,14 @@ pub fn pick_table(
                 .filter(|(_, t)| t.tombstone_count > 0 && now.saturating_sub(t.min_ts) >= ttl)
                 .collect();
             if expired.is_empty() {
-                pick_table(PickPolicy::MostTombstones, src_run, dst_run, cursor, now, ttl)
+                pick_table(
+                    PickPolicy::MostTombstones,
+                    src_run,
+                    dst_run,
+                    cursor,
+                    now,
+                    ttl,
+                )
             } else {
                 // the file whose oldest data is oldest: most overdue
                 expired
@@ -187,7 +196,7 @@ mod tests {
         let mut run = src();
         run.tables[0].tombstone_count = 1; // min_ts 10
         run.tables[1].tombstone_count = 1; // min_ts 20
-        // now=100, ttl=85: only table 0 (age 90) is expired
+                                           // now=100, ttl=85: only table 0 (age 90) is expired
         assert_eq!(
             pick_table(PickPolicy::ExpiredTombstones, &run, None, None, 100, 85),
             Some(0)

@@ -82,7 +82,11 @@ pub fn plan(
     // --- Level 0: run-count trigger ---
     if let Some(l0) = tree.levels.first() {
         if l0.run_count() >= cfg.layout.max_runs(0, num_levels) && !l0.is_empty() {
-            return Some(merge_whole_level(tree, cfg, 0, num_levels, CompactionReason::L0RunCount));
+            if let Some(p) =
+                merge_whole_level(tree, cfg, 0, num_levels, CompactionReason::L0RunCount)
+            {
+                return Some(p);
+            }
         }
     }
 
@@ -96,17 +100,17 @@ pub fn plan(
         if cap_runs > 1 {
             // tiered level: trigger on run count
             if desc.run_count() >= cap_runs {
-                return Some(merge_whole_level(
-                    tree,
-                    cfg,
-                    level,
-                    num_levels,
-                    CompactionReason::RunCount,
-                ));
+                if let Some(p) =
+                    merge_whole_level(tree, cfg, level, num_levels, CompactionReason::RunCount)
+                {
+                    return Some(p);
+                }
             }
         } else if desc.size_bytes() > cfg.level_capacity_bytes(level) {
             // leveled level: trigger on bytes
-            return Some(plan_leveled_overflow(tree, cfg, level, num_levels, cursors, now));
+            if let Some(p) = plan_leveled_overflow(tree, cfg, level, num_levels, cursors, now) {
+                return Some(p);
+            }
         }
     }
 
@@ -119,14 +123,15 @@ pub fn plan(
     None
 }
 
-/// Merge every run of `level` and push the result down.
+/// Merge every run of `level` and push the result down. Returns `None`
+/// when the level holds no tables (there is nothing to plan).
 fn merge_whole_level(
     tree: &TreeDesc,
     cfg: &CompactionConfig,
     level: usize,
     num_levels: usize,
     reason: CompactionReason,
-) -> CompactionPlan {
+) -> Option<CompactionPlan> {
     let desc = &tree.levels[level];
     let src_tables: Vec<u64> = desc
         .runs
@@ -137,12 +142,14 @@ fn merge_whole_level(
         desc.runs
             .iter()
             .flat_map(|r| r.tables.iter().map(|t| &t.key_range)),
-    )
-    .expect("non-empty level");
-    finish_plan(tree, cfg, level, num_levels, src_tables, range, reason)
+    )?;
+    Some(finish_plan(
+        tree, cfg, level, num_levels, src_tables, range, reason,
+    ))
 }
 
 /// A leveled level exceeded its capacity: move one file (or the whole run).
+/// Returns `None` when the level has no pickable table.
 fn plan_leveled_overflow(
     tree: &TreeDesc,
     cfg: &CompactionConfig,
@@ -150,22 +157,20 @@ fn plan_leveled_overflow(
     num_levels: usize,
     cursors: &[Option<Vec<u8>>],
     now: u64,
-) -> CompactionPlan {
+) -> Option<CompactionPlan> {
     let desc = &tree.levels[level];
-    let run = &desc.runs[0];
+    let run = desc.runs.first()?;
     match cfg.granularity {
-        Granularity::Level => merge_whole_level(tree, cfg, level, num_levels, CompactionReason::LevelBytes),
+        Granularity::Level => {
+            merge_whole_level(tree, cfg, level, num_levels, CompactionReason::LevelBytes)
+        }
         Granularity::File => {
-            let dst_run = tree
-                .levels
-                .get(level + 1)
-                .and_then(|l| l.runs.first());
+            let dst_run = tree.levels.get(level + 1).and_then(|l| l.runs.first());
             let cursor = cursors.get(level).and_then(|c| c.as_deref());
             let ttl = age_ttl(cfg).unwrap_or(u64::MAX);
-            let idx = pick_table(cfg.pick, run, dst_run, cursor, now, ttl)
-                .expect("saturated level has tables");
+            let idx = pick_table(cfg.pick, run, dst_run, cursor, now, ttl)?;
             let t = &run.tables[idx];
-            finish_plan(
+            Some(finish_plan(
                 tree,
                 cfg,
                 level,
@@ -173,7 +178,7 @@ fn plan_leveled_overflow(
                 vec![t.id],
                 t.key_range.clone(),
                 CompactionReason::LevelBytes,
-            )
+            ))
         }
     }
 }
@@ -262,9 +267,7 @@ fn plan_extra_trigger(
         Trigger::TombstoneAge(ttl) => find_file(tree, bottom_ok, |t| {
             t.point_tombstones() > 0 && now.saturating_sub(t.min_ts) >= ttl
         })
-        .map(|(level, id, range)| {
-            delete_plan(level, id, range, CompactionReason::TombstoneAge)
-        }),
+        .map(|(level, id, range)| delete_plan(level, id, range, CompactionReason::TombstoneAge)),
         Trigger::SpaceAmp(threshold) => {
             let last = tree.last_occupied()?;
             if last == 0 {
@@ -277,7 +280,7 @@ fn plan_extra_trigger(
             }
             // Push the deepest overfull-ish level above `last` downward.
             let level = tree.levels[..last].iter().rposition(|l| !l.is_empty())?;
-            Some(merge_whole_level(tree, cfg, level, num_levels, CompactionReason::SpaceAmp))
+            merge_whole_level(tree, cfg, level, num_levels, CompactionReason::SpaceAmp)
         }
     }
 }
@@ -400,7 +403,14 @@ mod tests {
                 },
             ],
         };
-        let p = plan(&tree, &cfg(DataLayout::Tiering { runs_per_level: 4 }), 0, &[], false).unwrap();
+        let p = plan(
+            &tree,
+            &cfg(DataLayout::Tiering { runs_per_level: 4 }),
+            0,
+            &[],
+            false,
+        )
+        .unwrap();
         assert!(p.dst_append);
         assert!(p.dst_tables.is_empty());
     }
@@ -419,7 +429,14 @@ mod tests {
                 },
             ],
         };
-        let p = plan(&tree, &cfg(DataLayout::Tiering { runs_per_level: 4 }), 0, &[], false).unwrap();
+        let p = plan(
+            &tree,
+            &cfg(DataLayout::Tiering { runs_per_level: 4 }),
+            0,
+            &[],
+            false,
+        )
+        .unwrap();
         assert_eq!(p.reason, CompactionReason::RunCount);
         assert_eq!(p.src_level, 1);
         assert_eq!(p.dst_level, 2);

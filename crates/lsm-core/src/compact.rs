@@ -136,11 +136,7 @@ impl<'a> OutputWriter<'a> {
             }
             let (file, _) = builder.finish(self.backend.as_ref())?;
             self.bytes_written += self.backend.len(file)?;
-            let table = Table::open(
-                Arc::clone(self.backend),
-                file,
-                self.cache.map(Arc::clone),
-            )?;
+            let table = Table::open(Arc::clone(self.backend), file, self.cache.map(Arc::clone))?;
             if self.opts.warm_cache_after_compaction {
                 table.warm_cache()?;
             }
@@ -220,9 +216,8 @@ pub(crate) fn execute_plan(
         .iter()
         .rposition(|l| !l.is_empty())
         .unwrap_or(0);
-    let input_range = lsm_types::KeyRange::union_all(
-        input_tables.iter().map(|t| &t.meta().key_range),
-    );
+    let input_range =
+        lsm_types::KeyRange::union_all(input_tables.iter().map(|t| &t.meta().key_range));
     let dst_level_overlapping_extras = version
         .levels
         .get(plan.dst_level)
@@ -274,9 +269,9 @@ pub(crate) fn execute_plan(
     let mut pending: Vec<InternalEntry> = Vec::new();
 
     let flush_pending = |pending: &mut Vec<InternalEntry>,
-                             writer: &mut OutputWriter<'_>,
-                             dropped: &mut u64,
-                             purged: &mut u64|
+                         writer: &mut OutputWriter<'_>,
+                         dropped: &mut u64,
+                         purged: &mut u64|
      -> Result<()> {
         let n_in = pending.len() as u64;
         let kept = gc_key_versions(std::mem::take(pending), snapshots, bottommost, purged);
@@ -297,7 +292,9 @@ pub(crate) fn execute_plan(
             // tombstones do not obey per-level recency under partial
             // compaction, so shallower levels must be checked too).
             if bottommost && !mem_nonempty && !snapshots.iter().any(|&s| s < e.seqno()) {
-                let end = e.range_delete_end().expect("range delete has end");
+                let end = e
+                    .range_delete_end()
+                    .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
                 let outside_overlap = version.all_tables().any(|t| {
                     !src_ids.contains(&t.file_id())
                         && !dst_ids.contains(&t.file_id())
@@ -481,10 +478,7 @@ mod tests {
     fn single_delete_annihilates_its_put() {
         let mut purged = 0;
         let kept = gc_key_versions(
-            vec![
-                InternalEntry::single_delete(b"k", 20, 20),
-                put("k", 10),
-            ],
+            vec![InternalEntry::single_delete(b"k", 20, 20), put("k", 10)],
             &[],
             false,
             &mut purged,
@@ -495,10 +489,7 @@ mod tests {
         // a snapshot between them blocks annihilation
         let mut purged = 0;
         let kept = gc_key_versions(
-            vec![
-                InternalEntry::single_delete(b"k", 20, 20),
-                put("k", 10),
-            ],
+            vec![InternalEntry::single_delete(b"k", 20, 20), put("k", 10)],
             &[15],
             false,
             &mut purged,

@@ -11,9 +11,7 @@ use lsm_memtable::{make_memtable, MemTable};
 use lsm_sstable::{Table, TableBuilder, VecEntryIter};
 use lsm_storage::{wal, Backend, BlockCache, FileId, FsBackend, MemBackend};
 use lsm_types::encoding::Decoder;
-use lsm_types::{
-    EntryKind, Error, InternalEntry, Result, SeqNo, UserKey, Value,
-};
+use lsm_types::{EntryKind, Error, InternalEntry, Result, SeqNo, UserKey, Value};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::compact::execute_plan;
@@ -92,9 +90,13 @@ struct DbInner {
     stall_cv: Condvar,
     shutdown: AtomicBool,
     bg_error: Mutex<Option<String>>,
-    /// When set, every structural change rewrites `<dir>/MANIFEST`.
-    manifest_path: Option<PathBuf>,
+    /// When set, every structural change rewrites the backend's `MANIFEST`
+    /// metadata blob (see [`MANIFEST_META`]).
+    persist_manifest: bool,
 }
+
+/// Name of the backend metadata blob holding the serialized manifest.
+const MANIFEST_META: &str = "MANIFEST";
 
 /// The `lsm-lab` storage engine. Cheap to clone handles are not provided;
 /// wrap in `Arc` to share across threads (all methods take `&self`).
@@ -207,25 +209,21 @@ impl Db {
     /// Opens a fresh, empty database on `backend`.
     pub fn open(backend: Arc<dyn Backend>, opts: Options) -> Result<Db> {
         opts.validate()?;
-        let inner = DbInner::new(backend, opts, None)?;
+        let inner = DbInner::new(backend, opts, false)?;
         Db::finish_open(inner)
     }
 
     /// Opens (creating or recovering) a database in a filesystem directory.
-    /// The manifest lives in `<dir>/MANIFEST`; table files and logs in the
-    /// same directory.
+    /// The manifest lives in the backend's `MANIFEST` metadata blob;
+    /// table files and logs are data files in the same directory.
     pub fn open_dir(dir: impl Into<PathBuf>, opts: Options) -> Result<Db> {
         opts.validate()?;
-        let dir = dir.into();
-        let backend: Arc<dyn Backend> = Arc::new(FsBackend::open(&dir)?);
-        let manifest_path = dir.join("MANIFEST");
-        if manifest_path.exists() {
-            let bytes = std::fs::read(&manifest_path)?;
-            let inner =
-                DbInner::recover(backend, opts, &bytes, Some(manifest_path))?;
+        let backend: Arc<dyn Backend> = Arc::new(FsBackend::open(dir.into())?);
+        if let Some(bytes) = backend.get_meta(MANIFEST_META)? {
+            let inner = DbInner::recover(backend.clone(), opts, &bytes, true)?;
             Db::finish_open(inner)
         } else {
-            let inner = DbInner::new(backend, opts, Some(manifest_path))?;
+            let inner = DbInner::new(backend, opts, true)?;
             inner.save_manifest()?;
             Db::finish_open(inner)
         }
@@ -239,7 +237,7 @@ impl Db {
         manifest: &[u8],
     ) -> Result<Db> {
         opts.validate()?;
-        let inner = DbInner::recover(backend, opts, manifest, None)?;
+        let inner = DbInner::recover(backend, opts, manifest, false)?;
         Db::finish_open(inner)
     }
 
@@ -272,9 +270,8 @@ impl Db {
             .stats
             .user_bytes
             .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
-        self.inner.write_one(|seqno, ts| {
-            InternalEntry::put(key, value.to_vec(), seqno, ts)
-        })
+        self.inner
+            .write_one(|seqno, ts| InternalEntry::put(key, value.to_vec(), seqno, ts))
     }
 
     /// Deletes `key` (writes a point tombstone).
@@ -366,9 +363,7 @@ impl Db {
                     let seqno = base + 1 + i as u64;
                     let ts = ts + i as u64;
                     match op {
-                        BatchOp::Put(k, v) => {
-                            InternalEntry::put(k.clone(), v.clone(), seqno, ts)
-                        }
+                        BatchOp::Put(k, v) => InternalEntry::put(k.clone(), v.clone(), seqno, ts),
                         BatchOp::Delete(k) => InternalEntry::delete(k.clone(), seqno, ts),
                         BatchOp::SingleDelete(k) => {
                             InternalEntry::single_delete(k.clone(), seqno, ts)
@@ -415,9 +410,8 @@ impl Db {
                         .stats
                         .user_bytes
                         .fetch_add(key.len() as u64, Ordering::Relaxed);
-                    self.inner.apply_locked(|base, ts| {
-                        vec![InternalEntry::delete(key, base + 1, ts)]
-                    })?;
+                    self.inner
+                        .apply_locked(|base, ts| vec![InternalEntry::delete(key, base + 1, ts)])?;
                 }
                 None => {}
             }
@@ -467,18 +461,18 @@ impl Db {
             last_key = Some(key.clone());
             count += 1;
             bytes += (key.len() + value.len()) as u64;
-            let b = builder.get_or_insert_with(|| {
-                TableBuilder::new(self.inner.opts.table_options(bits))
-            });
+            let b = builder
+                .get_or_insert_with(|| TableBuilder::new(self.inner.opts.table_options(bits)));
             b.add(&InternalEntry::put(key, value, base + count, ts))?;
             if b.data_bytes() >= self.inner.opts.table_target_bytes {
-                let b = builder.take().expect("present");
-                let (file, _) = b.finish(self.inner.backend.as_ref())?;
-                tables.push(Table::open(
-                    self.inner.backend.clone(),
-                    file,
-                    self.inner.cache.clone(),
-                )?);
+                if let Some(b) = builder.take() {
+                    let (file, _) = b.finish(self.inner.backend.as_ref())?;
+                    tables.push(Table::open(
+                        self.inner.backend.clone(),
+                        file,
+                        self.inner.cache.clone(),
+                    )?);
+                }
             }
         }
         if let Some(b) = builder.take() {
@@ -494,7 +488,11 @@ impl Db {
         if tables.is_empty() {
             return Ok(());
         }
-        let (first, last) = (first_key.expect("non-empty"), last_key.expect("non-empty"));
+        let (Some(first), Some(last)) = (first_key, last_key) else {
+            // Tables exist only if at least one pair was added, which also
+            // set both keys; an empty input already returned above.
+            return Ok(());
+        };
         let loaded = lsm_types::KeyRange::new(first, last);
         if version
             .all_tables()
@@ -628,11 +626,7 @@ impl Db {
     /// standard proxy: total tree bytes over last-level bytes.
     pub fn space_amplification(&self) -> f64 {
         let v = self.version();
-        let last = v
-            .levels
-            .iter()
-            .rposition(|l| !l.is_empty())
-            .unwrap_or(0);
+        let last = v.levels.iter().rposition(|l| !l.is_empty()).unwrap_or(0);
         let last_bytes: u64 = v.levels[last].iter().map(|r| r.size_bytes()).sum();
         if last_bytes == 0 {
             1.0
@@ -674,10 +668,10 @@ impl DbInner {
     fn new(
         backend: Arc<dyn Backend>,
         opts: Options,
-        manifest_path: Option<PathBuf>,
+        persist_manifest: bool,
     ) -> Result<Arc<DbInner>> {
-        let cache = (opts.block_cache_bytes > 0)
-            .then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
+        let cache =
+            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
         let wal_id = if opts.wal {
             Some(backend.create_appendable()?)
         } else {
@@ -715,7 +709,7 @@ impl DbInner {
             stall_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             bg_error: Mutex::new(None),
-            manifest_path,
+            persist_manifest,
         }))
     }
 
@@ -723,10 +717,10 @@ impl DbInner {
         backend: Arc<dyn Backend>,
         opts: Options,
         manifest_bytes: &[u8],
-        manifest_path: Option<PathBuf>,
+        persist_manifest: bool,
     ) -> Result<Arc<DbInner>> {
         let manifest = Manifest::decode(manifest_bytes)?;
-        let inner = DbInner::new(backend.clone(), opts, manifest_path)?;
+        let inner = DbInner::new(backend.clone(), opts, persist_manifest)?;
 
         // Rebuild the tree.
         let mut levels = Vec::with_capacity(manifest.levels.len());
@@ -735,11 +729,7 @@ impl DbInner {
             for run_ids in level {
                 let mut tables = Vec::with_capacity(run_ids.len());
                 for &id in run_ids {
-                    tables.push(Table::open(
-                        backend.clone(),
-                        id,
-                        inner.cache.clone(),
-                    )?);
+                    tables.push(Table::open(backend.clone(), id, inner.cache.clone())?);
                 }
                 runs.push(Run::new(tables));
             }
@@ -762,7 +752,7 @@ impl DbInner {
                     let entry = InternalEntry::decode_from(&mut dec)?;
                     max_seqno = max_seqno.max(entry.seqno());
                     max_ts = max_ts.max(entry.ts + 1);
-                    inner.apply_to_active(entry);
+                    inner.apply_to_active(entry)?;
                 }
             }
             // Old segment's contents now live in the new active memtable
@@ -796,17 +786,19 @@ impl DbInner {
         Ok(inner)
     }
 
-    fn apply_to_active(&self, entry: InternalEntry) {
+    fn apply_to_active(&self, entry: InternalEntry) -> Result<()> {
         let mem = self.mem.read();
         if entry.kind() == EntryKind::RangeDelete {
-            let end = entry.range_delete_end().expect("range delete has end");
-            mem.active.rts.write().push((
-                entry.user_key().clone(),
-                end,
-                entry.seqno(),
-            ));
+            let end = entry
+                .range_delete_end()
+                .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
+            mem.active
+                .rts
+                .write()
+                .push((entry.user_key().clone(), end, entry.seqno()));
         }
         mem.active.table.insert(entry);
+        Ok(())
     }
 
     fn check_bg_error(&self) -> Result<()> {
@@ -833,10 +825,7 @@ impl DbInner {
     /// after every entry is in the memtable — so no reader or snapshot can
     /// observe part of a batch. Writers serialize on `write_mx` (the
     /// classic single-writer queue).
-    fn write_entries(
-        &self,
-        make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>,
-    ) -> Result<()> {
+    fn write_entries(&self, make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>) -> Result<()> {
         self.check_bg_error()?;
         if self.shutdown.load(Ordering::Acquire) {
             return Err(Error::ShuttingDown);
@@ -875,7 +864,9 @@ impl DbInner {
             for entry in entries {
                 debug_assert!(entry.seqno() > base && entry.seqno() <= base + n);
                 if entry.kind() == EntryKind::RangeDelete {
-                    let end = entry.range_delete_end().expect("range delete has end");
+                    let end = entry.range_delete_end().ok_or_else(|| {
+                        Error::Corruption("range tombstone without end key".into())
+                    })?;
                     mem.active
                         .rts
                         .write()
@@ -893,8 +884,7 @@ impl DbInner {
     /// Blocks (or inline-maintains) while the immutable queue is full.
     fn maybe_stall(&self) -> Result<()> {
         loop {
-            let full =
-                self.mem.read().immutables.len() >= self.opts.max_immutable_memtables;
+            let full = self.mem.read().immutables.len() >= self.opts.max_immutable_memtables;
             if !full {
                 return Ok(());
             }
@@ -1059,16 +1049,14 @@ impl DbInner {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            let did = (|| -> Result<bool> {
-                Ok(self.try_flush_one()? || self.try_compact_one()?)
-            })();
+            let did =
+                (|| -> Result<bool> { Ok(self.try_flush_one()? || self.try_compact_one()?) })();
             match did {
                 Ok(true) => continue,
                 Ok(false) => {
                     let mut flag = self.work_mx.lock();
                     if !*flag {
-                        self.work_cv
-                            .wait_for(&mut flag, Duration::from_millis(20));
+                        self.work_cv.wait_for(&mut flag, Duration::from_millis(20));
                     }
                     *flag = false;
                 }
@@ -1157,8 +1145,7 @@ impl DbInner {
                 break;
             }
             let mut guard = self.stall_mx.lock();
-            self.stall_cv
-                .wait_for(&mut guard, Duration::from_millis(5));
+            self.stall_cv.wait_for(&mut guard, Duration::from_millis(5));
         }
 
         {
@@ -1269,8 +1256,7 @@ impl DbInner {
                     edit.add_runs
                         .push((task.dst_level, Run::new(outcome.new_tables.clone())));
                 } else {
-                    edit.merge_into_run =
-                        Some((task.dst_level, outcome.new_tables.clone()));
+                    edit.merge_into_run = Some((task.dst_level, outcome.new_tables.clone()));
                 }
             }
             // Mark inputs obsolete (deleted when the last reader drops).
@@ -1352,11 +1338,9 @@ impl DbInner {
     }
 
     fn save_manifest(&self) -> Result<()> {
-        if let Some(path) = &self.manifest_path {
+        if self.persist_manifest {
             let bytes = self.build_manifest().encode();
-            let tmp = path.with_extension("tmp");
-            std::fs::write(&tmp, &bytes)?;
-            std::fs::rename(&tmp, path)?;
+            self.backend.put_meta(MANIFEST_META, &bytes)?;
         }
         Ok(())
     }

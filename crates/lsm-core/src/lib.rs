@@ -42,9 +42,7 @@ pub use version::{Run, Version};
 
 // Re-export the types that appear in the public API so downstream users
 // need only this crate.
-pub use lsm_compaction::{
-    CompactionConfig, DataLayout, Granularity, PickPolicy, Trigger,
-};
+pub use lsm_compaction::{CompactionConfig, DataLayout, Granularity, PickPolicy, Trigger};
 pub use lsm_filters::PointFilterKind;
 pub use lsm_memtable::MemTableKind;
 pub use lsm_types::{Error, Result, SeqNo, Value};

@@ -59,7 +59,11 @@ impl Manifest {
             return Err(Error::Corruption("manifest too short".into()));
         }
         let (payload, trailer) = data.split_at(data.len() - 4);
-        let crc = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(
+            trailer
+                .try_into()
+                .map_err(|_| Error::Corruption("manifest trailer truncated".into()))?,
+        );
         if !checksum::verify(payload, crc) {
             return Err(Error::Corruption("manifest checksum mismatch".into()));
         }
@@ -107,11 +111,7 @@ mod tests {
         let m = Manifest {
             next_seqno: 12345,
             next_ts: 678,
-            levels: vec![
-                vec![vec![10], vec![9]],
-                vec![vec![3, 4, 5]],
-                vec![],
-            ],
+            levels: vec![vec![vec![10], vec![9]], vec![vec![3, 4, 5]], vec![]],
             wal_segments: vec![100, 101],
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);

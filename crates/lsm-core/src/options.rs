@@ -68,19 +68,25 @@ impl Options {
     /// Validates option consistency before opening a database.
     pub fn validate(&self) -> Result<()> {
         if self.write_buffer_bytes == 0 {
-            return Err(Error::InvalidArgument("write_buffer_bytes must be > 0".into()));
+            return Err(Error::InvalidArgument(
+                "write_buffer_bytes must be > 0".into(),
+            ));
         }
         if self.block_size < 128 {
             return Err(Error::InvalidArgument("block_size must be >= 128".into()));
         }
         if self.table_target_bytes == 0 {
-            return Err(Error::InvalidArgument("table_target_bytes must be > 0".into()));
+            return Err(Error::InvalidArgument(
+                "table_target_bytes must be > 0".into(),
+            ));
         }
         if self.compaction.size_ratio < 2 {
             return Err(Error::InvalidArgument("size_ratio must be >= 2".into()));
         }
         if self.filter_bits_per_key < 0.0 {
-            return Err(Error::InvalidArgument("filter_bits_per_key must be >= 0".into()));
+            return Err(Error::InvalidArgument(
+                "filter_bits_per_key must be >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -130,20 +136,26 @@ mod tests {
 
     #[test]
     fn invalid_options_rejected() {
-        let mut o = Options::default();
-        o.write_buffer_bytes = 0;
+        let o = Options {
+            write_buffer_bytes: 0,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
 
         let mut o = Options::default();
         o.compaction.size_ratio = 1;
         assert!(o.validate().is_err());
 
-        let mut o = Options::default();
-        o.block_size = 10;
+        let o = Options {
+            block_size: 10,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
 
-        let mut o = Options::default();
-        o.filter_bits_per_key = -1.0;
+        let o = Options {
+            filter_bits_per_key: -1.0,
+            ..Options::default()
+        };
         assert!(o.validate().is_err());
     }
 

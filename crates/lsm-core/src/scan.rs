@@ -202,7 +202,9 @@ mod tests {
         let backend = Arc::new(MemBackend::new());
         let t = make_table(
             &backend,
-            (0..20).map(|i| put(&format!("k{i:02}"), "v", i + 1)).collect(),
+            (0..20)
+                .map(|i| put(&format!("k{i:02}"), "v", i + 1))
+                .collect(),
         );
         let mut it = BoundedTableIter::new(&t, b"k05", Some(b"k10"));
         let mut keys = Vec::new();
@@ -223,10 +225,7 @@ mod tests {
         // newer run: a=new, b deleted
         let new = make_table(
             &backend,
-            vec![
-                put("a", "new", 10),
-                InternalEntry::delete(b"b", 11, 11),
-            ],
+            vec![put("a", "new", 10), InternalEntry::delete(b"b", 11, 11)],
         );
         let version = Version {
             levels: vec![vec![Run::new(vec![new]), Run::new(vec![old])]],
@@ -251,7 +250,11 @@ mod tests {
         let backend = Arc::new(MemBackend::new());
         let t = make_table(
             &backend,
-            vec![put("a", "v1", 1), put("a", "v2", 5), InternalEntry::delete(b"a", 9, 9)],
+            vec![
+                put("a", "v1", 1),
+                put("a", "v2", 5),
+                InternalEntry::delete(b"a", 9, 9),
+            ],
         );
         let version = Version {
             levels: vec![vec![Run::new(vec![t])]],

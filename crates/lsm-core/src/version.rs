@@ -87,7 +87,12 @@ impl Run {
 
 impl std::fmt::Debug for Run {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Run({} tables, {} B)", self.tables.len(), self.size_bytes())
+        write!(
+            f,
+            "Run({} tables, {} B)",
+            self.tables.len(),
+            self.size_bytes()
+        )
     }
 }
 
@@ -215,7 +220,10 @@ impl VersionEdit {
                     .iter()
                     .filter_map(|run| {
                         if self.remove.is_empty()
-                            || run.tables.iter().all(|t| !self.remove.contains(&t.file_id()))
+                            || run
+                                .tables
+                                .iter()
+                                .all(|t| !self.remove.contains(&t.file_id()))
                         {
                             // fast path: run untouched
                             if run.tables.is_empty() {
@@ -276,10 +284,7 @@ mod tests {
     use lsm_sstable::{TableBuilder, TableBuilderOptions};
     use lsm_storage::{Backend, MemBackend};
 
-    fn make_table(
-        backend: &Arc<MemBackend>,
-        keys: &[(&str, u64)],
-    ) -> Arc<Table> {
+    fn make_table(backend: &Arc<MemBackend>, keys: &[(&str, u64)]) -> Arc<Table> {
         let mut b = TableBuilder::new(TableBuilderOptions::default());
         for (k, seq) in keys {
             b.add(&InternalEntry::put(k.as_bytes(), b"v".to_vec(), *seq, *seq))
@@ -298,7 +303,10 @@ mod tests {
             make_table(&backend, &[("m", 5), ("z", 6)]),
         ]);
         assert_eq!(run.get(b"f", SeqNo::MAX).unwrap().unwrap().seqno(), 3);
-        assert!(run.get(b"d", SeqNo::MAX).unwrap().is_none(), "gap between tables");
+        assert!(
+            run.get(b"d", SeqNo::MAX).unwrap().is_none(),
+            "gap between tables"
+        );
         assert!(run.get(b"zz", SeqNo::MAX).unwrap().is_none());
         assert_eq!(run.get(b"z", SeqNo::MAX).unwrap().unwrap().seqno(), 6);
     }
@@ -307,8 +315,10 @@ mod tests {
     fn run_aggregates_range_tombstones() {
         let backend = Arc::new(MemBackend::new());
         let mut b = TableBuilder::new(TableBuilderOptions::default());
-        b.add(&InternalEntry::put(b"a", b"v".to_vec(), 1, 0)).unwrap();
-        b.add(&InternalEntry::range_delete(b"c", b"x", 9, 0)).unwrap();
+        b.add(&InternalEntry::put(b"a", b"v".to_vec(), 1, 0))
+            .unwrap();
+        b.add(&InternalEntry::range_delete(b"c", b"x", 9, 0))
+            .unwrap();
         let (file, _) = b.finish(backend.as_ref()).unwrap();
         let t = Table::open(backend.clone() as Arc<dyn Backend>, file, None).unwrap();
         let run = Run::new(vec![t]);
@@ -359,7 +369,10 @@ mod tests {
             .iter()
             .map(|t| t.meta().key_range.min.as_bytes())
             .collect();
-        assert_eq!(mins, vec![b"a".as_slice(), b"g".as_slice(), b"t".as_slice()]);
+        assert_eq!(
+            mins,
+            vec![b"a".as_slice(), b"g".as_slice(), b"t".as_slice()]
+        );
     }
 
     #[test]
@@ -376,8 +389,22 @@ mod tests {
         };
         let next = edit.apply(&base);
         // run 0 must be the new one
-        assert_eq!(next.levels[0][0].get(b"k", SeqNo::MAX).unwrap().unwrap().seqno(), 2);
-        assert_eq!(next.levels[0][1].get(b"k", SeqNo::MAX).unwrap().unwrap().seqno(), 1);
+        assert_eq!(
+            next.levels[0][0]
+                .get(b"k", SeqNo::MAX)
+                .unwrap()
+                .unwrap()
+                .seqno(),
+            2
+        );
+        assert_eq!(
+            next.levels[0][1]
+                .get(b"k", SeqNo::MAX)
+                .unwrap()
+                .unwrap()
+                .seqno(),
+            1
+        );
     }
 
     #[test]

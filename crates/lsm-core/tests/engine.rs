@@ -1,11 +1,12 @@
 //! End-to-end engine tests: every external operation across every data
 //! layout, through flushes and compactions.
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
-use lsm_core::{
-    DataLayout, Db, Granularity, MemTableKind, Options, PickPolicy, Trigger,
-};
+use lsm_core::{DataLayout, Db, Granularity, MemTableKind, Options, PickPolicy, Trigger};
 use lsm_storage::{Backend, MemBackend};
 
 fn small_opts() -> Options {
@@ -61,7 +62,7 @@ fn bulk_load_and_read_across_all_layouts() {
         // structure sanity: multiple levels exist
         let v = db.version();
         assert!(
-            v.levels.len() > 1 || v.levels[0].len() > 0,
+            v.levels.len() > 1 || !v.levels[0].is_empty(),
             "{}: no structure",
             layout.name()
         );
@@ -77,7 +78,11 @@ fn bulk_load_and_read_across_all_layouts() {
         }
         assert_eq!(db.get(b"key999999x").unwrap(), None);
         // full scan sees everything exactly once, in order
-        let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+        let scanned: Vec<_> = db
+            .scan(b"", None)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(scanned.len(), n as usize, "{}", layout.name());
         assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
     }
@@ -102,7 +107,11 @@ fn updates_resolve_to_newest_after_compaction() {
         let got = db.get(format!("key{i:04}").as_bytes()).unwrap();
         assert_eq!(got.as_deref(), Some(format!("r4-{i}").as_bytes()));
     }
-    let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let scanned: Vec<_> = db
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(scanned.len(), 500, "old versions must not surface");
 }
 
@@ -111,7 +120,8 @@ fn deletes_survive_compaction_until_bottom() {
     let mut opts = small_opts();
     let db = Db::open_in_memory(opts.clone()).unwrap();
     for i in 0..1000u32 {
-        db.put(format!("key{i:05}").as_bytes(), &[b'x'; 64]).unwrap();
+        db.put(format!("key{i:05}").as_bytes(), &[b'x'; 64])
+            .unwrap();
     }
     db.maintain().unwrap();
     for i in 0..1000u32 {
@@ -133,7 +143,8 @@ fn deletes_survive_compaction_until_bottom() {
     opts.compaction.extra_triggers = vec![Trigger::TombstoneDensity(0.01)];
     let db2 = Db::open_in_memory(opts).unwrap();
     for i in 0..500u32 {
-        db2.put(format!("key{i:05}").as_bytes(), &[b'x'; 64]).unwrap();
+        db2.put(format!("key{i:05}").as_bytes(), &[b'x'; 64])
+            .unwrap();
     }
     db2.flush().unwrap();
     for i in 0..500u32 {
@@ -191,7 +202,11 @@ fn snapshots_pin_history_across_compaction() {
     // snapshot still sees the old world
     assert_eq!(snap.get(b"k0000").unwrap().as_deref(), Some(&b"old"[..]));
     assert_eq!(snap.get(b"k0001").unwrap().as_deref(), Some(&b"old"[..]));
-    let snap_scan: Vec<_> = snap.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let snap_scan: Vec<_> = snap
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(snap_scan.len(), 200);
 
     // head sees the new world
@@ -216,14 +231,22 @@ fn range_delete_masks_and_compacts_away() {
     assert_eq!(db.get(b"k0199").unwrap(), None);
     assert_eq!(db.get(b"k0200").unwrap().as_deref(), Some(&b"v"[..]));
 
-    let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let scanned: Vec<_> = db
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(scanned.len(), 200);
 
     // push everything to the bottom; deleted keys must stay deleted
     db.flush().unwrap();
     db.maintain().unwrap();
     assert_eq!(db.get(b"k0150").unwrap(), None);
-    let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let scanned: Vec<_> = db
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(scanned.len(), 200);
 }
 
@@ -246,15 +269,23 @@ fn write_batch_like_interleaving_with_memtable_kinds() {
         opts.memtable_kind = kind;
         let db = Db::open_in_memory(opts).unwrap();
         for i in 0..800u32 {
-            db.put(format!("k{:04}", i % 100).as_bytes(), format!("{i}").as_bytes())
-                .unwrap();
+            db.put(
+                format!("k{:04}", i % 100).as_bytes(),
+                format!("{i}").as_bytes(),
+            )
+            .unwrap();
             if i % 7 == 0 {
-                db.delete(format!("k{:04}", (i + 3) % 100).as_bytes()).unwrap();
+                db.delete(format!("k{:04}", (i + 3) % 100).as_bytes())
+                    .unwrap();
             }
         }
         db.maintain().unwrap();
         // final state must be readable without panics and consistent
-        let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+        let scanned: Vec<_> = db
+            .scan(b"", None)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert!(scanned.len() <= 100, "{}", kind.name());
     }
 }
@@ -263,7 +294,8 @@ fn write_batch_like_interleaving_with_memtable_kinds() {
 fn stats_track_write_amplification() {
     let db = Db::open_in_memory(small_opts()).unwrap();
     for i in 0..4000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50])
+            .unwrap();
     }
     db.maintain().unwrap();
     let s = db.stats();
@@ -295,13 +327,21 @@ fn manifest_recovery_preserves_data() {
         }
         db.manifest_bytes()
     };
-    let db2 = Db::open_with_manifest(backend as Arc<dyn lsm_storage::Backend>, opts, &manifest)
-        .unwrap();
+    let db2 =
+        Db::open_with_manifest(backend as Arc<dyn lsm_storage::Backend>, opts, &manifest).unwrap();
     for i in (0..1100u32).step_by(53) {
         let got = db2.get(format!("key{i:05}").as_bytes()).unwrap();
-        assert_eq!(got.as_deref(), Some(format!("v{i}").as_bytes()), "key{i:05}");
+        assert_eq!(
+            got.as_deref(),
+            Some(format!("v{i}").as_bytes()),
+            "key{i:05}"
+        );
     }
-    let scanned: Vec<_> = db2.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let scanned: Vec<_> = db2
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(scanned.len(), 1100);
 }
 
@@ -314,11 +354,13 @@ fn open_dir_recovers_from_filesystem() {
     {
         let db = Db::open_dir(&dir, opts.clone()).unwrap();
         for i in 0..500u32 {
-            db.put(format!("key{i:05}").as_bytes(), b"persisted").unwrap();
+            db.put(format!("key{i:05}").as_bytes(), b"persisted")
+                .unwrap();
         }
         db.maintain().unwrap();
         for i in 500..550u32 {
-            db.put(format!("key{i:05}").as_bytes(), b"in-wal-only").unwrap();
+            db.put(format!("key{i:05}").as_bytes(), b"in-wal-only")
+                .unwrap();
         }
     }
     {
@@ -331,7 +373,11 @@ fn open_dir_recovers_from_filesystem() {
             db.get(b"key00520").unwrap().as_deref(),
             Some(&b"in-wal-only"[..])
         );
-        let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+        let scanned: Vec<_> = db
+            .scan(b"", None)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(scanned.len(), 550);
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -343,7 +389,8 @@ fn background_threads_reach_same_state() {
     opts.background_threads = 2;
     let db = Db::open_in_memory(opts).unwrap();
     for i in 0..3000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
+            .unwrap();
     }
     db.wait_idle().unwrap();
     for i in (0..3000).step_by(131) {
@@ -375,7 +422,11 @@ fn concurrent_writers_and_readers_background() {
         h.join().unwrap();
     }
     db.wait_idle().unwrap();
-    let scanned: Vec<_> = db.scan(b"", None).unwrap().collect::<Result<_, _>>().unwrap();
+    let scanned: Vec<_> = db
+        .scan(b"", None)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(scanned.len(), 2400);
 }
 
@@ -386,7 +437,8 @@ fn monkey_filters_reduce_memory_at_bottom() {
     opts.filter_bits_per_key = 8.0;
     let db = Db::open_in_memory(opts).unwrap();
     for i in 0..5000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 30]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 30])
+            .unwrap();
     }
     db.maintain().unwrap();
     let v = db.version();
@@ -403,7 +455,8 @@ fn whole_level_granularity_works() {
     opts.compaction.granularity = Granularity::Level;
     let db = Db::open_in_memory(opts).unwrap();
     for i in 0..2000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
+            .unwrap();
     }
     db.maintain().unwrap();
     for i in (0..2000).step_by(97) {
@@ -421,7 +474,8 @@ fn all_pick_policies_converge() {
         }
         let db = Db::open_in_memory(opts).unwrap();
         for i in 0..2000u32 {
-            db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40]).unwrap();
+            db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
+                .unwrap();
             if i % 11 == 0 {
                 db.delete(format!("key{:06}", i / 2).as_bytes()).unwrap();
             }
@@ -440,7 +494,8 @@ fn lethe_ttl_trigger_bounds_tombstone_age() {
     opts.compaction.pick = PickPolicy::ExpiredTombstones;
     let db = Db::open_in_memory(opts).unwrap();
     for i in 0..500u32 {
-        db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]).unwrap();
+        db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64])
+            .unwrap();
     }
     db.flush().unwrap();
     db.maintain().unwrap();
@@ -451,7 +506,8 @@ fn lethe_ttl_trigger_bounds_tombstone_age() {
     db.maintain().unwrap();
     // Age the tombstones past the deadline with unrelated writes.
     for i in 0..3000u32 {
-        db.put(format!("other{i:06}").as_bytes(), &[b'w'; 64]).unwrap();
+        db.put(format!("other{i:06}").as_bytes(), &[b'w'; 64])
+            .unwrap();
     }
     db.maintain().unwrap();
     assert!(
@@ -512,7 +568,8 @@ fn obsolete_files_are_reclaimed() {
     let backend = Arc::new(MemBackend::new());
     let db = Db::open(backend.clone(), opts).unwrap();
     for i in 0..4000u32 {
-        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50]).unwrap();
+        db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50])
+            .unwrap();
     }
     db.maintain().unwrap();
     let live_tables = db.version().all_tables().count();

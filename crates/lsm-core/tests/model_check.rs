@@ -2,6 +2,9 @@
 //! random operation sequences, across every data layout, with flushes and
 //! compactions interleaved.
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 
 use lsm_core::{DataLayout, Db, Options};
@@ -108,8 +111,7 @@ fn run_model(layout: DataLayout, ops: &[Op]) {
             (k.as_bytes().to_vec(), v.to_vec())
         })
         .collect();
-    let want: Vec<(Vec<u8>, Vec<u8>)> =
-        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let want: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     assert_eq!(got, want, "{}: final scan", layout.name());
 }
 
@@ -142,7 +144,8 @@ fn snapshot_isolation_under_churn() {
     let mut opts = Options::small_for_benchmarks();
     opts.write_buffer_bytes = 2 << 10;
     let db = Db::open_in_memory(opts).unwrap();
-    let mut model_states: Vec<(lsm_core::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>)> = Vec::new();
+    type PinnedState = (lsm_core::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>);
+    let mut model_states: Vec<PinnedState> = Vec::new();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
     for round in 0..6u32 {

@@ -5,6 +5,9 @@
 //! recovery semantics on top: manifest + WAL replay, repeated recovery,
 //! and clock monotonicity.)
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use lsm_core::{Db, Options};
@@ -69,8 +72,7 @@ fn double_recovery_is_stable() {
         db.manifest_bytes()
     };
     let m2 = {
-        let db =
-            Db::open_with_manifest(backend.clone() as Arc<dyn Backend>, small(), &m1).unwrap();
+        let db = Db::open_with_manifest(backend.clone() as Arc<dyn Backend>, small(), &m1).unwrap();
         for i in 300..500u64 {
             db.put(&key(i), b"gen2").unwrap();
         }
@@ -99,14 +101,19 @@ fn recovery_preserves_seqno_monotonicity() {
         db.put(b"k", b"before-crash").unwrap();
         db.manifest_bytes()
     };
-    let db =
-        Db::open_with_manifest(backend as Arc<dyn Backend>, small(), &manifest).unwrap();
+    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, small(), &manifest).unwrap();
     assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"before-crash"[..]));
     db.put(b"k", b"after-recovery").unwrap();
-    assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"after-recovery"[..]));
+    assert_eq!(
+        db.get(b"k").unwrap().as_deref(),
+        Some(&b"after-recovery"[..])
+    );
     db.flush().unwrap();
     db.maintain().unwrap();
-    assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"after-recovery"[..]));
+    assert_eq!(
+        db.get(b"k").unwrap().as_deref(),
+        Some(&b"after-recovery"[..])
+    );
 }
 
 #[test]

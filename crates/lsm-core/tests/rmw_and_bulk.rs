@@ -1,5 +1,8 @@
 //! Read-modify-write and bulk loading.
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use lsm_core::{Db, Options};
@@ -98,7 +101,10 @@ fn bulk_load_into_empty_db_and_read() {
 
     // normal writes on top of bulk data resolve correctly
     db.put(&format_key(5), b"updated").unwrap();
-    assert_eq!(db.get(&format_key(5)).unwrap().as_deref(), Some(&b"updated"[..]));
+    assert_eq!(
+        db.get(&format_key(5)).unwrap().as_deref(),
+        Some(&b"updated"[..])
+    );
 }
 
 #[test]

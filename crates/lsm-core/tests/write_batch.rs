@@ -1,5 +1,8 @@
 //! Atomic write batches: visibility, recovery, and semantics.
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 

@@ -37,7 +37,10 @@ fn mix(mut z: u64) -> u64 {
 /// Two independent digests of `data`, the basis for double hashing.
 #[inline]
 pub fn hash_pair(data: &[u8]) -> (u64, u64) {
-    (hash64(data, 0x1234_5678_9abc_def0), hash64(data, 0x0fed_cba9_8765_4321))
+    (
+        hash64(data, 0x1234_5678_9abc_def0),
+        hash64(data, 0x0fed_cba9_8765_4321),
+    )
 }
 
 /// The i-th probe position derived from a hash pair
@@ -110,6 +113,10 @@ mod tests {
         let p2 = probe(pair, 2);
         assert_ne!(p0, p1);
         assert_ne!(p1, p2);
-        assert_eq!(p1.wrapping_sub(p0), p2.wrapping_sub(p1), "arithmetic progression");
+        assert_eq!(
+            p1.wrapping_sub(p0),
+            p2.wrapping_sub(p1),
+            "arithmetic progression"
+        );
     }
 }

@@ -148,7 +148,11 @@ mod tests {
         // A budget so small only shallow levels deserve filters.
         let alloc = allocate(&entries, 0.5 * entries.iter().sum::<u64>() as f64);
         assert!(alloc[0] > 0.0);
-        assert_eq!(*alloc.last().unwrap(), 0.0, "last level unfiltered: {alloc:?}");
+        assert_eq!(
+            *alloc.last().unwrap(),
+            0.0,
+            "last level unfiltered: {alloc:?}"
+        );
     }
 
     #[test]

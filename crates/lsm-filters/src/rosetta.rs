@@ -53,7 +53,11 @@ impl RosettaFilter {
         let mut budgets = vec![0.0f64; DEPTH as usize];
         let mut remaining = bits_per_key.max(2.0);
         for level in (0..DEPTH as usize).rev() {
-            let share = if level == 0 { remaining } else { remaining / 2.0 };
+            let share = if level == 0 {
+                remaining
+            } else {
+                remaining / 2.0
+            };
             budgets[level] = share.max(0.5);
             remaining -= share;
         }
@@ -243,7 +247,10 @@ mod tests {
         let long = [b"abcdefgh-one".as_slice()];
         let f = RosettaFilter::build(&long, 22.0);
         assert!(f.may_contain(b"abcdefgh-one"));
-        assert!(f.may_contain(b"abcdefgh-two"), "image collision is a (safe) FP");
+        assert!(
+            f.may_contain(b"abcdefgh-two"),
+            "image collision is a (safe) FP"
+        );
     }
 
     #[test]

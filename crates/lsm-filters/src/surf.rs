@@ -274,7 +274,10 @@ mod tests {
     fn empty_ranges_rejected() {
         let f = build(&["d", "h", "t"]);
         assert!(!f.may_contain_range(b"e", b"g"), "nothing in [e, g)");
-        assert!(!f.may_contain_range(b"u", b"z"), "nothing after t... [u, z)");
+        assert!(
+            !f.may_contain_range(b"u", b"z"),
+            "nothing after t... [u, z)"
+        );
         assert!(!f.may_contain_range(b"a", b"b"));
         assert!(!f.may_contain_range(b"x", b"a"), "inverted");
         assert!(!f.may_contain_range(b"h", b"h"), "empty");

@@ -1,8 +1,7 @@
 //! The one property every filter must uphold: no false negatives.
 
 use lsm_filters::{
-    build_point_filter, PointFilterKind, PrefixBloomFilter, RangeFilter, RosettaFilter,
-    SurfFilter,
+    build_point_filter, PointFilterKind, PrefixBloomFilter, RangeFilter, RosettaFilter, SurfFilter,
 };
 use proptest::prelude::*;
 

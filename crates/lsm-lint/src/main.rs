@@ -1,0 +1,81 @@
+//! `lsm-lint` CLI: lints the workspace (or `--path <dir>`) and writes a
+//! machine-readable JSON report. Exits non-zero when violations are found.
+//!
+//! ```text
+//! cargo run -p lsm-lint                      # lint the workspace
+//! cargo run -p lsm-lint -- --path <dir>      # lint an arbitrary tree
+//! cargo run -p lsm-lint -- --json report.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--path" => root = args.next().map(PathBuf::from),
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "lsm-lint: architectural static analysis for lsm-lab\n\n\
+                     USAGE: lsm-lint [--path <dir>] [--json <file>]\n\n\
+                     Rules: L1 fs-boundary, L2 no-panic, L3 lock-nesting, L4 knob-docs.\n\
+                     Suppress a finding with `// lsm-lint: allow(<rule>)` on the same\n\
+                     line or the line above."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lsm-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Default to the workspace root (this crate lives at crates/lsm-lint).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = match lsm_lint::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        eprintln!("{d}");
+    }
+
+    let json_path = json_out.unwrap_or_else(|| root.join("target/lsm-lint-report.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&json_path, report.to_json()) {
+        Ok(()) => eprintln!("lsm-lint: report written to {}", json_path.display()),
+        Err(e) => eprintln!(
+            "lsm-lint: could not write report to {}: {e}",
+            json_path.display()
+        ),
+    }
+
+    eprintln!(
+        "lsm-lint: {} file(s) checked, {} violation(s)",
+        report.files_checked,
+        report.diagnostics.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: violations suppressed with `lsm-lint: allow(...)` markers.
+
+pub fn annotated_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // lsm-lint: allow(L2)
+}
+
+pub fn annotated_fs() -> bool {
+    // lsm-lint: allow(fs-boundary)
+    std::fs::metadata("/tmp/ok").is_ok()
+}

@@ -1,0 +1,9 @@
+//! Fixture: direct filesystem access outside `lsm-storage` (L1).
+
+pub fn read_sideways() -> Vec<u8> {
+    std::fs::read("/tmp/sneaky").unwrap_or_default()
+}
+
+pub fn probe() -> bool {
+    std::fs::metadata("/tmp/sneaky").is_ok()
+}

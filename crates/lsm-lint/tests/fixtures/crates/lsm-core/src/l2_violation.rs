@@ -1,0 +1,13 @@
+//! Fixture: panicking calls in a hot-path crate (L2).
+
+pub fn hot_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn hot_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn hot_panic() {
+    panic!("boom");
+}

@@ -1,0 +1,8 @@
+//! Fixture: a knob struct with an undocumented public field (L4).
+
+/// The fixture's options surface.
+pub struct Options {
+    /// Size of the write buffer in bytes (memory-allocation knob).
+    pub write_buffer_bytes: usize,
+    pub undocumented_knob: usize,
+}

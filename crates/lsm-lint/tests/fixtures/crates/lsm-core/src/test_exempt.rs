@@ -1,0 +1,16 @@
+//! Fixture: panics and fs access inside test code are exempt.
+
+/// Doubles a value without panicking.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_and_touch_fs() {
+        assert_eq!(super::double(2), 4);
+        let meta = std::fs::metadata("/");
+        meta.unwrap();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: nested lock acquisition in one expression chain (L3).
+
+use std::sync::Mutex;
+
+pub struct Two {
+    a: Mutex<Vec<u8>>,
+    b: Mutex<Vec<u8>>,
+}
+
+impl Two {
+    pub fn tangled(&self) -> usize {
+        self.a.lock().unwrap().len() + self.b.lock().unwrap().len()
+    }
+}

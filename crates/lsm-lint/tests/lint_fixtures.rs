@@ -1,0 +1,114 @@
+//! End-to-end tests for `lsm-lint` over the fixture tree in
+//! `tests/fixtures/`, which mirrors the workspace layout so crate-scoped
+//! rules (L1's storage exemption, L2's hot-path set) resolve as they would
+//! in the real tree.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use lsm_lint::{lint_tree, Rule};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The full expected finding set: (rule, file, line).
+const EXPECTED: &[(Rule, &str, usize)] = &[
+    (Rule::FsBoundary, "crates/lsm-core/src/l1_violation.rs", 4),
+    (Rule::FsBoundary, "crates/lsm-core/src/l1_violation.rs", 8),
+    (Rule::NoPanic, "crates/lsm-core/src/l2_violation.rs", 4),
+    (Rule::NoPanic, "crates/lsm-core/src/l2_violation.rs", 8),
+    (Rule::NoPanic, "crates/lsm-core/src/l2_violation.rs", 12),
+    (
+        Rule::LockNesting,
+        "crates/lsm-memtable/src/l3_violation.rs",
+        12,
+    ),
+    (Rule::KnobDocs, "crates/lsm-core/src/options.rs", 7),
+];
+
+#[test]
+fn fixture_tree_produces_exactly_the_expected_findings() {
+    let report = lint_tree(&fixtures_root()).expect("fixture tree readable");
+    let mut found: Vec<(Rule, String, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.path.clone(), d.line))
+        .collect();
+    found.sort_by(|a, b| (a.1.as_str(), a.2).cmp(&(b.1.as_str(), b.2)));
+
+    let mut expected: Vec<(Rule, String, usize)> = EXPECTED
+        .iter()
+        .map(|&(r, p, l)| (r, p.to_string(), l))
+        .collect();
+    expected.sort_by(|a, b| (a.1.as_str(), a.2).cmp(&(b.1.as_str(), b.2)));
+    assert_eq!(
+        found, expected,
+        "fixture findings diverged (allow-comments and test-code fixtures \
+         must stay clean; violation fixtures must be caught at these lines)"
+    );
+}
+
+#[test]
+fn allow_comments_and_test_code_are_exempt() {
+    let report = lint_tree(&fixtures_root()).expect("fixture tree readable");
+    for clean in ["allowed.rs", "test_exempt.rs"] {
+        assert!(
+            !report.diagnostics.iter().any(|d| d.path.ends_with(clean)),
+            "{clean} must produce no findings"
+        );
+    }
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixtures_with_file_line_diagnostics() {
+    let out_dir = std::env::temp_dir().join(format!("lsm-lint-test-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    let json_path = out_dir.join("report.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_lsm-lint"))
+        .arg("--path")
+        .arg(fixtures_root())
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("run lsm-lint binary");
+    assert!(
+        !output.status.success(),
+        "linter must exit non-zero on the violation fixtures"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("crates/lsm-core/src/l1_violation.rs:4"),
+        "diagnostics must carry file:line anchors; got:\n{stderr}"
+    );
+
+    let json = std::fs::read_to_string(&json_path).expect("json report written");
+    assert!(json.contains("\"rule\": \"L1\""));
+    assert!(json.contains("\"file\": \"crates/lsm-core/src/l2_violation.rs\""));
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_tree() {
+    let clean = std::env::temp_dir().join(format!("lsm-lint-clean-{}", std::process::id()));
+    let src = clean.join("crates/lsm-core/src");
+    std::fs::create_dir_all(&src).expect("temp tree");
+    std::fs::write(
+        src.join("lib.rs"),
+        "//! Clean.\n\n/// Adds one.\npub fn inc(x: u32) -> u32 {\n    x + 1\n}\n",
+    )
+    .expect("write clean file");
+    let output = Command::new(env!("CARGO_BIN_EXE_lsm-lint"))
+        .arg("--path")
+        .arg(&clean)
+        .arg("--json")
+        .arg(clean.join("report.json"))
+        .output()
+        .expect("run lsm-lint binary");
+    assert!(
+        output.status.success(),
+        "linter must exit zero on a clean tree; stderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::remove_dir_all(&clean).ok();
+}

@@ -40,15 +40,15 @@ impl MemTable for BTreeMemTable {
             entry.approximate_size(),
             std::sync::atomic::Ordering::Relaxed,
         );
-        self.map
-            .write()
-            .insert(entry.key, (entry.value, entry.ts));
+        self.map.write().insert(entry.key, (entry.value, entry.ts));
     }
 
     fn get(&self, key: &[u8], snapshot: SeqNo) -> Option<InternalEntry> {
         let map = self.map.read();
         let probe = InternalKey::lookup(key, snapshot);
-        let (k, (v, ts)) = map.range((Bound::Included(probe), Bound::Unbounded)).next()?;
+        let (k, (v, ts)) = map
+            .range((Bound::Included(probe), Bound::Unbounded))
+            .next()?;
         (k.user_key.as_bytes() == key).then(|| InternalEntry {
             key: k.clone(),
             value: v.clone(),

@@ -140,9 +140,7 @@ mod tests {
         }
         let sorted = mt.sorted_entries();
         assert_eq!(sorted.len(), 50);
-        assert!(sorted
-            .windows(2)
-            .all(|w| w[0].user_key() < w[1].user_key()));
+        assert!(sorted.windows(2).all(|w| w[0].user_key() < w[1].user_key()));
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub fn verify_block(block: &[u8]) -> Result<&[u8]> {
         return Err(Error::Corruption("block shorter than its trailer".into()));
     }
     let (payload, trailer) = block.split_at(block.len() - 4);
-    let expected = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let expected = u32::from_le_bytes(
+        trailer
+            .try_into()
+            .map_err(|_| Error::Corruption("block trailer truncated".into()))?,
+    );
     if !checksum::verify(payload, expected) {
         return Err(Error::Corruption("block checksum mismatch".into()));
     }

@@ -3,9 +3,7 @@
 use lsm_filters::{build_point_filter, PointFilterKind};
 use lsm_storage::{Backend, FileId};
 use lsm_types::encoding::{put_len_prefixed, put_varint, Decoder};
-use lsm_types::{
-    EntryKind, Error, InternalEntry, InternalKey, KeyRange, Result, SeqNo, UserKey,
-};
+use lsm_types::{EntryKind, Error, InternalEntry, InternalKey, KeyRange, Result, SeqNo, UserKey};
 
 use crate::block::BlockBuilder;
 use crate::meta::{encode_footer, TableMeta};
@@ -146,7 +144,9 @@ impl TableBuilder {
         match entry.kind() {
             EntryKind::Delete | EntryKind::SingleDelete => self.tombstone_count += 1,
             EntryKind::RangeDelete => {
-                let end = entry.range_delete_end().expect("range delete has end");
+                let end = entry
+                    .range_delete_end()
+                    .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
                 self.range_tombstones
                     .push((entry.user_key().clone(), end, entry.seqno()));
             }
@@ -194,10 +194,16 @@ impl TableBuilder {
         if self.block.is_empty() {
             return;
         }
+        // `pending_first` is set by the first `add` into the block, so a
+        // non-empty block always carries one; an absent key would produce a
+        // fence that cannot route reads, so skip sealing rather than panic.
+        let Some(first_key) = self.pending_first.take() else {
+            return;
+        };
         let offset = self.file.len() as u64;
         let block = self.block.finish();
         self.fences.push(Fence {
-            first_key: self.pending_first.take().expect("non-empty block"),
+            first_key,
             offset,
             len: block.len() as u64,
         });
@@ -207,9 +213,9 @@ impl TableBuilder {
     /// Seals the table and persists it to `backend`. Returns the file id
     /// and the decoded metadata. Fails on an empty table.
     pub fn finish(mut self, backend: &dyn Backend) -> Result<(FileId, TableMeta)> {
-        if self.entry_count == 0 {
+        let (Some(min_key), Some(max_key)) = (self.min_key.take(), self.max_key.take()) else {
             return Err(Error::InvalidArgument("cannot write an empty table".into()));
-        }
+        };
         self.seal_block();
         let data_bytes = self.file.len() as u64;
 
@@ -219,9 +225,10 @@ impl TableBuilder {
 
         let filter_offset = self.file.len() as u64;
         let key_refs: Vec<&[u8]> = self.filter_keys.iter().map(|k| k.as_slice()).collect();
-        let filter_bytes = build_point_filter(self.opts.filter_kind, &key_refs, self.opts.bits_per_key)
-            .map(|f| f.to_bytes())
-            .unwrap_or_default();
+        let filter_bytes =
+            build_point_filter(self.opts.filter_kind, &key_refs, self.opts.bits_per_key)
+                .map(|f| f.to_bytes())
+                .unwrap_or_default();
         self.file.extend_from_slice(&filter_bytes);
 
         let meta = TableMeta {
@@ -229,8 +236,8 @@ impl TableBuilder {
             tombstone_count: self.tombstone_count,
             range_tombstone_count: self.range_tombstones.len() as u64,
             key_range: KeyRange {
-                min: self.min_key.expect("non-empty"),
-                max: self.max_key.expect("non-empty"),
+                min: min_key,
+                max: max_key,
             },
             min_seqno: self.min_seqno,
             max_seqno: self.max_seqno,
@@ -261,12 +268,7 @@ mod tests {
     use lsm_storage::MemBackend;
 
     fn entry(i: u64) -> InternalEntry {
-        InternalEntry::put(
-            format!("key{i:06}").into_bytes(),
-            vec![b'v'; 20],
-            i + 1,
-            i,
-        )
+        InternalEntry::put(format!("key{i:06}").into_bytes(), vec![b'v'; 20], i + 1, i)
     }
 
     #[test]
@@ -308,9 +310,11 @@ mod tests {
     fn counts_tombstones_and_collects_range_deletes() {
         let backend = MemBackend::new();
         let mut b = TableBuilder::new(TableBuilderOptions::default());
-        b.add(&InternalEntry::put(b"a", b"x".to_vec(), 1, 0)).unwrap();
+        b.add(&InternalEntry::put(b"a", b"x".to_vec(), 1, 0))
+            .unwrap();
         b.add(&InternalEntry::delete(b"b", 2, 0)).unwrap();
-        b.add(&InternalEntry::range_delete(b"c", b"f", 3, 0)).unwrap();
+        b.add(&InternalEntry::range_delete(b"c", b"f", 3, 0))
+            .unwrap();
         b.add(&InternalEntry::single_delete(b"g", 4, 0)).unwrap();
         let (_, meta) = b.finish(&backend).unwrap();
         assert_eq!(meta.tombstone_count, 2);

@@ -159,8 +159,7 @@ mod tests {
     fn versions_of_one_key_newest_first() {
         let newer = VecEntryIter::new(vec![put(b"k", b"v2", 20)]);
         let older = VecEntryIter::new(vec![put(b"k", b"v1", 10)]);
-        let merged =
-            collect_all(MergeIter::new(vec![Box::new(newer), Box::new(older)])).unwrap();
+        let merged = collect_all(MergeIter::new(vec![Box::new(newer), Box::new(older)])).unwrap();
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].seqno(), 20);
         assert_eq!(merged[1].seqno(), 10);

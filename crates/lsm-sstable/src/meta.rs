@@ -95,7 +95,11 @@ impl TableMeta {
             return Err(Error::Corruption("meta block too short".into()));
         }
         let (payload, trailer) = data.split_at(data.len() - 4);
-        let crc = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(
+            trailer
+                .try_into()
+                .map_err(|_| Error::Corruption("meta trailer truncated".into()))?,
+        );
         if !checksum::verify(payload, crc) {
             return Err(Error::Corruption("meta block checksum mismatch".into()));
         }

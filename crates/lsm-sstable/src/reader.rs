@@ -59,8 +59,7 @@ impl Table {
         let fences = decode_index(&index_bytes)?;
 
         let filter = if meta.filter_len > 0 {
-            let filter_bytes =
-                backend.read(file, meta.filter_offset, meta.filter_len as usize)?;
+            let filter_bytes = backend.read(file, meta.filter_offset, meta.filter_len as usize)?;
             point_filter_from_bytes(PointFilterKind::from_u8(meta.filter_kind)?, &filter_bytes)?
         } else {
             None
@@ -124,11 +123,14 @@ impl Table {
             if let Some(block) = cache.get(&key) {
                 return Ok(block);
             }
-            let block = self.backend.read(self.file, fence.offset, fence.len as usize)?;
+            let block = self
+                .backend
+                .read(self.file, fence.offset, fence.len as usize)?;
             cache.insert(key, block.clone());
             return Ok(block);
         }
-        self.backend.read(self.file, fence.offset, fence.len as usize)
+        self.backend
+            .read(self.file, fence.offset, fence.len as usize)
     }
 
     /// Loads every data block into the cache (Leaper-style prefetch after
@@ -278,10 +280,7 @@ mod tests {
     use crate::builder::{TableBuilder, TableBuilderOptions};
     use lsm_storage::MemBackend;
 
-    fn build_table(
-        n: u64,
-        cache: Option<Arc<BlockCache>>,
-    ) -> (Arc<MemBackend>, Arc<Table>) {
+    fn build_table(n: u64, cache: Option<Arc<BlockCache>>) -> (Arc<MemBackend>, Arc<Table>) {
         let backend = Arc::new(MemBackend::new());
         let mut b = TableBuilder::new(TableBuilderOptions::default());
         for i in 0..n {
@@ -336,7 +335,10 @@ mod tests {
         assert_eq!(skipped, 100);
         let delta = backend.stats().snapshot().delta(&before);
         // Bloom at 10 bits/key: ~1% FP, so almost all probes are free.
-        assert!(delta.read_ops < 10, "filter should skip most reads: {delta:?}");
+        assert!(
+            delta.read_ops < 10,
+            "filter should skip most reads: {delta:?}"
+        );
         assert!(t.filter_negatives() > 90);
     }
 
@@ -355,7 +357,12 @@ mod tests {
             .unwrap();
         }
         let (file, _) = b.finish(backend.as_ref()).unwrap();
-        let t = Table::open(backend.clone() as Arc<dyn Backend>, file, Some(cache.clone())).unwrap();
+        let t = Table::open(
+            backend.clone() as Arc<dyn Backend>,
+            file,
+            Some(cache.clone()),
+        )
+        .unwrap();
 
         t.get(b"key000500", SeqNo::MAX).unwrap();
         let before = backend.stats().snapshot();
@@ -402,8 +409,10 @@ mod tests {
         let backend = Arc::new(MemBackend::new());
         let mut b = TableBuilder::new(TableBuilderOptions::default());
         // key "k": seqnos 30 (newest) then 10, internal order newest-first
-        b.add(&InternalEntry::put(b"k", b"new".to_vec(), 30, 0)).unwrap();
-        b.add(&InternalEntry::put(b"k", b"old".to_vec(), 10, 0)).unwrap();
+        b.add(&InternalEntry::put(b"k", b"new".to_vec(), 30, 0))
+            .unwrap();
+        b.add(&InternalEntry::put(b"k", b"old".to_vec(), 10, 0))
+            .unwrap();
         let (file, _) = b.finish(backend.as_ref()).unwrap();
         let t = Table::open(backend as Arc<dyn Backend>, file, None).unwrap();
         assert_eq!(&t.get(b"k", SeqNo::MAX).unwrap().unwrap().value[..], b"new");
@@ -427,9 +436,12 @@ mod tests {
                 .unwrap();
             }
             let (file, _) = b.finish(backend.as_ref()).unwrap();
-            let t =
-                Table::open(backend.clone() as Arc<dyn Backend>, file, Some(cache.clone()))
-                    .unwrap();
+            let t = Table::open(
+                backend.clone() as Arc<dyn Backend>,
+                file,
+                Some(cache.clone()),
+            )
+            .unwrap();
             (backend, t)
         };
         t.warm_cache().unwrap();

@@ -1,5 +1,8 @@
 //! Property tests: a table must faithfully reproduce any sorted entry set.
 
+// Test code: panicking on unexpected results is the assertion style.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

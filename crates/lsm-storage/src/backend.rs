@@ -41,6 +41,14 @@ pub trait Backend: Send + Sync {
     /// Deletes a file. Deleting a missing file is an error.
     fn delete(&self, id: FileId) -> Result<()>;
 
+    /// Atomically persists a small named metadata blob (e.g. the manifest),
+    /// replacing any previous value. Names must be simple file names —
+    /// no path separators — and must not collide with data files.
+    fn put_meta(&self, name: &str, data: &[u8]) -> Result<()>;
+
+    /// Reads back a named metadata blob; `Ok(None)` when absent.
+    fn get_meta(&self, name: &str) -> Result<Option<Bytes>>;
+
     /// The I/O counters this backend charges.
     fn stats(&self) -> &IoStats;
 
@@ -58,8 +66,29 @@ pub trait Backend: Send + Sync {
 /// it measures exactly the logical I/O that LSM cost models predict.
 pub struct MemBackend {
     files: RwLock<HashMap<FileId, Vec<u8>>>,
+    meta: RwLock<HashMap<String, Vec<u8>>>,
     next_id: AtomicU64,
     stats: IoStats,
+}
+
+/// Rejects metadata names that could escape the backend directory or shadow
+/// a data file (`<id>.lsm`).
+fn validate_meta_name(name: &str) -> Result<()> {
+    let simple = !name.is_empty()
+        && !name.ends_with(".lsm")
+        && !name.ends_with(".tmp")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && !name.starts_with('.');
+    if simple {
+        Ok(())
+    } else {
+        Err(Error::InvalidArgument(format!(
+            "invalid metadata name {name:?}: must be a plain file name and \
+             not use the .lsm/.tmp extensions"
+        )))
+    }
 }
 
 impl MemBackend {
@@ -67,6 +96,7 @@ impl MemBackend {
     pub fn new() -> Self {
         MemBackend {
             files: RwLock::new(HashMap::new()),
+            meta: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats: IoStats::new(),
         }
@@ -77,6 +107,7 @@ impl MemBackend {
     pub fn with_stats(stats: IoStats) -> Self {
         MemBackend {
             files: RwLock::new(HashMap::new()),
+            meta: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             stats,
         }
@@ -154,6 +185,23 @@ impl Backend for MemBackend {
         }
         self.stats.charge_file_deleted();
         Ok(())
+    }
+
+    fn put_meta(&self, name: &str, data: &[u8]) -> Result<()> {
+        validate_meta_name(name)?;
+        self.stats.charge_write(data.len());
+        self.meta.write().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get_meta(&self, name: &str) -> Result<Option<Bytes>> {
+        validate_meta_name(name)?;
+        let meta = self.meta.read();
+        let Some(data) = meta.get(name) else {
+            return Ok(None);
+        };
+        self.stats.charge_read(0, data.len());
+        Ok(Some(Bytes::copy_from_slice(data)))
     }
 
     fn stats(&self) -> &IoStats {
@@ -293,6 +341,31 @@ impl Backend for FsBackend {
         Ok(())
     }
 
+    fn put_meta(&self, name: &str, data: &[u8]) -> Result<()> {
+        validate_meta_name(name)?;
+        // Write-then-rename so a crash mid-write never clobbers the
+        // previous value: the replacement is atomic at the directory level.
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let mut file = File::create(&tmp)?;
+        file.write_all(data)?;
+        file.sync_data()?;
+        std::fs::rename(&tmp, self.dir.join(name))?;
+        self.stats.charge_write(data.len());
+        Ok(())
+    }
+
+    fn get_meta(&self, name: &str) -> Result<Option<Bytes>> {
+        validate_meta_name(name)?;
+        match std::fs::read(self.dir.join(name)) {
+            Ok(data) => {
+                self.stats.charge_read(0, data.len());
+                Ok(Some(Bytes::from(data)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Error::Io(e)),
+        }
+    }
+
     fn stats(&self) -> &IoStats {
         &self.stats
     }
@@ -340,6 +413,15 @@ mod tests {
         b.delete(id).unwrap();
         assert!(b.read(id, 0, 1).is_err());
         assert!(b.delete(id).is_err(), "double delete must fail");
+
+        // named metadata
+        assert!(b.get_meta("MANIFEST").unwrap().is_none());
+        b.put_meta("MANIFEST", b"v1").unwrap();
+        assert_eq!(&b.get_meta("MANIFEST").unwrap().unwrap()[..], b"v1");
+        b.put_meta("MANIFEST", b"v2-longer").unwrap();
+        assert_eq!(&b.get_meta("MANIFEST").unwrap().unwrap()[..], b"v2-longer");
+        assert!(b.put_meta("../escape", b"x").is_err());
+        assert!(b.put_meta("1.lsm", b"x").is_err());
     }
 
     #[test]

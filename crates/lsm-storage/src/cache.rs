@@ -171,7 +171,9 @@ impl BlockCache {
     /// Creates a cache bounded at `capacity_bytes` total.
     pub fn new(capacity_bytes: usize) -> Self {
         BlockCache {
-            shards: (0..Self::SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::new()))
+                .collect(),
             capacity_per_shard: capacity_bytes / Self::SHARDS,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -254,7 +256,8 @@ impl BlockCache {
                 dropped += 1;
             }
         }
-        self.invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
 

@@ -68,7 +68,9 @@ impl IoStats {
         self.inner
             .read_pages
             .fetch_add(last - first + 1, Ordering::Relaxed);
-        self.inner.read_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        self.inner
+            .read_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
     }
 
     /// Charges one write of `len` bytes.

@@ -110,8 +110,7 @@ pub fn navigate(env: &Environment, workload: &Workload) -> Design {
         for &size_ratio in &ratios {
             for &split in &splits {
                 let buffer_bytes = ((env.memory_bytes as f64) * split) as u64;
-                let filter_bits =
-                    (env.memory_bytes as f64 - buffer_bytes as f64) * 8.0;
+                let filter_bits = (env.memory_bytes as f64 - buffer_bytes as f64) * 8.0;
                 let bits_per_key = (filter_bits / env.n_entries as f64).min(20.0);
                 let spec = LsmSpec {
                     n_entries: env.n_entries,

@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn io_error_conversion_preserves_source() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: Error = io.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("disk on fire"));

@@ -196,7 +196,10 @@ mod tests {
         let at_snap = InternalKey::new(b"k", 10, EntryKind::Put);
         let above_snap = InternalKey::new(b"k", 11, EntryKind::Put);
         assert!(snap_probe <= at_snap);
-        assert!(above_snap < snap_probe, "versions above snapshot sort before probe");
+        assert!(
+            above_snap < snap_probe,
+            "versions above snapshot sort before probe"
+        );
     }
 
     #[test]

@@ -74,9 +74,7 @@ proptest! {
         let a = InternalKey::new(k1.clone(), s1, EntryKind::Put);
         let b = InternalKey::new(k2.clone(), s2, EntryKind::Put);
         // user key dominates; same user key -> newer first
-        if k1 < k2 {
-            prop_assert!(a < b);
-        } else if k1 == k2 && s1 > s2 {
+        if k1 < k2 || (k1 == k2 && s1 > s2) {
             prop_assert!(a < b);
         } else if k1 == k2 && s1 == s2 {
             prop_assert!(a == b);

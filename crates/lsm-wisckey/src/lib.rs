@@ -208,8 +208,11 @@ mod tests {
     fn scan_resolves_pointers() {
         let kv = open_small(16);
         for i in 0..100u32 {
-            kv.put(format!("key{i:03}").as_bytes(), format!("value-{i:0>40}").as_bytes())
-                .unwrap();
+            kv.put(
+                format!("key{i:03}").as_bytes(),
+                format!("value-{i:0>40}").as_bytes(),
+            )
+            .unwrap();
         }
         kv.maintain().unwrap();
         let all = kv.scan(b"", None).unwrap();
@@ -222,11 +225,13 @@ mod tests {
         let kv = open_small(16);
         // Fill several segments.
         for i in 0..200u32 {
-            kv.put(format!("key{i:03}").as_bytes(), &[b'v'; 800]).unwrap();
+            kv.put(format!("key{i:03}").as_bytes(), &[b'v'; 800])
+                .unwrap();
         }
         // Overwrite half: their old log records become garbage.
         for i in 0..100u32 {
-            kv.put(format!("key{i:03}").as_bytes(), &[b'w'; 800]).unwrap();
+            kv.put(format!("key{i:03}").as_bytes(), &[b'w'; 800])
+                .unwrap();
         }
         kv.maintain().unwrap();
         let before_segments = kv.vlog().segment_count();
@@ -265,13 +270,8 @@ mod tests {
         let mut opts = Options::small_for_benchmarks();
         opts.write_buffer_bytes = 16 << 10;
 
-        let kv = KvSeparatedDb::open(
-            Arc::new(MemBackend::new()),
-            opts.clone(),
-            64,
-            256 << 10,
-        )
-        .unwrap();
+        let kv =
+            KvSeparatedDb::open(Arc::new(MemBackend::new()), opts.clone(), 64, 256 << 10).unwrap();
         let plain = Db::open_in_memory(opts).unwrap();
         for round in 0..4u32 {
             for i in 0..400u32 {

@@ -117,7 +117,9 @@ impl ValueLog {
 
     /// Reads the value a pointer refers to.
     pub fn read(&self, ptr: &ValuePointer) -> Result<Value> {
-        let raw = self.backend.read(ptr.segment, ptr.offset, ptr.len as usize)?;
+        let raw = self
+            .backend
+            .read(ptr.segment, ptr.offset, ptr.len as usize)?;
         let mut dec = Decoder::new(&raw);
         let _key = dec.len_prefixed()?;
         let value = dec.len_prefixed()?;
@@ -227,7 +229,8 @@ mod tests {
     fn segments_roll_at_target() {
         let log = new_log(100);
         for i in 0..20u32 {
-            log.append(format!("key{i}").as_bytes(), &[b'v'; 40]).unwrap();
+            log.append(format!("key{i}").as_bytes(), &[b'v'; 40])
+                .unwrap();
         }
         assert!(log.segment_count() > 1);
     }
@@ -250,7 +253,10 @@ mod tests {
         let log = new_log(200);
         let mut pointers = Vec::new();
         for i in 0..10u32 {
-            pointers.push(log.append(format!("key{i}").as_bytes(), &[b'v'; 50]).unwrap());
+            pointers.push(
+                log.append(format!("key{i}").as_bytes(), &[b'v'; 50])
+                    .unwrap(),
+            );
         }
         let (seg, records) = log.seal_oldest_segment().unwrap().unwrap();
         assert!(!records.is_empty());

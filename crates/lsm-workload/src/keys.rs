@@ -79,7 +79,6 @@ impl ZipfGen {
     pub fn theta(&self) -> f64 {
         self.theta
     }
-
 }
 
 /// A seeded key-id generator over `[0, space)`.
@@ -114,7 +113,11 @@ impl KeyGen {
             KeyDist::Zipfian(_) => {
                 // Scramble the rank so hot keys spread over the keyspace
                 // (YCSB's scrambled-zipfian), keeping ingest unsorted.
-                let rank = self.zipf.as_ref().expect("zipf built").sample(&mut self.rng);
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf built")
+                    .sample(&mut self.rng);
                 fnv_scramble(rank) % self.space
             }
             KeyDist::Sequential => {

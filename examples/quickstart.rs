@@ -19,13 +19,20 @@ fn main() -> lsm_lab::types::Result<()> {
 
     // Out-of-place update: the newer version wins.
     db.put(b"user:1:name", b"ada lovelace")?;
-    assert_eq!(db.get(b"user:1:name")?.as_deref(), Some(&b"ada lovelace"[..]));
+    assert_eq!(
+        db.get(b"user:1:name")?.as_deref(),
+        Some(&b"ada lovelace"[..])
+    );
 
     // Range scan over one user's attributes.
     println!("user:1 attributes:");
     for item in db.scan(b"user:1:", Some(b"user:1;"))? {
         let (k, v) = item?;
-        println!("  {} = {}", String::from_utf8_lossy(k.as_bytes()), String::from_utf8_lossy(&v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(k.as_bytes()),
+            String::from_utf8_lossy(&v)
+        );
     }
 
     // Deletes are tombstones applied lazily; reads see them immediately.
@@ -41,7 +48,10 @@ fn main() -> lsm_lab::types::Result<()> {
     // Snapshots pin a consistent view.
     let snap = db.snapshot();
     db.put(b"user:1:name", b"changed-later")?;
-    assert_eq!(snap.get(b"user:1:name")?.as_deref(), Some(&b"ada lovelace"[..]));
+    assert_eq!(
+        snap.get(b"user:1:name")?.as_deref(),
+        Some(&b"ada lovelace"[..])
+    );
 
     // Force maintenance and look at the tree.
     db.flush()?;

@@ -44,7 +44,10 @@ fn main() {
     let points_per_metric: u64 = 20_000;
 
     for (name, layout) in [
-        ("tiering (ingest-tuned)", DataLayout::Tiering { runs_per_level: 4 }),
+        (
+            "tiering (ingest-tuned)",
+            DataLayout::Tiering { runs_per_level: 4 },
+        ),
         ("leveling (query-tuned)", DataLayout::Leveling),
     ] {
         let backend = Arc::new(MemBackend::new());

@@ -86,7 +86,8 @@ fn main() {
     };
     let db = Db::open_in_memory(opts).expect("open with recommended options");
     for i in 0..20_000u64 {
-        db.put(format!("key{i:08}").as_bytes(), &[b'v'; 64]).unwrap();
+        db.put(format!("key{i:08}").as_bytes(), &[b'v'; 64])
+            .unwrap();
     }
     db.maintain().unwrap();
     println!(

@@ -54,8 +54,8 @@ fn main() {
             ("tiering", DataLayout::Tiering { runs_per_level: 4 }),
         ] {
             let backend = Arc::new(MemBackend::new());
-            let db = Db::open(backend.clone() as Arc<dyn Backend>, tuned(layout.clone()))
-                .expect("open");
+            let db =
+                Db::open(backend.clone() as Arc<dyn Backend>, tuned(layout.clone())).expect("open");
 
             // preload
             for id in 0..n {

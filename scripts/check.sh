@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local CI gate: format, clippy, architectural lint, tests.
+# Runs every step even after a failure so one run reports everything,
+# then exits non-zero if any step failed.
+
+set -u
+cd "$(dirname "$0")/.."
+
+declare -a NAMES=()
+declare -a RESULTS=()
+FAILED=0
+
+run_step() {
+    local name="$1"
+    shift
+    echo
+    echo "==> ${name}: $*"
+    if "$@"; then
+        NAMES+=("$name")
+        RESULTS+=(ok)
+    else
+        NAMES+=("$name")
+        RESULTS+=(FAIL)
+        FAILED=1
+    fi
+}
+
+run_step "fmt"      cargo fmt --all --check
+run_step "clippy"   cargo clippy --workspace --all-targets -- -D warnings
+run_step "lsm-lint" cargo run -q -p lsm-lint
+run_step "tests"    cargo test -q --workspace
+
+echo
+echo "==================== summary ===================="
+for i in "${!NAMES[@]}"; do
+    printf '  %-10s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+    echo "RESULT: FAIL"
+    exit 1
+fi
+echo "RESULT: PASS"

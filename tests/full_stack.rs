@@ -148,7 +148,9 @@ fn delete_heavy_workload_with_lethe_triggers_end_to_end() {
 #[test]
 fn filters_from_the_umbrella_crate() {
     use lsm_lab::filters::{BloomFilter, PointFilter, RangeFilter, SurfFilter};
-    let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("k{i:05}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..1000u32)
+        .map(|i| format!("k{i:05}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
     let bloom = BloomFilter::build(&refs, 10.0);
     let surf = SurfFilter::build(&refs, 8);

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface lsm-lab's `benches/micro.rs`
+//! uses. Measurement is deliberately simple: each benchmark closure is
+//! warmed once, then timed over a fixed iteration budget and reported as
+//! mean wall-clock time per iteration on stdout. When the harness runs
+//! under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! targets), benchmarks execute a single iteration each so the test suite
+//! stays fast while still smoke-testing every bench body.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per measured benchmark (kept small: this harness smoke-tests
+/// and ballpark-times; it does not do statistics).
+const MEASURE_ITERS: u32 = 30;
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed.as_nanos() / u128::from(MEASURE_ITERS);
+        println!("      {per_iter:>12} ns/iter");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness uses a fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("bench {}/{}", self.name, id.name);
+        let mut b = Bencher {
+            smoke_only: self.criterion.smoke_only,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs `f` with a borrowed input as one benchmark of this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        println!("bench {}/{}", self.name, id.name);
+        let mut b = Bencher {
+            smoke_only: self.criterion.smoke_only,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (reporting is line-by-line, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, cargo invokes harness = false bench targets
+        // with `--test`; run each closure once so the suite stays fast.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.to_string();
+        self.benchmark_group(name).bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the harness `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

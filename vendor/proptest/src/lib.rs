@@ -1,0 +1,588 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API surface lsm-lab's property tests use — the
+//! [`Strategy`] trait, `any::<T>()`, `Just`, tuple/range strategies,
+//! `prop::collection::{vec, btree_map}`, `prop::option::of`,
+//! `prop::sample::Index`, `prop_oneof!`, and the [`proptest!`] test macro —
+//! over a deterministic seeded generator. Two deliberate simplifications
+//! versus the real crate:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case seed;
+//!   re-running reproduces it exactly, which is what matters in CI.
+//! * **Fixed derivation of case seeds** from the test's module path and
+//!   case index, so failures are stable across runs and machines.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// Derives the deterministic RNG for one test case.
+pub fn test_rng(test_path: &str, case: u32) -> TestRng {
+    let mut h = DefaultHasher::new();
+    test_path.hash(&mut h);
+    case.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// Runner configuration; only the case count is tunable here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for producing random values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if hi == u32::MAX {
+            rng.gen_range(u64::from(lo)..u64::from(hi) + 1) as u32
+        } else {
+            rng.gen_range(lo..hi + 1)
+        }
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if hi == u64::MAX {
+            // Avoid overflow on the exclusive bound; fold the one
+            // unreachable value back uniformly.
+            let v = rng.gen::<u64>();
+            if v >= lo {
+                v
+            } else {
+                lo + v % (u64::MAX - lo + 1).max(1)
+            }
+        } else {
+            rng.gen_range(lo..hi + 1)
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy producing any value of `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy types backing [`any`] and the combinator API.
+pub mod strategy {
+    use super::*;
+
+    /// Full-range strategy for primitives (see [`Arbitrary`]).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyPrimitive<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> AnyPrimitive<T> {
+        pub(crate) fn new() -> Self {
+            AnyPrimitive {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for AnyPrimitive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen::<T>()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A weighted choice among boxed strategies (the `prop_oneof!` backing).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights cover the sampled range")
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm (helper that lets type inference unify
+    /// every arm to the same `Value`).
+    pub fn union_arm<T, S>(weight: u32, strat: S) -> (u32, BoxedStrategy<T>)
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        (weight, Box::new(strat))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                strategy::AnyPrimitive::new()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(u8, u32, u64, usize, bool, f32, f64);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// An inclusive-exclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors with lengths drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec`: vectors of `elem` values.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with entry counts drawn from a
+    /// [`SizeRange`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::btree_map`: maps of `key -> value` entries.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut map = std::collections::BTreeMap::new();
+            // Duplicate keys collapse; retry a bounded number of times so
+            // the minimum size is honored with overwhelming probability.
+            let mut attempts = 0;
+            while map.len() < target && attempts < target * 10 + 32 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::*;
+
+    /// Strategy producing `Option<T>` (3:1 biased toward `Some`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of`: `None` or a value from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// An index into a collection whose length is only known at use site.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a collection of length `len`.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero, matching the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy for [`Index`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyIndex;
+
+    impl Strategy for AnyIndex {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.gen::<u64>())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyIndex;
+
+        fn arbitrary() -> AnyIndex {
+            AnyIndex
+        }
+    }
+}
+
+/// The `prop` namespace as exposed by `proptest::prelude`.
+pub mod prop {
+    pub use crate::{collection, option, sample};
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!((<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// One-of strategy choice, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm(1u32, $strat)),+
+        ])
+    };
+}
+
+/// Property-context assertion (no shrinking, so plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-context equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-context inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(Vec<u8>),
+        Get(u8),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(v in 0u8..32, (a, b) in (any::<u64>(), 0.0f64..1.0)) {
+            prop_assert!(v < 32);
+            let _ = a;
+            prop_assert!((0.0..1.0).contains(&b));
+        }
+
+        #[test]
+        fn collections_honor_sizes(
+            xs in prop::collection::vec(any::<u8>(), 2..8),
+            m in prop::collection::btree_map(any::<u8>(), any::<u64>(), 1..5),
+            o in prop::option::of(Just(7u8)),
+            ix in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 8);
+            prop_assert!(!m.is_empty() && m.len() < 5);
+            prop_assert!(o.is_none() || o == Some(7));
+            prop_assert!(ix.index(xs.len()) < xs.len());
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(ops in prop::collection::vec(prop_oneof![
+            3 => prop::collection::vec(any::<u8>(), 0..4).prop_map(Op::Put),
+            1 => any::<u8>().prop_map(Op::Get),
+        ], 32..33)) {
+            prop_assert_eq!(ops.len(), 32);
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic() {
+        let mut a = crate::test_rng("x::y", 3);
+        let mut b = crate::test_rng("x::y", 3);
+        let mut c = crate::test_rng("x::y", 4);
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        assert_ne!(b.gen::<u64>(), c.gen::<u64>());
+    }
+}

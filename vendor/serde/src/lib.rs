@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! lsm-lab uses serde only as derive decoration on tuning structs (nothing
+//! in-tree serializes through it — there is no `serde_json` here). This
+//! stub keeps those derives compiling offline: marker traits with blanket
+//! impls, and no-op derive macros re-exported under the usual names.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derived and hand-written bounds alike are satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented like
+/// [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` crate blanket-implements its `Serialize` /
+//! `Deserialize` marker traits for every type, so these derives have
+//! nothing to generate — they exist so `#[derive(Serialize, Deserialize)]`
+//! attributes in downstream crates keep compiling (and keep their
+//! `use serde::...` imports live) without the real proc-macro stack.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the blanket impl in the stub `serde` covers
+/// the deriving type already.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
