@@ -8,7 +8,6 @@
 
 use lsm_bench::{arg_u64, bench_options, f2, load, open_bench_db, print_table};
 use lsm_core::DataLayout;
-use lsm_storage::Backend as _;
 use lsm_workload::KeyDist;
 
 fn main() {
@@ -31,13 +30,13 @@ fn main() {
         ];
         for layout in layouts {
             let name = layout.name();
-            let (backend, db) = open_bench_db(bench_options(layout, t));
+            let db = open_bench_db(bench_options(layout, t));
             // Two full rounds: the second round's updates leave obsolete
             // versions behind, which is what space amplification measures.
             load(&db, n, 64, KeyDist::Uniform, seed);
             load(&db, n, 64, KeyDist::Uniform, seed + 1);
-            let stats = db.stats();
-            let io = backend.stats().snapshot();
+            let m = db.metrics();
+            let (stats, io) = (m.db, m.io);
             let v = db.version();
             // live bytes = what a full scan returns; tree bytes = what the
             // runs actually occupy.

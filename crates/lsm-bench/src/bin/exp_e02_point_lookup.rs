@@ -7,7 +7,6 @@
 
 use lsm_bench::{arg_u64, bench_options, f3, load, open_bench_db, print_table};
 use lsm_core::{DataLayout, PointFilterKind};
-use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist};
 
 fn main() {
@@ -29,29 +28,27 @@ fn main() {
                 PointFilterKind::None
             };
             opts.filter_bits_per_key = 10.0;
-            let (backend, db) = open_bench_db(opts);
+            let db = open_bench_db(opts);
             load(&db, n, 64, KeyDist::Uniform, seed);
             let runs = db.version().run_count();
 
             // present keys
-            let before = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..probes {
                 let id = (i * 7919) % n;
                 db.get(&format_key(id)).unwrap();
             }
-            let present_io =
-                backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            let present_io = db.metrics().delta(&before).io.read_ops as f64 / probes as f64;
 
             // absent keys lexicographically *between* loaded keys, so the
             // table key-range check cannot reject them for free
-            let before = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..probes {
                 let mut k = format_key((i * 7919) % (n - 1));
                 k.push(b'x');
                 db.get(&k).unwrap();
             }
-            let absent_io =
-                backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            let absent_io = db.metrics().delta(&before).io.read_ops as f64 / probes as f64;
 
             rows.push(vec![
                 layout.name().to_string(),

@@ -10,7 +10,6 @@
 use lsm_bench::{arg_u64, bench_options, f3, load, open_bench_db, print_table};
 use lsm_core::DataLayout;
 use lsm_filters::monkey;
-use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist};
 
 fn main() {
@@ -25,21 +24,21 @@ fn main() {
             let mut opts = bench_options(DataLayout::Leveling, 4);
             opts.filter_bits_per_key = bits as f64;
             opts.monkey_filters = monkey_on;
-            let (backend, db) = open_bench_db(opts);
+            let db = open_bench_db(opts);
             load(&db, n, 64, KeyDist::Uniform, seed);
             // absent keys between loaded keys (range checks can't help)
-            let before = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..probes {
                 let mut k = format_key((i * 7919) % (n - 1));
                 k.push(b'x');
                 db.get(&k).unwrap();
             }
-            let io = backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            let io = db.metrics().delta(&before).io.read_ops as f64 / probes as f64;
             measured.push(io);
         }
 
         // analytical expectation at this budget for a 4-level T=4 tree
-        let (_, db) = open_bench_db({
+        let db = open_bench_db({
             let mut o = bench_options(DataLayout::Leveling, 4);
             o.filter_bits_per_key = bits as f64;
             o

@@ -8,9 +8,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lsm_bench::{arg_u64, bench_options, f2, print_table};
-use lsm_core::{DataLayout, Db};
-use lsm_storage::{Backend, MemBackend};
+use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table};
+use lsm_core::DataLayout;
+use lsm_storage::MemBackend;
 use lsm_wisckey::KvSeparatedDb;
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
 
@@ -22,15 +22,7 @@ fn main() {
 
     for value_len in [64usize, 256, 1024, 4096] {
         // plain: values inline
-        let (plain_backend, plain) = {
-            let backend = Arc::new(MemBackend::new());
-            let db = Db::open(
-                backend.clone() as Arc<dyn Backend>,
-                bench_options(DataLayout::Leveling, 4),
-            )
-            .unwrap();
-            (backend, db)
-        };
+        let plain = open_bench_db(bench_options(DataLayout::Leveling, 4));
         // separated: values >= 128 B to the log
         let kv = KvSeparatedDb::open(
             Arc::new(MemBackend::new()),
@@ -74,13 +66,13 @@ fn main() {
                          returned: usize| {
             (io_after.read_ops - io_before.read_ops) as f64 / returned.max(1) as f64
         };
-        let before = plain_backend.stats().snapshot();
+        let before = plain.metrics().io;
         let plain_count = plain.scan(b"", None).unwrap().count();
-        let plain_scan = scan_cost(before, plain_backend.stats().snapshot(), plain_count);
+        let plain_scan = scan_cost(before, plain.metrics().io, plain_count);
 
-        let kv_backend_stats_before = kv.db().io_stats();
+        let before = kv.db().metrics().io;
         let kv_count = kv.scan(b"", None).unwrap().len();
-        let kv_scan = scan_cost(kv_backend_stats_before, kv.db().io_stats(), kv_count);
+        let kv_scan = scan_cost(before, kv.db().metrics().io, kv_count);
 
         rows.push(vec![
             value_len.to_string(),

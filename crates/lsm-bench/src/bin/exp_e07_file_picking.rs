@@ -19,7 +19,7 @@ fn main() {
     for pick in PickPolicy::ALL {
         let mut opts = bench_options(DataLayout::Leveling, 4);
         opts.compaction.pick = pick;
-        let (_backend, db) = open_bench_db(opts);
+        let db = open_bench_db(opts);
 
         // update-heavy phase: repeated overwrites
         let mut gen = KeyGen::new(KeyDist::Uniform, n, seed);

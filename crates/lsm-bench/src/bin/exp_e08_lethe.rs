@@ -22,7 +22,7 @@ fn main() {
             opts.compaction.extra_triggers = vec![Trigger::TombstoneAge(ttl)];
             opts.compaction.pick = PickPolicy::ExpiredTombstones;
         }
-        let (_backend, db) = open_bench_db(opts);
+        let db = open_bench_db(opts);
 
         // Load, then delete 20% of keys, then keep writing other keys so
         // the clock advances and saturation-only engines have no reason to

@@ -9,7 +9,6 @@
 
 use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table};
 use lsm_core::DataLayout;
-use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist, KeyGen};
 
 fn main() {
@@ -26,7 +25,7 @@ fn main() {
             let mut opts = bench_options(DataLayout::Leveling, 4);
             opts.block_cache_bytes = (cache_kib << 10) as usize;
             opts.warm_cache_after_compaction = warm;
-            let (backend, db) = open_bench_db(opts);
+            let db = open_bench_db(opts);
 
             // load
             let mut gen = KeyGen::new(KeyDist::Uniform, n, seed);
@@ -40,7 +39,7 @@ fn main() {
             // compactions (evicting hot blocks)
             let mut hot = KeyGen::new(KeyDist::Zipfian(0.99), n, seed ^ 7);
             let mut churn = KeyGen::new(KeyDist::Uniform, n, seed ^ 9);
-            let before_io = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..reads {
                 let id = hot.next_id();
                 db.get(&format_key(id)).unwrap();
@@ -50,9 +49,9 @@ fn main() {
                 }
             }
             db.maintain().unwrap();
-            let io = backend.stats().snapshot().delta(&before_io);
+            let io = db.metrics().delta(&before).io;
 
-            let cache = db.cache_stats().unwrap_or_default();
+            let cache = db.metrics().cache.unwrap_or_default();
             rows.push(vec![
                 if cache_kib == 0 {
                     "none".to_string()

@@ -8,7 +8,6 @@
 
 use lsm_bench::{arg_u64, bench_options, f2, f3, load, open_bench_db, print_table};
 use lsm_core::DataLayout;
-use lsm_storage::Backend as _;
 use lsm_workload::{format_key, KeyDist};
 
 fn main() {
@@ -31,17 +30,16 @@ fn main() {
             let mut opts = bench_options(layout, t);
             // no filters: expose the raw structural read cost
             opts.filter_kind = lsm_core::PointFilterKind::None;
-            let (backend, db) = open_bench_db(opts);
+            let db = open_bench_db(opts);
             load(&db, n, 64, KeyDist::Uniform, seed);
             let write_cost = db.stats().write_amplification();
 
-            let before = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..probes {
                 let id = (i * 6151) % n;
                 db.get(&format_key(id)).unwrap();
             }
-            let read_cost =
-                backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            let read_cost = db.metrics().delta(&before).io.read_ops as f64 / probes as f64;
             points.push((name, read_cost, write_cost, db.version().run_count()));
         }
     }

@@ -22,7 +22,7 @@ fn main() {
         let mut opts = bench_options(DataLayout::Hybrid { l0_runs: 4 }, 4);
         opts.background_threads = threads;
         opts.max_immutable_memtables = 3;
-        let (_backend, db) = open_bench_db(opts);
+        let db = open_bench_db(opts);
 
         let start = Instant::now();
         let mut gen = KeyGen::new(KeyDist::Uniform, n, seed);

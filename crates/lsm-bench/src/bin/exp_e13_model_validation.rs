@@ -10,7 +10,6 @@
 
 use lsm_bench::{arg_u64, bench_options, f2, f3, load, open_bench_db, print_table};
 use lsm_core::DataLayout;
-use lsm_storage::Backend as _;
 use lsm_tuning::{LayoutKind, LsmSpec};
 use lsm_workload::{format_key, KeyDist};
 
@@ -38,18 +37,17 @@ fn main() {
         ] {
             let mut opts = bench_options(layout.clone(), t);
             opts.filter_bits_per_key = 10.0;
-            let (backend, db) = open_bench_db(opts.clone());
+            let db = open_bench_db(opts.clone());
             load(&db, n, 64, KeyDist::Uniform, seed);
 
             // measured
             let measured_wa = db.stats().write_amplification();
-            let before = backend.stats().snapshot();
+            let before = db.metrics();
             for i in 0..probes {
                 let id = (i * 6151) % n;
                 db.get(&format_key(id)).unwrap();
             }
-            let measured_get =
-                backend.stats().snapshot().delta(&before).read_ops as f64 / probes as f64;
+            let measured_get = db.metrics().delta(&before).io.read_ops as f64 / probes as f64;
 
             // predicted
             let entry_bytes = 16 + 64; // key + value + overhead approximation

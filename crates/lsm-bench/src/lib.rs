@@ -80,11 +80,15 @@ pub fn bench_options(layout: DataLayout, size_ratio: u64) -> Options {
     o
 }
 
-/// Opens an in-memory database with its backend exposed (for I/O stats).
-pub fn open_bench_db(opts: Options) -> (Arc<MemBackend>, Db) {
-    let backend = Arc::new(MemBackend::new());
-    let db = Db::open(backend.clone() as Arc<dyn Backend>, opts).expect("open");
-    (backend, db)
+/// Opens an in-memory database. I/O and cache counters are read through
+/// [`Db::metrics`], so the backend no longer needs to be exposed.
+pub fn open_bench_db(opts: Options) -> Db {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    Db::builder()
+        .backend(backend)
+        .options(opts)
+        .open()
+        .expect("open")
 }
 
 /// Loads `n` keys drawn from `dist` with `value_len`-byte values.
@@ -145,7 +149,7 @@ mod tests {
 
     #[test]
     fn load_and_read_smoke() {
-        let (_backend, db) = open_bench_db(bench_options(DataLayout::Leveling, 4));
+        let db = open_bench_db(bench_options(DataLayout::Leveling, 4));
         // Sequential covers every id in [0, 2000), so any probe must hit.
         load(&db, 2000, 32, KeyDist::Sequential, 1);
         let hit = db.get(&format_key(5)).unwrap();

@@ -16,6 +16,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::compact::execute_plan;
 use crate::manifest::Manifest;
+use crate::metrics::MetricsSnapshot;
 use crate::options::Options;
 use crate::scan::{build_scan_merge, VisibleIter};
 use crate::stats::{DbStats, StatsSnapshot};
@@ -93,6 +94,28 @@ struct DbInner {
     /// When set, every structural change rewrites the backend's `MANIFEST`
     /// metadata blob (see [`MANIFEST_META`]).
     persist_manifest: bool,
+    /// What recovery did at open time (`None` for a fresh database).
+    recovery: Mutex<Option<RecoverySummary>>,
+}
+
+/// What recovery found and did while opening a database from a manifest.
+///
+/// Aggregated across every WAL segment the manifest referenced; the crash
+/// harness asserts on these numbers (e.g. that a post-power-cut reopen
+/// truncated the torn tail instead of failing).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// WAL segments found and replayed.
+    pub segments_replayed: usize,
+    /// WAL segments the manifest referenced but the backend no longer had
+    /// (deleted after their flush committed, before the manifest caught up).
+    pub segments_missing: usize,
+    /// WAL records applied to the rebuilt memtable.
+    pub records_recovered: usize,
+    /// Bytes discarded across all torn WAL tails.
+    pub wal_bytes_truncated: u64,
+    /// Segments that ended in a torn record (power cut mid-append).
+    pub torn_segments: usize,
 }
 
 /// Name of the backend metadata blob holding the serialized manifest.
@@ -199,46 +222,166 @@ impl WriteBatch {
     }
 }
 
+/// Configures and opens a [`Db`] — the single construction path.
+///
+/// Every knob is optional:
+///
+/// * No backend, no directory → a fresh in-memory database.
+/// * [`dir`](DbBuilder::dir) → an [`FsBackend`] over that directory with
+///   manifest persistence and recovery on by default.
+/// * [`backend`](DbBuilder::backend) → any backend; pair with
+///   [`recover`](DbBuilder::recover) / [`manifest`](DbBuilder::manifest) /
+///   [`persist_manifest`](DbBuilder::persist_manifest) as needed.
+///
+/// ```
+/// # use lsm_core::{Db, Options};
+/// let db = Db::builder().options(Options::small_for_benchmarks()).open()?;
+/// db.put(b"k", b"v")?;
+/// # lsm_core::Result::Ok(())
+/// ```
+#[derive(Default)]
+pub struct DbBuilder {
+    backend: Option<Arc<dyn Backend>>,
+    dir: Option<PathBuf>,
+    opts: Options,
+    manifest: Option<Vec<u8>>,
+    persist_manifest: Option<bool>,
+    recover: Option<bool>,
+    clean_orphans: bool,
+}
+
+impl DbBuilder {
+    /// Uses `backend` as the storage substrate. Mutually exclusive with
+    /// [`dir`](DbBuilder::dir).
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Stores data in a filesystem directory (an [`FsBackend`]); switches
+    /// the defaults to persistent mode: the manifest is saved to the
+    /// backend's `MANIFEST` metadata blob and recovered from it on reopen.
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Engine options (defaults to [`Options::default`]).
+    pub fn options(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Recovers from an explicit manifest blob (as returned by
+    /// [`Db::manifest_bytes`]) instead of the backend's stored one.
+    pub fn manifest(mut self, bytes: &[u8]) -> Self {
+        self.manifest = Some(bytes.to_vec());
+        self
+    }
+
+    /// Whether to rewrite the backend's `MANIFEST` metadata blob after
+    /// every structural change. Default: `true` with [`dir`](DbBuilder::dir),
+    /// `false` otherwise.
+    pub fn persist_manifest(mut self, on: bool) -> Self {
+        self.persist_manifest = Some(on);
+        self
+    }
+
+    /// Whether to look for a stored manifest and recover from it (WAL
+    /// replay included). Default: `true` with [`dir`](DbBuilder::dir) or an
+    /// explicit [`manifest`](DbBuilder::manifest), `false` otherwise.
+    pub fn recover(mut self, on: bool) -> Self {
+        self.recover = Some(on);
+        self
+    }
+
+    /// Delete backend files referenced by neither the recovered manifest
+    /// nor the live WALs, before returning (idempotent obsolete-file
+    /// cleanup after a crash). Off by default — enable only when nothing
+    /// else (e.g. a WiscKey value log) stores files in the same backend,
+    /// or clean via [`Db::clean_orphans`] with a protected list instead.
+    pub fn clean_orphans(mut self, on: bool) -> Self {
+        self.clean_orphans = on;
+        self
+    }
+
+    /// Opens the database.
+    pub fn open(self) -> Result<Db> {
+        self.opts.validate()?;
+        if self.backend.is_some() && self.dir.is_some() {
+            return Err(Error::InvalidArgument(
+                "DbBuilder: backend and dir are mutually exclusive".into(),
+            ));
+        }
+        let is_dir = self.dir.is_some();
+        let backend: Arc<dyn Backend> = match (self.backend, self.dir) {
+            (Some(b), None) => b,
+            (None, Some(d)) => Arc::new(FsBackend::open(d)?),
+            (None, None) => Arc::new(MemBackend::new()),
+            (Some(_), Some(_)) => unreachable!("rejected above"),
+        };
+        let persist = self.persist_manifest.unwrap_or(is_dir);
+        let want_recover = self.recover.unwrap_or(is_dir || self.manifest.is_some());
+        let manifest_bytes = match self.manifest {
+            Some(bytes) => Some(bytes),
+            None if want_recover => backend.get_meta(MANIFEST_META)?.map(|b| b.to_vec()),
+            None => None,
+        };
+        let inner = match manifest_bytes {
+            Some(bytes) => DbInner::recover(backend, self.opts, &bytes, persist)?,
+            None => {
+                let inner = DbInner::new(backend, self.opts, persist)?;
+                inner.save_manifest()?;
+                inner
+            }
+        };
+        if self.clean_orphans {
+            inner.clean_orphans(&[])?;
+        }
+        Db::finish_open(inner)
+    }
+}
+
 impl Db {
+    /// Starts building a database; see [`DbBuilder`].
+    pub fn builder() -> DbBuilder {
+        DbBuilder::default()
+    }
+
     /// Opens a fresh database on an in-memory backend (the experiment
     /// substrate).
+    #[deprecated(note = "use Db::builder().options(..).open()")]
     pub fn open_in_memory(opts: Options) -> Result<Db> {
-        Db::open(Arc::new(MemBackend::new()), opts)
+        Db::builder().options(opts).open()
     }
 
     /// Opens a fresh, empty database on `backend`.
+    #[deprecated(note = "use Db::builder().backend(..).options(..).open()")]
     pub fn open(backend: Arc<dyn Backend>, opts: Options) -> Result<Db> {
-        opts.validate()?;
-        let inner = DbInner::new(backend, opts, false)?;
-        Db::finish_open(inner)
+        Db::builder().backend(backend).options(opts).open()
     }
 
     /// Opens (creating or recovering) a database in a filesystem directory.
     /// The manifest lives in the backend's `MANIFEST` metadata blob;
     /// table files and logs are data files in the same directory.
+    #[deprecated(note = "use Db::builder().dir(..).options(..).open()")]
     pub fn open_dir(dir: impl Into<PathBuf>, opts: Options) -> Result<Db> {
-        opts.validate()?;
-        let backend: Arc<dyn Backend> = Arc::new(FsBackend::open(dir.into())?);
-        if let Some(bytes) = backend.get_meta(MANIFEST_META)? {
-            let inner = DbInner::recover(backend.clone(), opts, &bytes, true)?;
-            Db::finish_open(inner)
-        } else {
-            let inner = DbInner::new(backend, opts, true)?;
-            inner.save_manifest()?;
-            Db::finish_open(inner)
-        }
+        Db::builder().dir(dir).options(opts).open()
     }
 
     /// Recovers a database from a manifest blob previously returned by
     /// [`Db::manifest_bytes`] (plus WAL replay for the buffered tail).
+    #[deprecated(note = "use Db::builder().backend(..).manifest(..).open()")]
     pub fn open_with_manifest(
         backend: Arc<dyn Backend>,
         opts: Options,
         manifest: &[u8],
     ) -> Result<Db> {
-        opts.validate()?;
-        let inner = DbInner::recover(backend, opts, manifest, false)?;
-        Db::finish_open(inner)
+        Db::builder()
+            .backend(backend)
+            .options(opts)
+            .manifest(manifest)
+            .open()
     }
 
     fn finish_open(inner: Arc<DbInner>) -> Result<Db> {
@@ -616,6 +759,31 @@ impl Db {
         self.inner.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Every counter surface in one snapshot (engine + backend I/O +
+    /// cache), with a [`MetricsSnapshot::delta`] combinator for phase
+    /// measurements.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            db: self.inner.stats.snapshot(),
+            io: self.inner.backend.stats().snapshot(),
+            cache: self.inner.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
+    /// What recovery did when this database was opened: `None` for a fresh
+    /// database, `Some` after a manifest-driven recovery (even a clean one).
+    pub fn recovery_summary(&self) -> Option<RecoverySummary> {
+        self.inner.recovery.lock().clone()
+    }
+
+    /// Deletes backend files referenced by neither the manifest (tables,
+    /// live WAL segments) nor `protected` (e.g. WiscKey value-log
+    /// segments). Idempotent; tolerates concurrently-vanishing files.
+    /// Returns the number of files removed.
+    pub fn clean_orphans(&self, protected: &[FileId]) -> Result<usize> {
+        self.inner.clean_orphans(protected)
+    }
+
     /// The current tree shape, for inspection and experiments.
     pub fn version(&self) -> Arc<Version> {
         self.inner.current.lock().clone()
@@ -710,6 +878,7 @@ impl DbInner {
             shutdown: AtomicBool::new(false),
             bg_error: Mutex::new(None),
             persist_manifest,
+            recovery: Mutex::new(None),
         }))
     }
 
@@ -743,11 +912,32 @@ impl DbInner {
         inner.clock.store(manifest.next_ts, Ordering::Release);
 
         // Replay WAL segments (oldest first) into the active memtable.
+        // A segment may be gone (its flush committed, then the crash hit
+        // before the manifest dropped the reference) — that is not data
+        // loss, the entries live in a table. A torn tail is truncated per
+        // the standard contract: bytes past the last intact record were
+        // never acknowledged as durable.
+        let mut summary = RecoverySummary::default();
         let mut max_seqno = manifest.next_seqno;
         let mut max_ts = manifest.next_ts;
         for &segment in &manifest.wal_segments {
-            for record in wal::replay(backend.as_ref(), segment)? {
-                let mut dec = Decoder::new(&record);
+            let report =
+                match wal::replay(backend.as_ref(), segment, wal::RecoveryMode::TruncateTail) {
+                    Ok(r) => r,
+                    Err(Error::NotFound(_)) => {
+                        summary.segments_missing += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+            summary.segments_replayed += 1;
+            summary.records_recovered += report.records.len();
+            summary.wal_bytes_truncated += report.bytes_truncated;
+            if !report.clean() {
+                summary.torn_segments += 1;
+            }
+            for record in &report.records {
+                let mut dec = Decoder::new(record);
                 while !dec.is_empty() {
                     let entry = InternalEntry::decode_from(&mut dec)?;
                     max_seqno = max_seqno.max(entry.seqno());
@@ -755,15 +945,16 @@ impl DbInner {
                     inner.apply_to_active(entry)?;
                 }
             }
-            // Old segment's contents now live in the new active memtable
-            // (covered by its WAL once re-written on flush); we fold them
-            // forward by re-appending below.
         }
         inner.seqno.store(max_seqno, Ordering::Release);
         inner.clock.store(max_ts, Ordering::Release);
+        *inner.recovery.lock() = Some(summary);
 
-        // Re-log the replayed entries into the fresh active WAL so the old
-        // segments can be dropped.
+        // Re-log the replayed entries into the fresh active WAL (synced, so
+        // recovered data is durable again before we drop the old segments),
+        // persist a manifest referencing the fresh WAL, and only then
+        // delete the old segments — in that order, so a crash at any point
+        // leaves a manifest whose WAL references still hold the data.
         if inner.opts.wal {
             let mem = inner.mem.read();
             if let Some(wal_id) = mem.active.wal {
@@ -775,14 +966,22 @@ impl DbInner {
                     }
                     let writer = wal::WalWriter::open(inner.backend.as_ref(), wal_id);
                     writer.append(&payload)?;
+                    if inner.opts.wal_sync {
+                        writer.sync()?;
+                    }
                 }
             }
             drop(mem);
+            inner.save_manifest()?;
             for &segment in &manifest.wal_segments {
-                let _ = inner.backend.delete(segment);
+                match inner.backend.delete(segment) {
+                    Ok(()) | Err(Error::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
             }
+        } else {
+            inner.save_manifest()?;
         }
-        inner.save_manifest()?;
         Ok(inner)
     }
 
@@ -858,7 +1057,13 @@ impl DbInner {
                     for entry in &entries {
                         entry.encode_into(&mut payload);
                     }
-                    wal::WalWriter::open(self.backend.as_ref(), wal_id).append(&payload)?;
+                    let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
+                    writer.append(&payload)?;
+                    if self.opts.wal_sync {
+                        // Acknowledged == durable: the write errors (and is
+                        // not applied to the memtable) if the sync fails.
+                        writer.sync()?;
+                    }
                 }
             }
             for entry in entries {
@@ -1032,12 +1237,29 @@ impl DbInner {
 
     // ---------------------------------------------------------- maintenance
 
+    /// Runs `f`, retrying [`Error::Transient`] failures with doubling
+    /// backoff up to `opts.transient_retries` times. Background maintenance
+    /// goes through this so one flaky write doesn't kill a compaction
+    /// thread; any other error (or exhausted retries) surfaces unchanged.
+    fn with_transient_retry<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match f() {
+                Err(e) if e.is_transient() && attempt < self.opts.transient_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(1u64 << attempt.min(6)));
+                }
+                other => return other,
+            }
+        }
+    }
+
     fn drain_maintenance(&self) -> Result<()> {
         loop {
-            if self.try_flush_one()? {
+            if self.with_transient_retry(|| self.try_flush_one())? {
                 continue;
             }
-            if self.try_compact_one()? {
+            if self.with_transient_retry(|| self.try_compact_one())? {
                 continue;
             }
             return Ok(());
@@ -1049,8 +1271,10 @@ impl DbInner {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            let did =
-                (|| -> Result<bool> { Ok(self.try_flush_one()? || self.try_compact_one()?) })();
+            let did = (|| -> Result<bool> {
+                Ok(self.with_transient_retry(|| self.try_flush_one())?
+                    || self.with_transient_retry(|| self.try_compact_one())?)
+            })();
             match did {
                 Ok(true) => continue,
                 Ok(false) => {
@@ -1161,11 +1385,18 @@ impl DbInner {
             let popped = mem.immutables.pop_front();
             debug_assert_eq!(popped.map(|h| h.id), Some(handle.id));
         }
-        if let Some(wal_id) = handle.wal {
-            let _ = self.backend.delete(wal_id);
-        }
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        // Persist the manifest (which now references the new table and no
+        // longer lists this memtable's WAL) *before* deleting the WAL — a
+        // crash between the two leaves an orphan segment (cleaned up on
+        // reopen), never a manifest pointing at a missing one.
         self.save_manifest()?;
+        if let Some(wal_id) = handle.wal {
+            match self.backend.delete(wal_id) {
+                Ok(()) | Err(Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
         self.stall_cv.notify_all();
         Ok(())
     }
@@ -1343,5 +1574,24 @@ impl DbInner {
             self.backend.put_meta(MANIFEST_META, &bytes)?;
         }
         Ok(())
+    }
+
+    /// See [`Db::clean_orphans`].
+    fn clean_orphans(&self, protected: &[FileId]) -> Result<usize> {
+        let mut referenced: HashSet<FileId> = self.build_manifest().references().collect();
+        referenced.extend(protected.iter().copied());
+        let mut removed = 0;
+        for id in self.backend.list_files() {
+            if referenced.contains(&id) {
+                continue;
+            }
+            match self.backend.delete(id) {
+                Ok(()) => removed += 1,
+                // Someone else (a dropped obsolete table) beat us to it.
+                Err(Error::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(removed)
     }
 }

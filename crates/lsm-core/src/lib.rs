@@ -30,12 +30,14 @@
 mod compact;
 mod db;
 mod manifest;
+mod metrics;
 mod options;
 mod scan;
 mod stats;
 mod version;
 
-pub use db::{Db, DbScanIter, Snapshot, WriteBatch};
+pub use db::{Db, DbBuilder, DbScanIter, RecoverySummary, Snapshot, WriteBatch};
+pub use metrics::MetricsSnapshot;
 pub use options::Options;
 pub use stats::{DbStats, StatsSnapshot};
 pub use version::{Run, Version};

@@ -28,6 +28,19 @@ pub struct Manifest {
 }
 
 impl Manifest {
+    /// Every file id the manifest references: all table files plus the
+    /// live WAL segments. Any backend file outside this set (and not
+    /// otherwise claimed, e.g. a value-log segment) is an orphan that
+    /// recovery may delete.
+    pub fn references(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.levels
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .chain(self.wal_segments.iter().copied())
+    }
+
     /// Serializes the manifest (checksummed).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(128);

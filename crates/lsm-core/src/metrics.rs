@@ -1,0 +1,179 @@
+//! The unified metrics surface: one snapshot covering the engine, the
+//! storage backend, and the block cache.
+//!
+//! Before this module, experiments hand-assembled three separate
+//! surfaces — [`StatsSnapshot`], [`IoSnapshot`], and [`CacheStats`] — with
+//! three `delta` dances. [`Db::metrics`](crate::Db::metrics) returns all of
+//! them in one [`MetricsSnapshot`], with a single [`delta`] combinator for
+//! phase measurements and a [`to_json`] emitter for experiment output.
+//!
+//! [`delta`]: MetricsSnapshot::delta
+//! [`to_json`]: MetricsSnapshot::to_json
+
+use lsm_storage::{CacheStats, IoSnapshot};
+
+use crate::stats::StatsSnapshot;
+
+/// A point-in-time copy of every counter the engine exposes.
+#[derive(Clone, Copy, Default, Debug, PartialEq, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Engine-level counters (operations, flushes, compactions, stalls).
+    pub db: StatsSnapshot,
+    /// Backend I/O counters (ops, pages, bytes, file churn).
+    pub io: IoSnapshot,
+    /// Block-cache counters; `None` when the cache is disabled.
+    pub cache: Option<CacheStats>,
+}
+
+impl MetricsSnapshot {
+    /// Counter increments between `earlier` and `self`. The cache delta is
+    /// present only when both snapshots carry cache stats.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            db: self.db.delta(&earlier.db),
+            io: self.io.delta(&earlier.io),
+            cache: match (&self.cache, &earlier.cache) {
+                (Some(now), Some(then)) => Some(now.delta(then)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Write amplification: physical bytes written per user byte ingested.
+    pub fn write_amplification(&self) -> f64 {
+        self.db.write_amplification()
+    }
+
+    /// Serializes the snapshot as one JSON object (flat, stable key order),
+    /// for experiment logs and scripts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let db = &self.db;
+        push_obj(
+            &mut out,
+            "db",
+            &[
+                ("puts", db.puts),
+                ("gets", db.gets),
+                ("deletes", db.deletes),
+                ("scans", db.scans),
+                ("user_bytes", db.user_bytes),
+                ("flushes", db.flushes),
+                ("flush_bytes", db.flush_bytes),
+                ("compactions", db.compactions),
+                ("compact_bytes_read", db.compact_bytes_read),
+                ("compact_bytes_written", db.compact_bytes_written),
+                ("stall_count", db.stall_count),
+                ("stall_nanos", db.stall_nanos),
+                ("gc_dropped_entries", db.gc_dropped_entries),
+                ("tombstones_purged", db.tombstones_purged),
+            ],
+        );
+        out.push(',');
+        let io = &self.io;
+        push_obj(
+            &mut out,
+            "io",
+            &[
+                ("read_ops", io.read_ops),
+                ("read_pages", io.read_pages),
+                ("read_bytes", io.read_bytes),
+                ("write_ops", io.write_ops),
+                ("write_pages", io.write_pages),
+                ("write_bytes", io.write_bytes),
+                ("files_created", io.files_created),
+                ("files_deleted", io.files_deleted),
+            ],
+        );
+        out.push(',');
+        match &self.cache {
+            Some(c) => push_obj(
+                &mut out,
+                "cache",
+                &[
+                    ("hits", c.hits),
+                    ("misses", c.misses),
+                    ("insertions", c.insertions),
+                    ("evictions", c.evictions),
+                    ("invalidations", c.invalidations),
+                ],
+            ),
+            None => out.push_str("\"cache\":null"),
+        }
+        out.push_str(&format!(
+            ",\"write_amplification\":{:.4}",
+            self.write_amplification()
+        ));
+        out.push('}');
+        out
+    }
+}
+
+fn push_obj(out: &mut String, name: &str, fields: &[(&str, u64)]) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_combines_all_surfaces() {
+        let a = MetricsSnapshot {
+            cache: Some(CacheStats::default()),
+            ..Default::default()
+        };
+        let mut b = a;
+        b.db.puts = 10;
+        b.io.write_bytes = 4096;
+        if let Some(c) = b.cache.as_mut() {
+            c.hits = 3;
+        }
+        let d = b.delta(&a);
+        assert_eq!(d.db.puts, 10);
+        assert_eq!(d.io.write_bytes, 4096);
+        assert_eq!(d.cache.map(|c| c.hits), Some(3));
+    }
+
+    #[test]
+    fn delta_drops_cache_when_either_side_lacks_it() {
+        let with = MetricsSnapshot {
+            cache: Some(CacheStats::default()),
+            ..Default::default()
+        };
+        let without = MetricsSnapshot::default();
+        assert!(with.delta(&without).cache.is_none());
+        assert!(without.delta(&without).cache.is_none());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut m = MetricsSnapshot::default();
+        m.db.puts = 7;
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"db\":{\"puts\":7,"));
+        assert!(j.contains("\"io\":{\"read_ops\":0,"));
+        assert!(j.contains("\"cache\":null"));
+        assert!(j.contains("\"write_amplification\":0.0000"));
+
+        m.cache = Some(CacheStats {
+            hits: 2,
+            ..Default::default()
+        });
+        assert!(m.to_json().contains("\"cache\":{\"hits\":2,"));
+    }
+}

@@ -36,6 +36,13 @@ pub struct Options {
     pub warm_cache_after_compaction: bool,
     /// Write-ahead logging for crash durability.
     pub wal: bool,
+    /// Sync the WAL after every write batch, so an acknowledged write is
+    /// durable (survives a power cut). Disabling trades the fsync per
+    /// batch for a window of acknowledged-but-volatile writes.
+    pub wal_sync: bool,
+    /// How many times background maintenance retries a transient storage
+    /// error (with doubling backoff) before treating it as fatal.
+    pub transient_retries: u32,
     /// Background maintenance threads; 0 runs flush/compaction inline on
     /// the writing thread (deterministic mode).
     pub background_threads: usize,
@@ -58,6 +65,8 @@ impl Default for Options {
             block_cache_bytes: 8 << 20, // 8 MiB
             warm_cache_after_compaction: false,
             wal: true,
+            wal_sync: true,
+            transient_retries: 4,
             background_threads: 0,
             table_target_bytes: 2 << 20, // 2 MiB
         }

@@ -27,7 +27,7 @@ pub struct DbStats {
 }
 
 /// A point-in-time copy of [`DbStats`].
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct StatsSnapshot {
     /// `put` operations accepted.
     pub puts: u64,

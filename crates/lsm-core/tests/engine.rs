@@ -32,7 +32,7 @@ fn layouts() -> Vec<DataLayout> {
 
 #[test]
 fn put_get_delete_roundtrip() {
-    let db = Db::open_in_memory(Options::default()).unwrap();
+    let db = Db::builder().options(Options::default()).open().unwrap();
     assert_eq!(db.get(b"missing").unwrap(), None);
     db.put(b"k1", b"v1").unwrap();
     db.put(b"k2", b"v2").unwrap();
@@ -49,7 +49,7 @@ fn bulk_load_and_read_across_all_layouts() {
     for layout in layouts() {
         let mut opts = small_opts();
         opts.compaction.layout = layout.clone();
-        let db = Db::open_in_memory(opts).unwrap();
+        let db = Db::builder().options(opts).open().unwrap();
         let n = 3000u32;
         for i in 0..n {
             db.put(
@@ -92,7 +92,7 @@ fn bulk_load_and_read_across_all_layouts() {
 fn updates_resolve_to_newest_after_compaction() {
     let mut opts = small_opts();
     opts.compaction.layout = DataLayout::Leveling;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for round in 0..5u32 {
         for i in 0..500u32 {
             db.put(
@@ -118,7 +118,7 @@ fn updates_resolve_to_newest_after_compaction() {
 #[test]
 fn deletes_survive_compaction_until_bottom() {
     let mut opts = small_opts();
-    let db = Db::open_in_memory(opts.clone()).unwrap();
+    let db = Db::builder().options(opts.clone()).open().unwrap();
     for i in 0..1000u32 {
         db.put(format!("key{i:05}").as_bytes(), &[b'x'; 64])
             .unwrap();
@@ -141,7 +141,7 @@ fn deletes_survive_compaction_until_bottom() {
     }
     // after enough churn, tombstones eventually get purged at the bottom
     opts.compaction.extra_triggers = vec![Trigger::TombstoneDensity(0.01)];
-    let db2 = Db::open_in_memory(opts).unwrap();
+    let db2 = Db::builder().options(opts).open().unwrap();
     for i in 0..500u32 {
         db2.put(format!("key{i:05}").as_bytes(), &[b'x'; 64])
             .unwrap();
@@ -161,7 +161,7 @@ fn deletes_survive_compaction_until_bottom() {
 
 #[test]
 fn scan_ranges_and_bounds() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     for i in 0..300u32 {
         db.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
     }
@@ -185,7 +185,7 @@ fn scan_ranges_and_bounds() {
 
 #[test]
 fn snapshots_pin_history_across_compaction() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     for i in 0..200u32 {
         db.put(format!("k{i:04}").as_bytes(), b"old").unwrap();
     }
@@ -217,7 +217,7 @@ fn snapshots_pin_history_across_compaction() {
 
 #[test]
 fn range_delete_masks_and_compacts_away() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     for i in 0..300u32 {
         db.put(format!("k{i:04}").as_bytes(), b"v").unwrap();
     }
@@ -252,7 +252,7 @@ fn range_delete_masks_and_compacts_away() {
 
 #[test]
 fn single_delete_removes_once_written_key() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     db.put(b"once", b"v").unwrap();
     db.flush().unwrap();
     db.single_delete(b"once").unwrap();
@@ -267,7 +267,7 @@ fn write_batch_like_interleaving_with_memtable_kinds() {
     for kind in MemTableKind::ALL {
         let mut opts = small_opts();
         opts.memtable_kind = kind;
-        let db = Db::open_in_memory(opts).unwrap();
+        let db = Db::builder().options(opts).open().unwrap();
         for i in 0..800u32 {
             db.put(
                 format!("k{:04}", i % 100).as_bytes(),
@@ -292,7 +292,7 @@ fn write_batch_like_interleaving_with_memtable_kinds() {
 
 #[test]
 fn stats_track_write_amplification() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     for i in 0..4000u32 {
         db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50])
             .unwrap();
@@ -314,7 +314,11 @@ fn manifest_recovery_preserves_data() {
     let mut opts = small_opts();
     opts.wal = true;
     let manifest = {
-        let db = Db::open(backend.clone(), opts.clone()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone())
+            .options(opts.clone())
+            .open()
+            .unwrap();
         for i in 0..1000u32 {
             db.put(format!("key{i:05}").as_bytes(), format!("v{i}").as_bytes())
                 .unwrap();
@@ -327,8 +331,12 @@ fn manifest_recovery_preserves_data() {
         }
         db.manifest_bytes()
     };
-    let db2 =
-        Db::open_with_manifest(backend as Arc<dyn lsm_storage::Backend>, opts, &manifest).unwrap();
+    let db2 = Db::builder()
+        .backend(backend as Arc<dyn lsm_storage::Backend>)
+        .options(opts)
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     for i in (0..1100u32).step_by(53) {
         let got = db2.get(format!("key{i:05}").as_bytes()).unwrap();
         assert_eq!(
@@ -352,7 +360,11 @@ fn open_dir_recovers_from_filesystem() {
     let mut opts = small_opts();
     opts.wal = true;
     {
-        let db = Db::open_dir(&dir, opts.clone()).unwrap();
+        let db = Db::builder()
+            .dir(&dir)
+            .options(opts.clone())
+            .open()
+            .unwrap();
         for i in 0..500u32 {
             db.put(format!("key{i:05}").as_bytes(), b"persisted")
                 .unwrap();
@@ -364,7 +376,7 @@ fn open_dir_recovers_from_filesystem() {
         }
     }
     {
-        let db = Db::open_dir(&dir, opts).unwrap();
+        let db = Db::builder().dir(&dir).options(opts).open().unwrap();
         assert_eq!(
             db.get(b"key00000").unwrap().as_deref(),
             Some(&b"persisted"[..])
@@ -387,7 +399,7 @@ fn open_dir_recovers_from_filesystem() {
 fn background_threads_reach_same_state() {
     let mut opts = small_opts();
     opts.background_threads = 2;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for i in 0..3000u32 {
         db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
             .unwrap();
@@ -404,7 +416,7 @@ fn background_threads_reach_same_state() {
 fn concurrent_writers_and_readers_background() {
     let mut opts = small_opts();
     opts.background_threads = 2;
-    let db = Arc::new(Db::open_in_memory(opts).unwrap());
+    let db = Arc::new(Db::builder().options(opts).open().unwrap());
     let mut handles = Vec::new();
     for t in 0..3u32 {
         let db = Arc::clone(&db);
@@ -435,7 +447,7 @@ fn monkey_filters_reduce_memory_at_bottom() {
     let mut opts = small_opts();
     opts.monkey_filters = true;
     opts.filter_bits_per_key = 8.0;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for i in 0..5000u32 {
         db.put(format!("key{i:06}").as_bytes(), &[b'v'; 30])
             .unwrap();
@@ -453,7 +465,7 @@ fn monkey_filters_reduce_memory_at_bottom() {
 fn whole_level_granularity_works() {
     let mut opts = small_opts();
     opts.compaction.granularity = Granularity::Level;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for i in 0..2000u32 {
         db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
             .unwrap();
@@ -472,7 +484,7 @@ fn all_pick_policies_converge() {
         if pick == PickPolicy::ExpiredTombstones {
             opts.compaction.extra_triggers = vec![Trigger::TombstoneAge(10_000)];
         }
-        let db = Db::open_in_memory(opts).unwrap();
+        let db = Db::builder().options(opts).open().unwrap();
         for i in 0..2000u32 {
             db.put(format!("key{i:06}").as_bytes(), &[b'v'; 40])
                 .unwrap();
@@ -492,7 +504,7 @@ fn lethe_ttl_trigger_bounds_tombstone_age() {
     let mut opts = small_opts();
     opts.compaction.extra_triggers = vec![Trigger::TombstoneAge(2000)];
     opts.compaction.pick = PickPolicy::ExpiredTombstones;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for i in 0..500u32 {
         db.put(format!("key{i:05}").as_bytes(), &[b'v'; 64])
             .unwrap();
@@ -524,7 +536,7 @@ fn lethe_ttl_trigger_bounds_tombstone_age() {
 fn space_amp_stays_bounded_for_leveling() {
     let mut opts = small_opts();
     opts.compaction.layout = DataLayout::Leveling;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for round in 0..4u32 {
         for i in 0..1000u32 {
             db.put(
@@ -541,7 +553,7 @@ fn space_amp_stays_bounded_for_leveling() {
 
 #[test]
 fn empty_and_edge_keys() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     db.put(b"", b"empty-key").unwrap();
     db.put(b"\x00", b"nul").unwrap();
     db.put(&[0xff; 32], b"high").unwrap();
@@ -556,7 +568,7 @@ fn empty_and_edge_keys() {
 
 #[test]
 fn delete_range_rejects_inverted() {
-    let db = Db::open_in_memory(small_opts()).unwrap();
+    let db = Db::builder().options(small_opts()).open().unwrap();
     assert!(db.delete_range(b"z", b"a").is_err());
     assert!(db.delete_range(b"a", b"a").is_err());
 }
@@ -566,7 +578,11 @@ fn obsolete_files_are_reclaimed() {
     let mut opts = small_opts();
     opts.wal = false;
     let backend = Arc::new(MemBackend::new());
-    let db = Db::open(backend.clone(), opts).unwrap();
+    let db = Db::builder()
+        .backend(backend.clone())
+        .options(opts)
+        .open()
+        .unwrap();
     for i in 0..4000u32 {
         db.put(format!("key{i:06}").as_bytes(), &[b'v'; 50])
             .unwrap();

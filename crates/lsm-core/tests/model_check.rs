@@ -44,7 +44,7 @@ fn run_model(layout: DataLayout, ops: &[Op]) {
     opts.compaction.level1_bytes = 8 << 10;
     opts.compaction.size_ratio = 2;
     opts.compaction.layout = layout.clone();
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
     for op in ops {
@@ -143,7 +143,7 @@ proptest! {
 fn snapshot_isolation_under_churn() {
     let mut opts = Options::small_for_benchmarks();
     opts.write_buffer_bytes = 2 << 10;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     type PinnedState = (lsm_core::Snapshot, BTreeMap<Vec<u8>, Vec<u8>>);
     let mut model_states: Vec<PinnedState> = Vec::new();
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();

@@ -30,7 +30,11 @@ fn recovery_restores_flushed_and_buffered_data() {
     let flushed = 600u64;
     let buffered = 120u64;
     let manifest = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, small()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(small())
+            .open()
+            .unwrap();
         for i in 0..flushed {
             db.put(&key(i), format!("flushed-{i}").as_bytes()).unwrap();
         }
@@ -43,7 +47,12 @@ fn recovery_restores_flushed_and_buffered_data() {
         db.manifest_bytes()
     };
 
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, small(), &manifest).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(small())
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     for i in 0..flushed {
         assert!(db.get(&key(i)).unwrap().is_some(), "flushed key {i} lost");
     }
@@ -65,14 +74,23 @@ fn double_recovery_is_stable() {
     // Recover, write more, recover again: no data loss, no duplication.
     let backend = Arc::new(MemBackend::new());
     let m1 = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, small()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(small())
+            .open()
+            .unwrap();
         for i in 0..300u64 {
             db.put(&key(i), b"gen1").unwrap();
         }
         db.manifest_bytes()
     };
     let m2 = {
-        let db = Db::open_with_manifest(backend.clone() as Arc<dyn Backend>, small(), &m1).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(small())
+            .manifest(&m1)
+            .open()
+            .unwrap();
         for i in 300..500u64 {
             db.put(&key(i), b"gen2").unwrap();
         }
@@ -81,7 +99,12 @@ fn double_recovery_is_stable() {
         }
         db.manifest_bytes()
     };
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, small(), &m2).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(small())
+        .manifest(&m2)
+        .open()
+        .unwrap();
     assert_eq!(db.scan(b"", None).unwrap().count(), 500);
     assert_eq!(
         db.get(&key(10)).unwrap().as_deref(),
@@ -97,11 +120,20 @@ fn recovery_preserves_seqno_monotonicity() {
     // everything is compacted together.
     let backend = Arc::new(MemBackend::new());
     let manifest = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, small()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(small())
+            .open()
+            .unwrap();
         db.put(b"k", b"before-crash").unwrap();
         db.manifest_bytes()
     };
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, small(), &manifest).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(small())
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"before-crash"[..]));
     db.put(b"k", b"after-recovery").unwrap();
     assert_eq!(
@@ -122,7 +154,11 @@ fn recovery_with_wal_disabled_loses_only_the_buffer() {
     let mut opts = small();
     opts.wal = false;
     let manifest = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts.clone()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(opts.clone())
+            .open()
+            .unwrap();
         for i in 0..400u64 {
             db.put(&key(i), b"durable").unwrap();
         }
@@ -133,7 +169,12 @@ fn recovery_with_wal_disabled_loses_only_the_buffer() {
         }
         db.manifest_bytes()
     };
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, opts, &manifest).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(opts)
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     assert_eq!(
         db.scan(b"", None).unwrap().count(),
         400,

@@ -18,7 +18,7 @@ fn small() -> Options {
 
 #[test]
 fn update_implements_counters() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     let bump = |cur: Option<&[u8]>| -> Option<Vec<u8>> {
         let v = cur
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
@@ -34,7 +34,7 @@ fn update_implements_counters() {
 
 #[test]
 fn concurrent_updates_lose_nothing() {
-    let db = Arc::new(Db::open_in_memory(small()).unwrap());
+    let db = Arc::new(Db::builder().options(small()).open().unwrap());
     let mut handles = Vec::new();
     for _ in 0..4 {
         let db = Arc::clone(&db);
@@ -63,7 +63,7 @@ fn concurrent_updates_lose_nothing() {
 
 #[test]
 fn update_returning_none_deletes() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     db.put(b"k", b"v").unwrap();
     db.update(b"k", |_| None).unwrap();
     assert_eq!(db.get(b"k").unwrap(), None);
@@ -79,7 +79,7 @@ fn update_returning_none_deletes() {
 
 #[test]
 fn bulk_load_into_empty_db_and_read() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20_000u64)
         .map(|i| (format_key(i), format!("bulk-{i}").into_bytes()))
         .collect();
@@ -109,7 +109,7 @@ fn bulk_load_into_empty_db_and_read() {
 
 #[test]
 fn bulk_load_rejects_unsorted_and_overlap() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     assert!(db
         .bulk_load(vec![
             (b"b".to_vec(), b"1".to_vec()),
@@ -135,7 +135,7 @@ fn bulk_load_rejects_unsorted_and_overlap() {
 
 #[test]
 fn bulk_load_requires_empty_memtable() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     db.put(b"buffered", b"v").unwrap();
     assert!(db.bulk_load(vec![(b"x".to_vec(), b"1".to_vec())]).is_err());
     db.flush().unwrap();
@@ -150,13 +150,13 @@ fn bulk_load_is_fast_loading_path() {
         .map(|i| (format_key(i), vec![b'v'; 64]))
         .collect();
 
-    let db_puts = Db::open_in_memory(small()).unwrap();
+    let db_puts = Db::builder().options(small()).open().unwrap();
     for (k, v) in &pairs {
         db_puts.put(k, v).unwrap();
     }
     db_puts.maintain().unwrap();
 
-    let db_bulk = Db::open_in_memory(small()).unwrap();
+    let db_bulk = Db::builder().options(small()).open().unwrap();
     db_bulk.bulk_load(pairs).unwrap();
 
     let wa_puts = db_puts.stats().write_amplification();

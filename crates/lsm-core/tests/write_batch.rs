@@ -17,7 +17,7 @@ fn small() -> Options {
 
 #[test]
 fn batch_applies_all_ops_in_order() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     db.put(b"pre", b"existing").unwrap();
 
     let mut batch = WriteBatch::new();
@@ -37,7 +37,7 @@ fn batch_applies_all_ops_in_order() {
 
 #[test]
 fn empty_batch_is_a_noop() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     let before = db.stats();
     db.write(WriteBatch::new()).unwrap();
     assert_eq!(db.stats(), before);
@@ -45,7 +45,7 @@ fn empty_batch_is_a_noop() {
 
 #[test]
 fn invalid_range_rejects_whole_batch() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     let mut batch = WriteBatch::new();
     batch.put(b"k", b"v").delete_range(b"z", b"a");
     assert!(db.write(batch).is_err());
@@ -56,7 +56,7 @@ fn invalid_range_rejects_whole_batch() {
 fn snapshot_never_sees_partial_batch() {
     // A writer applies batches of {k1, k2} repeatedly while a reader takes
     // snapshots and checks that k1 and k2 are always in the same state.
-    let db = Arc::new(Db::open_in_memory(small()).unwrap());
+    let db = Arc::new(Db::builder().options(small()).open().unwrap());
     let stop = Arc::new(AtomicBool::new(false));
 
     let writer = {
@@ -90,21 +90,30 @@ fn batch_survives_wal_recovery_as_a_unit() {
     let mut opts = small();
     opts.wal = true;
     let manifest = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts.clone()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(opts.clone())
+            .open()
+            .unwrap();
         let mut b = WriteBatch::new();
         b.put(b"x", b"1").put(b"y", b"2").delete(b"x");
         db.write(b).unwrap();
         db.manifest_bytes()
         // dropped without flushing: the batch lives only in the WAL
     };
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, opts, &manifest).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(opts)
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     assert_eq!(db.get(b"x").unwrap(), None);
     assert_eq!(db.get(b"y").unwrap().as_deref(), Some(&b"2"[..]));
 }
 
 #[test]
 fn large_batch_triggers_freeze_and_flush() {
-    let db = Db::open_in_memory(small()).unwrap();
+    let db = Db::builder().options(small()).open().unwrap();
     let mut b = WriteBatch::new();
     for i in 0..2000u32 {
         b.put(format!("key{i:05}").as_bytes(), &[b'v'; 64]);

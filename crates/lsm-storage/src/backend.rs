@@ -32,6 +32,17 @@ pub trait Backend: Send + Sync {
     /// data begins.
     fn append(&self, id: FileId, data: &[u8]) -> Result<u64>;
 
+    /// Makes all bytes appended to `id` so far durable. Blob writes
+    /// ([`Backend::write_blob`]) and metadata writes ([`Backend::put_meta`])
+    /// are durable once they return; appends are only guaranteed to survive
+    /// a power cut after `sync` returns `Ok` (see `FaultBackend`'s
+    /// power-cut model, which is what gives this contract teeth in tests).
+    fn sync(&self, id: FileId) -> Result<()>;
+
+    /// Truncates an appendable file to `len` bytes (recovery discards torn
+    /// tails with this). Growing a file is an error.
+    fn truncate(&self, id: FileId, len: u64) -> Result<()>;
+
     /// Reads `len` bytes starting at `offset`.
     fn read(&self, id: FileId, offset: u64, len: usize) -> Result<Bytes>;
 
@@ -40,6 +51,10 @@ pub trait Backend: Send + Sync {
 
     /// Deletes a file. Deleting a missing file is an error.
     fn delete(&self, id: FileId) -> Result<()>;
+
+    /// Ids of all live data files, in no particular order (the basis for
+    /// orphan cleanup and dangling-reference checks during recovery).
+    fn list_files(&self) -> Vec<FileId>;
 
     /// Atomically persists a small named metadata blob (e.g. the manifest),
     /// replacing any previous value. Names must be simple file names —
@@ -151,6 +166,29 @@ impl Backend for MemBackend {
         Ok(offset)
     }
 
+    fn sync(&self, id: FileId) -> Result<()> {
+        let files = self.files.read();
+        if !files.contains_key(&id) {
+            return Err(Error::NotFound(format!("file {id}")));
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, id: FileId, len: u64) -> Result<()> {
+        let mut files = self.files.write();
+        let file = files
+            .get_mut(&id)
+            .ok_or_else(|| Error::NotFound(format!("file {id}")))?;
+        if len > file.len() as u64 {
+            return Err(Error::InvalidArgument(format!(
+                "truncate cannot grow file {id}: {len} > {}",
+                file.len()
+            )));
+        }
+        file.truncate(len as usize);
+        Ok(())
+    }
+
     fn read(&self, id: FileId, offset: u64, len: usize) -> Result<Bytes> {
         let files = self.files.read();
         let file = files
@@ -185,6 +223,10 @@ impl Backend for MemBackend {
         }
         self.stats.charge_file_deleted();
         Ok(())
+    }
+
+    fn list_files(&self) -> Vec<FileId> {
+        self.files.read().keys().copied().collect()
     }
 
     fn put_meta(&self, name: &str, data: &[u8]) -> Result<()> {
@@ -311,6 +353,26 @@ impl Backend for FsBackend {
         })
     }
 
+    fn sync(&self, id: FileId) -> Result<()> {
+        self.with_handle(id, |file| {
+            file.sync_data()?;
+            Ok(())
+        })
+    }
+
+    fn truncate(&self, id: FileId, len: u64) -> Result<()> {
+        self.with_handle(id, |file| {
+            let current = file.metadata()?.len();
+            if len > current {
+                return Err(Error::InvalidArgument(format!(
+                    "truncate cannot grow file {id}: {len} > {current}"
+                )));
+            }
+            file.set_len(len)?;
+            Ok(())
+        })
+    }
+
     fn read(&self, id: FileId, offset: u64, len: usize) -> Result<Bytes> {
         self.stats.charge_read(offset, len);
         self.with_handle(id, |file| {
@@ -339,6 +401,20 @@ impl Backend for FsBackend {
         })?;
         self.stats.charge_file_deleted();
         Ok(())
+    }
+
+    fn list_files(&self) -> Vec<FileId> {
+        std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .strip_suffix(".lsm")
+                    .and_then(|stem| stem.parse::<u64>().ok())
+            })
+            .collect()
     }
 
     fn put_meta(&self, name: &str, data: &[u8]) -> Result<()> {
@@ -408,6 +484,20 @@ mod tests {
         assert_eq!(b.append(log, b"bb").unwrap(), 4);
         assert_eq!(b.len(log).unwrap(), 6);
         assert_eq!(&b.read(log, 4, 2).unwrap()[..], b"bb");
+
+        // sync + truncate
+        b.sync(log).unwrap();
+        b.truncate(log, 4).unwrap();
+        assert_eq!(b.len(log).unwrap(), 4);
+        assert!(b.truncate(log, 10).is_err(), "truncate must not grow");
+        assert_eq!(b.append(log, b"cc").unwrap(), 4);
+        b.truncate(log, 6).unwrap();
+        assert!(b.sync(999_999).is_err(), "sync of a missing file fails");
+
+        // enumeration
+        let mut listed = b.list_files();
+        listed.sort_unstable();
+        assert_eq!(listed, vec![id, log]);
 
         // delete
         b.delete(id).unwrap();

@@ -28,7 +28,7 @@ pub struct BlockKey {
 }
 
 /// Counters describing cache effectiveness.
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Lookups that found their block.
     pub hits: u64,
@@ -50,6 +50,17 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter increments between `earlier` and `self`.
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+            invalidations: self.invalidations - earlier.invalidations,
         }
     }
 }

@@ -1,0 +1,646 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! [`FaultBackend`] wraps any [`Backend`] and injects failures at
+//! deterministic, seeded points. It is the layer PR 1's rule — *every byte
+//! of engine I/O goes through the `Backend` trait* — was built to enable:
+//! because the engine cannot reach the device any other way, arming one
+//! fault here provably covers every write path (WAL, flush, compaction,
+//! manifest, value log).
+//!
+//! ## Fault taxonomy
+//!
+//! * **Crash points** — every *write-class* operation (`append`,
+//!   `write_blob`, `create_appendable`, `delete`, `put_meta`, `sync`,
+//!   `truncate`) increments a counter; [`FaultBackend::crash_at_write_op`]
+//!   makes the *k*-th such operation fail and kills the backend (all later
+//!   operations error). A crashed `append` may leave a *torn* record: a
+//!   seeded prefix of the write survives the subsequent power cut.
+//! * **Power cut** — [`FaultBackend::power_cut`] truncates every appendable
+//!   file to its synced length, discarding all un-synced bytes (plus the
+//!   seeded torn prefix of a crashed append, which models bytes that hit
+//!   the platter before the failure). Blob and metadata writes are modeled
+//!   as durable on `Ok` (`FsBackend` fsyncs them before returning).
+//! * **Transient errors** — scheduled write-op indices or a budget of reads
+//!   fail with [`Error::Transient`]; retrying succeeds. Background
+//!   maintenance must absorb these without dying.
+//! * **Permanent errors** — all reads or all writes fail until further
+//!   notice.
+//! * **Lying sync** — the next `sync` returns `Ok` *without* making bytes
+//!   durable, and every later `sync` fails (the "fsyncgate" failure mode:
+//!   a device that acknowledges, drops the data, then reports errors).
+//!
+//! With no faults armed, `FaultBackend` is byte-identical to its inner
+//! backend (property-tested in `tests/fault_backend.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lsm_types::{Error, Result};
+use parking_lot::Mutex;
+
+use crate::backend::{Backend, FileId};
+use crate::stats::IoStats;
+
+/// What a lying/failing sync schedule is currently doing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SyncFault {
+    /// Syncs behave normally.
+    None,
+    /// The next sync acknowledges without persisting, then degrades to
+    /// `Failed`.
+    LieOnce,
+    /// Every sync fails.
+    Failed,
+}
+
+struct FaultState {
+    seed: u64,
+    /// Write-class operations observed so far.
+    write_ops: u64,
+    /// 1-based write-op index at which to crash.
+    crash_at: Option<u64>,
+    crashed: bool,
+    /// Write-op indices that fail with a transient error.
+    transient_write_errors: HashSet<u64>,
+    /// Budget of reads that fail with a transient error.
+    transient_read_errors: u64,
+    permanent_read_error: bool,
+    permanent_write_error: bool,
+    sync_fault: SyncFault,
+    /// Synced byte count per appendable file. Files absent from the map
+    /// (blobs) are fully durable.
+    durable_len: HashMap<FileId, u64>,
+    /// File whose final append was the crash point, if any: a seeded prefix
+    /// of its un-synced tail survives the power cut (torn write).
+    torn: Option<FileId>,
+    /// Physical length of `torn` at crash time.
+    torn_physical: u64,
+}
+
+impl FaultState {
+    /// Deterministic value in `[0, bound]` derived from the seed and the
+    /// current op counter (xorshift; bound inclusive).
+    fn seeded(&self, bound: u64) -> u64 {
+        let mut x = self.seed ^ (self.write_ops.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if bound == u64::MAX {
+            x
+        } else {
+            x % (bound + 1)
+        }
+    }
+}
+
+/// A composable [`Backend`] wrapper that injects deterministic faults.
+///
+/// See the module docs for the fault taxonomy. All scheduling methods take
+/// `&self` and may be called at any time, including between operations of a
+/// live database.
+pub struct FaultBackend {
+    inner: Arc<dyn Backend>,
+    state: Mutex<FaultState>,
+}
+
+fn crashed_err() -> Error {
+    Error::Io(std::io::Error::other("injected fault: backend crashed"))
+}
+
+fn injected_crash() -> Error {
+    Error::Io(std::io::Error::other("injected fault: power failure"))
+}
+
+impl FaultBackend {
+    /// Wraps `inner` with no faults armed (pure passthrough) and seed 0.
+    pub fn new(inner: Arc<dyn Backend>) -> Self {
+        Self::with_seed(inner, 0)
+    }
+
+    /// Wraps `inner`; `seed` determines torn-write lengths and the
+    /// applied-or-not coin of non-append crash points.
+    pub fn with_seed(inner: Arc<dyn Backend>, seed: u64) -> Self {
+        FaultBackend {
+            inner,
+            state: Mutex::new(FaultState {
+                seed,
+                write_ops: 0,
+                crash_at: None,
+                crashed: false,
+                transient_write_errors: HashSet::new(),
+                transient_read_errors: 0,
+                permanent_read_error: false,
+                permanent_write_error: false,
+                sync_fault: SyncFault::None,
+                durable_len: HashMap::new(),
+                torn: None,
+                torn_physical: 0,
+            }),
+        }
+    }
+
+    /// The wrapped backend (for reopening after a [`power_cut`]).
+    ///
+    /// [`power_cut`]: FaultBackend::power_cut
+    pub fn inner(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.inner)
+    }
+
+    /// Number of write-class operations observed so far (the crash-point
+    /// space a sweep enumerates).
+    pub fn write_ops(&self) -> u64 {
+        self.state.lock().write_ops
+    }
+
+    /// Whether an armed crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Arms a crash at the `k`-th (1-based) write-class operation. That
+    /// operation fails, possibly leaving a torn append, and every later
+    /// operation errors until the backend is discarded.
+    pub fn crash_at_write_op(&self, k: u64) {
+        self.state.lock().crash_at = Some(k.max(1));
+    }
+
+    /// Schedules transient failures for the given 1-based write-op indices.
+    pub fn fail_writes_transiently_at(&self, ops: &[u64]) {
+        self.state.lock().transient_write_errors.extend(ops);
+    }
+
+    /// Makes the next `n` reads fail with a transient error.
+    pub fn fail_reads_transiently(&self, n: u64) {
+        self.state.lock().transient_read_errors += n;
+    }
+
+    /// Makes every read fail permanently (until cleared).
+    pub fn fail_reads_permanently(&self, on: bool) {
+        self.state.lock().permanent_read_error = on;
+    }
+
+    /// Makes every write-class operation fail permanently (until cleared).
+    pub fn fail_writes_permanently(&self, on: bool) {
+        self.state.lock().permanent_write_error = on;
+    }
+
+    /// Arms the lying-sync fault: the next sync acknowledges without
+    /// persisting anything; every sync after that fails.
+    pub fn lie_on_next_sync(&self) {
+        self.state.lock().sync_fault = SyncFault::LieOnce;
+    }
+
+    /// Simulates a power cut: every appendable file is truncated back to
+    /// its synced length, discarding all acknowledged-but-unsynced bytes.
+    /// If the crash point was an append, a seeded prefix of that file's
+    /// un-synced tail survives instead (a torn write).
+    ///
+    /// The truncation is applied to the *inner* backend, which afterwards
+    /// holds exactly the surviving state — reopen a database directly on
+    /// [`FaultBackend::inner`] to test recovery.
+    pub fn power_cut(&self) -> Result<()> {
+        let state = self.state.lock();
+        for (&id, &durable) in &state.durable_len {
+            let keep = if state.torn == Some(id) {
+                let tail = state.torn_physical.saturating_sub(durable);
+                durable + state.seeded(tail)
+            } else {
+                durable
+            };
+            match self.inner.len(id) {
+                Ok(len) if len > keep => self.inner.truncate(id, keep)?,
+                // Already shorter (or deleted): nothing to discard.
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Gate shared by every write-class operation. Returns `Ok(op_index)`
+    /// when the operation should proceed, or the injected error. When the
+    /// armed crash point is reached, `on_crash` is invoked (with the op
+    /// index) to apply the partial side effect of the dying operation.
+    fn write_gate(&self, on_crash: impl FnOnce(&mut FaultState, u64) -> Result<()>) -> Result<u64> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(crashed_err());
+        }
+        state.write_ops += 1;
+        let idx = state.write_ops;
+        if state.transient_write_errors.remove(&idx) {
+            return Err(Error::Transient(format!(
+                "injected write fault at op {idx}"
+            )));
+        }
+        if state.permanent_write_error {
+            return Err(Error::Io(std::io::Error::other(
+                "injected fault: device write failure",
+            )));
+        }
+        if state.crash_at == Some(idx) {
+            state.crashed = true;
+            on_crash(&mut state, idx)?;
+            return Err(injected_crash());
+        }
+        Ok(idx)
+    }
+
+    /// Gate shared by read-class operations.
+    fn read_gate(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(crashed_err());
+        }
+        if state.transient_read_errors > 0 {
+            state.transient_read_errors -= 1;
+            return Err(Error::Transient("injected read fault".into()));
+        }
+        if state.permanent_read_error {
+            return Err(Error::Io(std::io::Error::other(
+                "injected fault: device read failure",
+            )));
+        }
+        Ok(())
+    }
+
+    /// Records pre-existing bytes of `id` as durable on first contact
+    /// (files recovered from a previous incarnation are already on disk).
+    fn track(&self, id: FileId) -> Result<u64> {
+        let known = self.state.lock().durable_len.get(&id).copied();
+        match known {
+            Some(d) => Ok(d),
+            None => {
+                let len = self.inner.len(id)?;
+                self.state.lock().durable_len.insert(id, len);
+                Ok(len)
+            }
+        }
+    }
+}
+
+impl Backend for FaultBackend {
+    fn write_blob(&self, data: &[u8]) -> Result<FileId> {
+        let gate = self.write_gate(|state, _| {
+            // A dying blob write either completes (FsBackend fsyncs before
+            // returning, so a finished write_blob is durable) or never
+            // allocates the file — seeded coin.
+            let _ = state;
+            Ok(())
+        });
+        match gate {
+            Ok(_) => self.inner.write_blob(data),
+            Err(e) => {
+                let survives = {
+                    let state = self.state.lock();
+                    state.crashed && state.crash_at.is_some() && state.seeded(1) == 1
+                };
+                if survives && matches!(e, Error::Io(_)) && self.state.lock().crashed {
+                    // Blob hit the platter, but the caller never learns its
+                    // id — an orphan file recovery must tolerate.
+                    let _ = self.inner.write_blob(data);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn create_appendable(&self) -> Result<FileId> {
+        self.write_gate(|_, _| Ok(()))?;
+        let id = self.inner.create_appendable()?;
+        self.state.lock().durable_len.insert(id, 0);
+        Ok(id)
+    }
+
+    fn append(&self, id: FileId, data: &[u8]) -> Result<u64> {
+        // Ensure pre-existing bytes are tracked as durable before the gate
+        // so a crash on this very op tears only the new suffix.
+        self.track(id)?;
+        let crashed_append = self.write_gate(|state, _| {
+            state.torn = Some(id);
+            Ok(())
+        });
+        match crashed_append {
+            Ok(_) => self.inner.append(id, data),
+            Err(e) => {
+                let is_crash = {
+                    let state = self.state.lock();
+                    state.torn == Some(id) && state.crashed
+                };
+                if is_crash {
+                    // The dying append reaches the device in full; the
+                    // power cut later keeps only a seeded prefix of it.
+                    let _ = self.inner.append(id, data);
+                    let physical = self.inner.len(id).unwrap_or(0);
+                    self.state.lock().torn_physical = physical;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn sync(&self, id: FileId) -> Result<()> {
+        {
+            let mut state = self.state.lock();
+            match state.sync_fault {
+                SyncFault::LieOnce => {
+                    // Acknowledge without persisting; degrade to Failed.
+                    // (Still counts as a write op for crash-point purposes.)
+                    state.write_ops += 1;
+                    state.sync_fault = SyncFault::Failed;
+                    return Ok(());
+                }
+                SyncFault::Failed => {
+                    state.write_ops += 1;
+                    return Err(Error::Io(std::io::Error::other(
+                        "injected fault: sync failure after lost write",
+                    )));
+                }
+                SyncFault::None => {}
+            }
+        }
+        self.write_gate(|_, _| Ok(()))?;
+        self.inner.sync(id)?;
+        let len = self.inner.len(id)?;
+        self.state.lock().durable_len.insert(id, len);
+        Ok(())
+    }
+
+    fn truncate(&self, id: FileId, len: u64) -> Result<()> {
+        self.write_gate(|_, _| Ok(()))?;
+        self.inner.truncate(id, len)?;
+        let mut state = self.state.lock();
+        if let Some(d) = state.durable_len.get_mut(&id) {
+            *d = (*d).min(len);
+        }
+        Ok(())
+    }
+
+    fn read(&self, id: FileId, offset: u64, len: usize) -> Result<Bytes> {
+        self.read_gate()?;
+        self.inner.read(id, offset, len)
+    }
+
+    fn len(&self, id: FileId) -> Result<u64> {
+        self.read_gate()?;
+        self.inner.len(id)
+    }
+
+    fn delete(&self, id: FileId) -> Result<()> {
+        let applied = self.write_gate(|state, _| {
+            // A dying delete either reached the directory or didn't.
+            if state.seeded(1) == 1 {
+                state.durable_len.remove(&id);
+                self.inner.delete(id)?;
+            }
+            Ok(())
+        });
+        applied?;
+        self.inner.delete(id)?;
+        self.state.lock().durable_len.remove(&id);
+        Ok(())
+    }
+
+    fn list_files(&self) -> Vec<FileId> {
+        if self.state.lock().crashed {
+            return Vec::new();
+        }
+        self.inner.list_files()
+    }
+
+    fn put_meta(&self, name: &str, data: &[u8]) -> Result<()> {
+        let applied = self.write_gate(|state, _| {
+            // Metadata writes are atomic (write-then-rename): a dying one
+            // either fully replaced the old value or left it untouched.
+            if state.seeded(1) == 1 {
+                self.inner.put_meta(name, data)?;
+            }
+            Ok(())
+        });
+        applied?;
+        self.inner.put_meta(name, data)
+    }
+
+    fn get_meta(&self, name: &str) -> Result<Option<Bytes>> {
+        self.read_gate()?;
+        self.inner.get_meta(name)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
+}
+
+impl std::fmt::Debug for FaultBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("FaultBackend")
+            .field("write_ops", &state.write_ops)
+            .field("crash_at", &state.crash_at)
+            .field("crashed", &state.crashed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn wrapped() -> (Arc<MemBackend>, FaultBackend) {
+        let inner = Arc::new(MemBackend::new());
+        let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, 42);
+        (inner, fb)
+    }
+
+    #[test]
+    fn passthrough_without_faults() {
+        let (_, fb) = wrapped();
+        let blob = fb.write_blob(b"blob-data").unwrap();
+        assert_eq!(&fb.read(blob, 0, 9).unwrap()[..], b"blob-data");
+        let log = fb.create_appendable().unwrap();
+        fb.append(log, b"hello").unwrap();
+        fb.sync(log).unwrap();
+        assert_eq!(fb.len(log).unwrap(), 5);
+        fb.put_meta("M", b"meta").unwrap();
+        assert_eq!(&fb.get_meta("M").unwrap().unwrap()[..], b"meta");
+        assert!(!fb.crashed());
+        assert!(fb.write_ops() >= 4);
+    }
+
+    #[test]
+    fn power_cut_discards_exactly_the_unsynced_suffix() {
+        let (inner, fb) = wrapped();
+        let log = fb.create_appendable().unwrap();
+        fb.append(log, b"synced-part").unwrap();
+        fb.sync(log).unwrap();
+        fb.append(log, b"-volatile").unwrap();
+        assert_eq!(fb.len(log).unwrap(), 20);
+        fb.power_cut().unwrap();
+        assert_eq!(inner.len(log).unwrap(), 11, "unsynced suffix discarded");
+        assert_eq!(&inner.read(log, 0, 11).unwrap()[..], b"synced-part");
+    }
+
+    #[test]
+    fn crash_kills_all_subsequent_ops() {
+        let (_, fb) = wrapped();
+        let log = fb.create_appendable().unwrap(); // op 1
+        fb.crash_at_write_op(2);
+        assert!(fb.append(log, b"dies").is_err()); // op 2 -> crash
+        assert!(fb.crashed());
+        assert!(fb.append(log, b"later").is_err());
+        assert!(fb.read(log, 0, 1).is_err());
+        assert!(fb.put_meta("M", b"x").is_err());
+        assert!(fb.sync(log).is_err());
+    }
+
+    #[test]
+    fn crashed_append_leaves_a_seeded_torn_prefix() {
+        for seed in 0..16u64 {
+            let inner = Arc::new(MemBackend::new());
+            let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, seed);
+            let log = fb.create_appendable().unwrap();
+            fb.append(log, b"durable|").unwrap();
+            fb.sync(log).unwrap();
+            fb.crash_at_write_op(fb.write_ops() + 1);
+            assert!(fb.append(log, b"torn-record").is_err());
+            fb.power_cut().unwrap();
+            let len = inner.len(log).unwrap();
+            assert!(
+                (8..=19).contains(&len),
+                "seed {seed}: torn length {len} out of range"
+            );
+            assert_eq!(&inner.read(log, 0, 8).unwrap()[..], b"durable|");
+            // The surviving tail is a prefix of the torn write.
+            let tail = inner.read(log, 8, (len - 8) as usize).unwrap();
+            assert!(b"torn-record".starts_with(&tail[..]));
+        }
+    }
+
+    #[test]
+    fn torn_lengths_cover_multiple_points() {
+        // Determinism + spread: same seed → same torn length; different
+        // seeds reach different lengths.
+        let torn_len = |seed: u64| {
+            let inner = Arc::new(MemBackend::new());
+            let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, seed);
+            let log = fb.create_appendable().unwrap();
+            fb.crash_at_write_op(2);
+            let _ = fb.append(log, &[b'x'; 64]);
+            fb.power_cut().unwrap();
+            inner.len(log).unwrap()
+        };
+        assert_eq!(torn_len(7), torn_len(7), "same seed must reproduce");
+        let lens: std::collections::HashSet<u64> = (0..32).map(torn_len).collect();
+        assert!(lens.len() > 4, "torn lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn transient_write_errors_fire_once_then_recover() {
+        let (_, fb) = wrapped();
+        let log = fb.create_appendable().unwrap(); // op 1
+        fb.fail_writes_transiently_at(&[2, 4]);
+        let e = fb.append(log, b"a").unwrap_err(); // op 2
+        assert!(e.is_transient(), "expected transient, got {e}");
+        fb.append(log, b"a").unwrap(); // op 3
+        assert!(fb.sync(log).unwrap_err().is_transient()); // op 4
+        fb.sync(log).unwrap(); // op 5
+        assert_eq!(fb.len(log).unwrap(), 1);
+    }
+
+    #[test]
+    fn transient_read_errors_consume_a_budget() {
+        let (_, fb) = wrapped();
+        let blob = fb.write_blob(b"abc").unwrap();
+        fb.fail_reads_transiently(2);
+        assert!(fb.read(blob, 0, 3).unwrap_err().is_transient());
+        assert!(fb.len(blob).unwrap_err().is_transient());
+        assert_eq!(&fb.read(blob, 0, 3).unwrap()[..], b"abc");
+    }
+
+    #[test]
+    fn permanent_errors_persist_until_cleared() {
+        let (_, fb) = wrapped();
+        let blob = fb.write_blob(b"abc").unwrap();
+        fb.fail_reads_permanently(true);
+        assert!(fb.read(blob, 0, 3).is_err());
+        assert!(fb.read(blob, 0, 3).is_err());
+        fb.fail_reads_permanently(false);
+        assert_eq!(&fb.read(blob, 0, 3).unwrap()[..], b"abc");
+
+        fb.fail_writes_permanently(true);
+        assert!(fb.write_blob(b"no").is_err());
+        assert!(!fb.write_blob(b"no").unwrap_err().is_transient());
+        fb.fail_writes_permanently(false);
+        fb.write_blob(b"yes").unwrap();
+    }
+
+    #[test]
+    fn lying_sync_acks_once_then_fails_and_data_vanishes() {
+        let (inner, fb) = wrapped();
+        let log = fb.create_appendable().unwrap();
+        fb.append(log, b"will-vanish").unwrap();
+        fb.lie_on_next_sync();
+        fb.sync(log).unwrap(); // the lie: Ok, but nothing persisted
+        assert!(fb.sync(log).is_err(), "after the lie, syncs fail");
+        fb.power_cut().unwrap();
+        assert_eq!(
+            inner.len(log).unwrap(),
+            0,
+            "acknowledged-but-lied bytes are gone"
+        );
+    }
+
+    #[test]
+    fn recovered_files_count_preexisting_bytes_as_durable() {
+        let inner = Arc::new(MemBackend::new());
+        let log = inner.create_appendable().unwrap();
+        inner.append(log, b"old-generation").unwrap();
+        let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, 1);
+        fb.append(log, b"-new").unwrap();
+        fb.power_cut().unwrap();
+        assert_eq!(
+            &inner.read(log, 0, 14).unwrap()[..],
+            b"old-generation",
+            "bytes from before the wrapper existed survive a power cut"
+        );
+        assert_eq!(inner.len(log).unwrap(), 14);
+    }
+
+    #[test]
+    fn crashed_delete_applies_or_not_but_never_half() {
+        for seed in 0..8u64 {
+            let inner = Arc::new(MemBackend::new());
+            let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, seed);
+            let blob = fb.write_blob(b"doomed").unwrap();
+            fb.crash_at_write_op(2);
+            assert!(fb.delete(blob).is_err());
+            // Either fully gone or fully present.
+            match inner.read(blob, 0, 6) {
+                Ok(b) => assert_eq!(&b[..], b"doomed"),
+                Err(e) => assert!(matches!(e, Error::NotFound(_))),
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_put_meta_is_atomic() {
+        for seed in 0..8u64 {
+            let inner = Arc::new(MemBackend::new());
+            let fb = FaultBackend::with_seed(inner.clone() as Arc<dyn Backend>, seed);
+            fb.put_meta("M", b"old").unwrap();
+            fb.crash_at_write_op(2);
+            assert!(fb.put_meta("M", b"new").is_err());
+            let v = inner.get_meta("M").unwrap().unwrap();
+            assert!(&v[..] == b"old" || &v[..] == b"new", "got {v:?}");
+        }
+    }
+}

@@ -17,12 +17,17 @@
 //!   miss / eviction statistics and per-file invalidation (used to study
 //!   compaction-induced cache thrashing, tutorial §2.1.3).
 //! * [`wal`] — checksummed record framing for the write-ahead log.
+//! * [`FaultBackend`] — a composable wrapper injecting deterministic,
+//!   seeded faults (torn appends, power cuts, transient/permanent errors,
+//!   lying syncs) for crash-recovery testing.
 
 mod backend;
 mod cache;
+mod fault;
 mod stats;
 pub mod wal;
 
 pub use backend::{Backend, FileId, FsBackend, MemBackend};
 pub use cache::{BlockCache, BlockKey, CacheStats};
+pub use fault::FaultBackend;
 pub use stats::{IoSnapshot, IoStats};

@@ -29,7 +29,7 @@ pub struct IoStats {
 }
 
 /// A point-in-time copy of the counters.
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct IoSnapshot {
     /// Number of read operations.
     pub read_ops: u64,

@@ -6,6 +6,11 @@
 //! mid-append) truncates cleanly instead of corrupting recovery.
 //!
 //! Wire format per record: `u32 crc32c(payload) | u32 payload_len | payload`.
+//!
+//! [`replay`] returns a [`RecoveryReport`] rather than a bare record list:
+//! crash-recovery tests assert not just on *what* was recovered but on *why*
+//! replay stopped (how many bytes were truncated and which tear shape —
+//! short header, short body, bad checksum — caused it).
 
 use bytes::Bytes;
 use lsm_types::encoding::Decoder;
@@ -15,6 +20,54 @@ use crate::backend::{Backend, FileId};
 
 /// Length of the per-record header (crc + len).
 pub const RECORD_HEADER: usize = 8;
+
+/// How [`replay`] treats a record that fails validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryMode {
+    /// Treat the first invalid record as a torn tail: stop there, report
+    /// the truncation, succeed. The standard crash-recovery contract —
+    /// everything before the tear was durable, everything after never
+    /// fully hit the log.
+    TruncateTail,
+    /// Like `TruncateTail`, but a checksum mismatch that is *not* the
+    /// final record is real corruption (valid data follows the bad
+    /// record, so it cannot be a torn append) and fails replay.
+    Strict,
+}
+
+/// Why [`replay`] stopped before the end of the file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TruncationReason {
+    /// Fewer than [`RECORD_HEADER`] bytes remained.
+    ShortHeader,
+    /// The header promised more payload bytes than the file holds.
+    ShortBody,
+    /// The payload did not match its checksum.
+    BadChecksum,
+}
+
+/// The outcome of replaying one log file.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Every intact record payload, in append order.
+    pub records: Vec<Bytes>,
+    /// Total bytes in the file when replay began.
+    pub bytes_scanned: u64,
+    /// Bytes consumed by intact records (headers included).
+    pub bytes_recovered: u64,
+    /// Bytes past the last intact record (`bytes_scanned - bytes_recovered`).
+    pub bytes_truncated: u64,
+    /// Why replay stopped early, if it did. `None` means the file ended
+    /// exactly on a record boundary.
+    pub truncation: Option<TruncationReason>,
+}
+
+impl RecoveryReport {
+    /// Whether the log was fully intact (no torn tail).
+    pub fn clean(&self) -> bool {
+        self.truncation.is_none()
+    }
+}
 
 /// An appender that frames payloads into checksummed records.
 pub struct WalWriter<'a> {
@@ -48,68 +101,65 @@ impl<'a> WalWriter<'a> {
         self.backend.append(self.file, &buf)?;
         Ok(())
     }
+
+    /// Forces all appended records to durable storage. A record is only
+    /// *durable* — guaranteed to survive a power cut — once a `sync`
+    /// issued after its append has returned.
+    pub fn sync(&self) -> Result<()> {
+        self.backend.sync(self.file)
+    }
 }
 
-/// Replays a log file, yielding each intact record payload in order.
+/// Replays a log file, yielding each intact record payload in order along
+/// with an account of any truncation (see [`RecoveryReport`]).
 ///
-/// Replay stops silently at the first torn record (short header, short body,
-/// or checksum mismatch) — the standard recovery contract: everything before
-/// the tear was durable, everything after never fully hit the log.
-pub fn replay(backend: &dyn Backend, file: FileId) -> Result<Vec<Bytes>> {
+/// In [`RecoveryMode::TruncateTail`] replay stops at the first invalid
+/// record; in [`RecoveryMode::Strict`] a mid-file checksum mismatch is an
+/// [`Error::Corruption`] instead.
+pub fn replay(backend: &dyn Backend, file: FileId, mode: RecoveryMode) -> Result<RecoveryReport> {
     let len = backend.len(file)?;
     let data = backend.read(file, 0, len as usize)?;
     let mut dec = Decoder::new(&data);
     let mut records = Vec::new();
+    let mut bytes_recovered = 0u64;
+    let mut truncation = None;
     loop {
-        if dec.remaining() < RECORD_HEADER {
+        if dec.is_empty() {
             break;
         }
-        let crc = dec.u32().expect("length checked");
-        let plen = dec.u32().expect("length checked") as usize;
+        if dec.remaining() < RECORD_HEADER {
+            truncation = Some(TruncationReason::ShortHeader);
+            break;
+        }
+        let crc = dec.u32()?;
+        let plen = dec.u32()? as usize;
         if dec.remaining() < plen {
-            break; // torn tail
+            truncation = Some(TruncationReason::ShortBody);
+            break;
         }
-        let payload = dec.bytes(plen).expect("length checked");
+        let payload = dec.bytes(plen)?;
         if !checksum::verify(payload, crc) {
-            break; // torn/corrupt record: stop replay here
-        }
-        records.push(Bytes::copy_from_slice(payload));
-    }
-    Ok(records)
-}
-
-/// Like [`replay`] but fails loudly on a checksum mismatch that is *not* at
-/// the tail — that pattern indicates real corruption rather than a torn
-/// append.
-pub fn replay_strict(backend: &dyn Backend, file: FileId) -> Result<Vec<Bytes>> {
-    let len = backend.len(file)?;
-    let data = backend.read(file, 0, len as usize)?;
-    let mut dec = Decoder::new(&data);
-    let mut records = Vec::new();
-    while dec.remaining() >= RECORD_HEADER {
-        let crc = dec.u32().expect("length checked");
-        let plen = dec.u32().expect("length checked") as usize;
-        if dec.remaining() < plen {
-            return if dec.remaining() == 0 && plen > 0 {
-                Ok(records)
-            } else {
-                // partial body is only acceptable as the final bytes
-                Ok(records)
-            };
-        }
-        let payload = dec.bytes(plen).expect("length checked");
-        if !checksum::verify(payload, crc) {
-            if dec.is_empty() {
-                return Ok(records); // torn final record
+            if mode == RecoveryMode::Strict && !dec.is_empty() {
+                // Valid bytes follow the bad record: this is not a torn
+                // append but damage inside the durable prefix.
+                return Err(Error::Corruption(format!(
+                    "wal record checksum mismatch {} bytes before end",
+                    dec.remaining()
+                )));
             }
-            return Err(Error::Corruption(format!(
-                "wal record checksum mismatch {} bytes before end",
-                dec.remaining()
-            )));
+            truncation = Some(TruncationReason::BadChecksum);
+            break;
         }
+        bytes_recovered += (RECORD_HEADER + plen) as u64;
         records.push(Bytes::copy_from_slice(payload));
     }
-    Ok(records)
+    Ok(RecoveryReport {
+        records,
+        bytes_scanned: len,
+        bytes_recovered,
+        bytes_truncated: len - bytes_recovered,
+        truncation,
+    })
 }
 
 #[cfg(test)]
@@ -124,11 +174,15 @@ mod tests {
         w.append(b"one").unwrap();
         w.append(b"two").unwrap();
         w.append(b"").unwrap();
-        let records = replay(&b, w.file_id()).unwrap();
-        assert_eq!(records.len(), 3);
-        assert_eq!(&records[0][..], b"one");
-        assert_eq!(&records[1][..], b"two");
-        assert_eq!(&records[2][..], b"");
+        w.sync().unwrap();
+        let report = replay(&b, w.file_id(), RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(&report.records[0][..], b"one");
+        assert_eq!(&report.records[1][..], b"two");
+        assert_eq!(&report.records[2][..], b"");
+        assert!(report.clean());
+        assert_eq!(report.bytes_truncated, 0);
+        assert_eq!(report.bytes_scanned, report.bytes_recovered);
     }
 
     #[test]
@@ -144,9 +198,27 @@ mod tests {
         torn.extend_from_slice(b"short");
         b.append(w.file_id(), &torn).unwrap();
 
-        let records = replay(&b, w.file_id()).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(&records[0][..], b"durable");
+        let report = replay(&b, w.file_id(), RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(&report.records[0][..], b"durable");
+        assert_eq!(report.truncation, Some(TruncationReason::ShortBody));
+        assert_eq!(report.bytes_truncated, torn.len() as u64);
+
+        // A torn tail is acceptable in strict mode too.
+        let strict = replay(&b, w.file_id(), RecoveryMode::Strict).unwrap();
+        assert_eq!(strict.records.len(), 1);
+    }
+
+    #[test]
+    fn short_header_tail_is_reported() {
+        let b = MemBackend::new();
+        let w = WalWriter::create(&b).unwrap();
+        w.append(b"durable").unwrap();
+        b.append(w.file_id(), &[1, 2, 3]).unwrap();
+        let report = replay(&b, w.file_id(), RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.truncation, Some(TruncationReason::ShortHeader));
+        assert_eq!(report.bytes_truncated, 3);
     }
 
     #[test]
@@ -162,12 +234,13 @@ mod tests {
         b.append(w.file_id(), &bad).unwrap();
         w.append(b"after").unwrap();
 
-        // Lenient replay stops at the corruption.
-        let records = replay(&b, w.file_id()).unwrap();
-        assert_eq!(records.len(), 1);
+        // Tail-truncating replay stops at the corruption.
+        let report = replay(&b, w.file_id(), RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.truncation, Some(TruncationReason::BadChecksum));
 
         // Strict replay flags it because it is not at the tail.
-        let err = replay_strict(&b, w.file_id()).unwrap_err();
+        let err = replay(&b, w.file_id(), RecoveryMode::Strict).unwrap_err();
         assert!(err.is_corruption());
     }
 
@@ -181,8 +254,9 @@ mod tests {
         bad.extend_from_slice(&3u32.to_le_bytes());
         bad.extend_from_slice(b"xyz");
         b.append(w.file_id(), &bad).unwrap();
-        let records = replay_strict(&b, w.file_id()).unwrap();
-        assert_eq!(records.len(), 1);
+        let report = replay(&b, w.file_id(), RecoveryMode::Strict).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.truncation, Some(TruncationReason::BadChecksum));
     }
 
     #[test]
@@ -195,7 +269,8 @@ mod tests {
         };
         let w = WalWriter::open(&b, id);
         w.append(b"second").unwrap();
-        let records = replay(&b, id).unwrap();
-        assert_eq!(records.len(), 2);
+        let report = replay(&b, id, RecoveryMode::TruncateTail).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert!(report.clean());
     }
 }

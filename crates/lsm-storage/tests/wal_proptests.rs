@@ -16,9 +16,10 @@ proptest! {
         for p in &payloads {
             w.append(p).unwrap();
         }
-        let records = wal::replay(&b, w.file_id()).unwrap();
-        prop_assert_eq!(records.len(), payloads.len());
-        for (r, p) in records.iter().zip(&payloads) {
+        let report = wal::replay(&b, w.file_id(), wal::RecoveryMode::Strict).unwrap();
+        prop_assert!(report.clean());
+        prop_assert_eq!(report.records.len(), payloads.len());
+        for (r, p) in report.records.iter().zip(&payloads) {
             prop_assert_eq!(&r[..], p.as_slice());
         }
     }
@@ -41,13 +42,17 @@ proptest! {
 
         let torn = b.create_appendable().unwrap();
         b.append(torn, &prefix).unwrap();
-        let records = wal::replay(&b, torn).unwrap();
+        let report = wal::replay(&b, torn, wal::RecoveryMode::TruncateTail).unwrap();
 
         // Replay must be a prefix of the original payloads: no corruption,
-        // no reordering, no invented records.
-        prop_assert!(records.len() <= payloads.len());
-        for (r, p) in records.iter().zip(&payloads) {
+        // no reordering, no invented records — and the report's byte
+        // accounting must cover the whole prefix.
+        prop_assert!(report.records.len() <= payloads.len());
+        for (r, p) in report.records.iter().zip(&payloads) {
             prop_assert_eq!(&r[..], p.as_slice());
         }
+        prop_assert_eq!(report.bytes_scanned, cut);
+        prop_assert_eq!(report.bytes_recovered + report.bytes_truncated, cut);
+        prop_assert_eq!(report.clean(), report.bytes_truncated == 0);
     }
 }

@@ -17,6 +17,10 @@ pub enum Error {
     InvalidArgument(String),
     /// The database is shutting down and cannot accept the operation.
     ShuttingDown,
+    /// A storage operation failed in a way that may succeed on retry
+    /// (flaky device, injected fault). Background maintenance retries
+    /// these with bounded backoff before surfacing them.
+    Transient(String),
 }
 
 /// Workspace-wide result alias.
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             Error::NotFound(what) => write!(f, "not found: {what}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::ShuttingDown => write!(f, "database is shutting down"),
+            Error::Transient(msg) => write!(f, "transient storage error: {msg}"),
         }
     }
 }
@@ -54,6 +59,12 @@ impl Error {
     /// environmental or usage error).
     pub fn is_corruption(&self) -> bool {
         matches!(self, Error::Corruption(_))
+    }
+
+    /// Whether the error is worth retrying (a transient device hiccup as
+    /// opposed to corruption, a missing file, or misuse).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Transient(_))
     }
 }
 

@@ -27,7 +27,10 @@ fn opts(base: Options, ttl: Option<u64>) -> Options {
 }
 
 fn run(label: &str, ttl: Option<u64>) {
-    let db = Db::open_in_memory(opts(Options::default(), ttl)).unwrap();
+    let db = Db::builder()
+        .options(opts(Options::default(), ttl))
+        .open()
+        .unwrap();
 
     // Load 20k records, then "user 7" requests erasure of their 2k records.
     for id in 0..20_000u64 {

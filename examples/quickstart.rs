@@ -9,7 +9,7 @@ use lsm_lab::core::{Db, Options};
 fn main() -> lsm_lab::types::Result<()> {
     // An in-memory database with default tuning (hybrid layout: tiered L0,
     // leveled below; skiplist memtable; Bloom filters at 10 bits/key).
-    let db = Db::open_in_memory(Options::default())?;
+    let db = Db::builder().options(Options::default()).open()?;
 
     // Point writes and reads.
     db.put(b"user:1:name", b"ada")?;

@@ -50,8 +50,12 @@ fn main() {
         ),
         ("leveling (query-tuned)", DataLayout::Leveling),
     ] {
-        let backend = Arc::new(MemBackend::new());
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts(layout)).unwrap();
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let db = Db::builder()
+            .backend(backend)
+            .options(opts(layout))
+            .open()
+            .unwrap();
 
         // Ingest: round-robin across series, timestamps increasing.
         let start = Instant::now();
@@ -66,7 +70,7 @@ fn main() {
         let total_points = metrics as u64 * points_per_metric;
 
         // Window queries: the most recent 1,000 points of each series.
-        let io_before = backend.stats().snapshot();
+        let before = db.metrics();
         let start = Instant::now();
         let mut returned = 0usize;
         for m in 0..metrics {
@@ -75,13 +79,13 @@ fn main() {
             returned += db.scan(&lo, Some(&hi)).unwrap().count();
         }
         let scan_secs = start.elapsed().as_secs_f64();
-        let io = backend.stats().snapshot().delta(&io_before);
+        let io = db.metrics().delta(&before).io;
 
         println!("{name}:");
         println!(
             "  ingest : {:>8.1} kpoints/s  write-amp {:.2}",
             total_points as f64 / ingest_secs / 1000.0,
-            db.stats().write_amplification()
+            db.metrics().write_amplification()
         );
         println!(
             "  windows: {:>8.1} kpoints/s  ({} points, {:.2} read IO/point)",

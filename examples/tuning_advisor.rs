@@ -84,7 +84,10 @@ fn main() {
         },
         ..Options::default()
     };
-    let db = Db::open_in_memory(opts).expect("open with recommended options");
+    let db = Db::builder()
+        .options(opts)
+        .open()
+        .expect("open with recommended options");
     for i in 0..20_000u64 {
         db.put(format!("key{i:08}").as_bytes(), &[b'v'; 64])
             .unwrap();

@@ -53,9 +53,12 @@ fn main() {
             ("leveling", DataLayout::Leveling),
             ("tiering", DataLayout::Tiering { runs_per_level: 4 }),
         ] {
-            let backend = Arc::new(MemBackend::new());
-            let db =
-                Db::open(backend.clone() as Arc<dyn Backend>, tuned(layout.clone())).expect("open");
+            let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+            let db = Db::builder()
+                .backend(backend)
+                .options(tuned(layout.clone()))
+                .open()
+                .expect("open");
 
             // preload
             for id in 0..n {
@@ -64,7 +67,7 @@ fn main() {
             db.maintain().unwrap();
 
             let mut gen = preset.generator(n, 100, 7);
-            let io_before = backend.stats().snapshot();
+            let before = db.metrics();
             let start = Instant::now();
             for _ in 0..ops {
                 match gen.next_op() {
@@ -80,7 +83,8 @@ fn main() {
             }
             db.maintain().unwrap();
             let secs = start.elapsed().as_secs_f64();
-            let io = backend.stats().snapshot().delta(&io_before);
+            let m = db.metrics().delta(&before);
+            let io = m.io;
 
             println!(
                 "{:<8} {:<14} {:>12.1} {:>12.3} {:>10.2}",
@@ -88,7 +92,7 @@ fn main() {
                 tuning_name,
                 ops as f64 / secs / 1000.0,
                 (io.read_ops + io.write_ops) as f64 / ops as f64,
-                db.stats().write_amplification(),
+                db.metrics().write_amplification(),
             );
         }
     }

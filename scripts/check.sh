@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate: format, clippy, architectural lint, tests.
+# Local CI gate: format, clippy, architectural lint, tests, crash-recovery sweep.
 # Runs every step even after a failure so one run reports everything,
 # then exits non-zero if any step failed.
 
@@ -29,6 +29,7 @@ run_step "fmt"      cargo fmt --all --check
 run_step "clippy"   cargo clippy --workspace --all-targets -- -D warnings
 run_step "lsm-lint" cargo run -q -p lsm-lint
 run_step "tests"    cargo test -q --workspace
+run_step "crash"    cargo test -q --test crash_recovery
 
 echo
 echo "==================== summary ===================="

@@ -1,0 +1,502 @@
+//! Crash-recovery harness: drive the engine to a crash at every storage
+//! write, power-cut the backend, reopen, and verify the acknowledged state.
+//!
+//! The harness encodes the durability contract the engine promises when
+//! `wal_sync` is on:
+//!
+//! * every operation that returned `Ok` is readable after a power cut;
+//! * the single operation in flight at the crash is **atomic** — after
+//!   recovery its key shows either the old or the new value, never a
+//!   mixture and never corruption;
+//! * reopen itself never fails, whatever write the crash interrupted
+//!   (WAL append, table blob, manifest install, obsolete-file cleanup,
+//!   value-log roll, GC relocation, ...).
+//!
+//! [`crash_sweep`] walks crash points over the plain [`Db`];
+//! [`kv_crash_sweep`] does the same over the WiscKey-separated store,
+//! including garbage-collection crash points. Both are deterministic: one
+//! seed fixes the fault schedule *and* the workload, so a failure report
+//! (layout, seed, crash op) reproduces exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm_compaction::{CompactionConfig, DataLayout};
+use lsm_core::{Db, Options};
+use lsm_storage::{Backend, FaultBackend, MemBackend};
+use lsm_types::Value;
+use lsm_wisckey::KvSeparatedDb;
+
+/// One step of the deterministic workload.
+#[derive(Clone, Debug)]
+pub enum WorkloadOp {
+    /// Insert or overwrite a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete a key.
+    Delete(Vec<u8>),
+    /// Drain pending flush/compaction work.
+    Maintain,
+    /// Garbage-collect the oldest value-log segment (WiscKey sweep only;
+    /// ignored by the plain sweep).
+    Gc,
+}
+
+impl WorkloadOp {
+    /// The key this operation logically touches, when it touches one.
+    fn touched_key(&self) -> Option<&[u8]> {
+        match self {
+            WorkloadOp::Put(k, _) | WorkloadOp::Delete(k) => Some(k),
+            WorkloadOp::Maintain | WorkloadOp::Gc => None,
+        }
+    }
+}
+
+/// What a (possibly interrupted) workload run acknowledged.
+pub struct RunOutcome {
+    /// Key-value state built from `Ok` operations only.
+    pub model: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// The operation that errored (the crash victim), when one did.
+    pub in_flight: Option<WorkloadOp>,
+}
+
+/// Aggregate result of one sweep, for reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepReport {
+    /// Storage write ops in the fault-free reference run.
+    pub write_ops_total: u64,
+    /// Crash points actually driven (sampled by stride).
+    pub crash_points_tested: usize,
+    /// Crashes that interrupted the open itself.
+    pub crashes_during_open: usize,
+    /// Recoveries that had to truncate a torn WAL tail.
+    pub recoveries_with_torn_wal: usize,
+}
+
+/// The engine configuration the sweeps run: tiny buffers so a short
+/// workload exercises flush, compaction, and obsolete-file cleanup, with
+/// the synced WAL that makes `Ok` mean durable.
+pub fn harness_options(layout: DataLayout) -> Options {
+    Options {
+        write_buffer_bytes: 2 << 10,
+        table_target_bytes: 2 << 10,
+        max_immutable_memtables: 2,
+        compaction: CompactionConfig {
+            layout,
+            level1_bytes: 8 << 10,
+            ..CompactionConfig::default()
+        },
+        block_cache_bytes: 0,
+        wal: true,
+        wal_sync: true,
+        background_threads: 0,
+        ..Options::default()
+    }
+}
+
+/// The deterministic mixed workload: ~150 puts/deletes over a 48-key
+/// space (so overwrites create garbage), maintenance mixed in.
+pub fn standard_workload() -> Vec<WorkloadOp> {
+    let mut ops = Vec::new();
+    for i in 0..150u32 {
+        let slot = i % 48;
+        let key = format!("key{slot:03}").into_bytes();
+        if i % 11 == 7 {
+            ops.push(WorkloadOp::Delete(key));
+        } else {
+            let len = 60 + (i as usize % 5) * 20;
+            ops.push(WorkloadOp::Put(key, vec![b'a' + (i % 23) as u8; len]));
+        }
+        if i % 23 == 19 {
+            ops.push(WorkloadOp::Maintain);
+        }
+    }
+    ops.push(WorkloadOp::Maintain);
+    ops
+}
+
+/// The WiscKey workload: large (logged) and small (inline) values, with
+/// GC passes that relocate live records and delete dead segments.
+pub fn kv_workload() -> Vec<WorkloadOp> {
+    let mut ops = Vec::new();
+    for i in 0..110u32 {
+        let slot = i % 36;
+        let key = format!("key{slot:03}").into_bytes();
+        if i % 13 == 9 {
+            ops.push(WorkloadOp::Delete(key));
+        } else if i % 4 == 3 {
+            ops.push(WorkloadOp::Put(key, vec![b'0' + (i % 10) as u8; 8]));
+        } else {
+            ops.push(WorkloadOp::Put(key, vec![b'A' + (i % 26) as u8; 180]));
+        }
+        if i % 25 == 21 {
+            ops.push(WorkloadOp::Maintain);
+        }
+        if i % 40 == 33 {
+            ops.push(WorkloadOp::Gc);
+        }
+    }
+    ops.push(WorkloadOp::Maintain);
+    ops
+}
+
+/// Opens a durable `Db` on `backend`: manifest persisted, WAL recovered,
+/// orphans cleaned — the configuration the sweeps verify.
+pub fn open_durable_db(backend: Arc<dyn Backend>, opts: &Options) -> lsm_types::Result<Db> {
+    Db::builder()
+        .backend(backend)
+        .options(opts.clone())
+        .persist_manifest(true)
+        .recover(true)
+        .clean_orphans(true)
+        .open()
+}
+
+/// Runs `ops` until the first error; the model records only acknowledged
+/// operations, and the erroring operation is reported as in-flight.
+fn run_db_workload(db: &Db, ops: &[WorkloadOp]) -> RunOutcome {
+    let mut model = BTreeMap::new();
+    for op in ops {
+        let res = match op {
+            WorkloadOp::Put(k, v) => db.put(k, v),
+            WorkloadOp::Delete(k) => db.delete(k),
+            WorkloadOp::Maintain => db.maintain(),
+            WorkloadOp::Gc => Ok(()),
+        };
+        if res.is_err() {
+            return RunOutcome {
+                model,
+                in_flight: Some(op.clone()),
+            };
+        }
+        match op {
+            WorkloadOp::Put(k, v) => {
+                model.insert(k.clone(), v.clone());
+            }
+            WorkloadOp::Delete(k) => {
+                model.remove(k);
+            }
+            _ => {}
+        }
+    }
+    RunOutcome {
+        model,
+        in_flight: None,
+    }
+}
+
+fn run_kv_workload(kv: &KvSeparatedDb, ops: &[WorkloadOp]) -> RunOutcome {
+    let mut model = BTreeMap::new();
+    for op in ops {
+        let res = match op {
+            WorkloadOp::Put(k, v) => kv.put(k, v),
+            WorkloadOp::Delete(k) => kv.delete(k),
+            WorkloadOp::Maintain => kv.maintain(),
+            WorkloadOp::Gc => kv.gc_oldest_segment().map(|_| ()),
+        };
+        if res.is_err() {
+            return RunOutcome {
+                model,
+                in_flight: Some(op.clone()),
+            };
+        }
+        match op {
+            WorkloadOp::Put(k, v) => {
+                model.insert(k.clone(), v.clone());
+            }
+            WorkloadOp::Delete(k) => {
+                model.remove(k);
+            }
+            _ => {}
+        }
+    }
+    RunOutcome {
+        model,
+        in_flight: None,
+    }
+}
+
+/// Checks one recovered key against the model, honoring in-flight
+/// atomicity: the crash victim's key may show old or new state, every
+/// other key must match exactly.
+fn check_key(
+    key: &[u8],
+    got: Option<&[u8]>,
+    model: &BTreeMap<Vec<u8>, Vec<u8>>,
+    in_flight: Option<&WorkloadOp>,
+    ctx: &str,
+) {
+    let expected = model.get(key).map(|v| v.as_slice());
+    if in_flight.and_then(|op| op.touched_key()) == Some(key) {
+        // Old value, or the in-flight operation's effect.
+        let new_state = match in_flight {
+            Some(WorkloadOp::Put(_, v)) => Some(v.as_slice()),
+            Some(WorkloadOp::Delete(_)) => None,
+            _ => expected,
+        };
+        assert!(
+            got == expected || got == new_state,
+            "{ctx}: key {} must show pre- or post-crash state, got {:?} \
+             (old {:?}, new {:?})",
+            String::from_utf8_lossy(key),
+            got.map(|v| v.len()),
+            expected.map(|v| v.len()),
+            new_state.map(|v| v.len()),
+        );
+    } else {
+        assert!(
+            got == expected,
+            "{ctx}: key {} diverged after recovery: got {:?}, want {:?}",
+            String::from_utf8_lossy(key),
+            got.map(|v| v.len()),
+            expected.map(|v| v.len()),
+        );
+    }
+}
+
+/// Verifies a recovered store against the acked model via point reads and
+/// one full scan (`scanned` is the recovered store's full contents).
+fn verify_recovered(
+    lookup: impl Fn(&[u8]) -> Option<Value>,
+    scanned: &BTreeMap<Vec<u8>, Vec<u8>>,
+    outcome: &RunOutcome,
+    ctx: &str,
+) {
+    let in_flight = outcome.in_flight.as_ref();
+    let victim = in_flight.and_then(|op| op.touched_key());
+    for key in outcome.model.keys() {
+        let got = lookup(key);
+        check_key(key, got.as_deref(), &outcome.model, in_flight, ctx);
+    }
+    // The in-flight key might be brand new (not in the model): it may
+    // surface after recovery, but only with the in-flight value.
+    if let Some(key) = victim {
+        let got = lookup(key);
+        check_key(key, got.as_deref(), &outcome.model, in_flight, ctx);
+    }
+    // The scan must agree: no extra keys, no missing keys.
+    for (key, value) in scanned {
+        check_key(key, Some(value), &outcome.model, in_flight, ctx);
+    }
+    for key in outcome.model.keys() {
+        if Some(key.as_slice()) != victim {
+            assert!(
+                scanned.contains_key(key),
+                "{ctx}: key {} missing from recovered scan",
+                String::from_utf8_lossy(key),
+            );
+        }
+    }
+}
+
+fn scan_all_db(db: &Db, ctx: &str) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let iter = db
+        .scan(b"", None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovered scan failed: {e}"));
+    for item in iter {
+        let (k, v) = item.unwrap_or_else(|e| panic!("{ctx}: recovered scan item failed: {e}"));
+        out.insert(k.0.to_vec(), v.to_vec());
+    }
+    out
+}
+
+/// Sweeps crash points over the plain engine for one data layout.
+///
+/// Phase 1 runs the workload fault-free to count storage writes and prove
+/// a clean power cut is lossless. Phase 2 samples up to `max_points`
+/// crash points across that range; each point gets a fresh store, a crash
+/// mid-write, a power cut, a reopen, and a full verification.
+pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize) -> SweepReport {
+    let opts = harness_options(layout);
+    let ops = standard_workload();
+    let mut report = SweepReport::default();
+
+    // Phase 1: fault-free reference run, then a clean power cut.
+    let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+    let ctx = format!("[{label} seed={seed} fault-free]");
+    let db =
+        open_durable_db(fb.clone(), &opts).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+    let outcome = run_db_workload(&db, &ops);
+    assert!(
+        outcome.in_flight.is_none(),
+        "{ctx}: fault-free run must not error"
+    );
+    report.write_ops_total = fb.write_ops();
+    drop(db);
+    fb.power_cut()
+        .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+    let db =
+        open_durable_db(fb.inner(), &opts).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    let scanned = scan_all_db(&db, &ctx);
+    verify_recovered(
+        |k| {
+            db.get(k)
+                .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+        },
+        &scanned,
+        &outcome,
+        &ctx,
+    );
+    drop(db);
+
+    // Phase 2: crash at sampled write ops.
+    assert!(report.write_ops_total > 0, "{ctx}: workload wrote nothing");
+    let stride = (report.write_ops_total as usize / max_points.max(1)).max(1) as u64;
+    let mut crash_op = 1;
+    while crash_op <= report.write_ops_total {
+        let ctx = format!("[{label} seed={seed} crash-at-op={crash_op}]");
+        let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+        fb.crash_at_write_op(crash_op);
+
+        let outcome = match open_durable_db(fb.clone(), &opts) {
+            Err(_) => {
+                // The crash interrupted open itself: nothing was acked.
+                assert!(fb.crashed(), "{ctx}: open error without crash");
+                report.crashes_during_open += 1;
+                RunOutcome {
+                    model: BTreeMap::new(),
+                    in_flight: None,
+                }
+            }
+            Ok(db) => {
+                let outcome = run_db_workload(&db, &ops);
+                if outcome.in_flight.is_some() {
+                    assert!(fb.crashed(), "{ctx}: workload error without crash");
+                }
+                drop(db);
+                outcome
+            }
+        };
+
+        fb.power_cut()
+            .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+        let db = open_durable_db(fb.inner(), &opts)
+            .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+        if db.recovery_summary().is_some_and(|s| s.torn_segments > 0) {
+            report.recoveries_with_torn_wal += 1;
+        }
+        let scanned = scan_all_db(&db, &ctx);
+        verify_recovered(
+            |k| {
+                db.get(k)
+                    .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+            },
+            &scanned,
+            &outcome,
+            &ctx,
+        );
+
+        report.crash_points_tested += 1;
+        crash_op += stride;
+    }
+    report
+}
+
+const KV_VALUE_THRESHOLD: usize = 32;
+const KV_SEGMENT_TARGET: u64 = 2 << 10;
+
+fn open_durable_kv(backend: Arc<dyn Backend>, opts: &Options) -> lsm_types::Result<KvSeparatedDb> {
+    KvSeparatedDb::open_durable(backend, opts.clone(), KV_VALUE_THRESHOLD, KV_SEGMENT_TARGET)
+}
+
+fn scan_all_kv(kv: &KvSeparatedDb, ctx: &str) -> BTreeMap<Vec<u8>, Vec<u8>> {
+    kv.scan(b"", None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovered scan failed: {e}"))
+        .into_iter()
+        .map(|(k, v)| (k.0.to_vec(), v.to_vec()))
+        .collect()
+}
+
+/// Sweeps crash points over the WiscKey-separated store, driving value-log
+/// appends, segment rolls, GC relocation, and segment deletion to a crash.
+pub fn kv_crash_sweep(
+    layout: DataLayout,
+    label: &str,
+    seed: u64,
+    max_points: usize,
+) -> SweepReport {
+    let opts = harness_options(layout);
+    let ops = kv_workload();
+    let mut report = SweepReport::default();
+
+    let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+    let ctx = format!("[kv {label} seed={seed} fault-free]");
+    let kv =
+        open_durable_kv(fb.clone(), &opts).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+    let outcome = run_kv_workload(&kv, &ops);
+    assert!(
+        outcome.in_flight.is_none(),
+        "{ctx}: fault-free run must not error"
+    );
+    report.write_ops_total = fb.write_ops();
+    drop(kv);
+    fb.power_cut()
+        .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+    let kv =
+        open_durable_kv(fb.inner(), &opts).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    let scanned = scan_all_kv(&kv, &ctx);
+    verify_recovered(
+        |k| {
+            kv.get(k)
+                .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+        },
+        &scanned,
+        &outcome,
+        &ctx,
+    );
+    drop(kv);
+
+    assert!(report.write_ops_total > 0, "{ctx}: workload wrote nothing");
+    let stride = (report.write_ops_total as usize / max_points.max(1)).max(1) as u64;
+    let mut crash_op = 1;
+    while crash_op <= report.write_ops_total {
+        let ctx = format!("[kv {label} seed={seed} crash-at-op={crash_op}]");
+        let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+        fb.crash_at_write_op(crash_op);
+
+        let outcome = match open_durable_kv(fb.clone(), &opts) {
+            Err(_) => {
+                assert!(fb.crashed(), "{ctx}: open error without crash");
+                report.crashes_during_open += 1;
+                RunOutcome {
+                    model: BTreeMap::new(),
+                    in_flight: None,
+                }
+            }
+            Ok(kv) => {
+                let outcome = run_kv_workload(&kv, &ops);
+                if outcome.in_flight.is_some() {
+                    assert!(fb.crashed(), "{ctx}: workload error without crash");
+                }
+                drop(kv);
+                outcome
+            }
+        };
+
+        fb.power_cut()
+            .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+        let kv = open_durable_kv(fb.inner(), &opts)
+            .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+        if kv
+            .db()
+            .recovery_summary()
+            .is_some_and(|s| s.torn_segments > 0)
+        {
+            report.recoveries_with_torn_wal += 1;
+        }
+        let scanned = scan_all_kv(&kv, &ctx);
+        verify_recovered(
+            |k| {
+                kv.get(k)
+                    .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+            },
+            &scanned,
+            &outcome,
+            &ctx,
+        );
+
+        report.crash_points_tested += 1;
+        crash_op += stride;
+    }
+    report
+}

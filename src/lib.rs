@@ -22,18 +22,22 @@
 //! * [`tuning`] — cost models, Monkey filter allocation, design navigation,
 //!   and robust (Endure-style) tuning.
 //! * [`workload`] — deterministic workload generators (YCSB-style).
+//! * [`crash_harness`] — deterministic fault-injection sweeps: crash the
+//!   engine at every storage write, power-cut, reopen, verify.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use lsm_lab::core::{Db, Options};
 //!
-//! let db = Db::open_in_memory(Options::default()).unwrap();
+//! let db = Db::builder().options(Options::default()).open().unwrap();
 //! db.put(b"hello", b"world").unwrap();
 //! assert_eq!(db.get(b"hello").unwrap().as_deref(), Some(&b"world"[..]));
 //! db.delete(b"hello").unwrap();
 //! assert_eq!(db.get(b"hello").unwrap(), None);
 //! ```
+
+pub mod crash_harness;
 
 pub use lsm_compaction as compaction;
 pub use lsm_core as core;

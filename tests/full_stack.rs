@@ -33,7 +33,7 @@ fn ycsb_presets_run_clean_on_both_canonical_tunings() {
         ] {
             let mut opts = small();
             opts.compaction.layout = layout.clone();
-            let db = Db::open_in_memory(opts).unwrap();
+            let db = Db::builder().options(opts).open().unwrap();
             for id in 0..3000u64 {
                 db.put(&format_key(id), &format_value(id, 50)).unwrap();
             }
@@ -81,7 +81,7 @@ fn navigator_recommendation_opens_and_serves() {
             runs_per_level: design.size_ratio as usize,
         },
     };
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for id in 0..5000u64 {
         db.put(&format_key(id), &format_value(id, 64)).unwrap();
     }
@@ -124,7 +124,7 @@ fn delete_heavy_workload_with_lethe_triggers_end_to_end() {
     let mut opts = small();
     opts.compaction.extra_triggers = vec![Trigger::TombstoneAge(5_000)];
     opts.compaction.pick = PickPolicy::ExpiredTombstones;
-    let db = Db::open_in_memory(opts).unwrap();
+    let db = Db::builder().options(opts).open().unwrap();
     for id in 0..4000u64 {
         db.put(&format_key(id), &format_value(id, 60)).unwrap();
     }
@@ -167,7 +167,11 @@ fn manifest_plus_wal_recovery_through_umbrella() {
     let mut opts = small();
     opts.wal = true;
     let manifest = {
-        let db = Db::open(backend.clone() as Arc<dyn Backend>, opts.clone()).unwrap();
+        let db = Db::builder()
+            .backend(backend.clone() as Arc<dyn Backend>)
+            .options(opts.clone())
+            .open()
+            .unwrap();
         for id in 0..2500u64 {
             db.put(&format_key(id), &format_value(id, 48)).unwrap();
         }
@@ -177,7 +181,12 @@ fn manifest_plus_wal_recovery_through_umbrella() {
         }
         db.manifest_bytes()
     };
-    let db = Db::open_with_manifest(backend as Arc<dyn Backend>, opts, &manifest).unwrap();
+    let db = Db::builder()
+        .backend(backend as Arc<dyn Backend>)
+        .options(opts)
+        .manifest(&manifest)
+        .open()
+        .unwrap();
     let count = db.scan(b"", None).unwrap().count();
     assert_eq!(count, 2600);
 }
