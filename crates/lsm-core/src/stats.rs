@@ -19,6 +19,10 @@ pub struct DbStats {
     pub(crate) compact_bytes_written: AtomicU64,
     pub(crate) stall_count: AtomicU64,
     pub(crate) stall_nanos: AtomicU64,
+    /// Times `wait_idle` parked on the maintenance-progress condvar (each
+    /// increment is one blocking wait, not one poll — the stress harness
+    /// asserts this stays proportional to actual maintenance events).
+    pub(crate) idle_waits: AtomicU64,
     /// Entries dropped by compaction as garbage (superseded versions,
     /// annihilated tombstones).
     pub(crate) gc_dropped_entries: AtomicU64,
@@ -53,6 +57,8 @@ pub struct StatsSnapshot {
     pub stall_count: u64,
     /// Total nanoseconds writers spent stalled.
     pub stall_nanos: u64,
+    /// Blocking condvar waits performed by `wait_idle`.
+    pub idle_waits: u64,
     /// Entries garbage-collected during compaction.
     pub gc_dropped_entries: u64,
     /// Tombstones physically removed at the last level.
@@ -75,6 +81,7 @@ impl DbStats {
             compact_bytes_written: self.compact_bytes_written.load(Ordering::Relaxed),
             stall_count: self.stall_count.load(Ordering::Relaxed),
             stall_nanos: self.stall_nanos.load(Ordering::Relaxed),
+            idle_waits: self.idle_waits.load(Ordering::Relaxed),
             gc_dropped_entries: self.gc_dropped_entries.load(Ordering::Relaxed),
             tombstones_purged: self.tombstones_purged.load(Ordering::Relaxed),
         }
@@ -107,6 +114,7 @@ impl StatsSnapshot {
             compact_bytes_written: self.compact_bytes_written - earlier.compact_bytes_written,
             stall_count: self.stall_count - earlier.stall_count,
             stall_nanos: self.stall_nanos - earlier.stall_nanos,
+            idle_waits: self.idle_waits - earlier.idle_waits,
             gc_dropped_entries: self.gc_dropped_entries - earlier.gc_dropped_entries,
             tombstones_purged: self.tombstones_purged - earlier.tombstones_purged,
         }

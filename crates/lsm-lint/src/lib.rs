@@ -11,10 +11,16 @@
 //! - **L2 `no-panic`** — no `unwrap()` / `expect()` / `panic!` in non-test
 //!   code of the hot-path crates (`lsm-core`, `lsm-sstable`,
 //!   `lsm-compaction`, `lsm-wisckey`).
-//! - **L3 `lock-nesting`** — no two lock acquisitions inside one expression
-//!   chain (a deadlock-shape heuristic).
+//! - **L3 `lock-nesting`** — no *raw* (untracked) lock acquired while
+//!   another raw lock's guard is live, across statements (guard-liveness
+//!   tracked; `lsm-sync` tracked locks are governed by L5 instead).
 //! - **L4 `knob-docs`** — every public field of the options/config structs
 //!   carries a doc comment naming its design-space knob.
+//! - **L5 `lock-order`** — the workspace lock graph (see [`lockgraph`])
+//!   must be acyclic and consistent with the rank hierarchy declared in
+//!   `lsm-sync::ranks`; every tracked lock must bind to a rank constant.
+//! - **L6 `io-under-lock`** — no blocking backend I/O while a lock guard
+//!   is live, unless annotated with a rationale.
 //!
 //! Diagnostics can be suppressed with `// lsm-lint: allow(<rule>)` on the
 //! same line or the line above; `<rule>` is the `L<n>` id or the kebab name.
@@ -22,6 +28,10 @@
 //! hand-rolled tokenizer rather than `syn`; it understands strings, raw
 //! strings, char literals, lifetimes, and nested block comments, and tracks
 //! `#[cfg(test)]` / `#[test]` regions by brace depth.
+
+pub mod lockgraph;
+
+pub use lockgraph::{LockEdge, LockGraph, LockInfo};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -34,19 +44,26 @@ pub enum Rule {
     FsBoundary,
     /// L2: panicking call in a hot-path crate.
     NoPanic,
-    /// L3: nested lock acquisition in one expression chain.
+    /// L3: raw lock acquired while another raw guard is live.
     LockNesting,
     /// L4: undocumented public knob field.
     KnobDocs,
+    /// L5: lock-order hierarchy violation (bad edge, cycle, or unbound
+    /// tracked lock).
+    LockOrder,
+    /// L6: blocking backend I/O while a lock guard is held.
+    IoUnderLock,
 }
 
 impl Rule {
     /// All rules, in L-number order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 6] = [
         Rule::FsBoundary,
         Rule::NoPanic,
         Rule::LockNesting,
         Rule::KnobDocs,
+        Rule::LockOrder,
+        Rule::IoUnderLock,
     ];
 
     /// The short `L<n>` identifier.
@@ -56,6 +73,8 @@ impl Rule {
             Rule::NoPanic => "L2",
             Rule::LockNesting => "L3",
             Rule::KnobDocs => "L4",
+            Rule::LockOrder => "L5",
+            Rule::IoUnderLock => "L6",
         }
     }
 
@@ -66,6 +85,8 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::LockNesting => "lock-nesting",
             Rule::KnobDocs => "knob-docs",
+            Rule::LockOrder => "lock-order",
+            Rule::IoUnderLock => "io-under-lock",
         }
     }
 
@@ -112,7 +133,9 @@ impl fmt::Display for Diagnostic {
 pub struct LintReport {
     /// Number of `.rs` files scanned.
     pub files_checked: usize,
-    /// All findings, in file-walk order.
+    /// Findings suppressed by `lsm-lint: allow(..)` markers.
+    pub suppressed: usize,
+    /// All findings, sorted by (file, line, rule).
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -126,9 +149,10 @@ impl LintReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"files_checked\": {},\n  \"violations\": {},\n  \"diagnostics\": [",
+            "  \"files_checked\": {},\n  \"violations\": {},\n  \"suppressed\": {},\n  \"diagnostics\": [",
             self.files_checked,
-            self.diagnostics.len()
+            self.diagnostics.len(),
+            self.suppressed,
         ));
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -184,18 +208,48 @@ const L4_KNOB_FILES: &[&str] = &[
 /// Lints every `.rs` file under `root`, skipping `target/`, `vendor/`,
 /// hidden directories, and this crate's own sources and fixtures.
 pub fn lint_tree(root: &Path) -> std::io::Result<LintReport> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut report = LintReport::default();
-    for rel in files {
+    lint_tree_full(root).map(|(report, _)| report)
+}
+
+/// Like [`lint_tree`], but also returns the workspace [`LockGraph`] so
+/// callers can emit or verify the `lock_order.json` spec.
+pub fn lint_tree_full(root: &Path) -> std::io::Result<(LintReport, LockGraph)> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for rel in paths {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        report.files_checked += 1;
-        report
-            .diagnostics
-            .extend(lint_source(&rel.replace('\\', "/"), &source));
+        files.push((rel.replace('\\', "/"), source));
     }
-    Ok(report)
+
+    let mut report = LintReport {
+        files_checked: files.len(),
+        ..LintReport::default()
+    };
+    let mut allows_by_file: HashMap<&str, HashMap<usize, Vec<Rule>>> = HashMap::new();
+    for (path, source) in &files {
+        allows_by_file.insert(path, collect_allows(source));
+        let (diags, suppressed) = per_file_diags(path, source);
+        report.diagnostics.extend(diags);
+        report.suppressed += suppressed;
+    }
+
+    let graph = lockgraph::analyze(&files);
+    for d in &graph.diagnostics {
+        let suppressed = allows_by_file
+            .get(d.path.as_str())
+            .is_some_and(|allows| allowed(allows, d.rule, d.line));
+        if suppressed {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d.clone());
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
+    Ok((report, graph))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -226,22 +280,51 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
 }
 
 /// Lints one file's source text. `rel_path` is the workspace-relative path
-/// (forward slashes); it determines which crate's rules apply.
+/// (forward slashes); it determines which crate's rules apply. Includes a
+/// single-file lock-graph pass (L3/L5/L6); for cross-file lock-order
+/// analysis use [`lint_tree`].
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let ctx = FileContext::classify(rel_path);
+    let allows = collect_allows(source);
+    let (mut diags, _) = per_file_diags(rel_path, source);
+    if ctx.check_l3 {
+        // Single-file lock-graph pass for raw-lock nesting. (The workspace
+        // pass in `lint_tree` supersedes this with cross-file resolution —
+        // this entry point sees one file, so tracked locks declared
+        // elsewhere in the crate are unknown to it.)
+        let single = lockgraph::analyze(&[(rel_path.to_string(), source.to_string())]);
+        diags.extend(
+            single
+                .diagnostics
+                .into_iter()
+                .filter(|d| matches!(d.rule, Rule::LockNesting)),
+        );
+    }
+    diags.retain(|d| !allowed(&allows, d.rule, d.line));
+    diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    diags
+}
+
+/// The strictly per-file rules (L1/L2/L4), allow-filtered. Lock-graph
+/// rules (L3/L5/L6) come from [`lockgraph::analyze`]. Returns (remaining
+/// diagnostics, suppressed count).
+fn per_file_diags(rel_path: &str, source: &str) -> (Vec<Diagnostic>, usize) {
     let ctx = FileContext::classify(rel_path);
     let allows = collect_allows(source);
     let tokens = tokenize(source);
     let test_lines = test_regions(&tokens);
 
     let mut diags = Vec::new();
-    if ctx.check_l1 || ctx.check_l2 || ctx.check_l3 {
+    if ctx.check_l1 || ctx.check_l2 {
         check_token_rules(rel_path, &ctx, &tokens, &test_lines, &mut diags);
     }
     if ctx.check_l4 {
         check_knob_docs(rel_path, source, &mut diags);
     }
+    let before = diags.len();
     diags.retain(|d| !allowed(&allows, d.rule, d.line));
-    diags
+    let suppressed = before - diags.len();
+    (diags, suppressed)
 }
 
 /// Which rules apply to a given file, derived from its path.
@@ -314,15 +397,15 @@ fn allowed(allows: &HashMap<usize, Vec<Rule>>, rule: Rule, line: usize) -> bool 
 /// A lexical token: an identifier/number word, or a punctuation string
 /// (`::` is fused; all other punctuation is a single character).
 #[derive(Debug, Clone, PartialEq)]
-struct Token {
-    text: String,
-    line: usize,
+pub(crate) struct Token {
+    pub(crate) text: String,
+    pub(crate) line: usize,
 }
 
 /// Tokenizes Rust source, discarding comments, string/char literal
 /// *contents* (literals become an empty placeholder so argument positions
 /// survive), and whitespace. Line numbers are 1-based.
-fn tokenize(source: &str) -> Vec<Token> {
+pub(crate) fn tokenize(source: &str) -> Vec<Token> {
     let chars: Vec<char> = source.chars().collect();
     let mut tokens = Vec::new();
     let mut line = 1usize;
@@ -518,7 +601,7 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
 /// Marks which tokens live inside test code: a `#[cfg(test)]` or `#[test]`
 /// (or any `*test*`-attributed) item, tracked by brace depth. Returns one
 /// bool per token.
-fn test_regions(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut depth = 0i64;
     // Depths at which a test region opened; tokens are test code while any
@@ -587,7 +670,7 @@ fn test_regions(tokens: &[Token]) -> Vec<bool> {
 }
 
 // ---------------------------------------------------------------------------
-// Token rules: L1, L2, L3
+// Token rules: L1, L2
 // ---------------------------------------------------------------------------
 
 fn check_token_rules(
@@ -598,8 +681,6 @@ fn check_token_rules(
     diags: &mut Vec<Diagnostic>,
 ) {
     let text = |k: usize| tokens.get(k).map(|t| t.text.as_str()).unwrap_or("");
-    // L3 state: lock acquisitions seen in the current statement.
-    let mut acquisitions_in_stmt: Vec<usize> = Vec::new();
 
     for i in 0..tokens.len() {
         if test_lines[i] {
@@ -663,35 +744,6 @@ fn check_token_rules(
                     line,
                     message: format!("`{t}!` in a hot-path crate; return an error instead"),
                 });
-            }
-        }
-
-        if ctx.check_l3 {
-            match t {
-                ";" | "{" | "}" => acquisitions_in_stmt.clear(),
-                "." if matches!(text(i + 1), "lock" | "read" | "write")
-                    && text(i + 2) == "("
-                    && text(i + 3) == ")" =>
-                {
-                    // A no-argument `.lock()`/`.read()`/`.write()` is a lock
-                    // acquisition (Backend I/O calls always take arguments).
-                    if let Some(&first) = acquisitions_in_stmt.first() {
-                        diags.push(Diagnostic {
-                            rule: Rule::LockNesting,
-                            path: rel_path.into(),
-                            line,
-                            message: format!(
-                                "second lock acquisition `.{}()` in one expression \
-                                 chain (first at line {}); split the statement so \
-                                 the first guard drops before the second acquire",
-                                text(i + 1),
-                                tokens[first].line
-                            ),
-                        });
-                    }
-                    acquisitions_in_stmt.push(i);
-                }
-                _ => {}
             }
         }
     }
@@ -906,6 +958,7 @@ mod tests {
     fn json_report_shape() {
         let report = LintReport {
             files_checked: 2,
+            suppressed: 0,
             diagnostics: lint(
                 "crates/lsm-core/src/db.rs",
                 "fn f() { std::fs::read(\"x\").ok(); }",
@@ -914,6 +967,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"files_checked\": 2"));
         assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"suppressed\": 0"));
         assert!(json.contains("\"rule\": \"L1\""));
         assert!(json.contains("\"line\": 1"));
     }

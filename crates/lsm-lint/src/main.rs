@@ -2,9 +2,11 @@
 //! machine-readable JSON report. Exits non-zero when violations are found.
 //!
 //! ```text
-//! cargo run -p lsm-lint                      # lint the workspace
-//! cargo run -p lsm-lint -- --path <dir>      # lint an arbitrary tree
+//! cargo run -p lsm-lint                                  # lint the workspace
+//! cargo run -p lsm-lint -- --path <dir>                  # lint an arbitrary tree
 //! cargo run -p lsm-lint -- --json report.json
+//! cargo run -p lsm-lint -- --write-lock-order lock_order.json
+//! cargo run -p lsm-lint -- --check-lock-order lock_order.json
 //! ```
 
 use std::path::PathBuf;
@@ -13,18 +15,27 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
+    let mut write_spec: Option<PathBuf> = None;
+    let mut check_spec: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--path" => root = args.next().map(PathBuf::from),
             "--json" => json_out = args.next().map(PathBuf::from),
+            "--write-lock-order" => write_spec = args.next().map(PathBuf::from),
+            "--check-lock-order" => check_spec = args.next().map(PathBuf::from),
             "--help" | "-h" => {
                 println!(
                     "lsm-lint: architectural static analysis for lsm-lab\n\n\
-                     USAGE: lsm-lint [--path <dir>] [--json <file>]\n\n\
-                     Rules: L1 fs-boundary, L2 no-panic, L3 lock-nesting, L4 knob-docs.\n\
+                     USAGE: lsm-lint [--path <dir>] [--json <file>]\n\
+                            [--write-lock-order <file>] [--check-lock-order <file>]\n\n\
+                     Rules: L1 fs-boundary, L2 no-panic, L3 lock-nesting, L4 knob-docs,\n\
+                     L5 lock-order, L6 io-under-lock.\n\
                      Suppress a finding with `// lsm-lint: allow(<rule>)` on the same\n\
-                     line or the line above."
+                     line or the line above.\n\n\
+                     --write-lock-order writes the discovered lock hierarchy (locks,\n\
+                     rank constants, inter-lock edges, cycles) as JSON; --check-lock-order\n\
+                     fails if the checked-in spec is stale or the graph has cycles."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -44,7 +55,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let report = match lsm_lint::lint_tree(&root) {
+    let (report, graph) = match lsm_lint::lint_tree_full(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
@@ -54,6 +65,51 @@ fn main() -> ExitCode {
 
     for d in &report.diagnostics {
         eprintln!("{d}");
+    }
+
+    let mut spec_failed = false;
+    if let Some(path) = write_spec {
+        match std::fs::write(&path, graph.spec_json()) {
+            Ok(()) => eprintln!("lsm-lint: lock-order spec written to {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "lsm-lint: could not write lock-order spec to {}: {e}",
+                    path.display()
+                );
+                spec_failed = true;
+            }
+        }
+    }
+    if let Some(path) = check_spec {
+        if !graph.cycles.is_empty() {
+            eprintln!(
+                "lsm-lint: lock-order graph has {} cycle(s): {:?}",
+                graph.cycles.len(),
+                graph.cycles
+            );
+            spec_failed = true;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(on_disk) if on_disk == graph.spec_json() => {
+                eprintln!("lsm-lint: lock-order spec {} is up to date", path.display());
+            }
+            Ok(_) => {
+                eprintln!(
+                    "lsm-lint: lock-order spec {} is stale; regenerate with \
+                     `cargo run -p lsm-lint -- --write-lock-order {}`",
+                    path.display(),
+                    path.display()
+                );
+                spec_failed = true;
+            }
+            Err(e) => {
+                eprintln!(
+                    "lsm-lint: could not read lock-order spec {}: {e}",
+                    path.display()
+                );
+                spec_failed = true;
+            }
+        }
     }
 
     let json_path = json_out.unwrap_or_else(|| root.join("target/lsm-lint-report.json"));
@@ -73,7 +129,7 @@ fn main() -> ExitCode {
         report.files_checked,
         report.diagnostics.len()
     );
-    if report.is_clean() {
+    if report.is_clean() && !spec_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,32 @@
+//! Fixture: tracked locks constructed with inverted ranks — acquiring
+//! them in both directions yields an order violation and a cycle (L5).
+
+use lsm_sync::{ranks, OrderedMutex};
+
+/// `hi` carries the greater rank but is acquired first by `backwards`.
+pub struct Inverted {
+    hi: OrderedMutex<Vec<u8>>,
+    lo: OrderedMutex<Vec<u8>>,
+}
+
+impl Inverted {
+    /// Binds `hi` to the greater rank and `lo` to the lesser one.
+    pub fn new() -> Self {
+        Self {
+            hi: OrderedMutex::new(ranks::BETA, Vec::new()),
+            lo: OrderedMutex::new(ranks::ALPHA, Vec::new()),
+        }
+    }
+
+    /// Acquires `lo` under `hi`: rank order says this edge is backwards.
+    pub fn backwards(&self) -> usize {
+        let g = self.hi.lock();
+        self.lo.lock().len() + g.len()
+    }
+
+    /// Acquires `hi` under `lo`: rank-consistent, but closes the cycle.
+    pub fn forwards(&self) -> usize {
+        let g = self.lo.lock();
+        self.hi.lock().len() + g.len()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: raw lock held across a statement boundary while a second raw
+//! lock is acquired (L3 cross-statement detection).
+
+use std::sync::Mutex;
+
+/// Two raw locks with no declared order.
+pub struct Pair {
+    first: Mutex<Vec<u8>>,
+    second: Mutex<Vec<u8>>,
+}
+
+impl Pair {
+    /// Acquires `second` while the `first` guard is still live.
+    pub fn nested(&self) -> usize {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        a.len() + b.len()
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: sequential raw-lock use — the first guard is dropped before
+//! the second acquisition, so no nesting is reported.
+
+use std::sync::Mutex;
+
+/// Two raw locks used strictly one-at-a-time.
+pub struct Sequential {
+    left: Mutex<Vec<u8>>,
+    right: Mutex<Vec<u8>>,
+}
+
+impl Sequential {
+    /// Drop-before-reacquire is the allowed pattern.
+    pub fn one_at_a_time(&self) -> usize {
+        let a = self.left.lock().unwrap();
+        let n = a.len();
+        drop(a);
+        let b = self.right.lock().unwrap();
+        n + b.len()
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: annotated backend I/O under a lock — suppressed by the
+//! escape hatch.
+
+use std::sync::Mutex;
+
+/// Same shape as `l6_violation`, with a rationale and annotation.
+pub struct QuietLogger {
+    count: Mutex<u64>,
+    backend: Backend,
+}
+
+impl QuietLogger {
+    /// The append is ordered-by-design here; the annotation records that.
+    pub fn log(&self, payload: &[u8]) -> u64 {
+        let mut count = self.count.lock().unwrap();
+        // lsm-lint: allow(io-under-lock)
+        self.backend.append(0, payload);
+        *count += 1;
+        *count
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: blocking backend I/O while a lock guard is live (L6).
+
+use std::sync::Mutex;
+
+/// The `backend` receiver name is what the linter keys on.
+pub struct Logger {
+    state: Mutex<u64>,
+    backend: Backend,
+}
+
+impl Logger {
+    /// Appends under the state lock: flagged.
+    pub fn log(&self, payload: &[u8]) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        self.backend.append(0, payload);
+        *state += 1;
+        *state
+    }
+}

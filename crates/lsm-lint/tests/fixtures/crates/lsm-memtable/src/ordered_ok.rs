@@ -1,0 +1,25 @@
+//! Fixture: tracked locks acquired in rank order — clean under L3/L5.
+
+use lsm_sync::{ranks, OrderedMutex};
+
+/// Two tracked locks with an ascending acquisition pattern.
+pub struct InOrder {
+    low: OrderedMutex<u64>,
+    high: OrderedMutex<u64>,
+}
+
+impl InOrder {
+    /// Binds ranks in construction order.
+    pub fn new() -> Self {
+        Self {
+            low: OrderedMutex::new(ranks::ALPHA, 0),
+            high: OrderedMutex::new(ranks::BETA, 0),
+        }
+    }
+
+    /// Acquires `high` while holding `low`: ascending, allowed.
+    pub fn sum(&self) -> u64 {
+        let a = self.low.lock();
+        *a + *self.high.lock()
+    }
+}

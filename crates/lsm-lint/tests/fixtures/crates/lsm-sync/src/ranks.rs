@@ -1,0 +1,6 @@
+//! Fixture rank table mirroring `lsm-sync::ranks` (parsed textually).
+
+/// Rank for the lock that must be acquired first.
+pub const ALPHA: LockRank = LockRank::new("fixture.alpha", 10);
+/// Rank for the lock that must be acquired second.
+pub const BETA: LockRank = LockRank::new("fixture.beta", 20);

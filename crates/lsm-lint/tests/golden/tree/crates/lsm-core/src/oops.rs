@@ -1,0 +1,12 @@
+//! Golden-report fixture: one L1, one L2, and one suppressed L1 finding.
+
+/// Reads a file without going through the storage backend.
+pub fn read_direct() -> Vec<u8> {
+    std::fs::read("data.bin").unwrap()
+}
+
+/// Suppressed variant: the allow comment keeps this out of the report.
+pub fn read_allowed() -> Vec<u8> {
+    // lsm-lint: allow(fs-boundary)
+    std::fs::read("meta.bin").unwrap_or_default()
+}

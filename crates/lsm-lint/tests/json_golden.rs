@@ -1,0 +1,20 @@
+//! Pins the JSON report schema: the checked-in golden file must match
+//! `LintReport::to_json()` byte-for-byte over the golden fixture tree, so
+//! any change to the report shape (fields, ordering, formatting) is a
+//! deliberate, reviewed diff.
+
+use std::path::PathBuf;
+
+#[test]
+fn json_report_matches_golden_file() {
+    let base = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let report = lsm_lint::lint_tree(&base.join("tree")).expect("golden tree readable");
+    let golden = std::fs::read_to_string(base.join("report.json")).expect("golden file readable");
+    assert_eq!(
+        report.to_json(),
+        golden,
+        "JSON report schema drifted; if intentional, regenerate with\n  \
+         cargo run -p lsm-lint -- --path crates/lsm-lint/tests/golden/tree \
+         --json crates/lsm-lint/tests/golden/report.json"
+    );
+}

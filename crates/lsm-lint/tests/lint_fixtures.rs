@@ -24,6 +24,20 @@ const EXPECTED: &[(Rule, &str, usize)] = &[
         "crates/lsm-memtable/src/l3_violation.rs",
         12,
     ),
+    (
+        Rule::LockNesting,
+        "crates/lsm-memtable/src/l3_cross_stmt.rs",
+        16,
+    ),
+    // Inverted-rank fixture: one backwards edge (rank violation) plus the
+    // cycle it closes with `forwards`, both anchored at the backwards edge.
+    (Rule::LockOrder, "crates/lsm-core/src/l5_violation.rs", 24),
+    (Rule::LockOrder, "crates/lsm-core/src/l5_violation.rs", 24),
+    (
+        Rule::IoUnderLock,
+        "crates/lsm-memtable/src/l6_violation.rs",
+        15,
+    ),
     (Rule::KnobDocs, "crates/lsm-core/src/options.rs", 7),
 ];
 
@@ -52,7 +66,13 @@ fn fixture_tree_produces_exactly_the_expected_findings() {
 #[test]
 fn allow_comments_and_test_code_are_exempt() {
     let report = lint_tree(&fixtures_root()).expect("fixture tree readable");
-    for clean in ["allowed.rs", "test_exempt.rs"] {
+    for clean in [
+        "allowed.rs",
+        "test_exempt.rs",
+        "l3_drop_ok.rs",
+        "l6_allowed.rs",
+        "ordered_ok.rs",
+    ] {
         assert!(
             !report.diagnostics.iter().any(|d| d.path.ends_with(clean)),
             "{clean} must produce no findings"

@@ -7,14 +7,14 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use lsm_sync::{ranks, OrderedRwLock};
 use lsm_types::{InternalEntry, InternalKey, SeqNo, Value};
-use parking_lot::RwLock;
 
 use crate::{MemTable, MemTableKind};
 
 /// An ordered-map write buffer backed by `std::collections::BTreeMap`.
 pub struct BTreeMemTable {
-    map: RwLock<BTreeMap<InternalKey, (Value, u64)>>,
+    map: OrderedRwLock<BTreeMap<InternalKey, (Value, u64)>>,
     size: std::sync::atomic::AtomicUsize,
 }
 
@@ -22,7 +22,7 @@ impl BTreeMemTable {
     /// Creates an empty memtable.
     pub fn new() -> Self {
         BTreeMemTable {
-            map: RwLock::new(BTreeMap::new()),
+            map: OrderedRwLock::new(ranks::MEMTABLE_INDEX, BTreeMap::new()),
             size: std::sync::atomic::AtomicUsize::new(0),
         }
     }

@@ -7,8 +7,8 @@
 //! distinct prefixes. We represent each bucket as a sorted `Vec` (the cache
 //! friendly modern equivalent of the linked list).
 
+use lsm_sync::{ranks, OrderedRwLock};
 use lsm_types::{InternalEntry, InternalKey, SeqNo, Value};
-use parking_lot::RwLock;
 
 use crate::{in_range, sort_entries, MemTable, MemTableKind};
 
@@ -19,7 +19,7 @@ type Bucket = Vec<(InternalKey, (Value, u64))>;
 
 /// A hash-of-sorted-buckets write buffer.
 pub struct HashLinkListMemTable {
-    buckets: Vec<RwLock<Bucket>>,
+    buckets: Vec<OrderedRwLock<Bucket>>,
     size: std::sync::atomic::AtomicUsize,
     len: std::sync::atomic::AtomicUsize,
 }
@@ -38,13 +38,15 @@ impl HashLinkListMemTable {
     pub fn new(buckets: usize) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         HashLinkListMemTable {
-            buckets: (0..buckets).map(|_| RwLock::new(Vec::new())).collect(),
+            buckets: (0..buckets)
+                .map(|_| OrderedRwLock::new(ranks::MEMTABLE_INDEX, Vec::new()))
+                .collect(),
             size: std::sync::atomic::AtomicUsize::new(0),
             len: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
-    fn bucket_for(&self, key: &[u8]) -> &RwLock<Bucket> {
+    fn bucket_for(&self, key: &[u8]) -> &OrderedRwLock<Bucket> {
         &self.buckets[(prefix_hash(key) % self.buckets.len() as u64) as usize]
     }
 }

@@ -6,8 +6,8 @@
 //! The price is that a scan crossing prefixes must merge every shard, which
 //! is why RocksDB gates it behind prefix iteration.
 
+use lsm_sync::{ranks, OrderedRwLock};
 use lsm_types::{InternalEntry, InternalKey, SeqNo, Value};
-use parking_lot::RwLock;
 
 use crate::skiplist::SkipList;
 use crate::{in_range, sort_entries, MemTable, MemTableKind};
@@ -17,7 +17,7 @@ const PREFIX_LEN: usize = 4;
 
 /// A sharded skiplist write buffer.
 pub struct HashSkipListMemTable {
-    shards: Vec<RwLock<SkipList<InternalKey, (Value, u64)>>>,
+    shards: Vec<OrderedRwLock<SkipList<InternalKey, (Value, u64)>>>,
     size: std::sync::atomic::AtomicUsize,
     len: std::sync::atomic::AtomicUsize,
 }
@@ -37,13 +37,15 @@ impl HashSkipListMemTable {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         HashSkipListMemTable {
-            shards: (0..shards).map(|_| RwLock::new(SkipList::new())).collect(),
+            shards: (0..shards)
+                .map(|_| OrderedRwLock::new(ranks::MEMTABLE_INDEX, SkipList::new()))
+                .collect(),
             size: std::sync::atomic::AtomicUsize::new(0),
             len: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
-    fn shard_for(&self, key: &[u8]) -> &RwLock<SkipList<InternalKey, (Value, u64)>> {
+    fn shard_for(&self, key: &[u8]) -> &OrderedRwLock<SkipList<InternalKey, (Value, u64)>> {
         &self.shards[(prefix_hash(key) % self.shards.len() as u64) as usize]
     }
 }

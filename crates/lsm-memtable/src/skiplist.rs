@@ -7,8 +7,8 @@
 //! links are indices) so it needs no `unsafe`; the memtable wraps it in a
 //! reader-writer lock.
 
+use lsm_sync::{ranks, OrderedMutex, OrderedRwLock};
 use lsm_types::{InternalEntry, InternalKey, SeqNo};
-use parking_lot::{Mutex, RwLock};
 
 use crate::{MemTable, MemTableKind};
 
@@ -198,16 +198,16 @@ impl<'a, K, V> Iterator for SkipListIter<'a, K, V> {
 
 /// The classic skiplist memtable.
 pub struct SkipListMemTable {
-    list: RwLock<SkipList<InternalKey, (lsm_types::Value, u64)>>,
-    size: Mutex<usize>,
+    list: OrderedRwLock<SkipList<InternalKey, (lsm_types::Value, u64)>>,
+    size: OrderedMutex<usize>,
 }
 
 impl SkipListMemTable {
     /// Creates an empty memtable.
     pub fn new() -> Self {
         SkipListMemTable {
-            list: RwLock::new(SkipList::new()),
-            size: Mutex::new(0),
+            list: OrderedRwLock::new(ranks::MEMTABLE_INDEX, SkipList::new()),
+            size: OrderedMutex::new(ranks::MEMTABLE_SIZE, 0),
         }
     }
 }

@@ -5,14 +5,14 @@
 //! reads degenerate to a reverse linear scan and range reads must sort a
 //! copy — exactly the mixed-workload penalty experiment E3 measures.
 
+use lsm_sync::{ranks, OrderedRwLock};
 use lsm_types::{InternalEntry, SeqNo};
-use parking_lot::RwLock;
 
 use crate::{in_range, sort_entries, MemTable, MemTableKind};
 
 /// An append-only write buffer.
 pub struct VectorMemTable {
-    entries: RwLock<Vec<InternalEntry>>,
+    entries: OrderedRwLock<Vec<InternalEntry>>,
     size: std::sync::atomic::AtomicUsize,
 }
 
@@ -20,7 +20,7 @@ impl VectorMemTable {
     /// Creates an empty memtable.
     pub fn new() -> Self {
         VectorMemTable {
-            entries: RwLock::new(Vec::new()),
+            entries: OrderedRwLock::new(ranks::MEMTABLE_INDEX, Vec::new()),
             size: std::sync::atomic::AtomicUsize::new(0),
         }
     }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use lsm_sync::{ranks, OrderedMutex};
 
 use crate::backend::FileId;
 
@@ -166,7 +166,7 @@ impl Shard {
 /// A zero-capacity cache is valid and caches nothing (every lookup misses),
 /// which is how experiments express "no cache".
 pub struct BlockCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<OrderedMutex<Shard>>,
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -183,7 +183,7 @@ impl BlockCache {
     pub fn new(capacity_bytes: usize) -> Self {
         BlockCache {
             shards: (0..Self::SHARDS)
-                .map(|_| Mutex::new(Shard::new()))
+                .map(|_| OrderedMutex::new(ranks::CACHE_SHARD, Shard::new()))
                 .collect(),
             capacity_per_shard: capacity_bytes / Self::SHARDS,
             hits: AtomicU64::new(0),
@@ -195,7 +195,7 @@ impl BlockCache {
     }
 
     #[inline]
-    fn shard_for(&self, key: &BlockKey) -> &Mutex<Shard> {
+    fn shard_for(&self, key: &BlockKey) -> &OrderedMutex<Shard> {
         // Cheap mix of file id and block offset; offsets are page-aligned so
         // shift out the low zero bits before mixing.
         let h = key

@@ -28,8 +28,12 @@ run_step() {
 run_step "fmt"      cargo fmt --all --check
 run_step "clippy"   cargo clippy --workspace --all-targets -- -D warnings
 run_step "lsm-lint" cargo run -q -p lsm-lint
+run_step "lockgraph" cargo run -q -p lsm-lint -- --check-lock-order lock_order.json
 run_step "tests"    cargo test -q --workspace
 run_step "crash"    cargo test -q --test crash_recovery
+# Debug profile on purpose: the lsm-sync rank assertions only exist with
+# debug assertions, so this is the run that proves the lock hierarchy.
+run_step "stress"   cargo test -q --test concurrent_stress
 
 echo
 echo "==================== summary ===================="
