@@ -60,19 +60,19 @@ fn main() {
         let plain_wa = plain.stats().write_amplification();
         let kv_wa = kv.write_amplification();
 
-        // scan cost: pages read per returned value
-        let scan_cost = |io_before: lsm_storage::IoSnapshot,
-                         io_after: lsm_storage::IoSnapshot,
-                         returned: usize| {
-            (io_after.read_ops - io_before.read_ops) as f64 / returned.max(1) as f64
+        // scan cost: read ops per returned value, via the unified
+        // metrics delta (one snapshot per side instead of per-surface
+        // before/after bookkeeping)
+        let scan_cost = |delta: &lsm_core::MetricsSnapshot, returned: usize| {
+            delta.io.read_ops as f64 / returned.max(1) as f64
         };
-        let before = plain.metrics().io;
+        let before = plain.metrics();
         let plain_count = plain.scan(b"", None).unwrap().count();
-        let plain_scan = scan_cost(before, plain.metrics().io, plain_count);
+        let plain_scan = scan_cost(&plain.metrics().delta(&before), plain_count);
 
-        let before = kv.db().metrics().io;
+        let before = kv.db().metrics();
         let kv_count = kv.scan(b"", None).unwrap().len();
-        let kv_scan = scan_cost(before, kv.db().metrics().io, kv_count);
+        let kv_scan = scan_cost(&kv.db().metrics().delta(&before), kv_count);
 
         rows.push(vec![
             value_len.to_string(),

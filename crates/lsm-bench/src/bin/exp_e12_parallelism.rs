@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table};
-use lsm_core::DataLayout;
+use lsm_core::{DataLayout, HistKind};
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
 
 fn main() {
@@ -35,6 +35,9 @@ fn main() {
         let total_secs = start.elapsed().as_secs_f64();
 
         let s = db.stats();
+        // Tail latency from the engine's put histogram: stalls that the
+        // mean hides show up directly in p99/p999.
+        let put = db.obs().histogram(HistKind::Put);
         rows.push(vec![
             if threads == 0 {
                 "sync".to_string()
@@ -45,6 +48,9 @@ fn main() {
             f2(total_secs),
             s.stall_count.to_string(),
             f2(s.stall_nanos as f64 / 1e6),
+            f2(put.p50() as f64 / 1000.0),
+            f2(put.p99() as f64 / 1000.0),
+            f2(put.p999() as f64 / 1000.0),
             f2(s.write_amplification()),
         ]);
     }
@@ -57,6 +63,9 @@ fn main() {
             "total secs",
             "stalls",
             "stall ms",
+            "put p50 us",
+            "put p99 us",
+            "put p999 us",
             "write-amp",
         ],
         &rows,

@@ -4,6 +4,7 @@
 //! the engine builds from its current version (and which tests build by
 //! hand).
 
+use lsm_obs::LevelGauge;
 use lsm_types::KeyRange;
 
 /// What the planner knows about one table (file).
@@ -116,6 +117,25 @@ impl TreeDesc {
     /// Total bytes in the tree.
     pub fn size_bytes(&self) -> u64 {
         self.levels.iter().map(|l| l.size_bytes()).sum()
+    }
+
+    /// Per-level shape gauges (file count, bytes, sorted-run count) for
+    /// metric snapshots. Trailing empty levels are omitted.
+    pub fn level_gauges(&self) -> Vec<LevelGauge> {
+        let last = match self.last_occupied() {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        self.levels[..=last]
+            .iter()
+            .enumerate()
+            .map(|(level, desc)| LevelGauge {
+                level: level as u32,
+                files: desc.runs.iter().map(|r| r.tables.len() as u64).sum(),
+                bytes: desc.size_bytes(),
+                runs: desc.runs.iter().filter(|r| !r.tables.is_empty()).count() as u64,
+            })
+            .collect()
     }
 }
 

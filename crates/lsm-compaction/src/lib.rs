@@ -27,4 +27,4 @@ mod planner;
 pub use config::{CompactionConfig, DataLayout, Granularity, PickPolicy, Trigger};
 pub use describe::{LevelDesc, RunDesc, TableDesc, TreeDesc};
 pub use picker::pick_table;
-pub use planner::{plan, CompactionPlan, CompactionReason};
+pub use planner::{plan, plan_observed, CompactionPlan, CompactionReason};

@@ -1,5 +1,6 @@
 //! The planner: from tree snapshot to compaction plan.
 
+use lsm_obs::{HistKind, ObsHandle};
 use lsm_types::KeyRange;
 
 use crate::config::{CompactionConfig, Granularity, Trigger};
@@ -121,6 +122,23 @@ pub fn plan(
         }
     }
     None
+}
+
+/// [`plan`], with the planning latency recorded into `obs`'s
+/// `compaction_plan` histogram. The engine calls this on every maintenance
+/// tick, so the histogram doubles as a "how often do we look for work"
+/// counter; planning is pure in-memory walking and should stay in the
+/// microsecond band even for deep trees.
+pub fn plan_observed(
+    tree: &TreeDesc,
+    cfg: &CompactionConfig,
+    now: u64,
+    cursors: &[Option<Vec<u8>>],
+    bottom_ok: bool,
+    obs: &ObsHandle,
+) -> Option<CompactionPlan> {
+    let _t = obs.timer(HistKind::CompactionPlan);
+    plan(tree, cfg, now, cursors, bottom_ok)
 }
 
 /// Merge every run of `level` and push the result down. Returns `None`

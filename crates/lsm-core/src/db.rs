@@ -6,10 +6,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lsm_compaction::{plan, CompactionPlan, Granularity, PickPolicy};
+use lsm_compaction::{plan_observed, CompactionPlan, Granularity, PickPolicy};
 use lsm_memtable::{make_memtable, MemTable};
+use lsm_obs::{recovery_phase, EventKind, HistKind, ObsHandle, Observability};
 use lsm_sstable::{Table, TableBuilder, VecEntryIter};
-use lsm_storage::{wal, Backend, BlockCache, FileId, FsBackend, MemBackend};
+use lsm_storage::{wal, Backend, BlockCache, FileId, FsBackend, MemBackend, ObservedBackend};
 use lsm_sync::{ranks, Condvar, OrderedMutex, OrderedRwLock};
 use lsm_types::encoding::Decoder;
 use lsm_types::{EntryKind, Error, InternalEntry, Result, SeqNo, UserKey, Value};
@@ -95,6 +96,9 @@ struct DbInner {
     /// When set, every structural change rewrites the backend's `MANIFEST`
     /// metadata blob (see [`MANIFEST_META`]).
     persist_manifest: bool,
+    /// Latency histograms + structured event trace (atomics only — never
+    /// part of the lock hierarchy, safe to call from any lock scope).
+    obs: ObsHandle,
     /// What recovery did at open time (`None` for a fresh database).
     recovery: OrderedMutex<Option<RecoverySummary>>,
 }
@@ -144,11 +148,13 @@ impl Snapshot {
 
     /// Point lookup at this snapshot.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        let _t = self.inner.obs.timer(HistKind::Get);
         self.inner.get_at(key, self.seqno)
     }
 
     /// Range scan at this snapshot.
     pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        let _t = self.inner.obs.timer(HistKind::Scan);
         self.inner.scan_at(start, end, self.seqno)
     }
 }
@@ -249,6 +255,7 @@ pub struct DbBuilder {
     persist_manifest: Option<bool>,
     recover: Option<bool>,
     clean_orphans: bool,
+    obs: Observability,
 }
 
 impl DbBuilder {
@@ -306,6 +313,16 @@ impl DbBuilder {
         self
     }
 
+    /// Observability configuration: latency histograms and the structured
+    /// event trace. Recording is on by default ([`Observability::On`]);
+    /// pass [`Observability::Off`] to reduce every instrumentation point
+    /// to a branch, or [`Observability::Shared`] to record into a handle
+    /// shared with other components (e.g. a fault-injecting backend).
+    pub fn obs(mut self, obs: Observability) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Opens the database.
     pub fn open(self) -> Result<Db> {
         self.opts.validate()?;
@@ -321,6 +338,15 @@ impl DbBuilder {
             (None, None) => Arc::new(MemBackend::new()),
             (Some(_), Some(_)) => unreachable!("rejected above"),
         };
+        let obs = self.obs.into_handle();
+        // Wrap once at construction so every engine I/O path is timed
+        // without touching any call site (the wrapper delegates `stats()`
+        // to the inner backend, so I/O byte counters are unaffected).
+        let backend: Arc<dyn Backend> = if obs.enabled() {
+            Arc::new(ObservedBackend::new(backend, obs.clone()))
+        } else {
+            backend
+        };
         let persist = self.persist_manifest.unwrap_or(is_dir);
         let want_recover = self.recover.unwrap_or(is_dir || self.manifest.is_some());
         let manifest_bytes = match self.manifest {
@@ -329,15 +355,21 @@ impl DbBuilder {
             None => None,
         };
         let inner = match manifest_bytes {
-            Some(bytes) => DbInner::recover(backend, self.opts, &bytes, persist)?,
+            Some(bytes) => DbInner::recover(backend, self.opts, &bytes, persist, obs)?,
             None => {
-                let inner = DbInner::new(backend, self.opts, persist)?;
+                let inner = DbInner::new(backend, self.opts, persist, obs)?;
                 inner.save_manifest()?;
                 inner
             }
         };
         if self.clean_orphans {
-            inner.clean_orphans(&[])?;
+            let removed = inner.clean_orphans(&[])?;
+            inner.obs.emit(
+                EventKind::RecoveryPhase,
+                None,
+                recovery_phase::ORPHAN_SWEEP,
+                removed as u64,
+            );
         }
         Db::finish_open(inner)
     }
@@ -409,6 +441,7 @@ impl Db {
 
     /// Inserts or updates `key -> value`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _t = self.inner.obs.timer(HistKind::Put);
         self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
@@ -420,6 +453,7 @@ impl Db {
 
     /// Deletes `key` (writes a point tombstone).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let _t = self.inner.obs.timer(HistKind::Delete);
         self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
@@ -433,6 +467,7 @@ impl Db {
     /// delete (RocksDB `SingleDelete`: the tombstone annihilates with the
     /// matching put during compaction instead of surviving to the bottom).
     pub fn single_delete(&self, key: &[u8]) -> Result<()> {
+        let _t = self.inner.obs.timer(HistKind::Delete);
         self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
@@ -444,6 +479,7 @@ impl Db {
 
     /// Deletes every key in `[start, end)` with one range tombstone.
     pub fn delete_range(&self, start: &[u8], end: &[u8]) -> Result<()> {
+        let _t = self.inner.obs.timer(HistKind::Delete);
         if start >= end {
             return Err(Error::InvalidArgument(
                 "delete_range requires start < end".into(),
@@ -463,6 +499,7 @@ impl Db {
         if batch.is_empty() {
             return Ok(());
         }
+        let _t = self.inner.obs.timer(HistKind::Put);
         for op in &batch.ops {
             if let BatchOp::DeleteRange(start, end) = op {
                 if start >= end {
@@ -531,6 +568,7 @@ impl Db {
         key: &[u8],
         f: impl FnOnce(Option<&[u8]>) -> Option<Vec<u8>>,
     ) -> Result<()> {
+        let _t = self.inner.obs.timer(HistKind::Put);
         self.inner.check_bg_error()?;
         self.inner.maybe_stall()?;
         {
@@ -687,13 +725,16 @@ impl Db {
 
     /// Returns the newest value of `key`, if it exists.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        let _t = self.inner.obs.timer(HistKind::Get);
         self.inner
             .get_at(key, self.inner.seqno.load(Ordering::Acquire))
     }
 
     /// Scans `[start, end)` (`None` = unbounded above) at the current
-    /// sequence number.
+    /// sequence number. The scan histogram records iterator construction
+    /// (source collection + merge setup), not iteration.
     pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        let _t = self.inner.obs.timer(HistKind::Scan);
         self.inner
             .scan_at(start, end, self.inner.seqno.load(Ordering::Acquire))
     }
@@ -775,11 +816,21 @@ impl Db {
     /// cache), with a [`MetricsSnapshot::delta`] combinator for phase
     /// measurements.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let version = self.inner.current.lock().clone();
         MetricsSnapshot {
             db: self.inner.stats.snapshot(),
             io: self.inner.backend.stats().snapshot(),
             cache: self.inner.cache.as_ref().map(|c| c.stats()),
+            latency: self.inner.obs.latency(),
+            levels: version.describe().level_gauges(),
         }
+    }
+
+    /// The observability handle: latency histograms and the structured
+    /// event trace. Always present; a handle opened with
+    /// [`Observability::Off`] reports empty surfaces.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.inner.obs
     }
 
     /// What recovery did when this database was opened: `None` for a fresh
@@ -849,6 +900,7 @@ impl DbInner {
         backend: Arc<dyn Backend>,
         opts: Options,
         persist_manifest: bool,
+        obs: ObsHandle,
     ) -> Result<Arc<DbInner>> {
         let cache =
             (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
@@ -896,6 +948,7 @@ impl DbInner {
             shutdown: AtomicBool::new(false),
             bg_error: OrderedMutex::new(ranks::DB_BG_ERROR, None),
             persist_manifest,
+            obs,
             recovery: OrderedMutex::new(ranks::DB_RECOVERY, None),
         }))
     }
@@ -905,9 +958,16 @@ impl DbInner {
         opts: Options,
         manifest_bytes: &[u8],
         persist_manifest: bool,
+        obs: ObsHandle,
     ) -> Result<Arc<DbInner>> {
         let manifest = Manifest::decode(manifest_bytes)?;
-        let inner = DbInner::new(backend.clone(), opts, persist_manifest)?;
+        let inner = DbInner::new(backend.clone(), opts, persist_manifest, obs)?;
+        inner.obs.emit(
+            EventKind::RecoveryPhase,
+            None,
+            recovery_phase::MANIFEST,
+            manifest.wal_segments.len() as u64,
+        );
 
         // Rebuild the tree.
         let mut levels = Vec::with_capacity(manifest.levels.len());
@@ -966,6 +1026,12 @@ impl DbInner {
         }
         inner.seqno.store(max_seqno, Ordering::Release);
         inner.clock.store(max_ts, Ordering::Release);
+        inner.obs.emit(
+            EventKind::RecoveryPhase,
+            None,
+            recovery_phase::WAL_REPLAY,
+            summary.records_recovered as u64,
+        );
         *inner.recovery.lock() = Some(summary);
 
         // Re-log the replayed entries into the fresh active WAL (synced, so
@@ -977,6 +1043,12 @@ impl DbInner {
             let mem = inner.mem.read();
             if let Some(wal_id) = mem.active.wal {
                 let entries = mem.active.table.sorted_entries();
+                inner.obs.emit(
+                    EventKind::RecoveryPhase,
+                    None,
+                    recovery_phase::RELOG,
+                    entries.len() as u64,
+                );
                 if !entries.is_empty() {
                     let mut payload = Vec::new();
                     for e in &entries {
@@ -1139,15 +1211,20 @@ impl DbInner {
 
     /// Blocks (or inline-maintains) while the immutable queue is full.
     fn maybe_stall(&self) -> Result<()> {
-        loop {
-            let full = self.mem.read().immutables.len() >= self.opts.max_immutable_memtables;
-            if !full {
-                return Ok(());
+        let mut stalled = false;
+        let result = loop {
+            let queued = self.mem.read().immutables.len();
+            if queued < self.opts.max_immutable_memtables {
+                break Ok(());
+            }
+            if !stalled {
+                stalled = true;
+                self.obs.emit(EventKind::StallBegin, None, queued as u64, 0);
             }
             let started = Instant::now();
             self.stats.stall_count.fetch_add(1, Ordering::Relaxed);
-            if self.opts.background_threads == 0 {
-                self.drain_maintenance()?;
+            let step = if self.opts.background_threads == 0 {
+                self.drain_maintenance()
             } else {
                 self.kick_work();
                 let mut guard = self.stall_mx.lock();
@@ -1156,12 +1233,19 @@ impl DbInner {
                     self.stall_cv
                         .wait_for(&mut guard, Duration::from_millis(10));
                 }
-            }
+                Ok(())
+            };
             self.stats
                 .stall_nanos
                 .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            self.check_bg_error()?;
+            if let Err(e) = step.and_then(|()| self.check_bg_error()) {
+                break Err(e);
+            }
+        };
+        if stalled {
+            self.obs.emit(EventKind::StallEnd, None, 0, 0);
         }
+        result
     }
 
     /// Freezes the active memtable if it crossed the buffer size.
@@ -1394,7 +1478,15 @@ impl DbInner {
     }
 
     fn flush_handle(&self, handle: &Arc<MemHandle>) -> Result<()> {
+        let _t = self.obs.timer(HistKind::Flush);
         let entries = handle.table.sorted_entries();
+        self.obs.emit(
+            EventKind::FlushStart,
+            Some(0),
+            handle.table.approximate_size() as u64,
+            handle.id,
+        );
+        let mut flushed_bytes: u64 = 0;
         let new_run = if entries.is_empty() {
             None
         } else {
@@ -1409,6 +1501,7 @@ impl DbInner {
             let (file, _) = builder.finish(self.backend.as_ref())?;
             let bytes = self.backend.len(file)?;
             self.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
+            flushed_bytes = bytes;
             let table = Table::open(self.backend.clone(), file, self.cache.clone())?;
             Some(Run::new(vec![table]))
         };
@@ -1456,6 +1549,8 @@ impl DbInner {
                 Err(e) => return Err(e),
             }
         }
+        self.obs
+            .emit(EventKind::FlushEnd, Some(0), flushed_bytes, handle.id);
         self.notify_progress();
         Ok(())
     }
@@ -1474,7 +1569,14 @@ impl DbInner {
         let sched = self.sched.lock();
         let desc = version.describe();
         let now = self.clock.load(Ordering::Acquire);
-        plan(&desc, &self.opts.compaction, now, &sched.cursors, bottom_ok)
+        plan_observed(
+            &desc,
+            &self.opts.compaction,
+            now,
+            &sched.cursors,
+            bottom_ok,
+            &self.obs,
+        )
     }
 
     fn try_compact_one(&self) -> Result<bool> {
@@ -1485,8 +1587,14 @@ impl DbInner {
             let mut sched = self.sched.lock();
             let desc = version.describe();
             let now = self.clock.load(Ordering::Acquire);
-            let Some(task) = plan(&desc, &self.opts.compaction, now, &sched.cursors, bottom_ok)
-            else {
+            let Some(task) = plan_observed(
+                &desc,
+                &self.opts.compaction,
+                now,
+                &sched.cursors,
+                bottom_ok,
+                &self.obs,
+            ) else {
                 return Ok(false);
             };
             if sched.busy_levels.contains(&task.src_level)
@@ -1512,6 +1620,13 @@ impl DbInner {
     }
 
     fn run_compaction(&self, version: &Arc<Version>, task: &CompactionPlan) -> Result<()> {
+        let _t = self.obs.timer(HistKind::Compaction);
+        self.obs.emit(
+            EventKind::CompactionStart,
+            Some(task.src_level as u32),
+            0,
+            task.dst_level as u64,
+        );
         let snapshots: Vec<SeqNo> = self.snapshots.lock().keys().copied().collect();
         let bits = self.bits_for_level(version, task.dst_level);
         let mem_nonempty = {
@@ -1593,6 +1708,12 @@ impl DbInner {
         self.stats
             .tombstones_purged
             .fetch_add(outcome.tombstones_purged, Ordering::Relaxed);
+        self.obs.emit(
+            EventKind::CompactionEnd,
+            Some(task.src_level as u32),
+            outcome.bytes_written,
+            task.dst_level as u64,
+        );
         self.save_manifest()?;
         Ok(())
     }

@@ -47,4 +47,7 @@ pub use version::{Run, Version};
 pub use lsm_compaction::{CompactionConfig, DataLayout, Granularity, PickPolicy, Trigger};
 pub use lsm_filters::PointFilterKind;
 pub use lsm_memtable::MemTableKind;
+pub use lsm_obs::{
+    EventKind, HistKind, HistSnapshot, LatencySnapshot, LevelGauge, ObsHandle, Observability,
+};
 pub use lsm_types::{Error, Result, SeqNo, Value};

@@ -10,12 +10,13 @@
 //! [`delta`]: MetricsSnapshot::delta
 //! [`to_json`]: MetricsSnapshot::to_json
 
+use lsm_obs::{HistKind, LatencySnapshot, LevelGauge};
 use lsm_storage::{CacheStats, IoSnapshot};
 
 use crate::stats::StatsSnapshot;
 
 /// A point-in-time copy of every counter the engine exposes.
-#[derive(Clone, Copy, Default, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Default, Debug, PartialEq, serde::Serialize)]
 pub struct MetricsSnapshot {
     /// Engine-level counters (operations, flushes, compactions, stalls).
     pub db: StatsSnapshot,
@@ -23,11 +24,20 @@ pub struct MetricsSnapshot {
     pub io: IoSnapshot,
     /// Block-cache counters; `None` when the cache is disabled.
     pub cache: Option<CacheStats>,
+    /// Latency histograms for every instrumented surface (empty when the
+    /// database was opened with observability off).
+    pub latency: LatencySnapshot,
+    /// Per-level tree shape at snapshot time (files, bytes, sorted runs).
+    pub levels: Vec<LevelGauge>,
 }
 
 impl MetricsSnapshot {
     /// Counter increments between `earlier` and `self`. The cache delta is
-    /// present only when both snapshots carry cache stats.
+    /// present only when both snapshots carry cache stats. Histograms
+    /// subtract bucket-wise, so quantiles of a delta describe only the
+    /// operations between the two snapshots. Level gauges are
+    /// instantaneous readings, not counters — the delta carries the later
+    /// snapshot's shape.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             db: self.db.delta(&earlier.db),
@@ -36,6 +46,8 @@ impl MetricsSnapshot {
                 (Some(now), Some(then)) => Some(now.delta(then)),
                 _ => None,
             },
+            latency: self.latency.delta(&earlier.latency),
+            levels: self.levels.clone(),
         }
     }
 
@@ -66,6 +78,7 @@ impl MetricsSnapshot {
                 ("compact_bytes_written", db.compact_bytes_written),
                 ("stall_count", db.stall_count),
                 ("stall_nanos", db.stall_nanos),
+                ("idle_waits", db.idle_waits),
                 ("gc_dropped_entries", db.gc_dropped_entries),
                 ("tombstones_purged", db.tombstones_purged),
             ],
@@ -101,6 +114,47 @@ impl MetricsSnapshot {
             ),
             None => out.push_str("\"cache\":null"),
         }
+        out.push_str(",\"latency\":{");
+        for (i, kind) in HistKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = self.latency.get(*kind);
+            out.push('"');
+            out.push_str(kind.name());
+            out.push_str("\":");
+            push_obj_body(
+                &mut out,
+                &[
+                    ("count", h.count()),
+                    ("p50", h.p50()),
+                    ("p90", h.p90()),
+                    ("p99", h.p99()),
+                    ("p999", h.p999()),
+                    ("max", h.max()),
+                ],
+            );
+        }
+        out.push_str("},\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_obj_body(
+                &mut out,
+                &[
+                    ("level", u64::from(l.level)),
+                    ("files", l.files),
+                    ("bytes", l.bytes),
+                    ("runs", l.runs),
+                ],
+            );
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"read_amp_estimate\":{}",
+            lsm_obs::estimated_read_amp(&self.levels)
+        ));
         out.push_str(&format!(
             ",\"write_amplification\":{:.4}",
             self.write_amplification()
@@ -113,7 +167,12 @@ impl MetricsSnapshot {
 fn push_obj(out: &mut String, name: &str, fields: &[(&str, u64)]) {
     out.push('"');
     out.push_str(name);
-    out.push_str("\":{");
+    out.push_str("\":");
+    push_obj_body(out, fields);
+}
+
+fn push_obj_body(out: &mut String, fields: &[(&str, u64)]) {
+    out.push('{');
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -136,7 +195,7 @@ mod tests {
             cache: Some(CacheStats::default()),
             ..Default::default()
         };
-        let mut b = a;
+        let mut b = a.clone();
         b.db.puts = 10;
         b.io.write_bytes = 4096;
         if let Some(c) = b.cache.as_mut() {
@@ -168,6 +227,9 @@ mod tests {
         assert!(j.contains("\"db\":{\"puts\":7,"));
         assert!(j.contains("\"io\":{\"read_ops\":0,"));
         assert!(j.contains("\"cache\":null"));
+        assert!(j.contains("\"latency\":{\"get\":{\"count\":0,"));
+        assert!(j.contains("\"levels\":[]"));
+        assert!(j.contains("\"read_amp_estimate\":0"));
         assert!(j.contains("\"write_amplification\":0.0000"));
 
         m.cache = Some(CacheStats {

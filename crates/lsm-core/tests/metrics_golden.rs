@@ -1,0 +1,94 @@
+//! Pins the `MetricsSnapshot::to_json` schema: key order, nesting, and
+//! formatting must match the checked-in golden file byte-for-byte, so any
+//! change to the metrics wire shape — scripts and experiment logs parse
+//! it — is a deliberate, reviewed diff.
+//!
+//! The fixture covers both an empty snapshot (every surface at its
+//! default) and a fully-populated one (cache present, every histogram
+//! kind recorded, multiple levels), so optional sections are pinned in
+//! both states.
+
+use std::path::PathBuf;
+
+use lsm_core::{HistKind, LevelGauge, MetricsSnapshot, ObsHandle};
+use lsm_storage::CacheStats;
+
+/// A deterministic fully-populated snapshot: fixed counter values, fixed
+/// recorded latencies (bucket placement is a pure function of the value),
+/// and a two-level tree shape.
+fn populated() -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::default();
+    m.db.puts = 1000;
+    m.db.gets = 500;
+    m.db.deletes = 25;
+    m.db.scans = 4;
+    m.db.user_bytes = 131072;
+    m.db.flushes = 7;
+    m.db.flush_bytes = 114688;
+    m.db.compactions = 2;
+    m.db.compact_bytes_read = 229376;
+    m.db.compact_bytes_written = 196608;
+    m.db.stall_count = 1;
+    m.db.stall_nanos = 2_500_000;
+    m.db.idle_waits = 9;
+    m.db.gc_dropped_entries = 40;
+    m.db.tombstones_purged = 12;
+    m.io.read_ops = 320;
+    m.io.read_pages = 640;
+    m.io.read_bytes = 2_621_440;
+    m.io.write_ops = 150;
+    m.io.write_pages = 300;
+    m.io.write_bytes = 1_228_800;
+    m.io.files_created = 11;
+    m.io.files_deleted = 3;
+    m.cache = Some(CacheStats {
+        hits: 400,
+        misses: 100,
+        insertions: 90,
+        evictions: 30,
+        invalidations: 5,
+    });
+    let obs = ObsHandle::recording();
+    for (i, kind) in HistKind::ALL.iter().enumerate() {
+        // Distinct deterministic samples per kind, spanning buckets.
+        for s in 1..=4u64 {
+            obs.record(*kind, (i as u64 + 1) * 1000 * s);
+        }
+    }
+    m.latency = obs.latency();
+    m.levels = vec![
+        LevelGauge {
+            level: 0,
+            files: 3,
+            bytes: 49152,
+            runs: 3,
+        },
+        LevelGauge {
+            level: 1,
+            files: 4,
+            bytes: 262144,
+            runs: 1,
+        },
+    ];
+    m
+}
+
+#[test]
+fn metrics_json_matches_golden_file() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_snapshot.json");
+    let actual = format!(
+        "{}\n{}\n",
+        MetricsSnapshot::default().to_json(),
+        populated().to_json()
+    );
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden file readable");
+    assert_eq!(
+        actual, golden,
+        "MetricsSnapshot::to_json schema drifted; if intentional, regenerate \
+         with\n  REGEN_GOLDEN=1 cargo test -p lsm-core --test metrics_golden"
+    );
+}

@@ -52,6 +52,13 @@ const L6_EXEMPT_FILES: &[&str] = &[
 ];
 
 /// Receiver idents whose method calls count as blocking backend I/O.
+///
+/// Deliberately absent: `obs` (and any other `ObsHandle` binding). The
+/// observability layer is atomics-only — `obs.emit(...)`/`obs.timer(...)`
+/// never block and sit outside the lock hierarchy — so instrumentation
+/// under a lock scope is not I/O-under-lock. Its method names also don't
+/// collide with [`IO_METHODS`], so an obs call can never match this rule;
+/// the fixture test `obs_calls_under_locks_are_not_io` pins that.
 const IO_RECEIVERS: &[&str] = &["backend", "writer", "inner"];
 
 /// Backend methods that are I/O regardless of arity.

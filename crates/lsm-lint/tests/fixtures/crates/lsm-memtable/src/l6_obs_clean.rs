@@ -1,0 +1,25 @@
+//! Fixture: observability calls under a live lock guard are NOT I/O (L6).
+//!
+//! `ObsHandle` is atomics-only and sits outside the lock hierarchy, so
+//! emitting events or starting timers inside a lock scope is legitimate —
+//! the linter must stay silent on every line of this file.
+
+use std::sync::Mutex;
+
+/// The `obs` receiver name must not key the I/O-under-lock rule.
+pub struct Instrumented {
+    state: Mutex<u64>,
+    obs: ObsHandle,
+}
+
+impl Instrumented {
+    /// Emits and times under the state lock: clean.
+    pub fn bump(&self) -> u64 {
+        let mut state = self.state.lock().expect("poisoned");
+        let _t = self.obs.timer(HistKind::Put);
+        self.obs.emit(EventKind::StallBegin, None, *state, 0);
+        self.obs.record(HistKind::Flush, 1500);
+        *state += 1;
+        *state
+    }
+}

@@ -81,6 +81,23 @@ fn allow_comments_and_test_code_are_exempt() {
 }
 
 #[test]
+fn obs_calls_under_locks_are_not_io() {
+    // The observability layer is atomics-only: `obs.emit`/`obs.timer`/
+    // `obs.record` under a live lock guard never block, so L6 must not
+    // fire on them (see the IO_RECEIVERS note in lockgraph.rs).
+    let report = lint_tree(&fixtures_root()).expect("fixture tree readable");
+    let hits: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.path.ends_with("l6_obs_clean.rs"))
+        .collect();
+    assert!(
+        hits.is_empty(),
+        "observability calls under a lock were flagged: {hits:?}"
+    );
+}
+
+#[test]
 fn binary_exits_nonzero_on_fixtures_with_file_line_diagnostics() {
     let out_dir = std::env::temp_dir().join(format!("lsm-lint-test-{}", std::process::id()));
     std::fs::create_dir_all(&out_dir).expect("temp dir");

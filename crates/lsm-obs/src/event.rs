@@ -1,0 +1,491 @@
+//! A bounded lock-free ring buffer of structured engine events, drainable
+//! as JSONL and exportable as Chrome `trace_event` JSON.
+//!
+//! Writers claim a slot with one `fetch_add` and publish through per-slot
+//! sequence numbers; every word of the payload is an atomic, so the ring
+//! is memory-safe without locks. When the ring wraps, the oldest events
+//! are overwritten (the total number pushed is retained so drains can
+//! report how many were dropped). A reader observing a slot mid-write
+//! detects the sequence change and skips it; the only way a garbled
+//! payload can be *accepted* is if the ring wraps a full lap within one
+//! writer's few-nanosecond store window, which is beyond any realistic
+//! event rate — and the cost is one wrong diagnostic row, never UB.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. Paired `*Start`/`*End` kinds become Chrome duration
+/// (`B`/`E`) events; the rest are instants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A memtable flush began (`a` = memtable bytes).
+    FlushStart = 0,
+    /// A memtable flush finished (`a` = table bytes written).
+    FlushEnd = 1,
+    /// A compaction began (`level` = source level, `a` = input bytes,
+    /// `b` = destination level).
+    CompactionStart = 2,
+    /// A compaction finished (`level` = source level, `a` = bytes
+    /// written, `b` = destination level).
+    CompactionEnd = 3,
+    /// A writer began stalling on the immutable-memtable backlog.
+    StallBegin = 4,
+    /// The stalled writer resumed (`a` = stalled nanoseconds).
+    StallEnd = 5,
+    /// Value-log garbage collection began (`a` = segment id).
+    VlogGcStart = 6,
+    /// Value-log garbage collection finished (`a` = segment id,
+    /// `b` = live bytes relocated).
+    VlogGcEnd = 7,
+    /// A recovery phase completed (`a` = phase code, see
+    /// [`recovery_phase_name`], `b` = phase-specific count).
+    RecoveryPhase = 8,
+    /// A storage fault fired (`a` = fault code, see [`fault_name`],
+    /// `b` = the backend write/read op index it hit).
+    FaultInjected = 9,
+}
+
+impl EventKind {
+    const ALL: [EventKind; 10] = [
+        EventKind::FlushStart,
+        EventKind::FlushEnd,
+        EventKind::CompactionStart,
+        EventKind::CompactionEnd,
+        EventKind::StallBegin,
+        EventKind::StallEnd,
+        EventKind::VlogGcStart,
+        EventKind::VlogGcEnd,
+        EventKind::RecoveryPhase,
+        EventKind::FaultInjected,
+    ];
+
+    fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Stable JSONL name, one per kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FlushStart => "flush_start",
+            EventKind::FlushEnd => "flush_end",
+            EventKind::CompactionStart => "compaction_start",
+            EventKind::CompactionEnd => "compaction_end",
+            EventKind::StallBegin => "stall_begin",
+            EventKind::StallEnd => "stall_end",
+            EventKind::VlogGcStart => "vlog_gc_start",
+            EventKind::VlogGcEnd => "vlog_gc_end",
+            EventKind::RecoveryPhase => "recovery_phase",
+            EventKind::FaultInjected => "fault_injected",
+        }
+    }
+
+    /// Chrome trace span name (shared by the `Start`/`End` pair).
+    fn trace_name(self) -> &'static str {
+        match self {
+            EventKind::FlushStart | EventKind::FlushEnd => "flush",
+            EventKind::CompactionStart | EventKind::CompactionEnd => "compaction",
+            EventKind::StallBegin | EventKind::StallEnd => "write_stall",
+            EventKind::VlogGcStart | EventKind::VlogGcEnd => "vlog_gc",
+            EventKind::RecoveryPhase => "recovery_phase",
+            EventKind::FaultInjected => "fault_injected",
+        }
+    }
+
+    /// Chrome trace phase: `B`/`E` for paired kinds, `i` (instant) else.
+    fn trace_phase(self) -> &'static str {
+        match self {
+            EventKind::FlushStart
+            | EventKind::CompactionStart
+            | EventKind::StallBegin
+            | EventKind::VlogGcStart => "B",
+            EventKind::FlushEnd
+            | EventKind::CompactionEnd
+            | EventKind::StallEnd
+            | EventKind::VlogGcEnd => "E",
+            EventKind::RecoveryPhase | EventKind::FaultInjected => "i",
+        }
+    }
+}
+
+/// Codes carried in `a` by [`EventKind::RecoveryPhase`] events.
+pub mod recovery_phase {
+    /// Manifest decoded and tables reopened.
+    pub const MANIFEST: u64 = 0;
+    /// WAL segments replayed into the memtable.
+    pub const WAL_REPLAY: u64 = 1;
+    /// Surviving WAL entries re-logged into a fresh segment.
+    pub const RELOG: u64 = 2;
+    /// Value-log roster reconciled and tail-scanned.
+    pub const VLOG_SCAN: u64 = 3;
+    /// Orphan files swept.
+    pub const ORPHAN_SWEEP: u64 = 4;
+}
+
+/// Stable name for a [`EventKind::RecoveryPhase`] code.
+pub fn recovery_phase_name(code: u64) -> &'static str {
+    match code {
+        recovery_phase::MANIFEST => "manifest",
+        recovery_phase::WAL_REPLAY => "wal_replay",
+        recovery_phase::RELOG => "relog",
+        recovery_phase::VLOG_SCAN => "vlog_scan",
+        recovery_phase::ORPHAN_SWEEP => "orphan_sweep",
+        _ => "unknown",
+    }
+}
+
+/// Codes carried in `a` by [`EventKind::FaultInjected`] events.
+pub mod fault {
+    /// Transient write error.
+    pub const WRITE_TRANSIENT: u64 = 0;
+    /// Transient read error.
+    pub const READ_TRANSIENT: u64 = 1;
+    /// Permanent write error.
+    pub const WRITE_PERMANENT: u64 = 2;
+    /// Permanent read error.
+    pub const READ_PERMANENT: u64 = 3;
+    /// `sync` lied: reported success without durability.
+    pub const SYNC_LIE: u64 = 4;
+    /// `sync` failed.
+    pub const SYNC_FAIL: u64 = 5;
+    /// The simulated crash point was reached.
+    pub const CRASH: u64 = 6;
+    /// An append was torn at the crash point.
+    pub const TORN_APPEND: u64 = 7;
+}
+
+/// Stable name for a [`EventKind::FaultInjected`] code.
+pub fn fault_name(code: u64) -> &'static str {
+    match code {
+        fault::WRITE_TRANSIENT => "write_transient",
+        fault::READ_TRANSIENT => "read_transient",
+        fault::WRITE_PERMANENT => "write_permanent",
+        fault::READ_PERMANENT => "read_permanent",
+        fault::SYNC_LIE => "sync_lie",
+        fault::SYNC_FAIL => "sync_fail",
+        fault::CRASH => "crash",
+        fault::TORN_APPEND => "torn_append",
+        _ => "unknown",
+    }
+}
+
+/// A decoded event, as returned by [`EventRing::events`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process clock origin.
+    pub t_nanos: u64,
+    /// Small per-thread id (first-use order), for Chrome trace lanes.
+    pub tid: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// LSM level, for flush/compaction events.
+    pub level: Option<u32>,
+    /// First payload word (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (kind-specific, see [`EventKind`]).
+    pub b: u64,
+}
+
+// Packed word 0 layout: kind (8 bits) | level+1 (16 bits) | tid (40 bits).
+const LEVEL_NONE: u64 = 0;
+
+struct Slot {
+    seq: AtomicU64,
+    w0: AtomicU64,
+    t: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// The bounded lock-free ring. Capacity is rounded up to a power of two.
+pub struct EventRing {
+    slots: Vec<Slot>,
+    head: AtomicU64,
+    mask: u64,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's small trace id (stable within the thread's life).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+impl EventRing {
+    /// A ring holding the most recent `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                w0: AtomicU64::new(0),
+                t: AtomicU64::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            })
+            .collect();
+        EventRing {
+            slots,
+            head: AtomicU64::new(0),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// Records an event with an explicit timestamp and thread id (the
+    /// engine passes the shared clock's now; tests pass fixtures).
+    pub fn push_at(
+        &self,
+        t_nanos: u64,
+        tid: u64,
+        kind: EventKind,
+        level: Option<u32>,
+        a: u64,
+        b: u64,
+    ) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx & self.mask) as usize];
+        let level_code = level.map_or(LEVEL_NONE, |l| u64::from(l.min(0xfffe)) + 1);
+        let w0 = kind as u64 | (level_code << 8) | (tid << 24);
+        // Invalidate, write payload, publish. Readers that race with this
+        // observe a sequence change and drop the slot.
+        slot.seq.store(0, Ordering::Release);
+        slot.w0.store(w0, Ordering::Relaxed);
+        slot.t.store(t_nanos, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(idx + 1, Ordering::Release);
+    }
+
+    /// Total events pushed over the ring's lifetime.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Decodes the resident events, oldest first (by push order).
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for slot in &self.slots {
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 {
+                continue;
+            }
+            let w0 = slot.w0.load(Ordering::Relaxed);
+            let t = slot.t.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Acquire) != seq1 {
+                continue; // torn: a writer replaced the slot mid-read
+            }
+            let Some(kind) = EventKind::from_u8((w0 & 0xff) as u8) else {
+                continue;
+            };
+            let level_code = (w0 >> 8) & 0xffff;
+            out.push((
+                seq1,
+                Event {
+                    t_nanos: t,
+                    tid: w0 >> 24,
+                    kind,
+                    level: if level_code == LEVEL_NONE {
+                        None
+                    } else {
+                        Some((level_code - 1) as u32)
+                    },
+                    a,
+                    b,
+                },
+            ));
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+/// Renders events as JSONL: one flat JSON object per line, stable keys
+/// (`t`, `tid`, `event`, `level`, `a`, `b`).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"t\":{},\"tid\":{},\"event\":\"{}\",\"level\":{},\"a\":{},\"b\":{}}}\n",
+            e.t_nanos,
+            e.tid,
+            e.kind.name(),
+            e.level.map_or("null".to_string(), |l| l.to_string()),
+            e.a,
+            e.b
+        ));
+    }
+    out
+}
+
+/// Renders events as a Chrome `trace_event` JSON document (object form,
+/// `{"traceEvents": [...]}`) loadable in chrome://tracing or Perfetto.
+/// Timestamps are microseconds with nanosecond decimals.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts_us = e.t_nanos / 1000;
+        let ts_frac = e.t_nanos % 1000;
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"lsm\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+            e.kind.trace_name(),
+            e.kind.trace_phase(),
+            ts_us,
+            ts_frac,
+            e.tid
+        ));
+        if e.kind.trace_phase() == "i" {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        let mut arg = |out: &mut String, k: &str, v: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{k}\":{v}"));
+        };
+        if let Some(level) = e.level {
+            arg(&mut out, "level", level.to_string());
+        }
+        match e.kind {
+            EventKind::RecoveryPhase => {
+                arg(
+                    &mut out,
+                    "phase",
+                    format!("\"{}\"", recovery_phase_name(e.a)),
+                );
+                arg(&mut out, "count", e.b.to_string());
+            }
+            EventKind::FaultInjected => {
+                arg(&mut out, "fault", format!("\"{}\"", fault_name(e.a)));
+                arg(&mut out, "op", e.b.to_string());
+            }
+            EventKind::VlogGcStart | EventKind::VlogGcEnd => {
+                arg(&mut out, "segment", e.a.to_string());
+                arg(&mut out, "relocated_bytes", e.b.to_string());
+            }
+            EventKind::CompactionStart | EventKind::CompactionEnd => {
+                arg(&mut out, "bytes", e.a.to_string());
+                arg(&mut out, "dst_level", e.b.to_string());
+            }
+            _ => {
+                arg(&mut out, "bytes", e.a.to_string());
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_reports_drops() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..20u64 {
+            ring.push_at(i, 1, EventKind::FlushStart, Some(0), i, 0);
+        }
+        assert_eq!(ring.pushed(), 20);
+        assert_eq!(ring.dropped(), 12);
+        let events = ring.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.first().map(|e| e.a), Some(12));
+        assert_eq!(events.last().map(|e| e.a), Some(19));
+    }
+
+    #[test]
+    fn payload_roundtrips() {
+        let ring = EventRing::with_capacity(8);
+        ring.push_at(123, 7, EventKind::CompactionEnd, Some(3), 4096, 4);
+        ring.push_at(
+            456,
+            7,
+            EventKind::RecoveryPhase,
+            None,
+            recovery_phase::WAL_REPLAY,
+            9,
+        );
+        let events = ring.events();
+        assert_eq!(
+            events[0],
+            Event {
+                t_nanos: 123,
+                tid: 7,
+                kind: EventKind::CompactionEnd,
+                level: Some(3),
+                a: 4096,
+                b: 4
+            }
+        );
+        assert_eq!(events[1].level, None);
+        assert_eq!(events[1].kind, EventKind::RecoveryPhase);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_safe_and_accounted() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::with_capacity(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    ring.push_at(i, t, EventKind::StallBegin, None, i, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("pusher");
+        }
+        assert_eq!(ring.pushed(), 4000);
+        // Every decoded survivor must be well-formed.
+        for e in ring.events() {
+            assert_eq!(e.kind, EventKind::StallBegin);
+            assert!(e.tid < 4 && e.a < 1000);
+        }
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let ring = EventRing::with_capacity(8);
+        ring.push_at(1500, 2, EventKind::FlushEnd, Some(0), 4096, 0);
+        let jsonl = to_jsonl(&ring.events());
+        assert_eq!(
+            jsonl,
+            "{\"t\":1500,\"tid\":2,\"event\":\"flush_end\",\"level\":0,\"a\":4096,\"b\":0}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_tagged() {
+        let ring = EventRing::with_capacity(8);
+        ring.push_at(1000, 1, EventKind::FlushStart, Some(0), 100, 0);
+        ring.push_at(2500, 1, EventKind::FlushEnd, Some(0), 90, 0);
+        ring.push_at(3000, 2, EventKind::FaultInjected, None, fault::SYNC_LIE, 17);
+        let trace = to_chrome_trace(&ring.events());
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"B\"") && trace.contains("\"ph\":\"E\""));
+        assert!(trace.contains("\"ts\":1.000") && trace.contains("\"ts\":2.500"));
+        assert!(trace.contains("\"fault\":\"sync_lie\""));
+        let opens = trace.matches('{').count();
+        let closes = trace.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces in:\n{trace}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Lock-free log-bucketed latency histograms (HDR-style).
+//!
+//! The layout is fixed: 64 power-of-two ranges × [`SUB_BUCKETS`] linear
+//! sub-buckets each, giving a worst-case relative error of 1/16 (6.25%)
+//! over the full `u64` nanosecond range with a flat 8 KiB of atomic
+//! counters. Recording is a single relaxed `fetch_add` per value (plus one
+//! for the running sum), so histograms can sit on the hottest paths and be
+//! shared freely across threads.
+//!
+//! Snapshots are plain `Vec<u64>` mirrors supporting bucket-wise `delta`
+//! (for phase measurements) and `merge`, with `p50/p90/p99/p999/max`
+//! queries answered from the buckets. `max` is therefore bucket-resolution
+//! (an upper bound within 6.25%), which keeps it meaningful under `delta`
+//! where an exact running maximum cannot be subtracted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two range.
+pub const SUB_BUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUB_BUCKETS)
+
+/// Total counter slots: 64 exponent ranges × 16 sub-buckets. Values below
+/// [`SUB_BUCKETS`] are exact, so the top ranges are never all reachable;
+/// the fixed size keeps indexing branch-free and snapshots mergeable.
+pub const NUM_BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// Bucket index for `v` (saturating at the top bucket).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+        let idx = (exp as usize - SUB_BITS as usize + 1) * SUB_BUCKETS + sub;
+        idx.min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (the value reported for any
+/// sample that landed in it).
+#[inline]
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        idx as u64
+    } else {
+        let exp = (idx / SUB_BUCKETS) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUB_BUCKETS) as u128;
+        let shift = exp - SUB_BITS;
+        // The deepest ranges exceed u64; saturate (they are unreachable
+        // from `bucket_index`, which never emits an index past u64::MAX's).
+        let hi = ((SUB_BUCKETS as u128 + sub + 1) << shift).min(u64::MAX as u128 + 1);
+        (hi - 1) as u64
+    }
+}
+
+/// A lock-free latency histogram: share behind an `Arc`, record from any
+/// thread, snapshot at leisure.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // A `const` item is the idiomatic way to seed an array of atomics.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: Box::new([ZERO; NUM_BUCKETS]),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (nanoseconds). One relaxed `fetch_add` per
+    /// counter touched; safe on the hottest paths.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_weighted(v, 1);
+    }
+
+    /// Records one observed sample standing in for `weight` operations.
+    /// Sampled surfaces record 1-in-N with weight N: every bucket scales
+    /// uniformly, so quantiles are unchanged and `count()` still estimates
+    /// the true operation count.
+    #[inline]
+    pub fn record_weighted(&self, v: u64, weight: u64) {
+        self.buckets[bucket_index(v)].fetch_add(weight, Ordering::Relaxed);
+        self.sum
+            .fetch_add(v.saturating_mul(weight), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut any = false;
+        for (slot, out) in self.buckets.iter().zip(buckets.iter_mut()) {
+            *out = slot.load(Ordering::Relaxed);
+            any |= *out != 0;
+        }
+        HistSnapshot {
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: if any { buckets } else { Vec::new() },
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: bucket-wise arithmetic plus
+/// percentile queries. An empty bucket vector means "all zero" so default
+/// snapshots are cheap.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Sum of all recorded values (nanoseconds).
+    pub sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Largest recorded value, at bucket resolution (upper bound within
+    /// 6.25%). Zero when empty.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, bucket_value)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket upper bound). Zero
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx);
+            }
+        }
+        self.max()
+    }
+
+    /// Median (nanoseconds).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// 90th percentile (nanoseconds).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// 99th percentile (nanoseconds).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// 99.9th percentile (nanoseconds).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Mean of recorded values; zero when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Bucket-wise difference `self - earlier` (saturating), for phase
+    /// measurements between two snapshots of the same histogram.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        if earlier.buckets.is_empty() {
+            return self.clone();
+        }
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut any = false;
+        for (idx, out) in buckets.iter_mut().enumerate() {
+            let now = self.buckets.get(idx).copied().unwrap_or(0);
+            let then = earlier.buckets.get(idx).copied().unwrap_or(0);
+            *out = now.saturating_sub(then);
+            any |= *out != 0;
+        }
+        HistSnapshot {
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: if any { buckets } else { Vec::new() },
+        }
+    }
+
+    /// Bucket-wise accumulation of `other` into `self` (for aggregating
+    /// per-shard or per-run histograms).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.buckets.is_empty() {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0u64; NUM_BUCKETS];
+        }
+        for (out, &add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *out = out.saturating_add(add);
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value maps to a bucket whose upper bound is >= the value,
+        // and bucket upper bounds are strictly increasing over the
+        // reachable range (everything up to u64::MAX's bucket).
+        let mut prev = None;
+        for idx in 0..=bucket_index(u64::MAX) {
+            let v = bucket_value(idx);
+            if let Some(p) = prev {
+                assert!(v > p, "bucket {idx}: {v} <= {p}");
+            }
+            prev = Some(v);
+        }
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            assert!(bucket_value(idx) >= v, "value {v} above bucket {idx}");
+            if idx > 0 {
+                assert!(bucket_value(idx - 1) < v, "value {v} below bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in 5..50u32 {
+            let v = (1u64 << shift) + (1 << (shift - 2)) + 7;
+            let reported = bucket_value(bucket_index(v));
+            let err = (reported - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "value {v}: err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_from_known_distribution() {
+        let h = Histogram::new();
+        // 1000 samples at ~100ns, 10 at ~10µs: p50/p90 in the low band,
+        // p999/max in the high band.
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1010);
+        assert!(s.p50() >= 100 && s.p50() < 120, "p50={}", s.p50());
+        assert!(s.p90() < 120);
+        assert!(s.p999() >= 10_000 && s.p999() < 11_000, "p999={}", s.p999());
+        assert!(s.max() >= 10_000 && s.max() < 11_000);
+        assert_eq!(s.sum, 1000 * 100 + 10 * 10_000);
+    }
+
+    #[test]
+    fn delta_and_merge_are_bucket_wise() {
+        let h = Histogram::new();
+        h.record(50);
+        let a = h.snapshot();
+        h.record(50);
+        h.record(7_000);
+        let b = h.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.count(), 2);
+        assert!(d.max() >= 7_000);
+        assert_eq!(d.sum, 50 + 7_000);
+
+        let mut m = a.clone();
+        m.merge(&d);
+        assert_eq!(m.count(), b.count());
+        assert_eq!(m.sum, b.sum);
+        assert_eq!(m, b);
+    }
+
+    #[test]
+    fn empty_snapshot_queries_are_zero() {
+        let s = HistSnapshot::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.max(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        // delta of empties stays empty
+        assert!(s.delta(&s).is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record((t * 1000 + i) % 5000);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().expect("recorder thread");
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+}

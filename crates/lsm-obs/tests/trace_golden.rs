@@ -1,0 +1,75 @@
+//! Pins the trace export schemas: a fixed event sequence (explicit
+//! timestamps and thread ids via [`EventRing::push_at`]) must render to
+//! the checked-in JSONL and Chrome `trace_event` fixtures byte-for-byte.
+//! Trace consumers — chrome://tracing, Perfetto, and the repo's own
+//! scripts — parse these shapes, so any drift is a deliberate, reviewed
+//! diff.
+
+use std::path::PathBuf;
+
+use lsm_obs::{fault, recovery_phase, to_chrome_trace, to_jsonl, EventKind, EventRing};
+
+/// One event of every kind, timestamps fixed, spans properly nested —
+/// the whole taxonomy in a timeline chrome://tracing renders meaningfully.
+fn fixture_ring() -> EventRing {
+    let ring = EventRing::with_capacity(16);
+    ring.push_at(
+        1_000,
+        1,
+        EventKind::RecoveryPhase,
+        None,
+        recovery_phase::MANIFEST,
+        2,
+    );
+    ring.push_at(
+        2_000,
+        1,
+        EventKind::RecoveryPhase,
+        None,
+        recovery_phase::WAL_REPLAY,
+        150,
+    );
+    ring.push_at(10_000, 2, EventKind::FlushStart, Some(0), 65536, 3);
+    ring.push_at(25_500, 2, EventKind::FlushEnd, Some(0), 61440, 3);
+    ring.push_at(30_000, 1, EventKind::StallBegin, None, 2, 0);
+    ring.push_at(31_250, 1, EventKind::StallEnd, None, 1_250, 0);
+    ring.push_at(40_000, 3, EventKind::CompactionStart, Some(0), 0, 1);
+    ring.push_at(90_000, 3, EventKind::CompactionEnd, Some(0), 196608, 1);
+    ring.push_at(
+        95_000,
+        2,
+        EventKind::FaultInjected,
+        None,
+        fault::WRITE_TRANSIENT,
+        17,
+    );
+    ring.push_at(100_000, 3, EventKind::VlogGcStart, None, 4, 0);
+    ring.push_at(140_000, 3, EventKind::VlogGcEnd, None, 4, 32768);
+    ring
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden file readable");
+    assert_eq!(
+        actual, golden,
+        "{name} schema drifted; if intentional, regenerate with\n  \
+         REGEN_GOLDEN=1 cargo test -p lsm-obs --test trace_golden"
+    );
+}
+
+#[test]
+fn jsonl_export_matches_golden_file() {
+    check_golden("events.jsonl", &to_jsonl(&fixture_ring().events()));
+}
+
+#[test]
+fn chrome_trace_export_matches_golden_file() {
+    check_golden("trace.json", &to_chrome_trace(&fixture_ring().events()));
+}

@@ -33,9 +33,10 @@
 //! backend (property-tested in `tests/fault_backend.rs`).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
+use lsm_obs::{fault as fault_code, EventKind, ObsHandle};
 use lsm_types::{Error, Result};
 use parking_lot::Mutex;
 
@@ -102,6 +103,9 @@ impl FaultState {
 pub struct FaultBackend {
     inner: Arc<dyn Backend>,
     state: Mutex<FaultState>,
+    /// Optional trace sink: every injected fault is announced here so a
+    /// test's Chrome trace shows *where* in the timeline faults landed.
+    obs: OnceLock<ObsHandle>,
 }
 
 fn crashed_err() -> Error {
@@ -123,6 +127,7 @@ impl FaultBackend {
     pub fn with_seed(inner: Arc<dyn Backend>, seed: u64) -> Self {
         FaultBackend {
             inner,
+            obs: OnceLock::new(),
             state: Mutex::new(FaultState {
                 seed,
                 write_ops: 0,
@@ -145,6 +150,19 @@ impl FaultBackend {
     /// [`power_cut`]: FaultBackend::power_cut
     pub fn inner(&self) -> Arc<dyn Backend> {
         Arc::clone(&self.inner)
+    }
+
+    /// Attaches an observability handle: every fault injected from now on
+    /// emits an [`EventKind::FaultInjected`] event. Setting a second handle
+    /// is a no-op (the first one wins).
+    pub fn set_obs(&self, obs: ObsHandle) {
+        let _ = self.obs.set(obs);
+    }
+
+    fn emit_fault(&self, code: u64, op: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.emit(EventKind::FaultInjected, None, code, op);
+        }
     }
 
     /// Number of write-class operations observed so far (the crash-point
@@ -229,18 +247,25 @@ impl FaultBackend {
         state.write_ops += 1;
         let idx = state.write_ops;
         if state.transient_write_errors.remove(&idx) {
+            drop(state);
+            self.emit_fault(fault_code::WRITE_TRANSIENT, idx);
             return Err(Error::Transient(format!(
                 "injected write fault at op {idx}"
             )));
         }
         if state.permanent_write_error {
+            drop(state);
+            self.emit_fault(fault_code::WRITE_PERMANENT, idx);
             return Err(Error::Io(std::io::Error::other(
                 "injected fault: device write failure",
             )));
         }
         if state.crash_at == Some(idx) {
             state.crashed = true;
-            on_crash(&mut state, idx)?;
+            let crash_effect = on_crash(&mut state, idx);
+            drop(state);
+            self.emit_fault(fault_code::CRASH, idx);
+            crash_effect?;
             return Err(injected_crash());
         }
         Ok(idx)
@@ -254,9 +279,13 @@ impl FaultBackend {
         }
         if state.transient_read_errors > 0 {
             state.transient_read_errors -= 1;
+            drop(state);
+            self.emit_fault(fault_code::READ_TRANSIENT, 0);
             return Err(Error::Transient("injected read fault".into()));
         }
         if state.permanent_read_error {
+            drop(state);
+            self.emit_fault(fault_code::READ_PERMANENT, 0);
             return Err(Error::Io(std::io::Error::other(
                 "injected fault: device read failure",
             )));
@@ -333,6 +362,7 @@ impl Backend for FaultBackend {
                     let _ = self.inner.append(id, data);
                     let physical = self.inner.len(id).unwrap_or(0);
                     self.state.lock().torn_physical = physical;
+                    self.emit_fault(fault_code::TORN_APPEND, physical);
                 }
                 Err(e)
             }
@@ -340,7 +370,7 @@ impl Backend for FaultBackend {
     }
 
     fn sync(&self, id: FileId) -> Result<()> {
-        {
+        let sync_fault = {
             let mut state = self.state.lock();
             match state.sync_fault {
                 SyncFault::LieOnce => {
@@ -348,16 +378,27 @@ impl Backend for FaultBackend {
                     // (Still counts as a write op for crash-point purposes.)
                     state.write_ops += 1;
                     state.sync_fault = SyncFault::Failed;
-                    return Ok(());
+                    Some((fault_code::SYNC_LIE, state.write_ops))
                 }
                 SyncFault::Failed => {
                     state.write_ops += 1;
-                    return Err(Error::Io(std::io::Error::other(
-                        "injected fault: sync failure after lost write",
-                    )));
+                    Some((fault_code::SYNC_FAIL, state.write_ops))
                 }
-                SyncFault::None => {}
+                SyncFault::None => None,
             }
+        };
+        match sync_fault {
+            Some((code @ fault_code::SYNC_LIE, idx)) => {
+                self.emit_fault(code, idx);
+                return Ok(());
+            }
+            Some((code, idx)) => {
+                self.emit_fault(code, idx);
+                return Err(Error::Io(std::io::Error::other(
+                    "injected fault: sync failure after lost write",
+                )));
+            }
+            None => {}
         }
         self.write_gate(|_, _| Ok(()))?;
         self.inner.sync(id)?;

@@ -24,10 +24,12 @@
 mod backend;
 mod cache;
 mod fault;
+mod observe;
 mod stats;
 pub mod wal;
 
 pub use backend::{Backend, FileId, FsBackend, MemBackend};
 pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use fault::FaultBackend;
+pub use observe::ObservedBackend;
 pub use stats::{IoSnapshot, IoStats};

@@ -23,7 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lsm_core::{Db, Options};
-use lsm_storage::Backend;
+use lsm_obs::{EventKind, HistKind, ObsHandle, Observability};
+use lsm_storage::{Backend, ObservedBackend};
 use lsm_types::{Error, Result, UserKey, Value};
 
 /// Tag byte distinguishing inline values from value-log pointers.
@@ -49,14 +50,29 @@ impl KvSeparatedDb {
         value_threshold: usize,
         segment_target_bytes: u64,
     ) -> Result<Self> {
-        let vlog = ValueLog::new(backend.clone(), segment_target_bytes)?;
-        let db = Db::builder().backend(backend).options(opts).open()?;
+        let db = Db::builder()
+            .backend(backend.clone())
+            .options(opts)
+            .open()?;
+        let vlog = ValueLog::new(Self::vlog_backend(backend, db.obs()), segment_target_bytes)?
+            .with_obs(db.obs().clone());
         Ok(KvSeparatedDb {
             db,
             vlog,
             value_threshold,
             user_bytes: AtomicU64::new(0),
         })
+    }
+
+    /// The vlog's storage substrate: wrapped in an [`ObservedBackend`]
+    /// sharing the engine's handle, so vlog file I/O lands in the same
+    /// `backend_*` histograms as the tree's.
+    fn vlog_backend(backend: Arc<dyn Backend>, obs: &ObsHandle) -> Arc<dyn Backend> {
+        if obs.enabled() {
+            Arc::new(ObservedBackend::new(backend, obs.clone()))
+        } else {
+            backend
+        }
     }
 
     /// Opens (creating or recovering) a crash-durable separated store:
@@ -72,13 +88,36 @@ impl KvSeparatedDb {
         value_threshold: usize,
         segment_target_bytes: u64,
     ) -> Result<Self> {
-        let vlog = ValueLog::open_durable(backend.clone(), segment_target_bytes)?;
+        Self::open_durable_obs(
+            backend,
+            opts,
+            value_threshold,
+            segment_target_bytes,
+            Observability::default(),
+        )
+    }
+
+    /// [`KvSeparatedDb::open_durable`] with an explicit observability
+    /// choice — pass [`Observability::Shared`] to merge this store's
+    /// histograms and events into an existing handle (the crash harness
+    /// shares one handle across a whole sweep of reopened stores).
+    pub fn open_durable_obs(
+        backend: Arc<dyn Backend>,
+        opts: Options,
+        value_threshold: usize,
+        segment_target_bytes: u64,
+        obs: Observability,
+    ) -> Result<Self> {
         let db = Db::builder()
-            .backend(backend)
+            .backend(backend.clone())
             .options(opts)
             .persist_manifest(true)
             .recover(true)
+            .obs(obs)
             .open()?;
+        let vlog =
+            ValueLog::open_durable(Self::vlog_backend(backend, db.obs()), segment_target_bytes)?
+                .with_obs(db.obs().clone());
         db.clean_orphans(&vlog.segments())?;
         Ok(KvSeparatedDb {
             db,
@@ -150,11 +189,15 @@ impl KvSeparatedDb {
     /// dropped with the segment. Returns `(live, dead)` record counts, or
     /// `None` when only the active segment remains.
     pub fn gc_oldest_segment(&self) -> Result<Option<(usize, usize)>> {
+        let obs = self.db.obs();
+        let _t = obs.timer(HistKind::VlogGc);
         let Some((segment, records)) = self.vlog.seal_oldest_segment()? else {
             return Ok(None);
         };
+        obs.emit(EventKind::VlogGcStart, None, segment, 0);
         let mut live = 0;
         let mut dead = 0;
+        let mut relocated_bytes: u64 = 0;
         for (key, value, old_ptr) in records {
             let still_live = match self.db.get(&key)? {
                 Some(stored) if stored.first() == Some(&TAG_POINTER) => {
@@ -164,6 +207,7 @@ impl KvSeparatedDb {
             };
             if still_live {
                 live += 1;
+                relocated_bytes += (key.len() + value.len()) as u64;
                 // Relocate: append at the head and re-point the key.
                 let ptr = self.vlog.append(&key, &value)?;
                 let mut stored = Vec::with_capacity(25);
@@ -175,6 +219,7 @@ impl KvSeparatedDb {
             }
         }
         self.vlog.delete_segment(segment)?;
+        obs.emit(EventKind::VlogGcEnd, None, segment, relocated_bytes);
         Ok(Some((live, dead)))
     }
 

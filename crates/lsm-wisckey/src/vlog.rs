@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use lsm_obs::{HistKind, ObsHandle};
 use lsm_storage::{Backend, FileId};
 use lsm_sync::{ranks, OrderedMutex};
 use lsm_types::encoding::{put_len_prefixed, put_u64, put_varint, Decoder};
@@ -103,6 +104,9 @@ pub struct ValueLog {
     records_appended: AtomicU64,
     bytes_appended: AtomicU64,
     segments_reclaimed: AtomicU64,
+    /// Latency recording (atomics only; disabled by default — attach a
+    /// shared handle with [`ValueLog::with_obs`]).
+    obs: ObsHandle,
 }
 
 /// Frames one record: `crc32c(body) | len-prefixed key | len-prefixed value`.
@@ -268,7 +272,15 @@ impl ValueLog {
             records_appended: AtomicU64::new(0),
             bytes_appended: AtomicU64::new(0),
             segments_reclaimed: AtomicU64::new(0),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Records append latency into `obs` (the engine's handle, so vlog
+    /// timings land next to the tree's in one surface).
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// What reopen found, when this log came from [`ValueLog::open_durable`]
@@ -348,6 +360,9 @@ impl ValueLog {
     /// stored alongside the value so garbage collection can probe liveness.
     /// In durable mode the record is synced before the pointer is returned.
     pub fn append(&self, key: &[u8], value: &[u8]) -> Result<ValuePointer> {
+        // Declared before the state guard so it drops after: the sample
+        // covers the lock wait plus the append (and sync, in durable mode).
+        let _t = self.obs.timer(HistKind::VlogAppend);
         let record = encode_record(key, value);
 
         let mut state = self.state.lock();

@@ -34,6 +34,12 @@ run_step "crash"    cargo test -q --test crash_recovery
 # Debug profile on purpose: the lsm-sync rank assertions only exist with
 # debug assertions, so this is the run that proves the lock hierarchy.
 run_step "stress"   cargo test -q --test concurrent_stress
+# Observability gate: lsm-obs unit tests and the trace-schema golden
+# fixtures, then the release-mode overhead smoke test (instrumented vs
+# Observability::Off within budget on the vector-memtable put path;
+# release because timing asserts are meaningless at opt-level 0).
+run_step "obs"      cargo test -q -p lsm-obs
+run_step "obs-overhead" cargo test -q --release --test obs_overhead -- --ignored
 
 echo
 echo "==================== summary ===================="

@@ -22,7 +22,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lsm_compaction::{CompactionConfig, DataLayout};
-use lsm_core::{Db, Options};
+use lsm_core::{Db, Observability, Options};
+use lsm_obs::ObsHandle;
 use lsm_storage::{Backend, FaultBackend, MemBackend};
 use lsm_types::Value;
 use lsm_wisckey::KvSeparatedDb;
@@ -149,6 +150,52 @@ pub fn open_durable_db(backend: Arc<dyn Backend>, opts: &Options) -> lsm_types::
         .recover(true)
         .clean_orphans(true)
         .open()
+}
+
+/// [`open_durable_db`] sharing the sweep-wide observability handle, so one
+/// event trace spans every crash point and reopen in a sweep.
+fn open_swept_db(
+    backend: Arc<dyn Backend>,
+    opts: &Options,
+    obs: &ObsHandle,
+) -> lsm_types::Result<Db> {
+    Db::builder()
+        .backend(backend)
+        .options(opts.clone())
+        .persist_manifest(true)
+        .recover(true)
+        .clean_orphans(true)
+        .obs(Observability::Shared(obs.clone()))
+        .open()
+}
+
+/// Runs `f`; if it panics (a sweep verification failed), dumps the sweep's
+/// event trace as Chrome `trace_event` JSON to a temp file — the
+/// flush/compaction/recovery/fault timeline around the failing crash point,
+/// viewable in `chrome://tracing` — then re-raises the panic.
+fn dump_trace_on_panic<T>(obs: &ObsHandle, label: &str, f: impl FnOnce() -> T) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            let path = std::env::temp_dir().join(format!(
+                "lsm_crash_trace_{label}_{}.json",
+                std::process::id()
+            ));
+            // Failure diagnostics to the host temp dir, not engine I/O:
+            // the trace must outlive the panicking process and the faulted
+            // in-memory backends.
+            // lsm-lint: allow(fs-boundary)
+            match std::fs::write(&path, obs.chrome_trace()) {
+                Ok(()) => eprintln!(
+                    "crash sweep failed; Chrome trace written to {} \
+                     (open in chrome://tracing)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("crash sweep failed; trace dump also failed: {e}"),
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Runs `ops` until the first error; the model records only acknowledged
@@ -307,15 +354,29 @@ fn scan_all_db(db: &Db, ctx: &str) -> BTreeMap<Vec<u8>, Vec<u8>> {
 /// crash points across that range; each point gets a fresh store, a crash
 /// mid-write, a power cut, a reopen, and a full verification.
 pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize) -> SweepReport {
+    let obs = ObsHandle::recording();
+    dump_trace_on_panic(&obs, label, || {
+        crash_sweep_obs(layout, label, seed, max_points, &obs)
+    })
+}
+
+fn crash_sweep_obs(
+    layout: DataLayout,
+    label: &str,
+    seed: u64,
+    max_points: usize,
+    obs: &ObsHandle,
+) -> SweepReport {
     let opts = harness_options(layout);
     let ops = standard_workload();
     let mut report = SweepReport::default();
 
     // Phase 1: fault-free reference run, then a clean power cut.
     let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+    fb.set_obs(obs.clone());
     let ctx = format!("[{label} seed={seed} fault-free]");
     let db =
-        open_durable_db(fb.clone(), &opts).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+        open_swept_db(fb.clone(), &opts, obs).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
     let outcome = run_db_workload(&db, &ops);
     assert!(
         outcome.in_flight.is_none(),
@@ -325,8 +386,8 @@ pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize
     drop(db);
     fb.power_cut()
         .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
-    let db =
-        open_durable_db(fb.inner(), &opts).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    let db = open_swept_db(fb.inner(), &opts, obs)
+        .unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
     let scanned = scan_all_db(&db, &ctx);
     verify_recovered(
         |k| {
@@ -346,9 +407,10 @@ pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize
     while crash_op <= report.write_ops_total {
         let ctx = format!("[{label} seed={seed} crash-at-op={crash_op}]");
         let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+        fb.set_obs(obs.clone());
         fb.crash_at_write_op(crash_op);
 
-        let outcome = match open_durable_db(fb.clone(), &opts) {
+        let outcome = match open_swept_db(fb.clone(), &opts, obs) {
             Err(_) => {
                 // The crash interrupted open itself: nothing was acked.
                 assert!(fb.crashed(), "{ctx}: open error without crash");
@@ -370,7 +432,7 @@ pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize
 
         fb.power_cut()
             .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
-        let db = open_durable_db(fb.inner(), &opts)
+        let db = open_swept_db(fb.inner(), &opts, obs)
             .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
         if db.recovery_summary().is_some_and(|s| s.torn_segments > 0) {
             report.recoveries_with_torn_wal += 1;
@@ -395,8 +457,18 @@ pub fn crash_sweep(layout: DataLayout, label: &str, seed: u64, max_points: usize
 const KV_VALUE_THRESHOLD: usize = 32;
 const KV_SEGMENT_TARGET: u64 = 2 << 10;
 
-fn open_durable_kv(backend: Arc<dyn Backend>, opts: &Options) -> lsm_types::Result<KvSeparatedDb> {
-    KvSeparatedDb::open_durable(backend, opts.clone(), KV_VALUE_THRESHOLD, KV_SEGMENT_TARGET)
+fn open_durable_kv(
+    backend: Arc<dyn Backend>,
+    opts: &Options,
+    obs: &ObsHandle,
+) -> lsm_types::Result<KvSeparatedDb> {
+    KvSeparatedDb::open_durable_obs(
+        backend,
+        opts.clone(),
+        KV_VALUE_THRESHOLD,
+        KV_SEGMENT_TARGET,
+        Observability::Shared(obs.clone()),
+    )
 }
 
 fn scan_all_kv(kv: &KvSeparatedDb, ctx: &str) -> BTreeMap<Vec<u8>, Vec<u8>> {
@@ -415,14 +487,28 @@ pub fn kv_crash_sweep(
     seed: u64,
     max_points: usize,
 ) -> SweepReport {
+    let obs = ObsHandle::recording();
+    dump_trace_on_panic(&obs, label, || {
+        kv_crash_sweep_obs(layout, label, seed, max_points, &obs)
+    })
+}
+
+fn kv_crash_sweep_obs(
+    layout: DataLayout,
+    label: &str,
+    seed: u64,
+    max_points: usize,
+    obs: &ObsHandle,
+) -> SweepReport {
     let opts = harness_options(layout);
     let ops = kv_workload();
     let mut report = SweepReport::default();
 
     let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+    fb.set_obs(obs.clone());
     let ctx = format!("[kv {label} seed={seed} fault-free]");
-    let kv =
-        open_durable_kv(fb.clone(), &opts).unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+    let kv = open_durable_kv(fb.clone(), &opts, obs)
+        .unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
     let outcome = run_kv_workload(&kv, &ops);
     assert!(
         outcome.in_flight.is_none(),
@@ -432,8 +518,8 @@ pub fn kv_crash_sweep(
     drop(kv);
     fb.power_cut()
         .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
-    let kv =
-        open_durable_kv(fb.inner(), &opts).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    let kv = open_durable_kv(fb.inner(), &opts, obs)
+        .unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
     let scanned = scan_all_kv(&kv, &ctx);
     verify_recovered(
         |k| {
@@ -452,9 +538,10 @@ pub fn kv_crash_sweep(
     while crash_op <= report.write_ops_total {
         let ctx = format!("[kv {label} seed={seed} crash-at-op={crash_op}]");
         let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), seed));
+        fb.set_obs(obs.clone());
         fb.crash_at_write_op(crash_op);
 
-        let outcome = match open_durable_kv(fb.clone(), &opts) {
+        let outcome = match open_durable_kv(fb.clone(), &opts, obs) {
             Err(_) => {
                 assert!(fb.crashed(), "{ctx}: open error without crash");
                 report.crashes_during_open += 1;
@@ -475,7 +562,7 @@ pub fn kv_crash_sweep(
 
         fb.power_cut()
             .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
-        let kv = open_durable_kv(fb.inner(), &opts)
+        let kv = open_durable_kv(fb.inner(), &opts, obs)
             .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
         if kv
             .db()

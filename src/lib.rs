@@ -22,6 +22,8 @@
 //! * [`tuning`] — cost models, Monkey filter allocation, design navigation,
 //!   and robust (Endure-style) tuning.
 //! * [`workload`] — deterministic workload generators (YCSB-style).
+//! * [`obs`] — observability: lock-free latency histograms, the structured
+//!   event trace (JSONL / Chrome `trace_event` export), per-level gauges.
 //! * [`crash_harness`] — deterministic fault-injection sweeps: crash the
 //!   engine at every storage write, power-cut, reopen, verify.
 //!
@@ -43,6 +45,7 @@ pub use lsm_compaction as compaction;
 pub use lsm_core as core;
 pub use lsm_filters as filters;
 pub use lsm_memtable as memtable;
+pub use lsm_obs as obs;
 pub use lsm_sstable as sstable;
 pub use lsm_storage as storage;
 pub use lsm_tuning as tuning;

@@ -12,9 +12,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use lsm_lab::core::{CompactionConfig, Db, Options};
+use lsm_lab::core::{CompactionConfig, Db, Observability, Options};
+use lsm_lab::obs::ObsHandle;
 use lsm_lab::storage::{FaultBackend, MemBackend};
 use lsm_lab::wisckey::KvSeparatedDb;
+
+/// Runs `f`; if it panics (an assertion failed), dumps the engine's event
+/// trace as Chrome `trace_event` JSON to a temp file — load it in
+/// `chrome://tracing` to see what flushes/compactions/stalls surrounded
+/// the failure — then re-raises the panic.
+fn dump_trace_on_panic<T>(obs: &ObsHandle, f: impl FnOnce() -> T) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            let path =
+                std::env::temp_dir().join(format!("lsm_stress_trace_{}.json", std::process::id()));
+            match std::fs::write(&path, obs.chrome_trace()) {
+                Ok(()) => eprintln!(
+                    "stress assertion failed; Chrome trace written to {} \
+                     (open in chrome://tracing)",
+                    path.display()
+                ),
+                Err(e) => eprintln!("stress assertion failed; trace dump also failed: {e}"),
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
 const WRITERS: usize = 4;
 const KEYS_PER_WRITER: u64 = 500;
@@ -65,11 +89,14 @@ fn randomized_stress_exercises_tracked_locks_without_deadlock_or_busy_wait() {
     // Fault-free FaultBackend: same instrumented I/O path the crash
     // harness uses, with no faults armed — so the stress run covers the
     // storage layer the recovery tests exercise.
+    let obs = ObsHandle::recording();
     let backend = Arc::new(FaultBackend::new(Arc::new(MemBackend::new())));
+    backend.set_obs(obs.clone());
     let db = Arc::new(
         Db::builder()
             .backend(backend)
             .options(small_concurrent())
+            .obs(Observability::Shared(obs.clone()))
             .open()
             .expect("open"),
     );
@@ -151,31 +178,49 @@ fn randomized_stress_exercises_tracked_locks_without_deadlock_or_busy_wait() {
     db.wait_idle().expect("wait_idle");
 
     // Every acknowledged write is readable at its final revision (or
-    // deleted, for the range-tombstoned keys).
-    for w in 0..WRITERS {
-        for i in 0..KEYS_PER_WRITER {
-            let got = db.get(&key(w, i)).expect("verify get");
-            if i.is_multiple_of(11) {
-                assert_eq!(got, None, "writer {w} key {i} should be deleted");
-            } else {
-                let got = got.unwrap_or_else(|| panic!("writer {w} key {i} lost"));
-                assert_eq!(&got[..12], &value(w, i, 0)[..12], "writer {w} key {i}");
+    // deleted, for the range-tombstoned keys). A failure dumps the event
+    // trace so the surrounding flush/compaction/stall timeline is visible.
+    dump_trace_on_panic(&obs, || {
+        for w in 0..WRITERS {
+            for i in 0..KEYS_PER_WRITER {
+                let got = db.get(&key(w, i)).expect("verify get");
+                if i.is_multiple_of(11) {
+                    assert_eq!(got, None, "writer {w} key {i} should be deleted");
+                } else {
+                    let got = got.unwrap_or_else(|| panic!("writer {w} key {i} lost"));
+                    assert_eq!(&got[..12], &value(w, i, 0)[..12], "writer {w} key {i}");
+                }
             }
         }
-    }
 
-    let stats = db.stats();
-    assert!(stats.flushes > 0, "the run must cycle memtables");
-    // No busy-wait: `wait_idle` parks on the maintenance condvar, so its
-    // blocking waits are bounded by completed maintenance work (plus the
-    // handful of safety-net timeouts), never a poll-per-millisecond count.
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "the run must cycle memtables");
+        // No busy-wait: `wait_idle` parks on the maintenance condvar, so its
+        // blocking waits are bounded by completed maintenance work (plus the
+        // handful of safety-net timeouts), never a poll-per-millisecond count.
+        assert!(
+            stats.idle_waits <= stats.flushes + stats.compactions + 64,
+            "wait_idle busy-waited: {} waits for {} flushes + {} compactions",
+            stats.idle_waits,
+            stats.flushes,
+            stats.compactions
+        );
+    });
+
+    // The instrumented run must have produced a well-formed trace: every
+    // operation recorded, flush spans present.
+    let latency = db.metrics().latency;
     assert!(
-        stats.idle_waits <= stats.flushes + stats.compactions + 64,
-        "wait_idle busy-waited: {} waits for {} flushes + {} compactions",
-        stats.idle_waits,
-        stats.flushes,
-        stats.compactions
+        latency.get(lsm_lab::core::HistKind::Put).count() > 0,
+        "put histogram must record under stress"
     );
+    assert!(
+        latency.get(lsm_lab::core::HistKind::Get).count() > 0,
+        "get histogram must record under stress"
+    );
+    let trace = obs.chrome_trace();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"flush\""), "flush spans must be traced");
 }
 
 #[test]
@@ -221,17 +266,19 @@ fn kv_separated_stress_drives_vlog_locks_concurrently() {
     reader.join().expect("separated reader");
     db.db().wait_idle().expect("wait_idle");
 
-    for w in 0..3usize {
-        for i in 0..200u64 {
-            let got = db.get(&key(w, i)).expect("verify").unwrap_or_else(|| {
-                panic!("separated writer {w} key {i} lost");
-            });
-            let want_len = if i.is_multiple_of(3) {
-                32
-            } else {
-                value(w, i, 0).len()
-            };
-            assert_eq!(got.len(), want_len, "separated writer {w} key {i}");
+    dump_trace_on_panic(db.db().obs(), || {
+        for w in 0..3usize {
+            for i in 0..200u64 {
+                let got = db.get(&key(w, i)).expect("verify").unwrap_or_else(|| {
+                    panic!("separated writer {w} key {i} lost");
+                });
+                let want_len = if i.is_multiple_of(3) {
+                    32
+                } else {
+                    value(w, i, 0).len()
+                };
+                assert_eq!(got.len(), want_len, "separated writer {w} key {i}");
+            }
         }
-    }
+    });
 }

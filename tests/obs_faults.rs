@@ -1,0 +1,126 @@
+//! Fault-injection accounting: transient storage errors that background
+//! maintenance retries must be charged to the user-visible byte counters
+//! exactly once, and every injected fault must be announced in the event
+//! trace.
+//!
+//! The mechanism under test: [`FaultBackend`] rejects a transiently-failed
+//! operation *before* it reaches the inner backend, and the engine's
+//! retry loop re-issues the whole operation — so the successful attempt is
+//! the only one that moves bytes, and `flush_bytes`/`compact_bytes_*`
+//! advance as if the fault never happened.
+
+use std::sync::Arc;
+
+use lsm_lab::core::{CompactionConfig, Db, Observability, Options};
+use lsm_lab::obs::{fault, EventKind, ObsHandle};
+use lsm_lab::storage::{Backend, FaultBackend, MemBackend};
+
+fn small_opts() -> Options {
+    Options {
+        write_buffer_bytes: 4 << 10,
+        table_target_bytes: 4 << 10,
+        block_cache_bytes: 0,
+        background_threads: 0,
+        wal: false,
+        compaction: CompactionConfig {
+            level1_bytes: 16 << 10,
+            ..CompactionConfig::default()
+        },
+        ..Options::default()
+    }
+}
+
+/// Enough puts over a small key space to drive several flushes and at
+/// least one compaction through `maintain`, deterministically.
+fn run_workload(db: &Db) {
+    for i in 0..600u32 {
+        let key = format!("key{:04}", i % 150);
+        let value = vec![b'a' + (i % 23) as u8; 100];
+        db.put(key.as_bytes(), &value).expect("put");
+        if i % 97 == 0 {
+            db.maintain().expect("maintain");
+        }
+    }
+    db.maintain().expect("maintain");
+}
+
+fn open_on(backend: Arc<dyn Backend>, obs: &ObsHandle) -> Db {
+    Db::builder()
+        .backend(backend)
+        .options(small_opts())
+        .obs(Observability::Shared(obs.clone()))
+        .open()
+        .expect("open")
+}
+
+#[test]
+fn retried_transient_faults_charge_bytes_once_and_emit_events() {
+    // Reference run: identical workload, no faults armed.
+    let clean_obs = ObsHandle::recording();
+    let clean = open_on(Arc::new(MemBackend::new()), &clean_obs);
+    run_workload(&clean);
+    let want = clean.metrics();
+    assert!(want.db.flushes > 0, "workload must flush");
+    assert!(want.db.compactions > 0, "workload must compact");
+
+    // Faulted run: several early write ops fail transiently. With the WAL
+    // off, every write-class op comes from flush/compaction, which the
+    // engine retries — the workload must succeed and account identically.
+    let obs = ObsHandle::recording();
+    let fb = Arc::new(FaultBackend::new(Arc::new(MemBackend::new())));
+    fb.set_obs(obs.clone());
+    fb.fail_writes_transiently_at(&[1, 2, 7, 13]);
+    let db = open_on(fb.clone(), &obs);
+    run_workload(&db);
+    let got = db.metrics();
+
+    // All four armed faults actually fired (the workload writes far more
+    // than 13 ops), and each was retried to success.
+    let faults: Vec<_> = obs
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::FaultInjected)
+        .cloned()
+        .collect();
+    assert_eq!(faults.len(), 4, "every armed fault must fire and be traced");
+    for e in &faults {
+        assert_eq!(e.a, fault::WRITE_TRANSIENT, "fault code");
+    }
+    assert_eq!(
+        faults.iter().map(|e| e.b).collect::<Vec<_>>(),
+        vec![1, 2, 7, 13],
+        "events must carry the op index each fault hit"
+    );
+
+    // Retried I/O is charged once: the user-visible byte counters match
+    // the fault-free run exactly.
+    assert_eq!(got.db.user_bytes, want.db.user_bytes);
+    assert_eq!(got.db.flushes, want.db.flushes, "flush count");
+    assert_eq!(got.db.flush_bytes, want.db.flush_bytes, "flush bytes");
+    assert_eq!(got.db.compactions, want.db.compactions, "compaction count");
+    assert_eq!(
+        got.db.compact_bytes_written, want.db.compact_bytes_written,
+        "compaction bytes written"
+    );
+    assert_eq!(
+        got.db.compact_bytes_read, want.db.compact_bytes_read,
+        "compaction bytes read"
+    );
+    // The physical backend below the fault layer saw the same bytes too:
+    // a rejected op never reached it.
+    assert_eq!(got.io.write_bytes, want.io.write_bytes, "physical bytes");
+
+    // The faults are visible in both export formats.
+    let jsonl = obs.events_jsonl();
+    assert_eq!(
+        jsonl.matches("\"event\":\"fault_injected\"").count(),
+        4,
+        "JSONL export must carry the fault events"
+    );
+    let trace = obs.chrome_trace();
+    assert_eq!(
+        trace.matches("\"fault\":\"write_transient\"").count(),
+        4,
+        "Chrome trace must tag each fault with its kind"
+    );
+}

@@ -1,0 +1,87 @@
+//! Overhead budget for the observability layer: the instrumented engine
+//! (`Observability::On`, the default) must stay within a few percent of
+//! the uninstrumented one (`Observability::Off`) on the cheapest write
+//! path we have — the vector memtable, where a put is little more than an
+//! append, so any per-op recording cost shows up undiluted.
+//!
+//! Run by `scripts/check.sh obs` in release mode (`--ignored`): timing
+//! asserts are meaningless under `-C opt-level=0`, and flaky under a
+//! loaded CI box — hence min-of-rounds on both sides, which measures the
+//! code's floor rather than the scheduler's noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm_lab::core::{CompactionConfig, Db, Observability, Options};
+use lsm_lab::memtable::MemTableKind;
+use lsm_lab::storage::MemBackend;
+
+const PUTS: u64 = 200_000;
+const ROUNDS: usize = 5;
+/// Allowed instrumented-vs-off slowdown on the put floor: 5% per the
+/// design budget (DESIGN.md §8), with the measurement noise floored out
+/// by min-of-rounds.
+const BUDGET: f64 = 1.05;
+
+fn opts() -> Options {
+    Options {
+        memtable_kind: MemTableKind::Vector,
+        // Large buffer: the loop measures the memtable append path, not
+        // flush I/O.
+        write_buffer_bytes: 256 << 20,
+        block_cache_bytes: 0,
+        background_threads: 0,
+        wal: false,
+        compaction: CompactionConfig::default(),
+        ..Options::default()
+    }
+}
+
+fn open_with(obs: Observability) -> Db {
+    Db::builder()
+        .backend(Arc::new(MemBackend::new()))
+        .options(opts())
+        .obs(obs)
+        .open()
+        .expect("open")
+}
+
+/// Best-of-rounds seconds for `PUTS` puts on a fresh store each round.
+fn floor_secs(obs: impl Fn() -> Observability) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let db = open_with(obs());
+        let start = Instant::now();
+        for i in 0..PUTS {
+            let key = (i % 65536).to_le_bytes();
+            db.put(&key, &key).expect("put");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "timing assertion: run in release via scripts/check.sh obs"]
+fn instrumented_put_floor_within_budget_of_off() {
+    // Interleave a warm-up of each side so neither benefits from running
+    // second (allocator and branch-predictor warmth).
+    floor_secs(|| Observability::Off);
+    floor_secs(|| Observability::On);
+
+    let off = floor_secs(|| Observability::Off);
+    let on = floor_secs(|| Observability::On);
+    let ratio = on / off;
+    println!(
+        "put floor: off {:.1} ns/op, on {:.1} ns/op, ratio {ratio:.4}",
+        off * 1e9 / PUTS as f64,
+        on * 1e9 / PUTS as f64,
+    );
+    assert!(
+        ratio < BUDGET,
+        "observability overhead {:.1}% exceeds the {:.0}% budget \
+         (off {off:.4}s, on {on:.4}s for {PUTS} puts)",
+        (ratio - 1.0) * 100.0,
+        (BUDGET - 1.0) * 100.0,
+    );
+}
