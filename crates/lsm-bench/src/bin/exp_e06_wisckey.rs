@@ -57,7 +57,7 @@ fn main() {
         plain.maintain().unwrap();
         kv.maintain().unwrap();
 
-        let plain_wa = plain.stats().write_amplification();
+        let plain_wa = plain.metrics().db.write_amplification();
         let kv_wa = kv.write_amplification();
 
         // scan cost: read ops per returned value, via the unified

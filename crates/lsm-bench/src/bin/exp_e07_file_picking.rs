@@ -48,7 +48,7 @@ fn main() {
         }
         db.maintain().unwrap();
 
-        let s = db.stats();
+        let s = db.metrics().db;
         let v = db.version();
         let live_tombstones: u64 = v.all_tables().map(|t| t.meta().tombstone_count).sum();
         rows.push(vec![

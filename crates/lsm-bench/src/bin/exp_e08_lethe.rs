@@ -38,7 +38,7 @@ fn main() {
         }
         db.flush().unwrap();
         db.maintain().unwrap();
-        let wa_before_churn = db.stats().write_amplification();
+        let wa_before_churn = db.metrics().db.write_amplification();
 
         for i in 0..3 * n {
             let id = n + (i % n);
@@ -46,7 +46,7 @@ fn main() {
         }
         db.maintain().unwrap();
 
-        let s = db.stats();
+        let s = db.metrics().db;
         let v = db.version();
         let live_tombstones: u64 = v.all_tables().map(|t| t.meta().tombstone_count).sum();
         rows.push(vec![

@@ -32,7 +32,7 @@ fn main() {
             opts.filter_kind = lsm_core::PointFilterKind::None;
             let db = open_bench_db(opts);
             load(&db, n, 64, KeyDist::Uniform, seed);
-            let write_cost = db.stats().write_amplification();
+            let write_cost = db.metrics().db.write_amplification();
 
             let before = db.metrics();
             for i in 0..probes {

@@ -41,7 +41,7 @@ fn main() {
             load(&db, n, 64, KeyDist::Uniform, seed);
 
             // measured
-            let measured_wa = db.stats().write_amplification();
+            let measured_wa = db.metrics().db.write_amplification();
             let before = db.metrics();
             for i in 0..probes {
                 let id = (i * 6151) % n;

@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use lsm_compaction::{plan_observed, CompactionPlan, Granularity, PickPolicy};
@@ -80,9 +80,24 @@ struct DbInner {
     current: OrderedMutex<Arc<Version>>,
     snapshots: OrderedMutex<BTreeMap<SeqNo, usize>>,
     sched: OrderedMutex<Scheduler>,
-    /// Serializes writers (the single-writer queue); batches publish their
-    /// sequence numbers atomically under it.
+    /// Serializes group-commit leaders (and `update`/`bulk_load`, which
+    /// bypass the queue); groups publish their sequence numbers atomically
+    /// under it.
     write_mx: OrderedMutex<()>,
+    /// Pending group-commit requests, oldest first. Writers enqueue here
+    /// and the front writer becomes the leader: it takes `write_mx`, drains
+    /// a prefix of this queue (bounded by `max_group_ops`/`max_group_bytes`),
+    /// commits the whole group with one WAL append and at most one sync,
+    /// then wakes the followers via `commit_cv`.
+    commit_mx: OrderedMutex<VecDeque<Arc<CommitRequest>>>,
+    /// Signalled (under `commit_mx`) when a leader finishes a group.
+    commit_cv: Condvar,
+    /// Manifest persistence ticket: build-manifest + `put_meta` happen as
+    /// one unit under this lock, so a save built from older state can
+    /// never land after (and overwrite) a save that already recorded a
+    /// newer WAL segment — which would lose acknowledged writes at the
+    /// next recovery.
+    manifest_mx: OrderedMutex<()>,
     /// Signalled whenever background work may exist.
     work_mx: OrderedMutex<bool>,
     work_cv: Condvar,
@@ -171,6 +186,41 @@ impl Drop for Snapshot {
     }
 }
 
+/// Per-write durability options, threaded through the `*_opt` write
+/// methods ([`Db::put_opt`], [`Db::delete_opt`], [`Db::write_opt`]).
+/// The plain methods use [`WriteOptions::default`], which inherits the
+/// database-wide [`Options::wal`]/[`Options::wal_sync`] behaviour — so
+/// per-write durability is an API choice, not only a global.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Per-write sync override: `Some(true)` forces an fsync before the
+    /// write is acknowledged (even when [`Options::wal_sync`] is off),
+    /// `Some(false)` suppresses it, `None` inherits the global setting.
+    /// Within one commit group, a single sync satisfies every member that
+    /// asked for one.
+    pub sync: Option<bool>,
+    /// Skip the WAL entirely for this write: fastest, but the write is
+    /// lost on any crash before the memtable flushes. Ignored when the
+    /// database runs without a WAL anyway.
+    pub no_wal: bool,
+}
+
+/// One writer's pending work in the commit queue: its operations plus the
+/// durability it requires, completed by whichever leader drains it.
+struct CommitRequest {
+    ops: Vec<BatchOp>,
+    /// Include this request in the group's WAL append.
+    wal: bool,
+    /// This request requires the group to sync before acknowledgement.
+    sync: bool,
+    /// Set (with `Release`) by the leader after the whole group committed
+    /// or failed; the owning writer spins/waits on it.
+    done: AtomicBool,
+    /// The group's failure, when it failed (every member sees the same
+    /// error — nothing from a failed group reaches the memtable).
+    error: OnceLock<String>,
+}
+
 /// A group of writes applied atomically: one WAL record, contiguous
 /// sequence numbers, and all-or-nothing visibility to readers and
 /// snapshots.
@@ -185,6 +235,18 @@ enum BatchOp {
     Delete(Vec<u8>),
     SingleDelete(Vec<u8>),
     DeleteRange(Vec<u8>, Vec<u8>),
+}
+
+impl BatchOp {
+    /// Approximate encoded size, for the group-commit byte cap (payload
+    /// bytes plus a small per-entry framing allowance).
+    fn encoded_hint(&self) -> usize {
+        match self {
+            BatchOp::Put(k, v) => k.len() + v.len() + 16,
+            BatchOp::Delete(k) | BatchOp::SingleDelete(k) => k.len() + 16,
+            BatchOp::DeleteRange(s, e) => s.len() + e.len() + 16,
+        }
+    }
 }
 
 impl WriteBatch {
@@ -381,42 +443,6 @@ impl Db {
         DbBuilder::default()
     }
 
-    /// Opens a fresh database on an in-memory backend (the experiment
-    /// substrate).
-    #[deprecated(note = "use Db::builder().options(..).open()")]
-    pub fn open_in_memory(opts: Options) -> Result<Db> {
-        Db::builder().options(opts).open()
-    }
-
-    /// Opens a fresh, empty database on `backend`.
-    #[deprecated(note = "use Db::builder().backend(..).options(..).open()")]
-    pub fn open(backend: Arc<dyn Backend>, opts: Options) -> Result<Db> {
-        Db::builder().backend(backend).options(opts).open()
-    }
-
-    /// Opens (creating or recovering) a database in a filesystem directory.
-    /// The manifest lives in the backend's `MANIFEST` metadata blob;
-    /// table files and logs are data files in the same directory.
-    #[deprecated(note = "use Db::builder().dir(..).options(..).open()")]
-    pub fn open_dir(dir: impl Into<PathBuf>, opts: Options) -> Result<Db> {
-        Db::builder().dir(dir).options(opts).open()
-    }
-
-    /// Recovers a database from a manifest blob previously returned by
-    /// [`Db::manifest_bytes`] (plus WAL replay for the buffered tail).
-    #[deprecated(note = "use Db::builder().backend(..).manifest(..).open()")]
-    pub fn open_with_manifest(
-        backend: Arc<dyn Backend>,
-        opts: Options,
-        manifest: &[u8],
-    ) -> Result<Db> {
-        Db::builder()
-            .backend(backend)
-            .options(opts)
-            .manifest(manifest)
-            .open()
-    }
-
     fn finish_open(inner: Arc<DbInner>) -> Result<Db> {
         let mut workers = Vec::new();
         for i in 0..inner.opts.background_threads {
@@ -441,6 +467,11 @@ impl Db {
 
     /// Inserts or updates `key -> value`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.put_opt(key, value, &WriteOptions::default())
+    }
+
+    /// [`Db::put`] with per-write durability options.
+    pub fn put_opt(&self, key: &[u8], value: &[u8], w: &WriteOptions) -> Result<()> {
         let _t = self.inner.obs.timer(HistKind::Put);
         self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.inner
@@ -448,11 +479,16 @@ impl Db {
             .user_bytes
             .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
         self.inner
-            .write_one(|seqno, ts| InternalEntry::put(key, value.to_vec(), seqno, ts))
+            .commit_write(vec![BatchOp::Put(key.to_vec(), value.to_vec())], w)
     }
 
     /// Deletes `key` (writes a point tombstone).
     pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.delete_opt(key, &WriteOptions::default())
+    }
+
+    /// [`Db::delete`] with per-write durability options.
+    pub fn delete_opt(&self, key: &[u8], w: &WriteOptions) -> Result<()> {
         let _t = self.inner.obs.timer(HistKind::Delete);
         self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner
@@ -460,7 +496,7 @@ impl Db {
             .user_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
         self.inner
-            .write_one(|seqno, ts| InternalEntry::delete(key, seqno, ts))
+            .commit_write(vec![BatchOp::Delete(key.to_vec())], w)
     }
 
     /// Deletes `key`, promising it was written at most once since the last
@@ -473,8 +509,10 @@ impl Db {
             .stats
             .user_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
-        self.inner
-            .write_one(|seqno, ts| InternalEntry::single_delete(key, seqno, ts))
+        self.inner.commit_write(
+            vec![BatchOp::SingleDelete(key.to_vec())],
+            &WriteOptions::default(),
+        )
     }
 
     /// Deletes every key in `[start, end)` with one range tombstone.
@@ -490,12 +528,21 @@ impl Db {
             .stats
             .user_bytes
             .fetch_add((start.len() + end.len()) as u64, Ordering::Relaxed);
-        self.inner
-            .write_one(|seqno, ts| InternalEntry::range_delete(start, end, seqno, ts))
+        self.inner.commit_write(
+            vec![BatchOp::DeleteRange(start.to_vec(), end.to_vec())],
+            &WriteOptions::default(),
+        )
     }
 
     /// Applies a [`WriteBatch`] atomically.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        self.write_opt(batch, &WriteOptions::default())
+    }
+
+    /// [`Db::write`] with per-write durability options. The batch stays
+    /// atomic: it occupies one framed WAL record inside the group's
+    /// append, so recovery replays it all-or-nothing.
+    pub fn write_opt(&self, batch: WriteBatch, w: &WriteOptions) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -535,27 +582,7 @@ impl Db {
                 }
             }
         }
-        self.inner.write_entries(|base, ts| {
-            batch
-                .ops
-                .iter()
-                .enumerate()
-                .map(|(i, op)| {
-                    let seqno = base + 1 + i as u64;
-                    let ts = ts + i as u64;
-                    match op {
-                        BatchOp::Put(k, v) => InternalEntry::put(k.clone(), v.clone(), seqno, ts),
-                        BatchOp::Delete(k) => InternalEntry::delete(k.clone(), seqno, ts),
-                        BatchOp::SingleDelete(k) => {
-                            InternalEntry::single_delete(k.clone(), seqno, ts)
-                        }
-                        BatchOp::DeleteRange(s, e) => {
-                            InternalEntry::range_delete(s.clone(), e.clone(), seqno, ts)
-                        }
-                    }
-                })
-                .collect()
-        })
+        self.inner.commit_write(batch.ops, w)
     }
 
     /// Atomic read-modify-write (the FASTER-style operation of tutorial
@@ -653,6 +680,8 @@ impl Db {
             if b.data_bytes() >= self.inner.opts.table_target_bytes {
                 if let Some(b) = builder.take() {
                     let (file, _) = b.finish(self.inner.backend.as_ref())?;
+                    // Bulk load owns the writer ticket end-to-end by design.
+                    // lsm-lint: allow(io-under-lock)
                     tables.push(Table::open(
                         self.inner.backend.clone(),
                         file,
@@ -664,6 +693,8 @@ impl Db {
         if let Some(b) = builder.take() {
             if !b.is_empty() {
                 let (file, _) = b.finish(self.inner.backend.as_ref())?;
+                // Bulk load owns the writer ticket end-to-end by design.
+                // lsm-lint: allow(io-under-lock)
                 tables.push(Table::open(
                     self.inner.backend.clone(),
                     file,
@@ -798,16 +829,22 @@ impl Db {
     }
 
     /// Engine statistics.
+    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
+    #[deprecated(note = "use Db::metrics().db; scheduled for removal (see README)")]
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
     }
 
     /// The storage backend's I/O counters.
+    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
+    #[deprecated(note = "use Db::metrics().io; scheduled for removal (see README)")]
     pub fn io_stats(&self) -> lsm_storage::IoSnapshot {
         self.inner.backend.stats().snapshot()
     }
 
     /// Block-cache statistics, when a cache is configured.
+    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
+    #[deprecated(note = "use Db::metrics().cache; scheduled for removal (see README)")]
     pub fn cache_stats(&self) -> Option<lsm_storage::CacheStats> {
         self.inner.cache.as_ref().map(|c| c.stats())
     }
@@ -882,6 +919,46 @@ impl Drop for Db {
     }
 }
 
+/// A consistent read surface — either the live [`Db`] (which reads at the
+/// latest published seqno) or a pinned [`Snapshot`]. Benchmarks and the
+/// crash harness are written once against this trait and run on either.
+pub trait ReadView {
+    /// Point lookup.
+    fn get(&self, key: &[u8]) -> Result<Option<Value>>;
+    /// Range scan over `[start, end)` (`None` = unbounded above).
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter>;
+    /// The sequence number reads through this view observe.
+    fn seqno(&self) -> SeqNo;
+}
+
+impl ReadView for Db {
+    fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        Db::get(self, key)
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        Db::scan(self, start, end)
+    }
+
+    fn seqno(&self) -> SeqNo {
+        self.inner.seqno.load(Ordering::Acquire)
+    }
+}
+
+impl ReadView for Snapshot {
+    fn get(&self, key: &[u8]) -> Result<Option<Value>> {
+        Snapshot::get(self, key)
+    }
+
+    fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
+        Snapshot::scan(self, start, end)
+    }
+
+    fn seqno(&self) -> SeqNo {
+        Snapshot::seqno(self)
+    }
+}
+
 /// An owning iterator over visible `(key, value)` pairs of a scan.
 pub struct DbScanIter {
     vis: VisibleIter,
@@ -941,6 +1018,9 @@ impl DbInner {
                 },
             ),
             write_mx: OrderedMutex::new(ranks::DB_WRITE, ()),
+            commit_mx: OrderedMutex::new(ranks::DB_COMMIT, VecDeque::new()),
+            commit_cv: Condvar::new(),
+            manifest_mx: OrderedMutex::new(ranks::DB_MANIFEST, ()),
             work_mx: OrderedMutex::new(ranks::DB_WORK, false),
             work_cv: Condvar::new(),
             stall_mx: OrderedMutex::new(ranks::DB_STALL, ()),
@@ -1054,9 +1134,10 @@ impl DbInner {
                     for e in &entries {
                         e.encode_into(&mut payload);
                     }
-                    let writer = wal::WalWriter::open(inner.backend.as_ref(), wal_id);
                     // Recovery is single-threaded; holding `mem` across the
                     // re-log keeps the replayed table and its WAL in step.
+                    // lsm-lint: allow(io-under-lock)
+                    let writer = wal::WalWriter::open(inner.backend.as_ref(), wal_id);
                     // lsm-lint: allow(io-under-lock)
                     writer.append(&payload)?;
                     if inner.opts.wal_sync {
@@ -1130,32 +1211,204 @@ impl DbInner {
 
     // ---------------------------------------------------------------- write
 
-    fn write_one(&self, make: impl FnOnce(SeqNo, u64) -> InternalEntry) -> Result<()> {
-        self.write_entries(|base, ts| vec![make(base + 1, ts)])
-    }
-
-    /// Applies a group of entries atomically: one WAL record, contiguous
-    /// sequence numbers, and the published sequence number advances only
-    /// after every entry is in the memtable — so no reader or snapshot can
-    /// observe part of a batch. Writers serialize on `write_mx` (the
-    /// classic single-writer queue).
-    fn write_entries(&self, make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>) -> Result<()> {
+    /// The group-commit write pipeline (RocksDB-style leader/follower).
+    ///
+    /// The writer enqueues its request, then loops: if a leader already
+    /// committed it, done; if it sits at the queue front, it becomes the
+    /// leader — takes `write_mx`, drains a prefix of the queue, commits the
+    /// whole group ([`DbInner::commit_group`]), marks every member done and
+    /// wakes the rest via `commit_cv`. Otherwise it parks on the condvar
+    /// (notification happens under `commit_mx` after `done` is set, and the
+    /// waiter re-checks `done` under the same lock, so no wakeup is missed;
+    /// the timeout is a safety net, not the progress mechanism).
+    fn commit_write(&self, ops: Vec<BatchOp>, w: &WriteOptions) -> Result<()> {
         self.check_bg_error()?;
         if self.shutdown.load(Ordering::Acquire) {
             return Err(Error::ShuttingDown);
         }
         self.maybe_stall()?;
 
-        {
-            // The single-writer queue intentionally holds its ticket across
-            // the WAL append + memtable insert: that is what makes a batch
-            // one durable unit.
-            let _writer = self.write_mx.lock();
-            // lsm-lint: allow(io-under-lock)
-            self.apply_locked(make)?;
-        }
+        let req = Arc::new(CommitRequest {
+            ops,
+            wal: self.opts.wal && !w.no_wal,
+            sync: w.sync.unwrap_or(self.opts.wal_sync),
+            done: AtomicBool::new(false),
+            error: OnceLock::new(),
+        });
+        let enqueued = Instant::now();
+        self.commit_mx.lock().push_back(Arc::clone(&req));
 
-        self.maybe_freeze()?;
+        loop {
+            if req.done.load(Ordering::Acquire) {
+                break;
+            }
+            let at_front = {
+                let q = self.commit_mx.lock();
+                q.front().is_some_and(|f| Arc::ptr_eq(f, &req))
+            };
+            if at_front {
+                // Become the leader. `write_mx` is held across the drain,
+                // the WAL append, and every memtable insert: that is what
+                // makes the group one durable, atomically-published unit.
+                let writer = self.write_mx.lock();
+                if req.done.load(Ordering::Acquire) {
+                    // The previous leader drained us while we waited for
+                    // the ticket (drains always take a queue prefix).
+                    break;
+                }
+                let group = self.drain_group();
+                debug_assert!(group.iter().any(|r| Arc::ptr_eq(r, &req)));
+                // lsm-lint: allow(io-under-lock)
+                let result = self.commit_group(&group);
+                if let Err(e) = &result {
+                    let msg = e.to_string();
+                    for r in &group {
+                        let _ = r.error.set(msg.clone());
+                    }
+                }
+                for r in &group {
+                    r.done.store(true, Ordering::Release);
+                }
+                drop(writer);
+                {
+                    let _q = self.commit_mx.lock();
+                    self.commit_cv.notify_all();
+                }
+                self.obs
+                    .record(HistKind::GroupWait, enqueued.elapsed().as_nanos() as u64);
+                result?;
+                return self.maybe_freeze();
+            }
+            let mut q = self.commit_mx.lock();
+            if req.done.load(Ordering::Acquire) {
+                break;
+            }
+            if q.front().is_some_and(|f| Arc::ptr_eq(f, &req)) {
+                continue; // promoted to front while taking the lock
+            }
+            self.commit_cv.wait_for(&mut q, Duration::from_millis(50));
+        }
+        self.obs
+            .record(HistKind::GroupWait, enqueued.elapsed().as_nanos() as u64);
+        if let Some(msg) = req.error.get() {
+            return Err(Error::Corruption(format!("group commit failed: {msg}")));
+        }
+        self.maybe_freeze()
+    }
+
+    /// Pops the next commit group off the queue: a non-empty prefix bounded
+    /// by `max_group_ops`/`max_group_bytes`. The first request always joins
+    /// regardless of size, so an oversized batch still commits (alone).
+    fn drain_group(&self) -> Vec<Arc<CommitRequest>> {
+        let mut q = self.commit_mx.lock();
+        let mut group = Vec::new();
+        let mut ops = 0usize;
+        let mut bytes = 0usize;
+        while let Some(front) = q.front() {
+            let req_ops = front.ops.len();
+            let req_bytes: usize = front.ops.iter().map(BatchOp::encoded_hint).sum();
+            if !group.is_empty()
+                && (ops + req_ops > self.opts.max_group_ops
+                    || bytes + req_bytes > self.opts.max_group_bytes)
+            {
+                break;
+            }
+            ops += req_ops;
+            bytes += req_bytes;
+            if let Some(r) = q.pop_front() {
+                group.push(r);
+            }
+        }
+        group
+    }
+
+    /// Commits one drained group while the caller holds `write_mx`: builds
+    /// every request's entries over one contiguous seqno range, performs
+    /// **one** WAL append (each request is its own framed record inside it,
+    /// so torn-tail truncation keeps requests all-or-nothing) and **at most
+    /// one** sync, applies everything to the memtable, then publishes the
+    /// group's last seqno so the whole group becomes visible as a unit.
+    ///
+    /// Any failure before the memtable applies fails the whole group with
+    /// nothing applied, preserving acknowledged == durable.
+    fn commit_group(&self, group: &[Arc<CommitRequest>]) -> Result<()> {
+        let started = Instant::now();
+        let mem = self.mem.read();
+        let base = self.seqno.load(Ordering::Acquire);
+        let ts0 = self.clock.load(Ordering::Acquire);
+
+        let mut entries: Vec<InternalEntry> = Vec::new();
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        let mut want_sync = false;
+        let mut i: u64 = 0;
+        for req in group {
+            let start_idx = entries.len();
+            for op in &req.ops {
+                let seqno = base + 1 + i;
+                let ts = ts0 + i;
+                i += 1;
+                entries.push(match op {
+                    BatchOp::Put(k, v) => InternalEntry::put(k.clone(), v.clone(), seqno, ts),
+                    BatchOp::Delete(k) => InternalEntry::delete(k.clone(), seqno, ts),
+                    BatchOp::SingleDelete(k) => InternalEntry::single_delete(k.clone(), seqno, ts),
+                    BatchOp::DeleteRange(s, e) => {
+                        InternalEntry::range_delete(s.clone(), e.clone(), seqno, ts)
+                    }
+                });
+            }
+            if req.wal && mem.active.wal.is_some() {
+                let mut payload = Vec::new();
+                for e in &entries[start_idx..] {
+                    e.encode_into(&mut payload);
+                }
+                payloads.push(payload);
+                want_sync |= req.sync;
+            }
+        }
+        let n = i;
+        if n == 0 {
+            return Ok(());
+        }
+        if let Some(wal_id) = mem.active.wal {
+            if !payloads.is_empty() {
+                // The WAL append must happen under `mem` so the segment
+                // cannot be frozen/deleted between append and insert.
+                // lsm-lint: allow(io-under-lock)
+                let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
+                // lsm-lint: allow(io-under-lock)
+                writer.append_records(&payloads)?;
+                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                if want_sync {
+                    // Acknowledged == durable: the group errors (and is not
+                    // applied to the memtable) if the sync fails.
+                    // lsm-lint: allow(io-under-lock)
+                    writer.sync()?;
+                    self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        for entry in entries {
+            debug_assert!(entry.seqno() > base && entry.seqno() <= base + n);
+            if entry.kind() == EntryKind::RangeDelete {
+                let end = entry
+                    .range_delete_end()
+                    .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
+                mem.active
+                    .rts
+                    .write()
+                    .push((entry.user_key().clone(), end, entry.seqno()));
+            }
+            mem.active.table.insert(entry);
+        }
+        self.clock.fetch_add(n, Ordering::AcqRel);
+        // Publish: the group becomes visible as a unit.
+        self.seqno.store(base + n, Ordering::Release);
+        drop(mem);
+
+        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.obs.record(HistKind::GroupSize, n);
+        self.obs
+            .record(HistKind::GroupCommit, started.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -1176,16 +1429,19 @@ impl DbInner {
                     for entry in &entries {
                         entry.encode_into(&mut payload);
                     }
-                    let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
                     // The WAL append must happen under `mem` so the segment
                     // cannot be frozen/deleted between append and insert.
                     // lsm-lint: allow(io-under-lock)
+                    let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
+                    // lsm-lint: allow(io-under-lock)
                     writer.append(&payload)?;
+                    self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
                     if self.opts.wal_sync {
                         // Acknowledged == durable: the write errors (and is
                         // not applied to the memtable) if the sync fails.
                         // lsm-lint: allow(io-under-lock)
                         writer.sync()?;
+                        self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -1263,6 +1519,14 @@ impl DbInner {
     }
 
     fn freeze_active(&self, even_if_small: bool) -> Result<()> {
+        // Lock order: manifest ticket (125) -> current (130, released
+        // immediately) -> mem (150). The manifest referencing the fresh
+        // WAL segment must be durable *before* any writer can commit into
+        // that segment — otherwise a crash on this save loses writes that
+        // were acknowledged into a segment no manifest names. Holding
+        // `mem` across the save is what closes that window.
+        let _ticket = self.manifest_mx.lock();
+        let version = self.current.lock().clone();
         let mut mem = self.mem.write();
         let size = mem.active.table.approximate_size();
         if !even_if_small && size < self.opts.write_buffer_bytes {
@@ -1289,8 +1553,11 @@ impl DbInner {
         });
         let frozen = std::mem::replace(&mut mem.active, fresh);
         mem.immutables.push_back(frozen);
-        drop(mem);
-        self.save_manifest()?;
+        if self.persist_manifest {
+            let bytes = self.manifest_from(&version, &mem).encode();
+            // lsm-lint: allow(io-under-lock)
+            self.backend.put_meta(MANIFEST_META, &bytes)?;
+        }
         Ok(())
     }
 
@@ -1510,15 +1777,26 @@ impl DbInner {
         // remaining immutable so L0 runs stay recency-sorted. The front
         // check is re-done under `stall_mx` (progress notifications are
         // sent under the same lock) so a concurrent commit cannot slip
-        // between the check and the wait.
+        // between the check and the wait. Waiting is only sound while some
+        // other thread is responsible for the front handle: claiming is
+        // oldest-first, so a front that is neither ours nor in
+        // `sched.flushing` means its flusher failed and released the claim
+        // — parking would then wait forever. Abort with a transient error
+        // instead; the retry in the caller re-claims the front handle and
+        // either flushes it or surfaces its real error. (The table blob
+        // already written for this handle becomes an orphan, removed by
+        // `clean_orphans` on reopen.)
         loop {
             let mut guard = self.stall_mx.lock();
-            let is_front = {
-                let mem = self.mem.read();
-                mem.immutables.front().map(|h| h.id) == Some(handle.id)
-            };
-            if is_front {
+            let front = self.mem.read().immutables.front().map(|h| h.id);
+            if front == Some(handle.id) {
                 break;
+            }
+            let front_claimed = front.is_some_and(|id| self.sched.lock().flushing.contains(&id));
+            if !front_claimed {
+                return Err(Error::Transient(
+                    "flush of an older memtable failed; retry from the front".into(),
+                ));
             }
             self.stall_cv
                 .wait_for(&mut guard, Duration::from_millis(20));
@@ -1723,6 +2001,12 @@ impl DbInner {
     fn build_manifest(&self) -> Manifest {
         let version = self.current.lock().clone();
         let mem = self.mem.read();
+        self.manifest_from(&version, &mem)
+    }
+
+    /// Builds the manifest from already-locked state, for callers (the
+    /// freezer) that must persist it while still holding `mem`.
+    fn manifest_from(&self, version: &Version, mem: &MemState) -> Manifest {
         let mut wal_segments = Vec::new();
         for h in &mem.immutables {
             if let Some(id) = h.wal {
@@ -1751,7 +2035,14 @@ impl DbInner {
 
     fn save_manifest(&self) -> Result<()> {
         if self.persist_manifest {
+            // Build + persist are one unit under the manifest ticket:
+            // without it, a save built before a concurrent freeze could
+            // land after the freezer's save and erase the fresh WAL
+            // segment from the manifest, losing acknowledged writes on
+            // the next recovery.
+            let _ticket = self.manifest_mx.lock();
             let bytes = self.build_manifest().encode();
+            // lsm-lint: allow(io-under-lock)
             self.backend.put_meta(MANIFEST_META, &bytes)?;
         }
         Ok(())

@@ -36,7 +36,9 @@ mod scan;
 mod stats;
 mod version;
 
-pub use db::{Db, DbBuilder, DbScanIter, RecoverySummary, Snapshot, WriteBatch};
+pub use db::{
+    Db, DbBuilder, DbScanIter, ReadView, RecoverySummary, Snapshot, WriteBatch, WriteOptions,
+};
 pub use metrics::MetricsSnapshot;
 pub use options::Options;
 pub use stats::{DbStats, StatsSnapshot};

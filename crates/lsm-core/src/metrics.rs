@@ -81,6 +81,9 @@ impl MetricsSnapshot {
                 ("idle_waits", db.idle_waits),
                 ("gc_dropped_entries", db.gc_dropped_entries),
                 ("tombstones_purged", db.tombstones_purged),
+                ("wal_appends", db.wal_appends),
+                ("wal_syncs", db.wal_syncs),
+                ("group_commits", db.group_commits),
             ],
         );
         out.push(',');

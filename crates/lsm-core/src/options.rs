@@ -40,6 +40,13 @@ pub struct Options {
     /// durable (survives a power cut). Disabling trades the fsync per
     /// batch for a window of acknowledged-but-volatile writes.
     pub wal_sync: bool,
+    /// Group commit: how many queued operations one commit-group leader
+    /// may drain into a single WAL append (and at most one sync). Larger
+    /// groups amortize the sync further at the cost of leader latency.
+    pub max_group_ops: usize,
+    /// Group commit: byte ceiling (encoded entry bytes) for one commit
+    /// group. The leader stops draining once the group would exceed it.
+    pub max_group_bytes: usize,
     /// How many times background maintenance retries a transient storage
     /// error (with doubling backoff) before treating it as fatal.
     pub transient_retries: u32,
@@ -66,6 +73,8 @@ impl Default for Options {
             warm_cache_after_compaction: false,
             wal: true,
             wal_sync: true,
+            max_group_ops: 128,
+            max_group_bytes: 1 << 20, // 1 MiB
             transient_retries: 4,
             background_threads: 0,
             table_target_bytes: 2 << 20, // 2 MiB
@@ -88,6 +97,12 @@ impl Options {
             return Err(Error::InvalidArgument(
                 "table_target_bytes must be > 0".into(),
             ));
+        }
+        if self.max_group_ops == 0 {
+            return Err(Error::InvalidArgument("max_group_ops must be > 0".into()));
+        }
+        if self.max_group_bytes == 0 {
+            return Err(Error::InvalidArgument("max_group_bytes must be > 0".into()));
         }
         if self.compaction.size_ratio < 2 {
             return Err(Error::InvalidArgument("size_ratio must be >= 2".into()));
@@ -163,6 +178,18 @@ mod tests {
 
         let o = Options {
             filter_bits_per_key: -1.0,
+            ..Options::default()
+        };
+        assert!(o.validate().is_err());
+
+        let o = Options {
+            max_group_ops: 0,
+            ..Options::default()
+        };
+        assert!(o.validate().is_err());
+
+        let o = Options {
+            max_group_bytes: 0,
             ..Options::default()
         };
         assert!(o.validate().is_err());

@@ -28,6 +28,13 @@ pub struct DbStats {
     pub(crate) gc_dropped_entries: AtomicU64,
     /// Tombstones physically purged at the last level.
     pub(crate) tombstones_purged: AtomicU64,
+    /// WAL appends issued by the write path (one per commit group, not one
+    /// per write — the ratio to `puts + deletes` measures group batching).
+    pub(crate) wal_appends: AtomicU64,
+    /// WAL fsyncs issued by the write path (at most one per commit group).
+    pub(crate) wal_syncs: AtomicU64,
+    /// Commit groups flushed by a leader (each covers >= 1 write request).
+    pub(crate) group_commits: AtomicU64,
 }
 
 /// A point-in-time copy of [`DbStats`].
@@ -63,6 +70,12 @@ pub struct StatsSnapshot {
     pub gc_dropped_entries: u64,
     /// Tombstones physically removed at the last level.
     pub tombstones_purged: u64,
+    /// WAL appends issued (one per commit group).
+    pub wal_appends: u64,
+    /// WAL fsyncs issued (at most one per commit group).
+    pub wal_syncs: u64,
+    /// Commit groups flushed by a group-commit leader.
+    pub group_commits: u64,
 }
 
 impl DbStats {
@@ -84,6 +97,9 @@ impl DbStats {
             idle_waits: self.idle_waits.load(Ordering::Relaxed),
             gc_dropped_entries: self.gc_dropped_entries.load(Ordering::Relaxed),
             tombstones_purged: self.tombstones_purged.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,6 +133,9 @@ impl StatsSnapshot {
             idle_waits: self.idle_waits - earlier.idle_waits,
             gc_dropped_entries: self.gc_dropped_entries - earlier.gc_dropped_entries,
             tombstones_purged: self.tombstones_purged - earlier.tombstones_purged,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            group_commits: self.group_commits - earlier.group_commits,
         }
     }
 }

@@ -153,9 +153,9 @@ fn deletes_survive_compaction_until_bottom() {
     db2.flush().unwrap();
     db2.maintain().unwrap();
     assert!(
-        db2.stats().tombstones_purged > 0,
+        db2.metrics().db.tombstones_purged > 0,
         "bottom-level compaction should purge tombstones: {:?}",
-        db2.stats()
+        db2.metrics().db
     );
 }
 
@@ -298,7 +298,7 @@ fn stats_track_write_amplification() {
             .unwrap();
     }
     db.maintain().unwrap();
-    let s = db.stats();
+    let s = db.metrics().db;
     assert!(s.flushes > 0);
     assert!(s.compactions > 0);
     assert!(
@@ -408,7 +408,7 @@ fn background_threads_reach_same_state() {
     for i in (0..3000).step_by(131) {
         assert!(db.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
     }
-    let s = db.stats();
+    let s = db.metrics().db;
     assert!(s.flushes > 0);
 }
 
@@ -523,9 +523,9 @@ fn lethe_ttl_trigger_bounds_tombstone_age() {
     }
     db.maintain().unwrap();
     assert!(
-        db.stats().tombstones_purged > 0,
+        db.metrics().db.tombstones_purged > 0,
         "TTL trigger should have purged tombstones: {:?}",
-        db.stats()
+        db.metrics().db
     );
     for i in 0..100u32 {
         assert_eq!(db.get(format!("key{i:05}").as_bytes()).unwrap(), None);

@@ -68,13 +68,13 @@ fn update_returning_none_deletes() {
     db.update(b"k", |_| None).unwrap();
     assert_eq!(db.get(b"k").unwrap(), None);
     // deleting a missing key is a no-op, not an error
-    let before = db.stats();
+    let before = db.metrics().db;
     db.update(b"missing", |cur| {
         assert!(cur.is_none());
         None
     })
     .unwrap();
-    assert_eq!(db.stats().deletes, before.deletes);
+    assert_eq!(db.metrics().db.deletes, before.deletes);
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn bulk_load_into_empty_db_and_read() {
     db.bulk_load(pairs).unwrap();
 
     // no flushes or compactions happened: data went straight to the bottom
-    assert_eq!(db.stats().compactions, 0);
+    assert_eq!(db.metrics().db.compactions, 0);
     let v = db.version();
     assert_eq!(v.levels.iter().filter(|l| !l.is_empty()).count(), 1);
     assert!(v.all_tables().count() > 1, "split into multiple tables");
@@ -159,8 +159,8 @@ fn bulk_load_is_fast_loading_path() {
     let db_bulk = Db::builder().options(small()).open().unwrap();
     db_bulk.bulk_load(pairs).unwrap();
 
-    let wa_puts = db_puts.stats().write_amplification();
-    let wa_bulk = db_bulk.stats().write_amplification();
+    let wa_puts = db_puts.metrics().db.write_amplification();
+    let wa_bulk = db_bulk.metrics().db.write_amplification();
     assert!(
         wa_bulk < wa_puts / 2.0,
         "bulk load should write far less: bulk {wa_bulk:.2} vs puts {wa_puts:.2}"

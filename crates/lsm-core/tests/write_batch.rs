@@ -38,9 +38,9 @@ fn batch_applies_all_ops_in_order() {
 #[test]
 fn empty_batch_is_a_noop() {
     let db = Db::builder().options(small()).open().unwrap();
-    let before = db.stats();
+    let before = db.metrics().db;
     db.write(WriteBatch::new()).unwrap();
-    assert_eq!(db.stats(), before);
+    assert_eq!(db.metrics().db, before);
 }
 
 #[test]
@@ -120,6 +120,6 @@ fn large_batch_triggers_freeze_and_flush() {
     }
     db.write(b).unwrap();
     db.maintain().unwrap();
-    assert!(db.stats().flushes > 0);
+    assert!(db.metrics().db.flushes > 0);
     assert_eq!(db.scan(b"", None).unwrap().count(), 2000);
 }

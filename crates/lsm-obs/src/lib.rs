@@ -61,10 +61,19 @@ pub enum HistKind {
     VlogAppend = 10,
     /// Value-log garbage-collection pass duration.
     VlogGc = 11,
+    /// Operations per group commit (a count histogram, not a latency:
+    /// quantiles read as group-size p50/p99).
+    GroupSize = 12,
+    /// Time a write spent queued in the commit pipeline, from enqueue to
+    /// acknowledgement (leader hand-off + WAL wait).
+    GroupWait = 13,
+    /// Leader-side group flush duration: one WAL append, at most one sync,
+    /// and every memtable apply for the whole group.
+    GroupCommit = 14,
 }
 
 /// Number of [`HistKind`] surfaces.
-pub const NUM_HISTS: usize = 12;
+pub const NUM_HISTS: usize = 15;
 
 impl HistKind {
     /// Every kind, in index order.
@@ -81,6 +90,9 @@ impl HistKind {
         HistKind::CompactionPlan,
         HistKind::VlogAppend,
         HistKind::VlogGc,
+        HistKind::GroupSize,
+        HistKind::GroupWait,
+        HistKind::GroupCommit,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -98,6 +110,9 @@ impl HistKind {
             HistKind::CompactionPlan => "compaction_plan",
             HistKind::VlogAppend => "vlog_append",
             HistKind::VlogGc => "vlog_gc",
+            HistKind::GroupSize => "group_size",
+            HistKind::GroupWait => "group_wait",
+            HistKind::GroupCommit => "group_commit",
         }
     }
 

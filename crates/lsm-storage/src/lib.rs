@@ -29,6 +29,9 @@ mod stats;
 pub mod wal;
 
 pub use backend::{Backend, FileId, FsBackend, MemBackend};
+// `Backend` signatures name `Bytes`; re-export it so implementors outside
+// the workspace dependency graph need not depend on the crate directly.
+pub use bytes::Bytes;
 pub use cache::{BlockCache, BlockKey, CacheStats};
 pub use fault::FaultBackend;
 pub use observe::ObservedBackend;

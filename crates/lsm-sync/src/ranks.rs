@@ -20,10 +20,20 @@ use crate::LockRank;
 /// `Db` single-writer queue ticket. Outermost engine lock: held across the
 /// whole write path (WAL append, memtable insert, freeze).
 pub const DB_WRITE: LockRank = LockRank::new("db.write_mx", 100);
+/// `Db` group-commit queue (pending writer requests + the follower
+/// condvar). Enqueued without other locks; the leader drains it while
+/// holding `db.write_mx`, so it ranks directly above the writer ticket.
+pub const DB_COMMIT: LockRank = LockRank::new("db.commit_mx", 105);
 /// `Db` write-stall condvar mutex (waiters for immutable-memtable drain).
 pub const DB_STALL: LockRank = LockRank::new("db.stall_mx", 110);
 /// `Db` background-worker wakeup condvar mutex.
 pub const DB_WORK: LockRank = LockRank::new("db.work_mx", 120);
+/// `Db` manifest persistence ticket: serializes build-manifest +
+/// `put_meta` so a save built from older state can never overwrite a
+/// newer save (which would drop a live WAL segment from the manifest and
+/// lose acknowledged writes on recovery). Ranks below `db.current` /
+/// `db.mem` because the build acquires both while holding it.
+pub const DB_MANIFEST: LockRank = LockRank::new("db.manifest_mx", 125);
 /// `Db` current-version pointer (copy-on-write `Arc<Version>` swap).
 pub const DB_CURRENT: LockRank = LockRank::new("db.current", 130);
 /// `Db` live-snapshot refcount map.
@@ -57,8 +67,10 @@ pub const CACHE_SHARD: LockRank = LockRank::new("cache.shard", 300);
 /// spec test asserts `lock_order.json` agrees with it.
 pub const REGISTRY: &[(&str, LockRank)] = &[
     ("DB_WRITE", DB_WRITE),
+    ("DB_COMMIT", DB_COMMIT),
     ("DB_STALL", DB_STALL),
     ("DB_WORK", DB_WORK),
+    ("DB_MANIFEST", DB_MANIFEST),
     ("DB_CURRENT", DB_CURRENT),
     ("DB_SNAPSHOTS", DB_SNAPSHOTS),
     ("DB_MEM", DB_MEM),

@@ -234,7 +234,7 @@ impl KvSeparatedDb {
         if user == 0 {
             return 0.0;
         }
-        let s = self.db.stats();
+        let s = self.db.metrics().db;
         let tree = s.flush_bytes + s.compact_bytes_written;
         let log = self.vlog.stats().bytes_appended;
         (tree + log) as f64 / user as f64
@@ -394,7 +394,7 @@ mod tests {
         }
         kv.maintain().unwrap();
         plain.maintain().unwrap();
-        let plain_wa = plain.stats().write_amplification();
+        let plain_wa = plain.metrics().write_amplification();
         let kv_wa = kv.write_amplification();
         assert!(
             kv_wa < plain_wa,

@@ -68,7 +68,7 @@ fn run(label: &str, ttl: Option<u64>) {
         .sum();
     println!(
         "{label:<28} live tombstones after churn: {live:>5}   purged: {:>6}   fully clean after: {}",
-        db.stats().tombstones_purged,
+        db.metrics().db.tombstones_purged,
         purged_at_tick
             .map(|t| format!("{t} rounds"))
             .unwrap_or_else(|| "never".into()),

@@ -62,7 +62,7 @@ fn main() -> lsm_lab::types::Result<()> {
         v.levels.len(),
         v.run_count(),
         v.total_bytes(),
-        db.stats()
+        db.metrics().db
     );
     Ok(())
 }

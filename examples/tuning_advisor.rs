@@ -96,7 +96,7 @@ fn main() {
     println!(
         "opened a database with the recommendation; after 20k inserts: \
          write-amp {:.2}, {} runs, {} levels",
-        db.stats().write_amplification(),
+        db.metrics().db.write_amplification(),
         db.version().run_count(),
         db.version().levels.len()
     );

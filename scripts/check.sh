@@ -25,10 +25,32 @@ run_step() {
     fi
 }
 
+# The builder-era API cleanup is done: a `#[deprecated]` marker may only
+# exist with an explicit sunset note on the preceding line, so deprecations
+# are scheduled removals, never permanent residents.
+check_no_deprecated() {
+    local bad=0 file line prev
+    while IFS=: read -r file line _; do
+        prev=$(sed -n "$((line - 1))p" "$file")
+        case "$prev" in
+        *"no-deprecated: allow("*) ;;
+        *)
+            echo "  $file:$line: #[deprecated] without a '// no-deprecated: allow(...)' sunset note"
+            bad=1
+            ;;
+        esac
+    done < <(grep -rn '#\[deprecated' crates/*/src src examples tests 2>/dev/null)
+    return "$bad"
+}
+
 run_step "fmt"      cargo fmt --all --check
 run_step "clippy"   cargo clippy --workspace --all-targets -- -D warnings
 run_step "lsm-lint" cargo run -q -p lsm-lint
 run_step "lockgraph" cargo run -q -p lsm-lint -- --check-lock-order lock_order.json
+run_step "no-deprecated" check_no_deprecated
+# Compile-time pin of the public Db/DbBuilder/WriteBatch/WriteOptions
+# surface: breakage must be deliberate and land with the change.
+run_step "api-surface" cargo test -q -p lsm-core --test api_surface
 run_step "tests"    cargo test -q --workspace
 run_step "crash"    cargo test -q --test crash_recovery
 # Debug profile on purpose: the lsm-sync rank assertions only exist with

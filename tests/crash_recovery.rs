@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use lsm_lab::compaction::DataLayout;
-use lsm_lab::core::Db;
-use lsm_lab::crash_harness::{crash_sweep, harness_options, kv_crash_sweep};
+use lsm_lab::core::{Db, WriteBatch};
+use lsm_lab::crash_harness::{crash_sweep, harness_options, kv_crash_sweep, open_durable_db};
 use lsm_lab::storage::{Backend, FaultBackend, MemBackend};
 
 /// The fixed seed of record for the suite.
@@ -87,6 +87,242 @@ fn kv_crash_sweep_all_layouts() {
             report.crash_points_tested > 0,
             "[kv {label}] no crash points"
         );
+    }
+}
+
+const BATCHES: usize = 24;
+const KEYS_PER_BATCH: usize = 5;
+
+fn batch_key(j: usize, i: usize) -> Vec<u8> {
+    format!("b{j:03}-k{i}").into_bytes()
+}
+
+fn batch_val(j: usize, i: usize) -> Vec<u8> {
+    format!("v{j:03}-{i}-{}", "z".repeat(48)).into_bytes()
+}
+
+/// Submits the batches in order; returns how many were acknowledged
+/// before the first error (all of them when no error occurred).
+fn run_batches(db: &Db) -> (usize, bool) {
+    for j in 0..BATCHES {
+        let mut wb = WriteBatch::new();
+        for i in 0..KEYS_PER_BATCH {
+            wb.put(&batch_key(j, i), &batch_val(j, i));
+        }
+        if db.write(wb).is_err() {
+            return (j, true);
+        }
+    }
+    (BATCHES, false)
+}
+
+/// Checks recovered state against the acknowledged-batch model: every
+/// acknowledged batch is fully present; the in-flight batch (index
+/// `acked`, if a write errored) is all-or-none; later batches were never
+/// submitted and must be absent.
+fn verify_batches(db: &Db, acked: usize, ctx: &str) {
+    for j in 0..acked {
+        for i in 0..KEYS_PER_BATCH {
+            let got = db
+                .get(&batch_key(j, i))
+                .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"));
+            assert_eq!(
+                got.as_deref(),
+                Some(&batch_val(j, i)[..]),
+                "{ctx}: acknowledged batch {j} key {i} lost or wrong after recovery"
+            );
+        }
+    }
+    for j in acked..BATCHES {
+        let present = (0..KEYS_PER_BATCH)
+            .filter(|&i| {
+                db.get(&batch_key(j, i))
+                    .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+                    .is_some()
+            })
+            .count();
+        assert!(
+            present == 0 || present == KEYS_PER_BATCH,
+            "{ctx}: batch {j} recovered torn: {present}/{KEYS_PER_BATCH} keys present"
+        );
+        if j > acked {
+            assert_eq!(
+                present, 0,
+                "{ctx}: batch {j} was never submitted yet recovered"
+            );
+        }
+    }
+}
+
+/// A power cut mid group commit recovers either *all* or *none* of each
+/// `WriteBatch`: a batch rides the WAL as one framed record inside the
+/// group's single append, so torn-tail truncation can never split it.
+/// Sweeps crash points over every storage write the workload performs,
+/// including the ones inside grouped WAL appends and syncs.
+#[test]
+fn crash_mid_group_commit_keeps_write_batches_atomic() {
+    const POINTS: usize = 32;
+    let opts = harness_options(DataLayout::Leveling);
+
+    // Phase 1: fault-free reference run establishes the write-op range.
+    let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), SEED));
+    let db = open_durable_db(fb.clone(), &opts).expect("fault-free open");
+    let (acked, errored) = run_batches(&db);
+    assert!(!errored, "fault-free run must not error");
+    let total_ops = fb.write_ops();
+    drop(db);
+    fb.power_cut().expect("clean power cut");
+    let db = open_durable_db(fb.inner(), &opts).expect("fault-free reopen");
+    verify_batches(&db, acked, "[batch fault-free]");
+    drop(db);
+
+    // Phase 2: crash at sampled write ops, power-cut, reopen, verify.
+    assert!(total_ops > 0, "batch workload wrote nothing");
+    let stride = (total_ops as usize / POINTS).max(1) as u64;
+    let mut crash_op = 1;
+    while crash_op <= total_ops {
+        let ctx = format!("[batch seed={SEED:#x} crash-at-op={crash_op}]");
+        let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), SEED));
+        fb.crash_at_write_op(crash_op);
+        let acked = match open_durable_db(fb.clone(), &opts) {
+            Err(_) => {
+                // The crash interrupted open: no batch was ever submitted.
+                assert!(fb.crashed(), "{ctx}: open error without crash");
+                0
+            }
+            Ok(db) => {
+                let (acked, errored) = run_batches(&db);
+                if errored {
+                    assert!(fb.crashed(), "{ctx}: write error without crash");
+                }
+                drop(db);
+                acked
+            }
+        };
+        fb.power_cut()
+            .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+        let db = open_durable_db(fb.inner(), &opts)
+            .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+        verify_batches(&db, acked, &ctx);
+        drop(db);
+        crash_op += stride;
+    }
+}
+
+/// Concurrent writers form real multi-request commit groups; a crash
+/// inside one of those grouped WAL appends (or its sync) must still honor
+/// per-batch atomicity and acknowledged-means-durable for every thread.
+#[test]
+fn concurrent_grouped_commits_crash_consistently() {
+    const THREADS: usize = 3;
+    const BATCHES_PER_THREAD: usize = 10;
+    const KEYS: usize = 4;
+    const POINTS: usize = 16;
+    let opts = harness_options(DataLayout::Leveling);
+
+    let ckey = |t: usize, j: usize, i: usize| format!("c{t}-{j:02}-k{i}").into_bytes();
+    let cval =
+        |t: usize, j: usize, i: usize| format!("cv{t}-{j:02}-{i}-{}", "q".repeat(40)).into_bytes();
+
+    // Each thread submits its batches in order and reports how many were
+    // acknowledged before its first error.
+    let run_threads = |db: &Arc<Db>| -> Vec<usize> {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let db = Arc::clone(db);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..BATCHES_PER_THREAD {
+                    let mut wb = WriteBatch::new();
+                    for i in 0..KEYS {
+                        wb.put(&ckey(t, j, i), &cval(t, j, i));
+                    }
+                    if db.write(wb).is_err() {
+                        return j;
+                    }
+                }
+                BATCHES_PER_THREAD
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("writer thread"))
+            .collect()
+    };
+
+    let verify = |db: &Db, acked: &[usize], ctx: &str| {
+        for (t, &a) in acked.iter().enumerate() {
+            for j in 0..BATCHES_PER_THREAD {
+                let present = (0..KEYS)
+                    .filter(|&i| {
+                        db.get(&ckey(t, j, i))
+                            .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+                            .is_some()
+                    })
+                    .count();
+                if j < a {
+                    assert_eq!(
+                        present, KEYS,
+                        "{ctx}: thread {t} acknowledged batch {j} lost keys"
+                    );
+                } else {
+                    assert!(
+                        present == 0 || present == KEYS,
+                        "{ctx}: thread {t} batch {j} recovered torn: {present}/{KEYS}"
+                    );
+                    if j > a {
+                        assert_eq!(
+                            present, 0,
+                            "{ctx}: thread {t} batch {j} never submitted yet recovered"
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    // Phase 1: fault-free concurrent run sizes the crash-op range (the
+    // exact count varies with group composition; it only seeds the stride).
+    let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), SEED));
+    let db = Arc::new(open_durable_db(fb.clone(), &opts).expect("fault-free open"));
+    let acked = run_threads(&db);
+    assert!(
+        acked.iter().all(|&a| a == BATCHES_PER_THREAD),
+        "fault-free run must acknowledge every batch"
+    );
+    let total_ops = fb.write_ops();
+    drop(db);
+    fb.power_cut().expect("clean power cut");
+    let db = open_durable_db(fb.inner(), &opts).expect("fault-free reopen");
+    verify(&db, &acked, "[concurrent fault-free]");
+    drop(db);
+
+    // Phase 2: crash at sampled write ops while the writers race.
+    assert!(total_ops > 0);
+    let stride = (total_ops as usize / POINTS).max(1) as u64;
+    let mut crash_op = 1;
+    while crash_op <= total_ops {
+        let ctx = format!("[concurrent seed={SEED:#x} crash-at-op={crash_op}]");
+        let fb = Arc::new(FaultBackend::with_seed(Arc::new(MemBackend::new()), SEED));
+        fb.crash_at_write_op(crash_op);
+        let acked = match open_durable_db(fb.clone(), &opts) {
+            Err(_) => {
+                assert!(fb.crashed(), "{ctx}: open error without crash");
+                vec![0; THREADS]
+            }
+            Ok(db) => {
+                let db = Arc::new(db);
+                let acked = run_threads(&db);
+                drop(db);
+                acked
+            }
+        };
+        fb.power_cut()
+            .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+        let db = open_durable_db(fb.inner(), &opts)
+            .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+        verify(&db, &acked, &ctx);
+        drop(db);
+        crash_op += stride;
     }
 }
 

@@ -52,7 +52,12 @@ fn ycsb_presets_run_clean_on_both_canonical_tunings() {
                 }
             }
             db.maintain().unwrap();
-            assert!(db.stats().flushes > 0, "{} {:?}", preset.name(), layout);
+            assert!(
+                db.metrics().db.flushes > 0,
+                "{} {:?}",
+                preset.name(),
+                layout
+            );
         }
     }
 }
@@ -142,7 +147,7 @@ fn delete_heavy_workload_with_lethe_triggers_end_to_end() {
     for id in 0..1000u64 {
         assert_eq!(db.get(&format_key(id * 4)).unwrap(), None);
     }
-    assert!(db.stats().tombstones_purged > 0);
+    assert!(db.metrics().db.tombstones_purged > 0);
 }
 
 #[test]
