@@ -1066,6 +1066,10 @@ impl DbInner {
             levels.push(Vec::new());
         }
         *inner.current.lock() = Arc::new(Version { levels });
+        // Recovery runs single-threaded before `open` returns: no writer
+        // can observe this seqno until the re-log below has restored WAL
+        // durability for every replayed entry.
+        // lsm-lint: allow(durability-order)
         inner.seqno.store(manifest.next_seqno, Ordering::Release);
         inner.clock.store(manifest.next_ts, Ordering::Release);
 
@@ -1104,6 +1108,10 @@ impl DbInner {
                 }
             }
         }
+        // Single-threaded recovery: the replayed entries are re-logged
+        // into the fresh segment (and the old segments kept) before any
+        // external writer can commit.
+        // lsm-lint: allow(durability-order)
         inner.seqno.store(max_seqno, Ordering::Release);
         inner.clock.store(max_ts, Ordering::Release);
         inner.obs.emit(

@@ -54,6 +54,10 @@ fn db_read_and_maintenance_surface_is_stable() {
     let _: fn(&Db) -> Result<()> = Db::maintain;
     let _: fn(&Db) -> Result<()> = Db::wait_idle;
     let _: fn(&Db) -> Result<()> = Db::flush;
+    // `Db::metrics` is the single stats surface. The deprecated
+    // `stats()` / `io_stats()` / `cache_stats()` trio completed its
+    // README deprecation schedule and was removed; resurrecting any of
+    // them must re-pin it here.
     let _: fn(&Db) -> MetricsSnapshot = Db::metrics;
     let _: fn(&Db) -> Option<RecoverySummary> = Db::recovery_summary;
     let _: fn(&Db, &[FileId]) -> Result<usize> = Db::clean_orphans;

@@ -21,17 +21,29 @@
 //!   `lsm-sync::ranks`; every tracked lock must bind to a rank constant.
 //! - **L6 `io-under-lock`** — no blocking backend I/O while a lock guard
 //!   is live, unless annotated with a rationale.
+//! - **L7 `durability-order`** — the durable-before-visible commit protocol
+//!   (see [`durability`]): no `seqno_publish`/`ack` before the group's
+//!   `wal_append` (and `wal_sync` on sync paths), no release of `mem`
+//!   before the `manifest_persist` that names a fresh WAL segment, and
+//!   manifest build + `put_meta` atomic under `manifest_mx`.
+//! - **L0 `bad-allow`** — a malformed suppression: an unknown rule name in
+//!   an allow-comment, or `allow(durability-order)` without a rationale.
 //!
 //! Diagnostics can be suppressed with `// lsm-lint: allow(<rule>)` on the
 //! same line or the line above; `<rule>` is the `L<n>` id or the kebab name.
+//! Unknown rule names are rejected (L0), and `allow(durability-order)`
+//! additionally requires a rationale: a plain `//` comment on the line
+//! above the marker, or prose after the closing parenthesis.
 //! Since the build container is offline, parsing is done by a small
 //! hand-rolled tokenizer rather than `syn`; it understands strings, raw
 //! strings, char literals, lifetimes, and nested block comments, and tracks
 //! `#[cfg(test)]` / `#[test]` regions by brace depth.
 
+pub mod durability;
 pub mod lockgraph;
 
-pub use lockgraph::{LockEdge, LockGraph, LockInfo};
+pub use durability::DurabilityReport;
+pub use lockgraph::{CondvarInfo, LockEdge, LockGraph, LockInfo};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -53,40 +65,52 @@ pub enum Rule {
     LockOrder,
     /// L6: blocking backend I/O while a lock guard is held.
     IoUnderLock,
+    /// L7: durable-before-visible ordering violation in the commit
+    /// protocol.
+    DurabilityOrder,
+    /// L0: malformed `lsm-lint: allow(..)` marker (unknown rule, or a
+    /// durability exemption without a rationale). Not itself allowable.
+    BadAllow,
 }
 
 impl Rule {
     /// All rules, in L-number order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 8] = [
+        Rule::BadAllow,
         Rule::FsBoundary,
         Rule::NoPanic,
         Rule::LockNesting,
         Rule::KnobDocs,
         Rule::LockOrder,
         Rule::IoUnderLock,
+        Rule::DurabilityOrder,
     ];
 
     /// The short `L<n>` identifier.
     pub fn id(self) -> &'static str {
         match self {
+            Rule::BadAllow => "L0",
             Rule::FsBoundary => "L1",
             Rule::NoPanic => "L2",
             Rule::LockNesting => "L3",
             Rule::KnobDocs => "L4",
             Rule::LockOrder => "L5",
             Rule::IoUnderLock => "L6",
+            Rule::DurabilityOrder => "L7",
         }
     }
 
     /// The human-readable kebab-case name.
     pub fn name(self) -> &'static str {
         match self {
+            Rule::BadAllow => "bad-allow",
             Rule::FsBoundary => "fs-boundary",
             Rule::NoPanic => "no-panic",
             Rule::LockNesting => "lock-nesting",
             Rule::KnobDocs => "knob-docs",
             Rule::LockOrder => "lock-order",
             Rule::IoUnderLock => "io-under-lock",
+            Rule::DurabilityOrder => "durability-order",
         }
     }
 
@@ -145,15 +169,32 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
-    /// Renders the report as a machine-readable JSON document.
+    /// Renders the report as a machine-readable JSON document. Schema v2:
+    /// totals, per-rule finding counts (`by_rule`, non-zero rules only, in
+    /// L-number order), then the diagnostics sorted by (path, line, rule)
+    /// so CI diffs are stable.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
+        let mut out = String::from("{\n  \"version\": 2,\n");
         out.push_str(&format!(
-            "  \"files_checked\": {},\n  \"violations\": {},\n  \"suppressed\": {},\n  \"diagnostics\": [",
+            "  \"files_checked\": {},\n  \"violations\": {},\n  \"suppressed\": {},\n",
             self.files_checked,
             self.diagnostics.len(),
             self.suppressed,
         ));
+        out.push_str("  \"by_rule\": {");
+        let mut first = true;
+        for rule in Rule::ALL {
+            let count = self.diagnostics.iter().filter(|d| d.rule == rule).count();
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": {count}", rule.id()));
+        }
+        out.push_str("},\n  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -214,6 +255,13 @@ pub fn lint_tree(root: &Path) -> std::io::Result<LintReport> {
 /// Like [`lint_tree`], but also returns the workspace [`LockGraph`] so
 /// callers can emit or verify the `lock_order.json` spec.
 pub fn lint_tree_full(root: &Path) -> std::io::Result<(LintReport, LockGraph)> {
+    lint_tree_all(root).map(|(report, graph, _)| (report, graph))
+}
+
+/// The full analysis: the lint report, the workspace [`LockGraph`]
+/// (`lock_order.json`), and the [`DurabilityReport`]
+/// (`durability_order.json`).
+pub fn lint_tree_all(root: &Path) -> std::io::Result<(LintReport, LockGraph, DurabilityReport)> {
     let mut paths = Vec::new();
     collect_rs_files(root, root, &mut paths)?;
     paths.sort();
@@ -229,14 +277,19 @@ pub fn lint_tree_full(root: &Path) -> std::io::Result<(LintReport, LockGraph)> {
     };
     let mut allows_by_file: HashMap<&str, HashMap<usize, Vec<Rule>>> = HashMap::new();
     for (path, source) in &files {
-        allows_by_file.insert(path, collect_allows(source));
+        allows_by_file.insert(path, collect_allows(path, source).by_line);
         let (diags, suppressed) = per_file_diags(path, source);
         report.diagnostics.extend(diags);
         report.suppressed += suppressed;
     }
 
     let graph = lockgraph::analyze(&files);
-    for d in &graph.diagnostics {
+    let durability = durability::analyze(&files);
+    let analysis_diags = graph
+        .diagnostics
+        .iter()
+        .chain(durability.diagnostics.iter());
+    for d in analysis_diags {
         let suppressed = allows_by_file
             .get(d.path.as_str())
             .is_some_and(|allows| allowed(allows, d.rule, d.line));
@@ -249,7 +302,7 @@ pub fn lint_tree_full(root: &Path) -> std::io::Result<(LintReport, LockGraph)> {
     report
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
-    Ok((report, graph))
+    Ok((report, graph, durability))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -285,7 +338,7 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
 /// analysis use [`lint_tree`].
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let ctx = FileContext::classify(rel_path);
-    let allows = collect_allows(source);
+    let allows = collect_allows(rel_path, source);
     let (mut diags, _) = per_file_diags(rel_path, source);
     if ctx.check_l3 {
         // Single-file lock-graph pass for raw-lock nesting. (The workspace
@@ -300,17 +353,19 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
                 .filter(|d| matches!(d.rule, Rule::LockNesting)),
         );
     }
-    diags.retain(|d| !allowed(&allows, d.rule, d.line));
+    diags.retain(|d| d.rule == Rule::BadAllow || !allowed(&allows.by_line, d.rule, d.line));
     diags.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
     diags
 }
 
-/// The strictly per-file rules (L1/L2/L4), allow-filtered. Lock-graph
-/// rules (L3/L5/L6) come from [`lockgraph::analyze`]. Returns (remaining
-/// diagnostics, suppressed count).
+/// The strictly per-file rules (L1/L2/L4), allow-filtered, plus any L0
+/// `bad-allow` findings (never filtered: a malformed marker cannot excuse
+/// itself). Lock-graph rules (L3/L5/L6) come from [`lockgraph::analyze`],
+/// L7 from [`durability::analyze`]. Returns (remaining diagnostics,
+/// suppressed count).
 fn per_file_diags(rel_path: &str, source: &str) -> (Vec<Diagnostic>, usize) {
     let ctx = FileContext::classify(rel_path);
-    let allows = collect_allows(source);
+    let allows = collect_allows(rel_path, source);
     let tokens = tokenize(source);
     let test_lines = test_regions(&tokens);
 
@@ -322,8 +377,9 @@ fn per_file_diags(rel_path: &str, source: &str) -> (Vec<Diagnostic>, usize) {
         check_knob_docs(rel_path, source, &mut diags);
     }
     let before = diags.len();
-    diags.retain(|d| !allowed(&allows, d.rule, d.line));
+    diags.retain(|d| !allowed(&allows.by_line, d.rule, d.line));
     let suppressed = before - diags.len();
+    diags.extend(allows.bad.iter().cloned());
     (diags, suppressed)
 }
 
@@ -359,14 +415,36 @@ impl FileContext {
 // Allow-comments
 // ---------------------------------------------------------------------------
 
+/// The parsed suppression markers of one file: line → allowed rules, plus
+/// the L0 findings for malformed markers (unknown rule names, missing
+/// durability rationales). A malformed entry is *not* honored.
+struct Allows {
+    by_line: HashMap<usize, Vec<Rule>>,
+    bad: Vec<Diagnostic>,
+}
+
 /// Scans raw lines for `lsm-lint: allow(<rule>[, <rule>...])` markers.
-/// Returns a map of 1-based line number to the rules allowed there.
-fn collect_allows(source: &str) -> HashMap<usize, Vec<Rule>> {
-    let mut allows: HashMap<usize, Vec<Rule>> = HashMap::new();
-    for (idx, line) in source.lines().enumerate() {
+/// Unknown rule names and `allow(durability-order)` without a rationale
+/// are reported as L0 `bad-allow` and ignored; L0 itself cannot be
+/// suppressed (an allow-list naming `bad-allow` is malformed).
+fn collect_allows(rel_path: &str, source: &str) -> Allows {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut allows = Allows {
+        by_line: HashMap::new(),
+        bad: Vec::new(),
+    };
+    for (idx, line) in lines.iter().enumerate() {
         let Some(pos) = line.find("lsm-lint:") else {
             continue;
         };
+        // Doc comments (`///`, `//!`) talk *about* markers — e.g. a module
+        // doc quoting the `allow(...)` syntax — and never carry one.
+        let before = &line[..pos];
+        if let Some(c) = before.find("//") {
+            if matches!(before.as_bytes().get(c + 2), Some(b'/') | Some(b'!')) {
+                continue;
+            }
+        }
         let rest = line[pos + "lsm-lint:".len()..].trim_start();
         let Some(list) = rest
             .strip_prefix("allow(")
@@ -374,12 +452,78 @@ fn collect_allows(source: &str) -> HashMap<usize, Vec<Rule>> {
         else {
             continue;
         };
-        let rules: Vec<Rule> = list.split(',').filter_map(Rule::parse).collect();
-        if !rules.is_empty() {
-            allows.entry(idx + 1).or_default().extend(rules);
+        for item in list.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match Rule::parse(item) {
+                None => allows.bad.push(Diagnostic {
+                    rule: Rule::BadAllow,
+                    path: rel_path.into(),
+                    line: idx + 1,
+                    message: format!(
+                        "unknown rule `{item}` in `lsm-lint: allow(...)`; known rules: {}",
+                        known_rules(),
+                    ),
+                }),
+                Some(Rule::BadAllow) => allows.bad.push(Diagnostic {
+                    rule: Rule::BadAllow,
+                    path: rel_path.into(),
+                    line: idx + 1,
+                    message: "`bad-allow` (L0) cannot be suppressed; fix the malformed \
+                              marker it points at instead"
+                        .into(),
+                }),
+                Some(Rule::DurabilityOrder) if !has_rationale(&lines, idx, rest) => {
+                    allows.bad.push(Diagnostic {
+                        rule: Rule::BadAllow,
+                        path: rel_path.into(),
+                        line: idx + 1,
+                        message: "`allow(durability-order)` requires a rationale: explain \
+                                  why the ordering is safe in a `//` comment on the line \
+                                  above the marker, or after the closing parenthesis"
+                            .into(),
+                    });
+                }
+                Some(rule) => allows.by_line.entry(idx + 1).or_default().push(rule),
+            }
         }
     }
     allows
+}
+
+/// The rule names an allow-comment may use, for the L0 message.
+fn known_rules() -> String {
+    Rule::ALL
+        .into_iter()
+        .filter(|r| *r != Rule::BadAllow)
+        .map(Rule::name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Whether the `allow(durability-order)` marker on `lines[idx]` carries a
+/// rationale: prose after the marker's closing parenthesis, or a plain
+/// `//` comment (not itself a marker) on the line above.
+fn has_rationale(lines: &[&str], idx: usize, rest_after_colon: &str) -> bool {
+    if let Some(close) = rest_after_colon.find(')') {
+        let trailing = rest_after_colon[close + 1..]
+            .trim_start_matches(['-', ':', ';', ',', '.', '—', ' '].as_slice());
+        if trailing.chars().any(|c| c.is_alphabetic()) {
+            return true;
+        }
+    }
+    let Some(prev) = idx.checked_sub(1).and_then(|i| lines.get(i)) else {
+        return false;
+    };
+    let prev = prev.trim_start();
+    prev.starts_with("//")
+        && !prev.contains("lsm-lint:")
+        && prev
+            .trim_start_matches('/')
+            .chars()
+            .any(|c| c.is_alphabetic())
 }
 
 /// An allow on line `n` suppresses findings on line `n` and line `n + 1`,
@@ -965,10 +1109,50 @@ mod tests {
             ),
         };
         let json = report.to_json();
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"files_checked\": 2"));
         assert!(json.contains("\"violations\": 1"));
         assert!(json.contains("\"suppressed\": 0"));
+        assert!(json.contains("\"by_rule\": {\"L1\": 1}"));
         assert!(json.contains("\"rule\": \"L1\""));
         assert!(json.contains("\"line\": 1"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_rejected() {
+        let src = "// lsm-lint: allow(no-such-rule)\nfn f() {}\n";
+        let diags = lint("crates/lsm-core/src/db.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadAllow);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[0].message.contains("no-such-rule"));
+        assert!(diags[0].message.contains("durability-order"));
+    }
+
+    #[test]
+    fn bad_allow_cannot_be_suppressed() {
+        let src = "// lsm-lint: allow(L0)\n// lsm-lint: allow(typo)\nfn f() {}\n";
+        let diags = lint("crates/lsm-core/src/db.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == Rule::BadAllow));
+    }
+
+    #[test]
+    fn durability_allow_requires_rationale() {
+        // Bare marker: rejected, and the allow is not honored.
+        let bare = "// lsm-lint: allow(durability-order)\nfn f() {}\n";
+        let diags = lint("crates/lsm-core/src/db.rs", bare);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadAllow);
+        assert!(diags[0].message.contains("rationale"));
+
+        // A comment line above the marker is a rationale.
+        let above = "// recovery is single-threaded; the WAL is re-logged below\n\
+             // lsm-lint: allow(durability-order)\nfn f() {}\n";
+        assert!(lint("crates/lsm-core/src/db.rs", above).is_empty());
+
+        // Prose after the closing parenthesis is a rationale.
+        let inline = "// lsm-lint: allow(durability-order) — replay path, no readers\nfn f() {}\n";
+        assert!(lint("crates/lsm-core/src/db.rs", inline).is_empty());
     }
 }

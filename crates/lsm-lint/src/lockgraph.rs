@@ -78,7 +78,7 @@ const IO_METHODS: &[&str] = &[
 const IO_METHODS_WITH_ARGS: &[&str] = &["read", "write", "len"];
 
 /// Idents that look like calls but are control flow or common macros.
-const CALL_KEYWORDS: &[&str] = &[
+pub(crate) const CALL_KEYWORDS: &[&str] = &[
     "if", "while", "match", "for", "return", "in", "as", "loop", "move", "fn", "let", "else",
     "impl", "where", "unsafe", "break", "continue", "drop", "Some", "None", "Ok", "Err",
 ];
@@ -102,6 +102,29 @@ pub struct LockInfo {
     pub line: usize,
 }
 
+/// One condvar field and the mutex its wait sites pair it with.
+///
+/// A `Condvar::wait(&mut guard)` re-acquires the guard's mutex on wakeup,
+/// so a wait entered while a higher-ranked lock is held is a lock-order
+/// violation even though no `.lock()` call appears in the source. Binding
+/// each condvar to the one mutex it is waited with lets the rank checker
+/// treat wait sites as acquisition sites.
+#[derive(Debug, Clone)]
+pub struct CondvarInfo {
+    /// Stable identifier: `<crate>/<field>`.
+    pub id: String,
+    /// Lock id of the mutex every wait site pairs this condvar with.
+    pub mutex: Option<String>,
+    /// File of the field declaration.
+    pub file: String,
+    /// Line of the field declaration.
+    pub line: usize,
+    /// Number of `.wait()`/`.wait_for()` sites observed.
+    pub wait_sites: usize,
+    /// Number of `.notify_one()`/`.notify_all()` sites observed.
+    pub notify_sites: usize,
+}
+
 /// One held-while-acquired edge, anchored to the first site it was seen.
 #[derive(Debug, Clone)]
 pub struct LockEdge {
@@ -121,6 +144,8 @@ pub struct LockEdge {
 pub struct LockGraph {
     /// Every lock field discovered (tracked and raw).
     pub locks: Vec<LockInfo>,
+    /// Every condvar field discovered, with its wait-site mutex binding.
+    pub condvars: Vec<CondvarInfo>,
     /// Deduplicated held-while-acquired edges.
     pub edges: Vec<LockEdge>,
     /// Distinct cycles found in the edge graph (each a list of lock ids).
@@ -137,7 +162,7 @@ impl LockGraph {
     pub fn spec_json(&self) -> String {
         let mut locks: Vec<&LockInfo> = self.locks.iter().filter(|l| l.ordered).collect();
         locks.sort_by(|a, b| (a.order, &a.id).cmp(&(b.order, &b.id)));
-        let mut out = String::from("{\n  \"version\": 1,\n  \"locks\": [");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"locks\": [");
         for (i, l) in locks.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -150,6 +175,19 @@ impl LockGraph {
                 l.rank_const.as_deref().unwrap_or(""),
                 l.order.map(|o| o.to_string()).unwrap_or_default(),
                 l.file,
+            ));
+        }
+        out.push_str("\n  ],\n  \"condvars\": [");
+        let mut cvs: Vec<&CondvarInfo> = self.condvars.iter().collect();
+        cvs.sort_by(|a, b| a.id.cmp(&b.id));
+        for (i, cv) in cvs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": \"{}\", \"mutex\": \"{}\"}}",
+                cv.id,
+                cv.mutex.as_deref().unwrap_or(""),
             ));
         }
         out.push_str("\n  ],\n  \"edges\": [");
@@ -212,11 +250,16 @@ pub fn analyze(files: &[(String, String)]) -> LockGraph {
         })
         .collect();
 
-    // Pass 1: lock fields, rank bindings.
+    // Pass 1: lock fields, rank bindings, condvar fields.
     let mut locks: Vec<LockInfo> = Vec::new();
     let mut lock_index: HashMap<(String, String), usize> = HashMap::new();
     for file in &prepared {
         discover_lock_fields(file, &mut locks, &mut lock_index);
+    }
+    let mut condvars: Vec<CondvarInfo> = Vec::new();
+    let mut cv_index: HashMap<(String, String), usize> = HashMap::new();
+    for file in &prepared {
+        discover_condvars(file, &mut condvars, &mut cv_index);
     }
     for file in &prepared {
         bind_ranks(
@@ -255,10 +298,53 @@ pub fn analyze(files: &[(String, String)]) -> LockGraph {
             file,
             &locks,
             &lock_index,
+            &cv_index,
             &accessors,
             &mut fns,
             &mut graph.diagnostics,
         );
+    }
+
+    // Pass 3.5: bind each condvar to the mutex its wait sites pair it with.
+    // Two different mutexes for one condvar is itself a protocol bug (the
+    // waiters race on distinct queues), reported as L5.
+    for f in &fns {
+        for &(cv, mutex, ref file, line) in &f.cv_waits {
+            condvars[cv].wait_sites += 1;
+            let Some(mx) = mutex else { continue };
+            let mx_id = locks[mx].id.clone();
+            match &condvars[cv].mutex {
+                None => condvars[cv].mutex = Some(mx_id),
+                Some(existing) if *existing != mx_id => graph.diagnostics.push(Diagnostic {
+                    rule: Rule::LockOrder,
+                    path: file.clone(),
+                    line,
+                    message: format!(
+                        "condvar `{}` is waited on with guards of both `{existing}` and \
+                         `{mx_id}`; a condvar must pair with exactly one mutex",
+                        condvars[cv].id,
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+        for &cv in &f.cv_notifies {
+            condvars[cv].notify_sites += 1;
+        }
+    }
+    for cv in &condvars {
+        if cv.wait_sites > 0 && cv.notify_sites == 0 {
+            graph.diagnostics.push(Diagnostic {
+                rule: Rule::LockOrder,
+                path: cv.file.clone(),
+                line: cv.line,
+                message: format!(
+                    "condvar `{}` is waited on but never notified; waiters can only \
+                     make progress via timeouts (lost-wakeup hazard)",
+                    cv.id,
+                ),
+            });
+        }
     }
 
     // Pass 4: propagate acquisitions and does-I/O through unambiguous
@@ -370,6 +456,7 @@ pub fn analyze(files: &[(String, String)]) -> LockGraph {
     }
 
     graph.locks = locks;
+    graph.condvars = condvars;
     graph
 }
 
@@ -381,13 +468,13 @@ fn is_io_exempt(path: &str) -> bool {
     L6_EXEMPT_FILES.iter().any(|f| path.ends_with(f))
 }
 
-fn is_engine_file(path: &str) -> bool {
+pub(crate) fn is_engine_file(path: &str) -> bool {
     !path
         .split('/')
         .any(|c| c == "tests" || c == "benches" || c == "examples" || c == "fixtures")
 }
 
-fn crate_of(path: &str) -> &str {
+pub(crate) fn crate_of(path: &str) -> &str {
     path.strip_prefix("crates/")
         .and_then(|rest| rest.split('/').next())
         .unwrap_or("lsm-lab")
@@ -525,6 +612,46 @@ fn field_of_type_token(toks: &[Token], type_idx: usize) -> Option<String> {
         .chars()
         .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
     (ok && !field.text.is_empty()).then(|| field.text.clone())
+}
+
+/// Finds struct fields typed `Condvar` in engine sources. Construction
+/// sites (`Condvar::new()`) don't match — the type token must not be
+/// followed by `::` — and `lsm-sync` itself is excluded: it *implements*
+/// the primitive, so its inner `parking_lot::Condvar` field is not a
+/// protocol participant.
+fn discover_condvars(
+    file: &FileTokens,
+    condvars: &mut Vec<CondvarInfo>,
+    index: &mut HashMap<(String, String), usize>,
+) {
+    if file.crate_name == "lsm-sync" {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.test[i] || toks[i].text != "Condvar" {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some("::") {
+            continue;
+        }
+        let Some(field) = field_of_type_token(toks, i) else {
+            continue;
+        };
+        let key = (file.crate_name.clone(), field.clone());
+        if index.contains_key(&key) {
+            continue;
+        }
+        index.insert(key, condvars.len());
+        condvars.push(CondvarInfo {
+            id: format!("{}/{}", file.crate_name, field),
+            mutex: None,
+            file: file.path.clone(),
+            line: toks[i].line,
+            wait_sites: 0,
+            notify_sites: 0,
+        });
+    }
 }
 
 /// Binds tracked lock fields to rank constants via construction sites:
@@ -695,7 +822,7 @@ fn discover_accessors(
 /// Iterates function items: `cb(name, signature token range, body token
 /// range)`. Bodiless trait signatures and test-region functions are
 /// skipped; nested items are visited as part of the enclosing body.
-fn for_each_fn(
+pub(crate) fn for_each_fn(
     tokens: &[Token],
     test: &[bool],
     mut cb: impl FnMut(&str, std::ops::Range<usize>, std::ops::Range<usize>),
@@ -776,6 +903,10 @@ struct FnSummary {
     direct_io: bool,
     /// (held, acquired, file, line) edges observed in the body.
     direct_edges: Vec<(usize, usize, String, usize)>,
+    /// Condvar wait sites: (condvar, paired mutex if resolved, file, line).
+    cv_waits: Vec<(usize, Option<usize>, String, usize)>,
+    /// Condvars this function notifies.
+    cv_notifies: Vec<usize>,
     calls: Vec<CallSite>,
 }
 
@@ -792,16 +923,18 @@ struct Guard {
     line: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk_file(
     file: &FileTokens,
     locks: &[LockInfo],
     index: &HashMap<(String, String), usize>,
+    cv_index: &HashMap<(String, String), usize>,
     accessors: &HashMap<(String, String), usize>,
     fns: &mut Vec<FnSummary>,
     diags: &mut Vec<Diagnostic>,
 ) {
     for_each_fn(&file.tokens, &file.test, |name, _sig, body| {
-        let summary = walk_fn(file, name, body, locks, index, accessors, diags);
+        let summary = walk_fn(file, name, body, locks, index, cv_index, accessors, diags);
         fns.push(summary);
     });
 }
@@ -816,13 +949,14 @@ fn display_name(locks: &[LockInfo], idx: usize, ranks_known: bool) -> String {
     l.id.clone()
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn walk_fn(
     file: &FileTokens,
     fn_name: &str,
     body: std::ops::Range<usize>,
     locks: &[LockInfo],
     index: &HashMap<(String, String), usize>,
+    cv_index: &HashMap<(String, String), usize>,
     accessors: &HashMap<(String, String), usize>,
     diags: &mut Vec<Diagnostic>,
 ) -> FnSummary {
@@ -834,6 +968,8 @@ fn walk_fn(
         direct_acquired: Vec::new(),
         direct_io: false,
         direct_edges: Vec::new(),
+        cv_waits: Vec::new(),
+        cv_notifies: Vec::new(),
         calls: Vec::new(),
     };
     let mut guards: Vec<Guard> = Vec::new();
@@ -844,6 +980,11 @@ fn walk_fn(
     let mut pending_let: Option<String> = None;
 
     let field_of = |ident: &str| index.get(&(crate_name.clone(), ident.to_string())).copied();
+    let cv_of = |ident: &str| {
+        cv_index
+            .get(&(crate_name.clone(), ident.to_string()))
+            .copied()
+    };
 
     let mut i = body.start;
     while i < body.end {
@@ -1019,6 +1160,68 @@ fn walk_fn(
                 continue;
             }
 
+            // Condvar wait: `cv.wait(&mut g)` / `cv.wait_for(&mut g, ..)`.
+            // The wakeup path re-acquires the guard's mutex, so every
+            // *other* live lock forms a held-while-acquired edge to it —
+            // a wait added under a higher-ranked lock is caught by the
+            // same rank check as an explicit `.lock()`.
+            if open && matches!(m, "wait" | "wait_for") {
+                let recv = toks
+                    .get(i.wrapping_sub(1))
+                    .map(|t| t.text.as_str())
+                    .unwrap_or("");
+                if let Some(cv) = cv_of(recv) {
+                    let mut j = i + 3;
+                    while toks
+                        .get(j)
+                        .is_some_and(|t| t.text == "&" || t.text == "mut")
+                    {
+                        j += 1;
+                    }
+                    let guard_name = toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+                    let mutex = guards
+                        .iter()
+                        .rev()
+                        .find(|g| g.name.as_deref() == Some(guard_name))
+                        .and_then(|g| g.lock);
+                    if let Some(b) = mutex {
+                        // Only let-bound guards: a wait is its own
+                        // statement, so a still-"live" expression
+                        // temporary here is leakage from an enclosing
+                        // `if`/`while` condition whose temporaries Rust
+                        // drops before the block runs.
+                        for g in &guards {
+                            if g.temp {
+                                continue;
+                            }
+                            if let Some(a) = g.lock {
+                                if a != b {
+                                    summary.direct_edges.push((a, b, file.path.clone(), line));
+                                }
+                            }
+                        }
+                    }
+                    summary.cv_waits.push((cv, mutex, file.path.clone(), line));
+                    i += 2;
+                    stmt_start = false;
+                    continue;
+                }
+            }
+
+            // Condvar notify: `cv.notify_one()` / `cv.notify_all()`.
+            if open && matches!(m, "notify_one" | "notify_all") {
+                let recv = toks
+                    .get(i.wrapping_sub(1))
+                    .map(|t| t.text.as_str())
+                    .unwrap_or("");
+                if let Some(cv) = cv_of(recv) {
+                    summary.cv_notifies.push(cv);
+                    i += 2;
+                    stmt_start = false;
+                    continue;
+                }
+            }
+
             // Backend I/O.
             let io = (IO_METHODS.contains(&m) && open)
                 || (IO_METHODS_WITH_ARGS.contains(&m) && open && !argless);
@@ -1174,7 +1377,7 @@ fn resolve_receiver(
 /// i.e. `self.f(..)` or `self.inner.f(..)`. Chains containing an
 /// intermediate call or index (`self.x.lock().f(..)`) yield `None`: the
 /// call lands on the guard's deref target, not on `self`.
-fn receiver_self_root(toks: &[Token], dot_idx: usize) -> Option<usize> {
+pub(crate) fn receiver_self_root(toks: &[Token], dot_idx: usize) -> Option<usize> {
     let mut j = dot_idx.checked_sub(1)?;
     loop {
         let t = toks[j].text.as_str();

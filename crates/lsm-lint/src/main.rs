@@ -7,41 +7,122 @@
 //! cargo run -p lsm-lint -- --json report.json
 //! cargo run -p lsm-lint -- --write-lock-order lock_order.json
 //! cargo run -p lsm-lint -- --check-lock-order lock_order.json
+//! cargo run -p lsm-lint -- --write-durability-order durability_order.json
+//! cargo run -p lsm-lint -- --check-durability-order durability_order.json
 //! ```
+//!
+//! Exit codes: 0 clean, 1 findings or stale/cyclic spec, 2 bad arguments.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Compares an on-disk spec against the freshly derived one.
+fn check_spec(what: &str, flag: &str, path: &PathBuf, fresh: &str) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(on_disk) if on_disk == fresh => {
+            eprintln!("lsm-lint: {what} spec {} is up to date", path.display());
+            true
+        }
+        Ok(_) => {
+            eprintln!(
+                "lsm-lint: {what} spec {} is stale; regenerate with \
+                 `cargo run -p lsm-lint -- {flag} {}`",
+                path.display(),
+                path.display()
+            );
+            false
+        }
+        Err(e) => {
+            eprintln!(
+                "lsm-lint: could not read {what} spec {}: {e}",
+                path.display()
+            );
+            false
+        }
+    }
+}
+
+/// Writes a derived spec to disk.
+fn write_spec(what: &str, path: &PathBuf, fresh: &str) -> bool {
+    match std::fs::write(path, fresh) {
+        Ok(()) => {
+            eprintln!("lsm-lint: {what} spec written to {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!(
+                "lsm-lint: could not write {what} spec to {}: {e}",
+                path.display()
+            );
+            false
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
-    let mut write_spec: Option<PathBuf> = None;
-    let mut check_spec: Option<PathBuf> = None;
+    let mut write_lock: Option<PathBuf> = None;
+    let mut check_lock: Option<PathBuf> = None;
+    let mut write_dur: Option<PathBuf> = None;
+    let mut check_dur: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut value = |flag: &str| match args.next() {
+            Some(v) => Some(PathBuf::from(v)),
+            None => {
+                eprintln!("lsm-lint: {flag} requires a value");
+                None
+            }
+        };
         match arg.as_str() {
-            "--path" => root = args.next().map(PathBuf::from),
-            "--json" => json_out = args.next().map(PathBuf::from),
-            "--write-lock-order" => write_spec = args.next().map(PathBuf::from),
-            "--check-lock-order" => check_spec = args.next().map(PathBuf::from),
+            "--path" => match value("--path") {
+                Some(v) => root = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--json" => match value("--json") {
+                Some(v) => json_out = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--write-lock-order" => match value("--write-lock-order") {
+                Some(v) => write_lock = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--check-lock-order" => match value("--check-lock-order") {
+                Some(v) => check_lock = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--write-durability-order" => match value("--write-durability-order") {
+                Some(v) => write_dur = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--check-durability-order" => match value("--check-durability-order") {
+                Some(v) => check_dur = Some(v),
+                None => return ExitCode::from(2),
+            },
             "--help" | "-h" => {
                 println!(
                     "lsm-lint: architectural static analysis for lsm-lab\n\n\
                      USAGE: lsm-lint [--path <dir>] [--json <file>]\n\
-                            [--write-lock-order <file>] [--check-lock-order <file>]\n\n\
-                     Rules: L1 fs-boundary, L2 no-panic, L3 lock-nesting, L4 knob-docs,\n\
-                     L5 lock-order, L6 io-under-lock.\n\
+                            [--write-lock-order <file>] [--check-lock-order <file>]\n\
+                            [--write-durability-order <file>] [--check-durability-order <file>]\n\n\
+                     Rules: L0 bad-allow, L1 fs-boundary, L2 no-panic, L3 lock-nesting,\n\
+                     L4 knob-docs, L5 lock-order, L6 io-under-lock, L7 durability-order.\n\
                      Suppress a finding with `// lsm-lint: allow(<rule>)` on the same\n\
-                     line or the line above.\n\n\
+                     line or the line above; `allow(durability-order)` additionally\n\
+                     requires a rationale comment.\n\n\
                      --write-lock-order writes the discovered lock hierarchy (locks,\n\
-                     rank constants, inter-lock edges, cycles) as JSON; --check-lock-order\n\
-                     fails if the checked-in spec is stale or the graph has cycles."
+                     condvars, inter-lock edges, cycles) as JSON; --check-lock-order\n\
+                     fails if the checked-in spec is stale or the graph has cycles.\n\
+                     --write-durability-order / --check-durability-order do the same\n\
+                     for the commit pipeline's effect sequences (L7).\n\n\
+                     Exit codes: 0 clean, 1 findings or stale spec, 2 bad arguments."
                 );
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("lsm-lint: unknown argument `{other}` (try --help)");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     }
@@ -55,7 +136,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let (report, graph) = match lsm_lint::lint_tree_full(&root) {
+    let (report, graph, durability) = match lsm_lint::lint_tree_all(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
@@ -68,19 +149,13 @@ fn main() -> ExitCode {
     }
 
     let mut spec_failed = false;
-    if let Some(path) = write_spec {
-        match std::fs::write(&path, graph.spec_json()) {
-            Ok(()) => eprintln!("lsm-lint: lock-order spec written to {}", path.display()),
-            Err(e) => {
-                eprintln!(
-                    "lsm-lint: could not write lock-order spec to {}: {e}",
-                    path.display()
-                );
-                spec_failed = true;
-            }
-        }
+    if let Some(path) = write_lock {
+        spec_failed |= !write_spec("lock-order", &path, &graph.spec_json());
     }
-    if let Some(path) = check_spec {
+    if let Some(path) = write_dur {
+        spec_failed |= !write_spec("durability-order", &path, &durability.spec_json());
+    }
+    if let Some(path) = check_lock {
         if !graph.cycles.is_empty() {
             eprintln!(
                 "lsm-lint: lock-order graph has {} cycle(s): {:?}",
@@ -89,27 +164,20 @@ fn main() -> ExitCode {
             );
             spec_failed = true;
         }
-        match std::fs::read_to_string(&path) {
-            Ok(on_disk) if on_disk == graph.spec_json() => {
-                eprintln!("lsm-lint: lock-order spec {} is up to date", path.display());
-            }
-            Ok(_) => {
-                eprintln!(
-                    "lsm-lint: lock-order spec {} is stale; regenerate with \
-                     `cargo run -p lsm-lint -- --write-lock-order {}`",
-                    path.display(),
-                    path.display()
-                );
-                spec_failed = true;
-            }
-            Err(e) => {
-                eprintln!(
-                    "lsm-lint: could not read lock-order spec {}: {e}",
-                    path.display()
-                );
-                spec_failed = true;
-            }
-        }
+        spec_failed |= !check_spec(
+            "lock-order",
+            "--write-lock-order",
+            &path,
+            &graph.spec_json(),
+        );
+    }
+    if let Some(path) = check_dur {
+        spec_failed |= !check_spec(
+            "durability-order",
+            "--write-durability-order",
+            &path,
+            &durability.spec_json(),
+        );
     }
 
     let json_path = json_out.unwrap_or_else(|| root.join("target/lsm-lint-report.json"));

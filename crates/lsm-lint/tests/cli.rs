@@ -1,0 +1,331 @@
+//! Black-box tests for the `lsm-lint` binary: the exit-code contract
+//! (0 clean, 1 findings or stale spec, 2 bad arguments), the
+//! `--write-*`/`--check-*` spec round-trips, and the L0 surface for
+//! malformed allow markers. Everything runs against throwaway trees in the
+//! temp dir so the tests cannot be perturbed by (or perturb) the real
+//! workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsm-lint"))
+}
+
+fn run(args: &[&dyn AsRef<std::ffi::OsStr>]) -> Output {
+    let mut cmd = bin();
+    for a in args {
+        cmd.arg(a.as_ref());
+    }
+    cmd.output().expect("run lsm-lint binary")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("binary exits normally")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch tree mirroring the workspace layout (`crates/<name>/src/`),
+/// removed on drop.
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "lsm-lint-cli-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).expect("scratch tree");
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parented")).expect("mkdir");
+        std::fs::write(path, content).expect("write fixture");
+        self
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+const CLEAN_FILE: &str = "//! Clean.\n\n/// Adds one.\npub fn inc(x: u32) -> u32 {\n    x + 1\n}\n";
+
+fn clean_tree(tag: &str) -> Tree {
+    let t = Tree::new(tag);
+    t.write("crates/lsm-core/src/lib.rs", CLEAN_FILE);
+    t
+}
+
+// ------------------------------------------------------------- exit codes
+
+#[test]
+fn exits_zero_on_a_clean_tree() {
+    let t = clean_tree("clean");
+    let out = run(&[&"--path", &t.path(), &"--json", &t.path().join("r.json")]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+}
+
+#[test]
+fn exits_one_on_findings() {
+    let t = clean_tree("findings");
+    // L2: panic in a hot-path crate.
+    t.write(
+        "crates/lsm-core/src/hot.rs",
+        "//! Hot path.\n\n/// Boom.\npub fn boom() {\n    panic!(\"no\");\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--json", &t.path().join("r.json")]);
+    assert_eq!(exit_code(&out), 1, "stderr:\n{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("crates/lsm-core/src/hot.rs:5"),
+        "diagnostics carry file:line anchors; got:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exits_two_on_unknown_argument() {
+    let out = run(&[&"--frobnicate"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("unknown argument"),
+        "got:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn exits_two_on_flag_missing_its_value() {
+    for flag in [
+        "--path",
+        "--json",
+        "--write-lock-order",
+        "--check-lock-order",
+        "--write-durability-order",
+        "--check-durability-order",
+    ] {
+        let out = run(&[&flag]);
+        assert_eq!(exit_code(&out), 2, "{flag} without a value must exit 2");
+        assert!(
+            stderr(&out).contains("requires a value"),
+            "{flag}: got\n{}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_contract() {
+    let out = run(&[&"--help"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "L7 durability-order",
+        "--check-durability-order",
+        "Exit codes: 0 clean, 1 findings or stale spec, 2 bad arguments",
+    ] {
+        assert!(text.contains(needle), "--help must mention `{needle}`");
+    }
+}
+
+// ------------------------------------------------------- spec round-trips
+
+#[test]
+fn lock_order_spec_round_trips() {
+    let t = clean_tree("lock-roundtrip");
+    // Rank constants resolve against the tree's own ranks.rs, so the
+    // scratch tree carries a two-entry table.
+    t.write(
+        "crates/lsm-sync/src/ranks.rs",
+        "//! Ranks.\nuse crate::LockRank;\n\n\
+         /// Writer ticket.\npub const DB_WRITE: LockRank = LockRank::new(\"db.write_mx\", 100);\n\
+         /// Commit queue.\npub const DB_COMMIT: LockRank = LockRank::new(\"db.commit_mx\", 105);\n",
+    );
+    t.write(
+        "crates/lsm-core/src/locks.rs",
+        "//! One tracked lock.\nuse lsm_sync::{ranks, OrderedMutex};\n\n\
+         /// State.\npub struct S {\n    /// Guarded.\n    pub mx: OrderedMutex<u32>,\n}\n\n\
+         impl S {\n    /// New.\n    pub fn new() -> Self {\n        \
+         Self { mx: OrderedMutex::new(ranks::DB_WRITE, 0) }\n    }\n}\n",
+    );
+    let spec = t.path().join("lock_order.json");
+
+    let out = run(&[&"--path", &t.path(), &"--write-lock-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+    let written = std::fs::read_to_string(&spec).expect("spec written");
+    assert!(written.contains("lsm-core/mx"), "spec lists the lock");
+
+    // Fresh spec: check passes.
+    let out = run(&[&"--path", &t.path(), &"--check-lock-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+    assert!(stderr(&out).contains("up to date"));
+
+    // Tree drifts (second lock appears): the same spec is now stale.
+    t.write(
+        "crates/lsm-core/src/locks2.rs",
+        "//! Another tracked lock.\nuse lsm_sync::{ranks, OrderedMutex};\n\n\
+         /// More state.\npub struct S2 {\n    /// Guarded.\n    pub mx2: OrderedMutex<u32>,\n}\n\n\
+         impl S2 {\n    /// New.\n    pub fn new() -> Self {\n        \
+         Self { mx2: OrderedMutex::new(ranks::DB_COMMIT, 0) }\n    }\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--check-lock-order", &spec]);
+    assert_eq!(exit_code(&out), 1, "stale spec must fail the check");
+    assert!(
+        stderr(&out).contains("stale") && stderr(&out).contains("--write-lock-order"),
+        "stale message names the regeneration flag; got:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn durability_order_spec_round_trips() {
+    let t = clean_tree("dur-roundtrip");
+    t.write(
+        "crates/lsm-core/src/wal_path.rs",
+        "//! A minimal durable write path.\n\n/// Engine.\npub struct Db {\n    \
+         writer: W,\n    seqno: A,\n}\n\nimpl Db {\n    \
+         fn commit(&self) {\n        self.writer.append(b\"x\");\n        \
+         self.writer.sync();\n        self.seqno.store(1, Release);\n    }\n}\n",
+    );
+    let spec = t.path().join("durability_order.json");
+
+    let out = run(&[&"--path", &t.path(), &"--write-durability-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+    let written = std::fs::read_to_string(&spec).expect("spec written");
+    for needle in ["wal_append", "wal_sync", "seqno_publish", "\"commit\""] {
+        assert!(written.contains(needle), "spec must record `{needle}`");
+    }
+
+    let out = run(&[&"--path", &t.path(), &"--check-durability-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+
+    // Reorder the protocol (publish before sync): spec goes stale AND the
+    // reordering itself is a D2 finding.
+    t.write(
+        "crates/lsm-core/src/wal_path.rs",
+        "//! A minimal durable write path.\n\n/// Engine.\npub struct Db {\n    \
+         writer: W,\n    seqno: A,\n}\n\nimpl Db {\n    \
+         fn commit(&self) {\n        self.writer.append(b\"x\");\n        \
+         self.seqno.store(1, Release);\n        self.writer.sync();\n    }\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--check-durability-order", &spec]);
+    assert_eq!(exit_code(&out), 1);
+    let err = stderr(&out);
+    assert!(
+        err.contains("stale") && err.contains("--write-durability-order"),
+        "stale message names the regeneration flag; got:\n{err}"
+    );
+    assert!(
+        err.contains("L7") && err.contains("wal_path.rs:11"),
+        "the reordering must also fire durability-order at the publish; got:\n{err}"
+    );
+}
+
+#[test]
+fn check_fails_on_a_missing_spec_file() {
+    let t = clean_tree("missing-spec");
+    let out = run(&[
+        &"--path",
+        &t.path(),
+        &"--check-durability-order",
+        &t.path().join("nope.json"),
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("could not read"));
+}
+
+// ------------------------------------------------------------ allow (L0)
+
+#[test]
+fn unknown_rule_in_allow_is_rejected() {
+    let t = clean_tree("bad-allow");
+    t.write(
+        "crates/lsm-core/src/sup.rs",
+        "//! Bad suppression.\n\n/// F.\npub fn f() {\n    \
+         // lsm-lint: allow(no-unwrap)\n    let _x = 1;\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--json", &t.path().join("r.json")]);
+    assert_eq!(exit_code(&out), 1);
+    let err = stderr(&out);
+    assert!(
+        err.contains("L0") && err.contains("no-unwrap"),
+        "the unknown rule must be named in an L0 finding; got:\n{err}"
+    );
+}
+
+#[test]
+fn durability_allow_without_rationale_is_rejected_and_does_not_suppress() {
+    let t = clean_tree("bare-allow");
+    t.write(
+        "crates/lsm-core/src/sup.rs",
+        "//! Rationale-less suppression.\n\n/// Engine.\npub struct Db {\n    \
+         writer: W,\n    seqno: A,\n}\n\nimpl Db {\n    \
+         fn publish_first(&self) {\n        \
+         // lsm-lint: allow(durability-order)\n        \
+         self.seqno.store(1, Release);\n        \
+         self.writer.append(b\"x\");\n        self.writer.sync();\n    }\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--json", &t.path().join("r.json")]);
+    assert_eq!(exit_code(&out), 1);
+    let err = stderr(&out);
+    assert!(
+        err.contains("L0") && err.contains("rationale"),
+        "a bare durability-order allow is an L0 finding; got:\n{err}"
+    );
+    assert!(
+        err.contains("L7"),
+        "the bare marker must not suppress the underlying L7; got:\n{err}"
+    );
+}
+
+#[test]
+fn durability_allow_with_rationale_suppresses() {
+    let t = clean_tree("good-allow");
+    t.write(
+        "crates/lsm-core/src/sup.rs",
+        "//! Justified suppression.\n\n/// Engine.\npub struct Db {\n    \
+         writer: W,\n    seqno: A,\n}\n\nimpl Db {\n    \
+         fn publish_first(&self) {\n        \
+         // Single-threaded recovery: re-logged before any writer commits.\n        \
+         // lsm-lint: allow(durability-order)\n        \
+         self.seqno.store(1, Release);\n        \
+         self.writer.append(b\"x\");\n        self.writer.sync();\n    }\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--json", &t.path().join("r.json")]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+}
+
+// ------------------------------------------------------------ JSON report
+
+#[test]
+fn json_report_counts_by_rule() {
+    let t = clean_tree("json");
+    t.write(
+        "crates/lsm-core/src/hot.rs",
+        "//! Hot path.\n\n/// Boom.\npub fn boom() {\n    panic!(\"no\");\n}\n",
+    );
+    let json_path = t.path().join("r.json");
+    let out = run(&[&"--path", &t.path(), &"--json", &json_path]);
+    assert_eq!(exit_code(&out), 1);
+    let json = std::fs::read_to_string(&json_path).expect("report written");
+    assert!(
+        json.contains("\"by_rule\""),
+        "v2 report has per-rule counts"
+    );
+    assert!(json.contains("\"L2\": 1"), "the panic is counted under L2");
+}

@@ -1,0 +1,8 @@
+//! Fixture: an unknown rule name in a suppression marker is flagged — a
+//! typo must not silently disable nothing.
+
+/// The marker names a rule that does not exist.
+pub fn typo(x: Option<u32>) -> Option<u32> {
+    // lsm-lint: allow(no-unwrap)
+    x.map(|v| v + 1)
+}

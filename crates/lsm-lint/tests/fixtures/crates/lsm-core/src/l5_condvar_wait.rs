@@ -1,0 +1,40 @@
+//! Fixture: a condvar wait entered while a higher-ranked lock is held —
+//! the wakeup path re-acquires the waited mutex, so the rank checker must
+//! treat the wait site as an acquisition even though no `.lock()` appears
+//! in the source (L5).
+
+use lsm_sync::{ranks, Condvar, OrderedMutex};
+
+/// Queue with its condvar plus an unrelated higher-ranked lock.
+pub struct Waiter {
+    queue_mx: OrderedMutex<Vec<u8>>,
+    queue_cv: Condvar,
+    state: OrderedMutex<u64>,
+}
+
+impl Waiter {
+    /// Binds `queue_mx` below `state` in the hierarchy.
+    pub fn new() -> Self {
+        Self {
+            queue_mx: OrderedMutex::new(ranks::ALPHA, Vec::new()),
+            queue_cv: Condvar::new(),
+            state: OrderedMutex::new(ranks::BETA, 0),
+        }
+    }
+
+    /// Waits on `queue_cv` with `state` held: the re-acquisition edge
+    /// `state -> queue_mx` runs against the ranks and closes a cycle.
+    pub fn wait_under_state(&self) -> u64 {
+        let mut q = self.queue_mx.lock();
+        let _s = self.state.lock();
+        while q.is_empty() {
+            self.queue_cv.wait(&mut q);
+        }
+        *_s
+    }
+
+    /// Wakes waiters (keeps the condvar out of the lost-wakeup check).
+    pub fn wake(&self) {
+        self.queue_cv.notify_all();
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: a bare durability-order suppression is itself a finding — the
+//! marker earns an L0 and the L7 it tried to silence still fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::wal::Wal;
+
+/// Early-publish state behind a rationale-less marker.
+pub struct BareAllow {
+    seqno: AtomicU64,
+    wal: Wal,
+}
+
+impl BareAllow {
+    /// The marker carries no rationale, so it suppresses nothing.
+    pub fn publish_early(&self, base: u64, recs: &[u8]) {
+        let writer = &self.wal;
+        // lsm-lint: allow(durability-order)
+        self.seqno.store(base, Ordering::Release);
+        writer.append(recs);
+    }
+}

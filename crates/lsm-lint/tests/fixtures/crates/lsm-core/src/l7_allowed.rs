@@ -1,0 +1,32 @@
+//! Fixture: durability-order findings suppressed with the two accepted
+//! rationale forms — a comment line above the marker, and prose after the
+//! marker's closing parenthesis. Both must stay clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::wal::Wal;
+
+/// Recovery-style state: publish precedes the re-log append.
+pub struct RecoveryPublish {
+    seqno: AtomicU64,
+    wal: Wal,
+}
+
+impl RecoveryPublish {
+    /// Rationale on the line above the marker.
+    pub fn replay(&self, base: u64, recs: &[u8]) {
+        let writer = &self.wal;
+        // Single-threaded recovery: no observer exists until re-log ends.
+        // lsm-lint: allow(durability-order)
+        self.seqno.store(base, Ordering::Release);
+        writer.append(recs);
+        writer.sync();
+    }
+
+    /// Rationale inline after the closing parenthesis.
+    pub fn replay_inline(&self, base: u64, recs: &[u8]) {
+        let writer = &self.wal;
+        self.seqno.store(base, Ordering::Release); // lsm-lint: allow(durability-order) - recovery is single-threaded
+        writer.append(recs);
+    }
+}

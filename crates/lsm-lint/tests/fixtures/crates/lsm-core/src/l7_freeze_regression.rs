@@ -1,0 +1,46 @@
+//! Fixture: seeded regression of the ack-into-an-unnamed-WAL-segment bug —
+//! `mem` is released before the manifest naming the fresh segment is
+//! persisted, so writers can commit into a segment recovery will never
+//! find (L7, D3).
+
+use lsm_sync::{ranks, OrderedMutex, OrderedRwLock};
+
+use crate::backend::Backend;
+use crate::manifest::MANIFEST_META;
+
+/// Freeze state with the pipeline's field names.
+pub struct FreezeEarlyRelease {
+    manifest_mx: OrderedMutex<()>,
+    mem: OrderedRwLock<Vec<u8>>,
+    backend: Backend,
+}
+
+impl FreezeEarlyRelease {
+    /// Binds the ticket below the memtable lock.
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            manifest_mx: OrderedMutex::new(ranks::ALPHA, ()),
+            mem: OrderedRwLock::new(ranks::BETA, Vec::new()),
+            backend,
+        }
+    }
+
+    /// Drops the memtable lock between segment creation and the persist.
+    pub fn freeze(&self) {
+        let _ticket = self.manifest_mx.lock();
+        let mut guard = self.mem.write();
+        let backend = &self.backend;
+        // lsm-lint: allow(io-under-lock)
+        let segment = backend.create_appendable();
+        guard.push(segment);
+        drop(guard);
+        let bytes = self.build_manifest();
+        // lsm-lint: allow(io-under-lock)
+        backend.put_meta(MANIFEST_META, &bytes);
+    }
+
+    /// Builds the manifest snapshot.
+    fn build_manifest(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixture: seeded regression of the manifest stale-overwrite TOCTOU —
+//! build and persist must be one atomic section under `manifest_mx`, or a
+//! snapshot built before a concurrent freeze overwrites the freeze's
+//! manifest with one that no longer lists its WAL segment (L7, D4).
+
+use lsm_sync::{ranks, OrderedMutex};
+
+use crate::backend::Backend;
+use crate::manifest::MANIFEST_META;
+
+/// Manifest state with the pipeline's field names.
+pub struct ManifestRace {
+    manifest_mx: OrderedMutex<()>,
+    backend: Backend,
+}
+
+impl ManifestRace {
+    /// Binds the ticket's rank.
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            manifest_mx: OrderedMutex::new(ranks::ALPHA, ()),
+            backend,
+        }
+    }
+
+    /// Persists without the ticket: two racers interleave build and write.
+    pub fn persist_unlocked(&self) {
+        let backend = &self.backend;
+        let bytes = self.build_manifest();
+        backend.put_meta(MANIFEST_META, &bytes);
+    }
+
+    /// Takes the ticket only for the write: the snapshot can be stale.
+    pub fn build_outside_ticket(&self) {
+        let backend = &self.backend;
+        let bytes = self.build_manifest();
+        let _ticket = self.manifest_mx.lock();
+        // lsm-lint: allow(io-under-lock)
+        backend.put_meta(MANIFEST_META, &bytes);
+    }
+
+    /// Builds the manifest snapshot.
+    fn build_manifest(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}

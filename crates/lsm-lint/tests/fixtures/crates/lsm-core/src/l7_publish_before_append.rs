@@ -1,0 +1,32 @@
+//! Fixture: visibility effects fire before the group's WAL append — both
+//! the seqno publish and the follower wakeup must be flagged (L7, D1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lsm_sync::Condvar;
+
+use crate::wal::Wal;
+
+/// Commit state mirroring the pipeline's field names.
+pub struct EarlyPublish {
+    seqno: AtomicU64,
+    commit_cv: Condvar,
+    wal: Wal,
+}
+
+impl EarlyPublish {
+    /// Publishes the sequence number before logging the group.
+    pub fn publish_early(&self, base: u64, recs: &[u8]) {
+        let writer = &self.wal;
+        self.seqno.store(base + 1, Ordering::Release);
+        writer.append(recs);
+        writer.sync();
+    }
+
+    /// Wakes the follower before its record hits the WAL.
+    pub fn ack_early(&self, recs: &[u8]) {
+        let writer = &self.wal;
+        self.commit_cv.notify_all();
+        writer.append(recs);
+    }
+}

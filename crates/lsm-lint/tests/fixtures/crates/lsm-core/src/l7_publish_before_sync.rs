@@ -1,0 +1,22 @@
+//! Fixture: the ack lands between the WAL append and its fsync — on a sync
+//! path the writer is told its data is durable before it is (L7, D2).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::wal::Wal;
+
+/// Sync-path commit state.
+pub struct EarlyAck {
+    done: AtomicBool,
+    wal: Wal,
+}
+
+impl EarlyAck {
+    /// Acknowledges after the append but before the bytes reach disk.
+    pub fn ack_between(&self, recs: &[u8]) {
+        let writer = &self.wal;
+        writer.append(recs);
+        self.done.store(true, Ordering::Release);
+        writer.sync();
+    }
+}

@@ -33,12 +33,79 @@ const EXPECTED: &[(Rule, &str, usize)] = &[
     // cycle it closes with `forwards`, both anchored at the backwards edge.
     (Rule::LockOrder, "crates/lsm-core/src/l5_violation.rs", 24),
     (Rule::LockOrder, "crates/lsm-core/src/l5_violation.rs", 24),
+    // Condvar fixture: the backwards edge exists only through the wait's
+    // re-acquisition of `queue_mx`; the cycle anchors at the forward edge.
+    (
+        Rule::LockOrder,
+        "crates/lsm-core/src/l5_condvar_wait.rs",
+        29,
+    ),
+    (
+        Rule::LockOrder,
+        "crates/lsm-core/src/l5_condvar_wait.rs",
+        31,
+    ),
     (
         Rule::IoUnderLock,
         "crates/lsm-memtable/src/l6_violation.rs",
         15,
     ),
     (Rule::KnobDocs, "crates/lsm-core/src/options.rs", 7),
+    // L0: unknown rule name, and a rationale-less durability suppression
+    // (which also fails to suppress the L7 it sits on).
+    (Rule::BadAllow, "crates/lsm-core/src/l0_unknown_allow.rs", 6),
+    (
+        Rule::BadAllow,
+        "crates/lsm-core/src/l7_allow_needs_rationale.rs",
+        18,
+    ),
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_allow_needs_rationale.rs",
+        19,
+    ),
+    // D1: seqno published / follower woken before the group's WAL append.
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_publish_before_append.rs",
+        21,
+    ),
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_publish_before_append.rs",
+        29,
+    ),
+    // D2: ack between the append and its fsync.
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_publish_before_sync.rs",
+        19,
+    ),
+    // D3: seeded regression — `mem` released before the manifest names the
+    // fresh WAL segment.
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_freeze_regression.rs",
+        34,
+    ),
+    // D4: seeded regression — manifest build/persist not atomic under the
+    // `manifest_mx` ticket (persist-unlocked: both halves; build-outside:
+    // the build only).
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_manifest_toctou.rs",
+        29,
+    ),
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_manifest_toctou.rs",
+        30,
+    ),
+    (
+        Rule::DurabilityOrder,
+        "crates/lsm-core/src/l7_manifest_toctou.rs",
+        36,
+    ),
 ];
 
 #[test]
@@ -72,6 +139,7 @@ fn allow_comments_and_test_code_are_exempt() {
         "l3_drop_ok.rs",
         "l6_allowed.rs",
         "ordered_ok.rs",
+        "l7_allowed.rs",
     ] {
         assert!(
             !report.diagnostics.iter().any(|d| d.path.ends_with(clean)),

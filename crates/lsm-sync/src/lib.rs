@@ -17,6 +17,14 @@
 //! Re-acquiring a rank already held by the same thread also panics — the
 //! engine's locks are not reentrant, and a same-rank `RwLock::read` recursion
 //! can still deadlock against a queued writer.
+//!
+//! With the `loom` feature the `parking_lot` backing is swapped for the
+//! vendored `loom` model checker so `loom::model` can exhaustively explore
+//! interleavings of code built on these primitives (the commit-pipeline
+//! model in `tests/loom_commit.rs`). The rank checks stay active under
+//! loom — the model threads are real threads, so the thread-local held-set
+//! works unchanged. The only API difference: constructors are not `const`
+//! under loom (each lock needs a runtime-allocated model identity).
 
 #![forbid(unsafe_code)]
 
@@ -24,7 +32,12 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
-pub use parking_lot::WaitTimeoutResult;
+#[cfg(feature = "loom")]
+use loom::sync as sync_impl;
+#[cfg(not(feature = "loom"))]
+use parking_lot as sync_impl;
+
+pub use sync_impl::WaitTimeoutResult;
 
 pub mod ranks;
 
@@ -110,15 +123,26 @@ mod held {
 /// A `parking_lot::Mutex` that participates in the workspace lock hierarchy.
 pub struct OrderedMutex<T: ?Sized> {
     rank: LockRank,
-    inner: parking_lot::Mutex<T>,
+    inner: sync_impl::Mutex<T>,
 }
 
 impl<T> OrderedMutex<T> {
     /// Creates a mutex at the given rank.
+    #[cfg(not(feature = "loom"))]
     pub const fn new(rank: LockRank, value: T) -> Self {
         Self {
             rank,
-            inner: parking_lot::Mutex::new(value),
+            inner: sync_impl::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex at the given rank (non-`const` under loom: the
+    /// model checker assigns each lock a runtime identity).
+    #[cfg(feature = "loom")]
+    pub fn new(rank: LockRank, value: T) -> Self {
+        Self {
+            rank,
+            inner: sync_impl::Mutex::new(value),
         }
     }
 }
@@ -156,7 +180,7 @@ impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
 /// Guard for [`OrderedMutex`]; releases the held-set entry on drop.
 pub struct OrderedMutexGuard<'a, T: ?Sized> {
     rank: LockRank,
-    inner: parking_lot::MutexGuard<'a, T>,
+    inner: sync_impl::MutexGuard<'a, T>,
 }
 
 impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
@@ -185,15 +209,26 @@ impl<T: ?Sized> Drop for OrderedMutexGuard<'_, T> {
 /// that is queued behind this thread), so the rank rule makes no distinction.
 pub struct OrderedRwLock<T: ?Sized> {
     rank: LockRank,
-    inner: parking_lot::RwLock<T>,
+    inner: sync_impl::RwLock<T>,
 }
 
 impl<T> OrderedRwLock<T> {
     /// Creates an rwlock at the given rank.
+    #[cfg(not(feature = "loom"))]
     pub const fn new(rank: LockRank, value: T) -> Self {
         Self {
             rank,
-            inner: parking_lot::RwLock::new(value),
+            inner: sync_impl::RwLock::new(value),
+        }
+    }
+
+    /// Creates an rwlock at the given rank (non-`const` under loom: the
+    /// model checker assigns each lock a runtime identity).
+    #[cfg(feature = "loom")]
+    pub fn new(rank: LockRank, value: T) -> Self {
+        Self {
+            rank,
+            inner: sync_impl::RwLock::new(value),
         }
     }
 }
@@ -239,7 +274,7 @@ impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
 /// Shared guard for [`OrderedRwLock`].
 pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
     rank: LockRank,
-    inner: parking_lot::RwLockReadGuard<'a, T>,
+    inner: sync_impl::RwLockReadGuard<'a, T>,
 }
 
 impl<T: ?Sized> Deref for OrderedRwLockReadGuard<'_, T> {
@@ -258,7 +293,7 @@ impl<T: ?Sized> Drop for OrderedRwLockReadGuard<'_, T> {
 /// Exclusive guard for [`OrderedRwLock`].
 pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
     rank: LockRank,
-    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    inner: sync_impl::RwLockWriteGuard<'a, T>,
 }
 
 impl<T: ?Sized> Deref for OrderedRwLockWriteGuard<'_, T> {
@@ -289,14 +324,24 @@ impl<T: ?Sized> Drop for OrderedRwLockWriteGuard<'_, T> {
 /// the conservative bookkeeping is both simple and sound.
 #[derive(Default)]
 pub struct Condvar {
-    inner: parking_lot::Condvar,
+    inner: sync_impl::Condvar,
 }
 
 impl Condvar {
     /// Creates a condition variable.
+    #[cfg(not(feature = "loom"))]
     pub const fn new() -> Self {
         Self {
-            inner: parking_lot::Condvar::new(),
+            inner: sync_impl::Condvar::new(),
+        }
+    }
+
+    /// Creates a condition variable (non-`const` under loom: the model
+    /// checker assigns each condvar a runtime identity).
+    #[cfg(feature = "loom")]
+    pub fn new() -> Self {
+        Self {
+            inner: sync_impl::Condvar::new(),
         }
     }
 
@@ -331,7 +376,11 @@ impl fmt::Debug for Condvar {
     }
 }
 
-#[cfg(test)]
+// Under the loom feature the primitives only function inside
+// `loom::model` (the model scheduler owns every thread), so the plain
+// unit tests are built against the parking_lot backing only; the loom
+// configuration is covered by tests/loom_commit.rs.
+#[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;
 

@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
-# Local CI gate: format, clippy, architectural lint, tests, crash-recovery sweep.
-# Runs every step even after a failure so one run reports everything,
-# then exits non-zero if any step failed.
+# Local CI gate: format, clippy, architectural lint, spec checks, tests,
+# crash-recovery sweep, loom model check. Runs every step even after a
+# failure so one run reports everything, then exits non-zero if any step
+# failed. Each step is timed in the summary.
+#
+#   CHECK_ONLY=<step>   run a single gate by name, e.g.
+#                       CHECK_ONLY=durability scripts/check.sh
+#                       (unknown names fail: a typo must not pass silently)
 
 set -u
 cd "$(dirname "$0")/.."
 
 declare -a NAMES=()
 declare -a RESULTS=()
+declare -a TIMES=()
 FAILED=0
+ONLY="${CHECK_ONLY:-}"
+ONLY_MATCHED=0
 
 run_step() {
     local name="$1"
     shift
+    if [ -n "$ONLY" ] && [ "$name" != "$ONLY" ]; then
+        return 0
+    fi
+    ONLY_MATCHED=1
     echo
     echo "==> ${name}: $*"
+    local start end
+    start=$(date +%s)
     if "$@"; then
-        NAMES+=("$name")
         RESULTS+=(ok)
     else
-        NAMES+=("$name")
         RESULTS+=(FAIL)
         FAILED=1
     fi
+    end=$(date +%s)
+    NAMES+=("$name")
+    TIMES+=("$((end - start))s")
 }
 
 # The builder-era API cleanup is done: a `#[deprecated]` marker may only
@@ -47,6 +62,9 @@ run_step "fmt"      cargo fmt --all --check
 run_step "clippy"   cargo clippy --workspace --all-targets -- -D warnings
 run_step "lsm-lint" cargo run -q -p lsm-lint
 run_step "lockgraph" cargo run -q -p lsm-lint -- --check-lock-order lock_order.json
+# The checked-in durability spec (L7 effect sequences of the commit
+# pipeline) must match what the linter derives from the current tree.
+run_step "durability" cargo run -q -p lsm-lint -- --check-durability-order durability_order.json
 run_step "no-deprecated" check_no_deprecated
 # Compile-time pin of the public Db/DbBuilder/WriteBatch/WriteOptions
 # surface: breakage must be deliberate and land with the change.
@@ -56,6 +74,10 @@ run_step "crash"    cargo test -q --test crash_recovery
 # Debug profile on purpose: the lsm-sync rank assertions only exist with
 # debug assertions, so this is the run that proves the lock hierarchy.
 run_step "stress"   cargo test -q --test concurrent_stress
+# Exhaustive interleaving exploration of the leader/follower commit queue
+# (vendored loom, CHESS preemption bound 2): seqno contiguity, one
+# append/sync per group, no ack before durable, no lost wakeups.
+run_step "loom"     cargo test -q -p lsm-sync --features loom
 # Observability gate: lsm-obs unit tests and the trace-schema golden
 # fixtures, then the release-mode overhead smoke test (instrumented vs
 # Observability::Off within budget on the vector-memtable put path;
@@ -63,10 +85,15 @@ run_step "stress"   cargo test -q --test concurrent_stress
 run_step "obs"      cargo test -q -p lsm-obs
 run_step "obs-overhead" cargo test -q --release --test obs_overhead -- --ignored
 
+if [ -n "$ONLY" ] && [ "$ONLY_MATCHED" -eq 0 ]; then
+    echo "CHECK_ONLY=$ONLY matches no step" >&2
+    exit 2
+fi
+
 echo
 echo "==================== summary ===================="
 for i in "${!NAMES[@]}"; do
-    printf '  %-10s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+    printf '  %-13s %-5s %6s\n' "${NAMES[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
 done
 if [ "$FAILED" -ne 0 ]; then
     echo "RESULT: FAIL"

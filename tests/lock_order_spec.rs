@@ -43,6 +43,7 @@ fn lock_order_spec_is_current_acyclic_and_matches_runtime_ranks() {
     // Parse the line-oriented spec.
     let mut orders: HashMap<String, u32> = HashMap::new();
     let mut edges: Vec<(String, String)> = Vec::new();
+    let mut condvars: HashMap<String, String> = HashMap::new();
     for line in on_disk.lines() {
         if let (Some(id), Some(rank_const), Some(order)) = (
             field(line, "id"),
@@ -60,6 +61,8 @@ fn lock_order_spec_is_current_acyclic_and_matches_runtime_ranks() {
                 "spec order for `{id}` disagrees with lsm_sync::ranks::{rank_const}"
             );
             orders.insert(id.to_string(), order);
+        } else if let (Some(id), Some(mutex)) = (field(line, "id"), field(line, "mutex")) {
+            condvars.insert(id.to_string(), mutex.to_string());
         } else if let (Some(from), Some(to)) = (field(line, "from"), field(line, "to")) {
             edges.push((from.to_string(), to.to_string()));
         }
@@ -86,6 +89,25 @@ fn lock_order_spec_is_current_acyclic_and_matches_runtime_ranks() {
         assert!(
             orders.contains_key(id),
             "expected tracked lock `{id}` in the spec"
+        );
+    }
+
+    // Every condvar is bound to the one mutex its wait sites pair it with;
+    // the wait's re-acquisition of that mutex is what lets the rank check
+    // treat a wait as an acquisition site.
+    for (cv, mx) in [
+        ("lsm-core/commit_cv", "lsm-core/commit_mx"),
+        ("lsm-core/stall_cv", "lsm-core/stall_mx"),
+        ("lsm-core/work_cv", "lsm-core/work_mx"),
+    ] {
+        assert_eq!(
+            condvars.get(cv).map(String::as_str),
+            Some(mx),
+            "condvar `{cv}` must be bound to `{mx}` in the spec"
+        );
+        assert!(
+            orders.contains_key(mx),
+            "condvar mutex `{mx}` must itself be a tracked lock"
         );
     }
 }

@@ -1,0 +1,954 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! [`model`] runs a closure under every schedule a bounded exhaustive
+//! search can reach: execution is serialized onto one runnable thread at a
+//! time, every synchronization operation (lock, unlock, condvar wait and
+//! notify, atomic access, spawn, join) is a *scheduling point*, and the
+//! explorer replays the closure once per distinct decision sequence,
+//! depth-first. A failed assertion, a panic, or a deadlock in any
+//! interleaving aborts the search and reports the schedule that produced
+//! it.
+//!
+//! Two deliberate simplifications keep the search bounded and sound for
+//! the protocols this workspace checks:
+//!
+//! - **Preemption bounding** (CHESS-style): a context switch away from a
+//!   thread that could have continued costs one unit of a small budget
+//!   (`LOOM_MAX_PREEMPTIONS`, default 2); switches forced by blocking are
+//!   free. Most real concurrency bugs need very few preemptions, and the
+//!   bound turns an exponential schedule space into a polynomial one.
+//! - **Timeouts fire only at quiescence**: a timed condvar wait
+//!   (`wait_for`) can only return "timed out" when *no* thread is
+//!   runnable. This models the engine's contract that timeouts are a
+//!   safety net rather than the progress mechanism, without multiplying
+//!   the schedule space by every possible timer firing.
+//!
+//! Memory-model caveat: all atomics are explored as sequentially
+//! consistent (the requested `Ordering` is accepted and upgraded), so
+//! relaxed-memory reorderings are *not* explored — this checker finds
+//! interleaving bugs, not fence bugs.
+//!
+//! Unlike real loom there is no `UnsafeCell` modeling and no `lazy_static`
+//! support; the surface here is exactly what `lsm-sync`'s primitives and
+//! the commit-pipeline models need.
+
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+pub mod sync {
+    //! Model-checked replacements for `parking_lot`-shaped primitives.
+
+    use super::rt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::PoisonError;
+    use std::time::Duration;
+
+    /// Result of a timed condvar wait.
+    #[derive(Clone, Copy, Debug)]
+    pub struct WaitTimeoutResult(pub(crate) bool);
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// A model-checked mutual-exclusion lock with `parking_lot`'s API
+    /// shape: `lock()` returns the guard directly.
+    ///
+    /// Mutual exclusion is enforced at the *model* level (the scheduler
+    /// blocks contending model threads); the embedded `std` mutex only
+    /// carries the data and is never contended.
+    #[derive(Debug)]
+    pub struct Mutex<T: ?Sized> {
+        id: usize,
+        data: std::sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`]. The `Option` is `None` only transiently
+    /// inside a condvar wait, which hands the data guard back while the
+    /// model thread is parked.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates an unlocked mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Self {
+                id: rt::next_object_id(),
+                data: std::sync::Mutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock, blocking this model thread (cooperatively)
+        /// while another model thread holds it.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            rt::lock_acquire(self.id, true, "lock");
+            MutexGuard {
+                lock: self,
+                inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive ownership).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard active")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard active")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            rt::lock_release(self.lock.id, true);
+        }
+    }
+
+    /// A model-checked reader-writer lock (`parking_lot` API shape).
+    #[derive(Debug)]
+    pub struct RwLock<T: ?Sized> {
+        id: usize,
+        data: std::sync::RwLock<T>,
+    }
+
+    /// Shared guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        id: usize,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    }
+
+    /// Exclusive guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        id: usize,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates an unlocked rwlock holding `value`.
+        pub fn new(value: T) -> Self {
+            Self {
+                id: rt::next_object_id(),
+                data: std::sync::RwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared access.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            rt::lock_acquire(self.id, false, "read");
+            RwLockReadGuard {
+                id: self.id,
+                inner: Some(self.data.read().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+
+        /// Acquires exclusive access.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            rt::lock_acquire(self.id, true, "write");
+            RwLockWriteGuard {
+                id: self.id,
+                inner: Some(self.data.write().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive ownership).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard active")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            rt::lock_release(self.id, false);
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard active")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard active")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            rt::lock_release(self.id, true);
+        }
+    }
+
+    /// A model-checked condition variable (`parking_lot` API shape:
+    /// waits take `&mut MutexGuard`).
+    #[derive(Debug)]
+    pub struct Condvar {
+        id: usize,
+    }
+
+    impl Condvar {
+        /// Creates a condition variable.
+        pub fn new() -> Self {
+            Self {
+                id: rt::next_object_id(),
+            }
+        }
+
+        /// Parks this model thread until notified, atomically releasing
+        /// the guard's mutex. An untimed wait that can never be notified
+        /// is reported as a deadlock.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            self.park(guard, false);
+        }
+
+        /// Parks until notified or "timed out". The model fires the
+        /// timeout only when no thread is runnable (see the crate docs).
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            _timeout: Duration,
+        ) -> WaitTimeoutResult {
+            WaitTimeoutResult(self.park(guard, true))
+        }
+
+        fn park<T>(&self, guard: &mut MutexGuard<'_, T>, timed: bool) -> bool {
+            // Hand the data guard back for the duration of the park; the
+            // model-level release inside `cv_wait` is what lets other
+            // model threads acquire the mutex.
+            guard.inner.take();
+            let timed_out = rt::cv_wait(self.id, guard.lock.id, timed);
+            guard.inner = Some(
+                guard
+                    .lock
+                    .data
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            timed_out
+        }
+
+        /// Wakes the longest-parked waiter (deterministically: the lowest
+        /// thread id), if any.
+        pub fn notify_one(&self) {
+            rt::cv_notify(self.id, false);
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            rt::cv_notify(self.id, true);
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    pub mod atomic {
+        //! Model-checked atomics. Every access is a scheduling point;
+        //! all orderings are explored as sequentially consistent.
+
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::rt;
+
+        macro_rules! atomic {
+            ($name:ident, $std:ident, $ty:ty, $doc:literal) => {
+                #[doc = $doc]
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    pub fn new(v: $ty) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, _o: Ordering) -> $ty {
+                        rt::yield_point("atomic load");
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, v: $ty, _o: Ordering) {
+                        rt::yield_point("atomic store");
+                        self.inner.store(v, Ordering::SeqCst);
+                    }
+
+                    /// Atomic swap (scheduling point).
+                    pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                        rt::yield_point("atomic swap");
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic!(AtomicBool, AtomicBool, bool, "Model-checked `AtomicBool`.");
+        atomic!(AtomicU64, AtomicU64, u64, "Model-checked `AtomicU64`.");
+        atomic!(
+            AtomicUsize,
+            AtomicUsize,
+            usize,
+            "Model-checked `AtomicUsize`."
+        );
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value (scheduling point).
+            pub fn fetch_add(&self, v: u64, _o: Ordering) -> u64 {
+                rt::yield_point("atomic fetch_add");
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value (scheduling point).
+            pub fn fetch_add(&self, v: usize, _o: Ordering) -> usize {
+                rt::yield_point("atomic fetch_add");
+                self.inner.fetch_add(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-checked threads.
+
+    use super::rt;
+
+    /// Handle to a model thread; joining is a scheduling point.
+    pub struct JoinHandle<T> {
+        id: usize,
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    /// Spawns a model thread. The closure runs under the model scheduler:
+    /// it executes only when the explorer schedules it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (id, inner) = rt::spawn_thread(f);
+        JoinHandle { id, inner }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (cooperatively) until the thread finishes.
+        pub fn join(self) -> std::thread::Result<T> {
+            rt::join_thread(self.id);
+            self.inner.join()
+        }
+    }
+
+    /// A bare scheduling point: lets any other runnable thread run.
+    pub fn yield_now() {
+        rt::yield_point("yield_now");
+    }
+}
+
+/// Explores every schedule of `f` reachable within the preemption bound.
+///
+/// Panics with the failing schedule's trace if any execution panics or
+/// deadlocks. Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 2) and
+/// `LOOM_MAX_ITERATIONS` (default 100000, a runaway guard — exceeding it
+/// fails the test rather than reporting false confidence).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::run_model(std::sync::Arc::new(f));
+}
+
+/// Convenience wrapper matching loom's builder-free entry point for timed
+/// scenarios; identical to [`model`] (the model has no real clock).
+pub fn model_with_timeout<F>(f: F, _timeout: Duration)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model(f);
+}
+
+mod rt {
+    //! The explorer: a cooperative scheduler over real threads plus a
+    //! depth-first replay loop over scheduling decisions.
+
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+    use std::sync::{Once, PoisonError};
+
+    /// Sentinel panic payload used to unwind model threads once an
+    /// execution aborts; filtered from the panic hook and from reports.
+    struct AbortToken;
+
+    /// Identity source for model objects (locks, condvars). Process-global
+    /// so ids never collide across executions or concurrent models.
+    static NEXT_OBJECT: AtomicUsize = AtomicUsize::new(0);
+
+    pub(crate) fn next_object_id() -> usize {
+        NEXT_OBJECT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Why a parked thread was made runnable again.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Wake {
+        None,
+        Notified,
+        TimedOut,
+    }
+
+    /// Model-thread state.
+    enum TState {
+        Runnable,
+        /// Parked trying to acquire a lock (`write` = exclusive).
+        BlockedLock {
+            lock: usize,
+            write: bool,
+        },
+        /// Parked in a condvar wait.
+        Waiting {
+            cv: usize,
+            timed: bool,
+        },
+        /// Parked joining another model thread.
+        BlockedJoin {
+            target: usize,
+        },
+        Finished,
+    }
+
+    /// Model-level lock state; data lives in the wrapper's std primitive.
+    #[derive(Default)]
+    struct LockSt {
+        writer: Option<usize>,
+        readers: usize,
+    }
+
+    /// One recorded scheduling decision.
+    pub(crate) struct Branch {
+        /// Runnable thread ids at the decision, canonical order (the
+        /// previously running thread first when it is still runnable).
+        options: Vec<usize>,
+        /// Index into `options` taken on the current execution.
+        chosen: usize,
+        /// The running thread, when it was itself still runnable (used to
+        /// price preemptions during backtracking).
+        current: Option<usize>,
+    }
+
+    struct State {
+        threads: Vec<TState>,
+        wake: Vec<Wake>,
+        active: usize,
+        locks: HashMap<usize, LockSt>,
+        path: Vec<Branch>,
+        step: usize,
+        preemptions: usize,
+        bound: usize,
+        abort: bool,
+        done: bool,
+        failure: Option<String>,
+        trace: Vec<(usize, &'static str)>,
+    }
+
+    struct Sched {
+        m: OsMutex<State>,
+        cv: OsCondvar,
+    }
+
+    thread_local! {
+        static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+    }
+
+    fn lock_state(sched: &Sched) -> OsGuard<'_, State> {
+        sched.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn with_current<R>(f: impl FnOnce(&Arc<Sched>, usize) -> R) -> R {
+        CURRENT.with(|c| {
+            let borrow = c.borrow();
+            let (sched, me) = borrow
+                .as_ref()
+                .expect("loom primitives may only be used inside loom::model");
+            f(sched, *me)
+        })
+    }
+
+    /// Picks the next thread to run. `me_runnable` is whether the calling
+    /// thread may itself continue (false when it just parked/finished).
+    fn pick_next(st: &mut State, sched: &Sched, me: usize, me_runnable: bool) {
+        let mut runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t], TState::Runnable))
+            .collect();
+        if runnable.is_empty() {
+            // Quiescent: timed waits fire now; an untimed-only stall is a
+            // deadlock.
+            let timed: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| matches!(st.threads[t], TState::Waiting { timed: true, .. }))
+                .collect();
+            if !timed.is_empty() {
+                for t in timed {
+                    st.threads[t] = TState::Runnable;
+                    st.wake[t] = Wake::TimedOut;
+                }
+                runnable = (0..st.threads.len())
+                    .filter(|&t| matches!(st.threads[t], TState::Runnable))
+                    .collect();
+            } else if st.threads.iter().all(|t| matches!(t, TState::Finished)) {
+                st.done = true;
+                sched.cv.notify_all();
+                return;
+            } else {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| match s {
+                        TState::BlockedLock { lock, write } => {
+                            format!("thread {t}: blocked acquiring lock #{lock} (write={write})")
+                        }
+                        TState::Waiting { cv, .. } => {
+                            format!("thread {t}: waiting on condvar #{cv} (untimed)")
+                        }
+                        TState::BlockedJoin { target } => {
+                            format!("thread {t}: joining thread {target}")
+                        }
+                        TState::Finished => format!("thread {t}: finished"),
+                        TState::Runnable => format!("thread {t}: runnable"),
+                    })
+                    .collect();
+                st.failure
+                    .get_or_insert_with(|| format!("deadlock:\n  {}", stuck.join("\n  ")));
+                st.abort = true;
+                sched.cv.notify_all();
+                return;
+            }
+        }
+
+        // Canonical option order: continuing the running thread is free,
+        // so it comes first; any other pick while it could continue is a
+        // preemption and spends budget.
+        let mut options = runnable;
+        if me_runnable {
+            if let Some(pos) = options.iter().position(|&t| t == me) {
+                options.remove(pos);
+                options.insert(0, me);
+            }
+            if st.preemptions >= st.bound {
+                options.truncate(1);
+            }
+        }
+
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else if st.step < st.path.len() {
+            let b = &st.path[st.step];
+            debug_assert_eq!(b.options, options, "non-deterministic replay");
+            let c = b.options[b.chosen];
+            st.step += 1;
+            c
+        } else {
+            st.path.push(Branch {
+                options: options.clone(),
+                chosen: 0,
+                current: me_runnable.then_some(me),
+            });
+            st.step += 1;
+            options[0]
+        };
+
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        sched.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it is the active runnable thread.
+    fn wait_my_turn<'a>(
+        sched: &'a Sched,
+        mut st: OsGuard<'a, State>,
+        me: usize,
+    ) -> OsGuard<'a, State> {
+        loop {
+            if st.abort {
+                drop(st);
+                panic_any(AbortToken);
+            }
+            if st.active == me && matches!(st.threads[me], TState::Runnable) {
+                return st;
+            }
+            st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling point *before* the caller's next visible operation.
+    pub(crate) fn yield_point(op: &'static str) {
+        if std::thread::panicking() {
+            return;
+        }
+        with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            if st.abort {
+                drop(st);
+                panic_any(AbortToken);
+            }
+            push_trace(&mut st, me, op);
+            pick_next(&mut st, sched, me, true);
+            let _st = wait_my_turn(sched, st, me);
+        });
+    }
+
+    fn push_trace(st: &mut State, me: usize, op: &'static str) {
+        if st.trace.len() >= 512 {
+            st.trace.remove(0);
+        }
+        st.trace.push((me, op));
+    }
+
+    /// Cooperatively acquires a model lock (`write` = exclusive).
+    pub(crate) fn lock_acquire(id: usize, write: bool, op: &'static str) {
+        loop {
+            yield_point(op);
+            let granted = with_current(|sched, me| {
+                let mut st = lock_state(sched);
+                let l = st.locks.entry(id).or_default();
+                let free = match write {
+                    true => l.writer.is_none() && l.readers == 0,
+                    false => l.writer.is_none(),
+                };
+                if free {
+                    if write {
+                        l.writer = Some(me);
+                    } else {
+                        l.readers += 1;
+                    }
+                    return true;
+                }
+                st.threads[me] = TState::BlockedLock { lock: id, write };
+                pick_next(&mut st, sched, me, false);
+                let _st = wait_my_turn(sched, st, me);
+                false
+            });
+            if granted {
+                return;
+            }
+        }
+    }
+
+    /// Releases a model lock, making blocked acquirers runnable again.
+    pub(crate) fn lock_release(id: usize, write: bool) {
+        let unwinding = std::thread::panicking();
+        CURRENT.with(|c| {
+            let borrow = c.borrow();
+            let Some((sched, me)) = borrow.as_ref() else {
+                return; // dropped outside a model: nothing to release
+            };
+            let (sched, me) = (sched.clone(), *me);
+            drop(borrow);
+            let mut st = lock_state(&sched);
+            if let Some(l) = st.locks.get_mut(&id) {
+                if write {
+                    l.writer = None;
+                } else {
+                    l.readers = l.readers.saturating_sub(1);
+                }
+            }
+            for t in 0..st.threads.len() {
+                if matches!(st.threads[t], TState::BlockedLock { lock, .. } if lock == id) {
+                    st.threads[t] = TState::Runnable;
+                    st.wake[t] = Wake::None;
+                }
+            }
+            push_trace(&mut st, me, "unlock");
+            if unwinding || st.abort {
+                // Unwinding guards must not reschedule (a second panic in
+                // a Drop would abort the process); hand progress to
+                // whoever is already waiting and bail.
+                st.abort = true;
+                sched.cv.notify_all();
+                return;
+            }
+            pick_next(&mut st, &sched, me, true);
+            let _st = wait_my_turn(&sched, st, me);
+        });
+    }
+
+    /// Parks in a condvar wait, releasing (model-level) the paired mutex.
+    /// Returns whether the wake was a timeout.
+    pub(crate) fn cv_wait(cv: usize, mutex: usize, timed: bool) -> bool {
+        yield_point(if timed { "wait_for" } else { "wait" });
+        let timed_out = with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            if let Some(l) = st.locks.get_mut(&mutex) {
+                l.writer = None;
+            }
+            for t in 0..st.threads.len() {
+                if matches!(st.threads[t], TState::BlockedLock { lock, .. } if lock == mutex) {
+                    st.threads[t] = TState::Runnable;
+                }
+            }
+            st.threads[me] = TState::Waiting { cv, timed };
+            st.wake[me] = Wake::None;
+            pick_next(&mut st, sched, me, false);
+            let st = wait_my_turn(sched, st, me);
+            st.wake[me] == Wake::TimedOut
+        });
+        // Re-acquire the paired mutex before returning to the caller.
+        lock_acquire(mutex, true, "relock");
+        timed_out
+    }
+
+    /// Wakes waiters of a condvar (all, or the lowest-id one).
+    pub(crate) fn cv_notify(cv: usize, all: bool) {
+        yield_point(if all { "notify_all" } else { "notify_one" });
+        with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            for t in 0..st.threads.len() {
+                if matches!(st.threads[t], TState::Waiting { cv: c, .. } if c == cv) {
+                    st.threads[t] = TState::Runnable;
+                    st.wake[t] = Wake::Notified;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+            push_trace(&mut st, me, "woke waiters");
+        });
+    }
+
+    /// Registers and launches a model thread; returns its model id and the
+    /// real join handle.
+    pub(crate) fn spawn_thread<F, T>(f: F) -> (usize, std::thread::JoinHandle<T>)
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sched, id) = with_current(|sched, _me| {
+            let mut st = lock_state(sched);
+            let id = st.threads.len();
+            st.threads.push(TState::Runnable);
+            st.wake.push(Wake::None);
+            (sched.clone(), id)
+        });
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || thread_main(sched, id, f))
+            .expect("spawn model thread");
+        yield_point("spawn");
+        (id, handle)
+    }
+
+    /// Cooperatively joins a model thread.
+    pub(crate) fn join_thread(target: usize) {
+        yield_point("join");
+        with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            if matches!(st.threads[target], TState::Finished) {
+                return;
+            }
+            st.threads[me] = TState::BlockedJoin { target };
+            pick_next(&mut st, sched, me, false);
+            let _st = wait_my_turn(sched, st, me);
+        });
+    }
+
+    /// Body of every model thread: wait to be scheduled, run, finish.
+    fn thread_main<F, T>(sched: Arc<Sched>, me: usize, f: F) -> T
+    where
+        F: FnOnce() -> T,
+    {
+        CURRENT.with(|c| *c.borrow_mut() = Some((sched.clone(), me)));
+        {
+            let st = lock_state(&sched);
+            let _st = wait_my_turn(&sched, st, me);
+        }
+        let result = catch_unwind(AssertUnwindSafe(f));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        match result {
+            Ok(v) => {
+                let mut st = lock_state(&sched);
+                st.threads[me] = TState::Finished;
+                for t in 0..st.threads.len() {
+                    if matches!(st.threads[t], TState::BlockedJoin { target } if target == me) {
+                        st.threads[t] = TState::Runnable;
+                    }
+                }
+                push_trace(&mut st, me, "finished");
+                if !st.abort {
+                    pick_next(&mut st, &sched, me, false);
+                }
+                v
+            }
+            Err(payload) => {
+                let mut st = lock_state(&sched);
+                st.threads[me] = TState::Finished;
+                if payload.downcast_ref::<AbortToken>().is_none() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    st.failure.get_or_insert(msg);
+                }
+                st.abort = true;
+                sched.cv.notify_all();
+                drop(st);
+                panic_any(AbortToken)
+            }
+        }
+    }
+
+    fn env_usize(name: &str, default: usize) -> usize {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The preemption cost of taking `options[j]` at this branch.
+    fn cost(b: &Branch, j: usize) -> usize {
+        match b.current {
+            Some(c) if b.options[j] != c => 1,
+            _ => 0,
+        }
+    }
+
+    /// Advances the decision path to the next unexplored schedule within
+    /// the preemption bound. Returns false when the space is exhausted.
+    fn advance(path: &mut Vec<Branch>, bound: usize) -> bool {
+        let mut pre = vec![0usize; path.len() + 1];
+        for (i, b) in path.iter().enumerate() {
+            pre[i + 1] = pre[i] + cost(b, b.chosen);
+        }
+        for i in (0..path.len()).rev() {
+            for j in (path[i].chosen + 1)..path[i].options.len() {
+                if pre[i] + cost(&path[i], j) <= bound {
+                    path[i].chosen = j;
+                    path.truncate(i + 1);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Installs (once, process-wide) a panic hook that silences the
+    /// sentinel unwinds model threads use to exit aborted executions.
+    fn install_hook() {
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<AbortToken>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    pub(crate) fn run_model(f: Arc<dyn Fn() + Send + Sync>) {
+        install_hook();
+        let bound = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+        let max_iters = env_usize("LOOM_MAX_ITERATIONS", 100_000);
+        let mut path: Vec<Branch> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= max_iters,
+                "loom: exceeded {max_iters} executions without exhausting the schedule \
+                 space; raise LOOM_MAX_ITERATIONS or lower LOOM_MAX_PREEMPTIONS"
+            );
+            let sched = Arc::new(Sched {
+                m: OsMutex::new(State {
+                    threads: vec![TState::Runnable],
+                    wake: vec![Wake::None],
+                    active: 0,
+                    locks: HashMap::new(),
+                    path: std::mem::take(&mut path),
+                    step: 0,
+                    preemptions: 0,
+                    bound,
+                    abort: false,
+                    done: false,
+                    failure: None,
+                    trace: Vec::new(),
+                }),
+                cv: OsCondvar::new(),
+            });
+            let body = f.clone();
+            let sched2 = sched.clone();
+            let root = std::thread::Builder::new()
+                .name("loom-0".into())
+                .spawn(move || thread_main(sched2, 0, move || body()))
+                .expect("spawn model root thread");
+            {
+                let mut st = lock_state(&sched);
+                while !st.done && !st.abort {
+                    st = sched.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            let _ = root.join();
+            let mut st = lock_state(&sched);
+            if let Some(fail) = st.failure.take() {
+                let trace: Vec<String> = st
+                    .trace
+                    .iter()
+                    .map(|(t, op)| format!("  thread {t}: {op}"))
+                    .collect();
+                panic!(
+                    "loom: counterexample on execution {iterations}\n\
+                     --- schedule (last {} ops) ---\n{}\n--- failure ---\n{fail}",
+                    trace.len(),
+                    trace.join("\n"),
+                );
+            }
+            path = std::mem::take(&mut st.path);
+            drop(st);
+            if !advance(&mut path, bound) {
+                return;
+            }
+        }
+    }
+}
