@@ -13,68 +13,11 @@
 
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table};
+use lsm_bench::{arg_u64, bench_options, f2, open_bench_db, print_table, SyncCostBackend};
 use lsm_core::{DataLayout, Db, HistKind};
-use lsm_storage::{Backend, Bytes, FileId, IoStats, MemBackend};
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
-
-/// A memory backend whose `sync` costs `sync_us` microseconds, modelling a
-/// device fsync. Without it the in-memory commit window is so short that
-/// concurrent writers almost never overlap inside it and every commit
-/// group degenerates to a single request — real devices are what make
-/// group commit pay.
-struct SyncCostBackend {
-    inner: MemBackend,
-    sync_us: u64,
-}
-
-impl Backend for SyncCostBackend {
-    fn write_blob(&self, data: &[u8]) -> lsm_types::Result<FileId> {
-        self.inner.write_blob(data)
-    }
-    fn create_appendable(&self) -> lsm_types::Result<FileId> {
-        self.inner.create_appendable()
-    }
-    fn append(&self, id: FileId, data: &[u8]) -> lsm_types::Result<u64> {
-        self.inner.append(id, data)
-    }
-    fn sync(&self, id: FileId) -> lsm_types::Result<()> {
-        thread::sleep(Duration::from_micros(self.sync_us));
-        self.inner.sync(id)
-    }
-    fn truncate(&self, id: FileId, len: u64) -> lsm_types::Result<()> {
-        self.inner.truncate(id, len)
-    }
-    fn read(&self, id: FileId, offset: u64, len: usize) -> lsm_types::Result<Bytes> {
-        self.inner.read(id, offset, len)
-    }
-    fn len(&self, id: FileId) -> lsm_types::Result<u64> {
-        self.inner.len(id)
-    }
-    fn delete(&self, id: FileId) -> lsm_types::Result<()> {
-        self.inner.delete(id)
-    }
-    fn list_files(&self) -> Vec<FileId> {
-        self.inner.list_files()
-    }
-    fn put_meta(&self, name: &str, data: &[u8]) -> lsm_types::Result<()> {
-        self.inner.put_meta(name, data)
-    }
-    fn get_meta(&self, name: &str) -> lsm_types::Result<Option<Bytes>> {
-        self.inner.get_meta(name)
-    }
-    fn stats(&self) -> &IoStats {
-        self.inner.stats()
-    }
-    fn total_bytes(&self) -> u64 {
-        self.inner.total_bytes()
-    }
-    fn file_count(&self) -> usize {
-        self.inner.file_count()
-    }
-}
 
 fn main() {
     let n = arg_u64("--n", 60_000);
@@ -156,10 +99,7 @@ fn main() {
             opts.wal_sync = wal_sync;
             let db = Arc::new(
                 Db::builder()
-                    .backend(Arc::new(SyncCostBackend {
-                        inner: MemBackend::new(),
-                        sync_us,
-                    }))
+                    .backend(Arc::new(SyncCostBackend::new(sync_us)))
                     .options(opts)
                     .open()
                     .expect("open"),

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use lsm_core::{CompactionConfig, DataLayout, Db, Options};
-use lsm_storage::{Backend, MemBackend};
+use lsm_storage::{Backend, Bytes, FileId, IoStats, MemBackend};
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
 
 /// Parses `--flag value` style arguments with a default.
@@ -123,6 +123,107 @@ pub fn load(db: &Db, n: u64, value_len: usize, dist: KeyDist, seed: u64) {
         }
     }
     db.maintain().expect("maintain");
+}
+
+/// A memory backend whose `sync` costs time, modelling a device fsync.
+/// Without it the in-memory commit window is so short that concurrent
+/// writers almost never overlap inside it and every commit group
+/// degenerates to a single request — real devices are what make group
+/// commit (and per-shard sync parallelism) pay.
+///
+/// The cost has two parts: a fixed `base_us` per sync call (command
+/// latency — group commit amortizes this across the group) and a
+/// bandwidth term `us_per_kib` charged per dirty KiB accumulated since
+/// the file's last sync (the device must still move every byte — no
+/// amortization, only parallel lanes help). Shared by the E12
+/// group-commit sweep (latency term only) and the E14 sharding sweep.
+pub struct SyncCostBackend {
+    inner: MemBackend,
+    base_us: u64,
+    us_per_kib: u64,
+    dirty: std::sync::Mutex<std::collections::HashMap<FileId, u64>>,
+}
+
+impl SyncCostBackend {
+    /// A fresh in-memory backend charging `sync_us` microseconds per sync
+    /// call (pure command-latency model).
+    pub fn new(sync_us: u64) -> Self {
+        Self::with_bandwidth(sync_us, 0)
+    }
+
+    /// A backend charging `base_us` per sync call plus `us_per_kib`
+    /// microseconds per KiB written to the file since its last sync
+    /// (bandwidth-bound fsync model).
+    pub fn with_bandwidth(base_us: u64, us_per_kib: u64) -> Self {
+        SyncCostBackend {
+            inner: MemBackend::new(),
+            base_us,
+            us_per_kib,
+            dirty: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn track(&self, id: FileId, bytes: usize) {
+        if self.us_per_kib > 0 {
+            if let Ok(mut dirty) = self.dirty.lock() {
+                *dirty.entry(id).or_insert(0) += bytes as u64;
+            }
+        }
+    }
+}
+
+impl Backend for SyncCostBackend {
+    fn write_blob(&self, data: &[u8]) -> lsm_types::Result<FileId> {
+        let id = self.inner.write_blob(data)?;
+        self.track(id, data.len());
+        Ok(id)
+    }
+    fn create_appendable(&self) -> lsm_types::Result<FileId> {
+        self.inner.create_appendable()
+    }
+    fn append(&self, id: FileId, data: &[u8]) -> lsm_types::Result<u64> {
+        self.track(id, data.len());
+        self.inner.append(id, data)
+    }
+    fn sync(&self, id: FileId) -> lsm_types::Result<()> {
+        let dirty_kib = match self.dirty.lock() {
+            Ok(mut dirty) => dirty.remove(&id).unwrap_or(0).div_ceil(1024),
+            Err(_) => 0,
+        };
+        let us = self.base_us + dirty_kib * self.us_per_kib;
+        std::thread::sleep(std::time::Duration::from_micros(us));
+        self.inner.sync(id)
+    }
+    fn truncate(&self, id: FileId, len: u64) -> lsm_types::Result<()> {
+        self.inner.truncate(id, len)
+    }
+    fn read(&self, id: FileId, offset: u64, len: usize) -> lsm_types::Result<Bytes> {
+        self.inner.read(id, offset, len)
+    }
+    fn len(&self, id: FileId) -> lsm_types::Result<u64> {
+        self.inner.len(id)
+    }
+    fn delete(&self, id: FileId) -> lsm_types::Result<()> {
+        self.inner.delete(id)
+    }
+    fn list_files(&self) -> Vec<FileId> {
+        self.inner.list_files()
+    }
+    fn put_meta(&self, name: &str, data: &[u8]) -> lsm_types::Result<()> {
+        self.inner.put_meta(name, data)
+    }
+    fn get_meta(&self, name: &str) -> lsm_types::Result<Option<Bytes>> {
+        self.inner.get_meta(name)
+    }
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
 }
 
 /// Formats a float with 2 decimals.

@@ -1,157 +1,37 @@
-//! The database: write path, read path, maintenance, recovery.
+//! The public single-keyspace database handle: a thin wrapper over one
+//! [`crate::engine::Engine`] instance (write path, read path, maintenance,
+//! recovery). The multi-shard router lives in [`crate::sharded`].
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
 
-use lsm_compaction::{plan_observed, CompactionPlan, Granularity, PickPolicy};
-use lsm_memtable::{make_memtable, MemTable};
 use lsm_obs::{recovery_phase, EventKind, HistKind, ObsHandle, Observability};
-use lsm_sstable::{Table, TableBuilder, VecEntryIter};
-use lsm_storage::{wal, Backend, BlockCache, FileId, FsBackend, MemBackend, ObservedBackend};
-use lsm_sync::{ranks, Condvar, OrderedMutex, OrderedRwLock};
-use lsm_types::encoding::Decoder;
-use lsm_types::{EntryKind, Error, InternalEntry, Result, SeqNo, UserKey, Value};
+use lsm_sstable::{Table, TableBuilder};
+use lsm_storage::{Backend, FileId, FsBackend, MemBackend, ObservedBackend};
+use lsm_sync::{ranks, OrderedMutex};
+use lsm_types::{Error, InternalEntry, Result, SeqNo, UserKey, Value};
 
-use crate::compact::execute_plan;
-use crate::manifest::Manifest;
+use crate::engine::{BatchOp, Engine, EpochFilter, MANIFEST_META};
 use crate::metrics::MetricsSnapshot;
 use crate::options::Options;
-use crate::scan::{build_scan_merge, VisibleIter};
-use crate::stats::{DbStats, StatsSnapshot};
+use crate::scan::VisibleIter;
 use crate::version::{Run, Version, VersionEdit};
 
-/// One write buffer plus its side state: range-tombstone list and WAL
-/// segment.
-struct MemHandle {
-    id: u64,
-    table: Box<dyn MemTable>,
-    rts: OrderedRwLock<Vec<(UserKey, UserKey, SeqNo)>>,
-    wal: Option<FileId>,
-}
-
-impl MemHandle {
-    fn max_rt_covering(&self, key: &[u8], snapshot: SeqNo) -> SeqNo {
-        self.rts
-            .read()
-            .iter()
-            .filter(|(start, end, seqno)| {
-                *seqno <= snapshot && start.as_bytes() <= key && key < end.as_bytes()
-            })
-            .map(|(_, _, s)| *s)
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn rt_list(&self) -> Vec<(UserKey, UserKey, SeqNo)> {
-        self.rts.read().clone()
-    }
-}
-
-struct MemState {
-    active: Arc<MemHandle>,
-    /// Frozen memtables, oldest first.
-    immutables: VecDeque<Arc<MemHandle>>,
-    next_id: u64,
-}
-
-struct Scheduler {
-    /// Levels currently involved in a compaction.
-    busy_levels: HashSet<usize>,
-    /// Memtable ids currently being flushed.
-    flushing: HashSet<u64>,
-    /// Per-level round-robin cursors (last compacted max key).
-    cursors: Vec<Option<Vec<u8>>>,
-}
-
-struct DbInner {
-    opts: Options,
-    backend: Arc<dyn Backend>,
-    cache: Option<Arc<BlockCache>>,
-    stats: DbStats,
-    /// Last assigned sequence number.
-    seqno: AtomicU64,
-    /// Logical clock (one tick per write).
-    clock: AtomicU64,
-    mem: OrderedRwLock<MemState>,
-    /// Current version; the mutex doubles as the install lock.
-    current: OrderedMutex<Arc<Version>>,
-    snapshots: OrderedMutex<BTreeMap<SeqNo, usize>>,
-    sched: OrderedMutex<Scheduler>,
-    /// Serializes group-commit leaders (and `update`/`bulk_load`, which
-    /// bypass the queue); groups publish their sequence numbers atomically
-    /// under it.
-    write_mx: OrderedMutex<()>,
-    /// Pending group-commit requests, oldest first. Writers enqueue here
-    /// and the front writer becomes the leader: it takes `write_mx`, drains
-    /// a prefix of this queue (bounded by `max_group_ops`/`max_group_bytes`),
-    /// commits the whole group with one WAL append and at most one sync,
-    /// then wakes the followers via `commit_cv`.
-    commit_mx: OrderedMutex<VecDeque<Arc<CommitRequest>>>,
-    /// Signalled (under `commit_mx`) when a leader finishes a group.
-    commit_cv: Condvar,
-    /// Manifest persistence ticket: build-manifest + `put_meta` happen as
-    /// one unit under this lock, so a save built from older state can
-    /// never land after (and overwrite) a save that already recorded a
-    /// newer WAL segment — which would lose acknowledged writes at the
-    /// next recovery.
-    manifest_mx: OrderedMutex<()>,
-    /// Signalled whenever background work may exist.
-    work_mx: OrderedMutex<bool>,
-    work_cv: Condvar,
-    /// Signalled (always while holding `stall_mx`, see `notify_progress`)
-    /// whenever maintenance makes observable progress: the immutable queue
-    /// shrinks, a flush or compaction commits, or a background error lands.
-    stall_mx: OrderedMutex<()>,
-    stall_cv: Condvar,
-    shutdown: AtomicBool,
-    bg_error: OrderedMutex<Option<String>>,
-    /// When set, every structural change rewrites the backend's `MANIFEST`
-    /// metadata blob (see [`MANIFEST_META`]).
-    persist_manifest: bool,
-    /// Latency histograms + structured event trace (atomics only — never
-    /// part of the lock hierarchy, safe to call from any lock scope).
-    obs: ObsHandle,
-    /// What recovery did at open time (`None` for a fresh database).
-    recovery: OrderedMutex<Option<RecoverySummary>>,
-}
-
-/// What recovery found and did while opening a database from a manifest.
-///
-/// Aggregated across every WAL segment the manifest referenced; the crash
-/// harness asserts on these numbers (e.g. that a post-power-cut reopen
-/// truncated the torn tail instead of failing).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct RecoverySummary {
-    /// WAL segments found and replayed.
-    pub segments_replayed: usize,
-    /// WAL segments the manifest referenced but the backend no longer had
-    /// (deleted after their flush committed, before the manifest caught up).
-    pub segments_missing: usize,
-    /// WAL records applied to the rebuilt memtable.
-    pub records_recovered: usize,
-    /// Bytes discarded across all torn WAL tails.
-    pub wal_bytes_truncated: u64,
-    /// Segments that ended in a torn record (power cut mid-append).
-    pub torn_segments: usize,
-}
-
-/// Name of the backend metadata blob holding the serialized manifest.
-const MANIFEST_META: &str = "MANIFEST";
+pub use crate::engine::RecoverySummary;
 
 /// The `lsm-lab` storage engine. Cheap to clone handles are not provided;
 /// wrap in `Arc` to share across threads (all methods take `&self`).
 pub struct Db {
-    inner: Arc<DbInner>,
+    pub(crate) inner: Arc<Engine>,
     workers: OrderedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// A consistent read view pinned at a sequence number. Dropping the
 /// snapshot releases its pin on compaction garbage collection.
 pub struct Snapshot {
-    inner: Arc<DbInner>,
+    inner: Arc<Engine>,
     seqno: SeqNo,
 }
 
@@ -205,48 +85,12 @@ pub struct WriteOptions {
     pub no_wal: bool,
 }
 
-/// One writer's pending work in the commit queue: its operations plus the
-/// durability it requires, completed by whichever leader drains it.
-struct CommitRequest {
-    ops: Vec<BatchOp>,
-    /// Include this request in the group's WAL append.
-    wal: bool,
-    /// This request requires the group to sync before acknowledgement.
-    sync: bool,
-    /// Set (with `Release`) by the leader after the whole group committed
-    /// or failed; the owning writer spins/waits on it.
-    done: AtomicBool,
-    /// The group's failure, when it failed (every member sees the same
-    /// error — nothing from a failed group reaches the memtable).
-    error: OnceLock<String>,
-}
-
 /// A group of writes applied atomically: one WAL record, contiguous
 /// sequence numbers, and all-or-nothing visibility to readers and
 /// snapshots.
 #[derive(Default, Clone, Debug)]
 pub struct WriteBatch {
-    ops: Vec<BatchOp>,
-}
-
-#[derive(Clone, Debug)]
-enum BatchOp {
-    Put(Vec<u8>, Vec<u8>),
-    Delete(Vec<u8>),
-    SingleDelete(Vec<u8>),
-    DeleteRange(Vec<u8>, Vec<u8>),
-}
-
-impl BatchOp {
-    /// Approximate encoded size, for the group-commit byte cap (payload
-    /// bytes plus a small per-entry framing allowance).
-    fn encoded_hint(&self) -> usize {
-        match self {
-            BatchOp::Put(k, v) => k.len() + v.len() + 16,
-            BatchOp::Delete(k) | BatchOp::SingleDelete(k) => k.len() + 16,
-            BatchOp::DeleteRange(s, e) => s.len() + e.len() + 16,
-        }
-    }
+    pub(crate) ops: Vec<BatchOp>,
 }
 
 impl WriteBatch {
@@ -318,6 +162,10 @@ pub struct DbBuilder {
     recover: Option<bool>,
     clean_orphans: bool,
     obs: Observability,
+    /// Cross-shard epoch filter for recovery; set (crate-internally) by
+    /// `ShardedDbBuilder` so each shard's replay can discard WAL records
+    /// of epochs the coordinator never committed.
+    pub(crate) epoch_filter: Option<EpochFilter>,
 }
 
 impl DbBuilder {
@@ -417,9 +265,16 @@ impl DbBuilder {
             None => None,
         };
         let inner = match manifest_bytes {
-            Some(bytes) => DbInner::recover(backend, self.opts, &bytes, persist, obs)?,
+            Some(bytes) => Engine::recover(
+                backend,
+                self.opts,
+                &bytes,
+                persist,
+                obs,
+                self.epoch_filter.as_ref(),
+            )?,
             None => {
-                let inner = DbInner::new(backend, self.opts, persist, obs)?;
+                let inner = Engine::new(backend, self.opts, persist, obs)?;
                 inner.save_manifest()?;
                 inner
             }
@@ -443,7 +298,7 @@ impl Db {
         DbBuilder::default()
     }
 
-    fn finish_open(inner: Arc<DbInner>) -> Result<Db> {
+    fn finish_open(inner: Arc<Engine>) -> Result<Db> {
         let mut workers = Vec::new();
         for i in 0..inner.opts.background_threads {
             let inner = Arc::clone(&inner);
@@ -479,7 +334,7 @@ impl Db {
             .user_bytes
             .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
         self.inner
-            .commit_write(vec![BatchOp::Put(key.to_vec(), value.to_vec())], w)
+            .commit_write(vec![BatchOp::Put(key.to_vec(), value.to_vec())], w, None)
     }
 
     /// Deletes `key` (writes a point tombstone).
@@ -496,7 +351,7 @@ impl Db {
             .user_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
         self.inner
-            .commit_write(vec![BatchOp::Delete(key.to_vec())], w)
+            .commit_write(vec![BatchOp::Delete(key.to_vec())], w, None)
     }
 
     /// Deletes `key`, promising it was written at most once since the last
@@ -512,6 +367,7 @@ impl Db {
         self.inner.commit_write(
             vec![BatchOp::SingleDelete(key.to_vec())],
             &WriteOptions::default(),
+            None,
         )
     }
 
@@ -531,6 +387,7 @@ impl Db {
         self.inner.commit_write(
             vec![BatchOp::DeleteRange(start.to_vec(), end.to_vec())],
             &WriteOptions::default(),
+            None,
         )
     }
 
@@ -543,6 +400,18 @@ impl Db {
     /// atomic: it occupies one framed WAL record inside the group's
     /// append, so recovery replays it all-or-nothing.
     pub fn write_opt(&self, batch: WriteBatch, w: &WriteOptions) -> Result<()> {
+        self.write_tagged(batch, w, None)
+    }
+
+    /// [`Db::write_opt`] plus an optional cross-shard commit epoch: the
+    /// router tags each shard's sub-batch so recovery can discard the whole
+    /// multi-shard batch unless its epoch committed on the coordinator.
+    pub(crate) fn write_tagged(
+        &self,
+        batch: WriteBatch,
+        w: &WriteOptions,
+        epoch: Option<u64>,
+    ) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -582,7 +451,7 @@ impl Db {
                 }
             }
         }
-        self.inner.commit_write(batch.ops, w)
+        self.inner.commit_write(batch.ops, w, epoch)
     }
 
     /// Atomic read-modify-write (the FASTER-style operation of tutorial
@@ -828,27 +697,6 @@ impl Db {
         }
     }
 
-    /// Engine statistics.
-    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
-    #[deprecated(note = "use Db::metrics().db; scheduled for removal (see README)")]
-    pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
-    }
-
-    /// The storage backend's I/O counters.
-    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
-    #[deprecated(note = "use Db::metrics().io; scheduled for removal (see README)")]
-    pub fn io_stats(&self) -> lsm_storage::IoSnapshot {
-        self.inner.backend.stats().snapshot()
-    }
-
-    /// Block-cache statistics, when a cache is configured.
-    // no-deprecated: allow(stats-sunset, removed next PR — see README "Deprecation schedule")
-    #[deprecated(note = "use Db::metrics().cache; scheduled for removal (see README)")]
-    pub fn cache_stats(&self) -> Option<lsm_storage::CacheStats> {
-        self.inner.cache.as_ref().map(|c| c.stats())
-    }
-
     /// Every counter surface in one snapshot (engine + backend I/O +
     /// cache), with a [`MetricsSnapshot::delta`] combinator for phase
     /// measurements.
@@ -959,1119 +807,77 @@ impl ReadView for Snapshot {
     }
 }
 
-/// An owning iterator over visible `(key, value)` pairs of a scan.
+/// An owning iterator over visible `(key, value)` pairs of a scan — either
+/// one engine's merged view or a cross-shard min-key merge of several
+/// (shard keyspaces are disjoint, so the merge never sees duplicates).
 pub struct DbScanIter {
-    vis: VisibleIter,
+    imp: ScanImp,
+}
+
+enum ScanImp {
+    Single(VisibleIter),
+    Merged(MergedScan),
+}
+
+/// Linear min-key merge over per-shard scan iterators. Shard counts are
+/// small (single digits), so a loser tree would be overkill; each `next`
+/// scans the peeked heads for the smallest key.
+struct MergedScan {
+    iters: Vec<DbScanIter>,
+    peeked: Vec<Option<(UserKey, Value)>>,
+}
+
+impl DbScanIter {
+    pub(crate) fn single(vis: VisibleIter) -> DbScanIter {
+        DbScanIter {
+            imp: ScanImp::Single(vis),
+        }
+    }
+
+    /// Merges per-shard scans into one ascending stream (used by
+    /// [`crate::ShardedDb::scan`]).
+    pub(crate) fn merged(iters: Vec<DbScanIter>) -> Result<DbScanIter> {
+        let mut peeked = Vec::with_capacity(iters.len());
+        let mut iters = iters;
+        for it in &mut iters {
+            peeked.push(it.next().transpose()?);
+        }
+        Ok(DbScanIter {
+            imp: ScanImp::Merged(MergedScan { iters, peeked }),
+        })
+    }
 }
 
 impl Iterator for DbScanIter {
     type Item = Result<(UserKey, Value)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.vis.next_visible().transpose()
-    }
-}
-
-impl DbInner {
-    fn new(
-        backend: Arc<dyn Backend>,
-        opts: Options,
-        persist_manifest: bool,
-        obs: ObsHandle,
-    ) -> Result<Arc<DbInner>> {
-        let cache =
-            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
-        let wal_id = if opts.wal {
-            Some(backend.create_appendable()?)
-        } else {
-            None
-        };
-        let active = Arc::new(MemHandle {
-            id: 0,
-            table: make_memtable(opts.memtable_kind),
-            rts: OrderedRwLock::new(ranks::MEM_RTS, Vec::new()),
-            wal: wal_id,
-        });
-        Ok(Arc::new(DbInner {
-            opts,
-            backend,
-            cache,
-            stats: DbStats::default(),
-            seqno: AtomicU64::new(0),
-            clock: AtomicU64::new(0),
-            mem: OrderedRwLock::new(
-                ranks::DB_MEM,
-                MemState {
-                    active,
-                    immutables: VecDeque::new(),
-                    next_id: 1,
-                },
-            ),
-            current: OrderedMutex::new(ranks::DB_CURRENT, Arc::new(Version::default())),
-            snapshots: OrderedMutex::new(ranks::DB_SNAPSHOTS, BTreeMap::new()),
-            sched: OrderedMutex::new(
-                ranks::DB_SCHED,
-                Scheduler {
-                    busy_levels: HashSet::new(),
-                    flushing: HashSet::new(),
-                    cursors: Vec::new(),
-                },
-            ),
-            write_mx: OrderedMutex::new(ranks::DB_WRITE, ()),
-            commit_mx: OrderedMutex::new(ranks::DB_COMMIT, VecDeque::new()),
-            commit_cv: Condvar::new(),
-            manifest_mx: OrderedMutex::new(ranks::DB_MANIFEST, ()),
-            work_mx: OrderedMutex::new(ranks::DB_WORK, false),
-            work_cv: Condvar::new(),
-            stall_mx: OrderedMutex::new(ranks::DB_STALL, ()),
-            stall_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            bg_error: OrderedMutex::new(ranks::DB_BG_ERROR, None),
-            persist_manifest,
-            obs,
-            recovery: OrderedMutex::new(ranks::DB_RECOVERY, None),
-        }))
-    }
-
-    fn recover(
-        backend: Arc<dyn Backend>,
-        opts: Options,
-        manifest_bytes: &[u8],
-        persist_manifest: bool,
-        obs: ObsHandle,
-    ) -> Result<Arc<DbInner>> {
-        let manifest = Manifest::decode(manifest_bytes)?;
-        let inner = DbInner::new(backend.clone(), opts, persist_manifest, obs)?;
-        inner.obs.emit(
-            EventKind::RecoveryPhase,
-            None,
-            recovery_phase::MANIFEST,
-            manifest.wal_segments.len() as u64,
-        );
-
-        // Rebuild the tree.
-        let mut levels = Vec::with_capacity(manifest.levels.len());
-        for level in &manifest.levels {
-            let mut runs = Vec::with_capacity(level.len());
-            for run_ids in level {
-                let mut tables = Vec::with_capacity(run_ids.len());
-                for &id in run_ids {
-                    tables.push(Table::open(backend.clone(), id, inner.cache.clone())?);
-                }
-                runs.push(Run::new(tables));
-            }
-            levels.push(runs);
-        }
-        if levels.is_empty() {
-            levels.push(Vec::new());
-        }
-        *inner.current.lock() = Arc::new(Version { levels });
-        // Recovery runs single-threaded before `open` returns: no writer
-        // can observe this seqno until the re-log below has restored WAL
-        // durability for every replayed entry.
-        // lsm-lint: allow(durability-order)
-        inner.seqno.store(manifest.next_seqno, Ordering::Release);
-        inner.clock.store(manifest.next_ts, Ordering::Release);
-
-        // Replay WAL segments (oldest first) into the active memtable.
-        // A segment may be gone (its flush committed, then the crash hit
-        // before the manifest dropped the reference) — that is not data
-        // loss, the entries live in a table. A torn tail is truncated per
-        // the standard contract: bytes past the last intact record were
-        // never acknowledged as durable.
-        let mut summary = RecoverySummary::default();
-        let mut max_seqno = manifest.next_seqno;
-        let mut max_ts = manifest.next_ts;
-        for &segment in &manifest.wal_segments {
-            let report =
-                match wal::replay(backend.as_ref(), segment, wal::RecoveryMode::TruncateTail) {
-                    Ok(r) => r,
-                    Err(Error::NotFound(_)) => {
-                        summary.segments_missing += 1;
-                        continue;
+        match &mut self.imp {
+            ScanImp::Single(vis) => vis.next_visible().transpose(),
+            ScanImp::Merged(m) => {
+                let mut min: Option<usize> = None;
+                for (i, head) in m.peeked.iter().enumerate() {
+                    if let Some((key, _)) = head {
+                        let smaller = match min {
+                            None => true,
+                            Some(j) => m.peeked[j]
+                                .as_ref()
+                                .is_some_and(|(mk, _)| key.as_bytes() < mk.as_bytes()),
+                        };
+                        if smaller {
+                            min = Some(i);
+                        }
                     }
-                    Err(e) => return Err(e),
+                }
+                let i = min?;
+                let refill = match m.iters[i].next() {
+                    Some(Ok(pair)) => Some(pair),
+                    Some(Err(e)) => return Some(Err(e)),
+                    None => None,
                 };
-            summary.segments_replayed += 1;
-            summary.records_recovered += report.records.len();
-            summary.wal_bytes_truncated += report.bytes_truncated;
-            if !report.clean() {
-                summary.torn_segments += 1;
-            }
-            for record in &report.records {
-                let mut dec = Decoder::new(record);
-                while !dec.is_empty() {
-                    let entry = InternalEntry::decode_from(&mut dec)?;
-                    max_seqno = max_seqno.max(entry.seqno());
-                    max_ts = max_ts.max(entry.ts + 1);
-                    inner.apply_to_active(entry)?;
-                }
+                let out = std::mem::replace(&mut m.peeked[i], refill);
+                out.map(Ok)
             }
         }
-        // Single-threaded recovery: the replayed entries are re-logged
-        // into the fresh segment (and the old segments kept) before any
-        // external writer can commit.
-        // lsm-lint: allow(durability-order)
-        inner.seqno.store(max_seqno, Ordering::Release);
-        inner.clock.store(max_ts, Ordering::Release);
-        inner.obs.emit(
-            EventKind::RecoveryPhase,
-            None,
-            recovery_phase::WAL_REPLAY,
-            summary.records_recovered as u64,
-        );
-        *inner.recovery.lock() = Some(summary);
-
-        // Re-log the replayed entries into the fresh active WAL (synced, so
-        // recovered data is durable again before we drop the old segments),
-        // persist a manifest referencing the fresh WAL, and only then
-        // delete the old segments — in that order, so a crash at any point
-        // leaves a manifest whose WAL references still hold the data.
-        if inner.opts.wal {
-            let mem = inner.mem.read();
-            if let Some(wal_id) = mem.active.wal {
-                let entries = mem.active.table.sorted_entries();
-                inner.obs.emit(
-                    EventKind::RecoveryPhase,
-                    None,
-                    recovery_phase::RELOG,
-                    entries.len() as u64,
-                );
-                if !entries.is_empty() {
-                    let mut payload = Vec::new();
-                    for e in &entries {
-                        e.encode_into(&mut payload);
-                    }
-                    // Recovery is single-threaded; holding `mem` across the
-                    // re-log keeps the replayed table and its WAL in step.
-                    // lsm-lint: allow(io-under-lock)
-                    let writer = wal::WalWriter::open(inner.backend.as_ref(), wal_id);
-                    // lsm-lint: allow(io-under-lock)
-                    writer.append(&payload)?;
-                    if inner.opts.wal_sync {
-                        // lsm-lint: allow(io-under-lock)
-                        writer.sync()?;
-                    }
-                }
-            }
-            drop(mem);
-            inner.save_manifest()?;
-            for &segment in &manifest.wal_segments {
-                match inner.backend.delete(segment) {
-                    Ok(()) | Err(Error::NotFound(_)) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-        } else {
-            inner.save_manifest()?;
-        }
-        Ok(inner)
-    }
-
-    fn apply_to_active(&self, entry: InternalEntry) -> Result<()> {
-        let mem = self.mem.read();
-        if entry.kind() == EntryKind::RangeDelete {
-            let end = entry
-                .range_delete_end()
-                .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
-            mem.active
-                .rts
-                .write()
-                .push((entry.user_key().clone(), end, entry.seqno()));
-        }
-        mem.active.table.insert(entry);
-        Ok(())
-    }
-
-    fn check_bg_error(&self) -> Result<()> {
-        if let Some(msg) = self.bg_error.lock().as_ref() {
-            return Err(Error::Corruption(format!("background error: {msg}")));
-        }
-        Ok(())
-    }
-
-    fn kick_work(&self) {
-        let mut flag = self.work_mx.lock();
-        *flag = true;
-        self.work_cv.notify_all();
-    }
-
-    /// Wakes everything parked on maintenance progress: stalled writers,
-    /// `wait_idle`, and flush commit-order waiters. The notification happens
-    /// under `stall_mx`, pairing with waiters that re-check their predicate
-    /// under the same lock — that handshake is what eliminates missed
-    /// wakeups and with them any need for polling loops.
-    fn notify_progress(&self) {
-        let _guard = self.stall_mx.lock();
-        self.stall_cv.notify_all();
-    }
-
-    /// No immutables queued, no compaction plan pending, nothing running.
-    fn is_idle(&self) -> bool {
-        let mem_idle = self.mem.read().immutables.is_empty();
-        let plan_idle = self.next_plan().is_none();
-        let busy = {
-            let sched = self.sched.lock();
-            !sched.busy_levels.is_empty() || !sched.flushing.is_empty()
-        };
-        mem_idle && plan_idle && !busy
-    }
-
-    // ---------------------------------------------------------------- write
-
-    /// The group-commit write pipeline (RocksDB-style leader/follower).
-    ///
-    /// The writer enqueues its request, then loops: if a leader already
-    /// committed it, done; if it sits at the queue front, it becomes the
-    /// leader — takes `write_mx`, drains a prefix of the queue, commits the
-    /// whole group ([`DbInner::commit_group`]), marks every member done and
-    /// wakes the rest via `commit_cv`. Otherwise it parks on the condvar
-    /// (notification happens under `commit_mx` after `done` is set, and the
-    /// waiter re-checks `done` under the same lock, so no wakeup is missed;
-    /// the timeout is a safety net, not the progress mechanism).
-    fn commit_write(&self, ops: Vec<BatchOp>, w: &WriteOptions) -> Result<()> {
-        self.check_bg_error()?;
-        if self.shutdown.load(Ordering::Acquire) {
-            return Err(Error::ShuttingDown);
-        }
-        self.maybe_stall()?;
-
-        let req = Arc::new(CommitRequest {
-            ops,
-            wal: self.opts.wal && !w.no_wal,
-            sync: w.sync.unwrap_or(self.opts.wal_sync),
-            done: AtomicBool::new(false),
-            error: OnceLock::new(),
-        });
-        let enqueued = Instant::now();
-        self.commit_mx.lock().push_back(Arc::clone(&req));
-
-        loop {
-            if req.done.load(Ordering::Acquire) {
-                break;
-            }
-            let at_front = {
-                let q = self.commit_mx.lock();
-                q.front().is_some_and(|f| Arc::ptr_eq(f, &req))
-            };
-            if at_front {
-                // Become the leader. `write_mx` is held across the drain,
-                // the WAL append, and every memtable insert: that is what
-                // makes the group one durable, atomically-published unit.
-                let writer = self.write_mx.lock();
-                if req.done.load(Ordering::Acquire) {
-                    // The previous leader drained us while we waited for
-                    // the ticket (drains always take a queue prefix).
-                    break;
-                }
-                let group = self.drain_group();
-                debug_assert!(group.iter().any(|r| Arc::ptr_eq(r, &req)));
-                // lsm-lint: allow(io-under-lock)
-                let result = self.commit_group(&group);
-                if let Err(e) = &result {
-                    let msg = e.to_string();
-                    for r in &group {
-                        let _ = r.error.set(msg.clone());
-                    }
-                }
-                for r in &group {
-                    r.done.store(true, Ordering::Release);
-                }
-                drop(writer);
-                {
-                    let _q = self.commit_mx.lock();
-                    self.commit_cv.notify_all();
-                }
-                self.obs
-                    .record(HistKind::GroupWait, enqueued.elapsed().as_nanos() as u64);
-                result?;
-                return self.maybe_freeze();
-            }
-            let mut q = self.commit_mx.lock();
-            if req.done.load(Ordering::Acquire) {
-                break;
-            }
-            if q.front().is_some_and(|f| Arc::ptr_eq(f, &req)) {
-                continue; // promoted to front while taking the lock
-            }
-            self.commit_cv.wait_for(&mut q, Duration::from_millis(50));
-        }
-        self.obs
-            .record(HistKind::GroupWait, enqueued.elapsed().as_nanos() as u64);
-        if let Some(msg) = req.error.get() {
-            return Err(Error::Corruption(format!("group commit failed: {msg}")));
-        }
-        self.maybe_freeze()
-    }
-
-    /// Pops the next commit group off the queue: a non-empty prefix bounded
-    /// by `max_group_ops`/`max_group_bytes`. The first request always joins
-    /// regardless of size, so an oversized batch still commits (alone).
-    fn drain_group(&self) -> Vec<Arc<CommitRequest>> {
-        let mut q = self.commit_mx.lock();
-        let mut group = Vec::new();
-        let mut ops = 0usize;
-        let mut bytes = 0usize;
-        while let Some(front) = q.front() {
-            let req_ops = front.ops.len();
-            let req_bytes: usize = front.ops.iter().map(BatchOp::encoded_hint).sum();
-            if !group.is_empty()
-                && (ops + req_ops > self.opts.max_group_ops
-                    || bytes + req_bytes > self.opts.max_group_bytes)
-            {
-                break;
-            }
-            ops += req_ops;
-            bytes += req_bytes;
-            if let Some(r) = q.pop_front() {
-                group.push(r);
-            }
-        }
-        group
-    }
-
-    /// Commits one drained group while the caller holds `write_mx`: builds
-    /// every request's entries over one contiguous seqno range, performs
-    /// **one** WAL append (each request is its own framed record inside it,
-    /// so torn-tail truncation keeps requests all-or-nothing) and **at most
-    /// one** sync, applies everything to the memtable, then publishes the
-    /// group's last seqno so the whole group becomes visible as a unit.
-    ///
-    /// Any failure before the memtable applies fails the whole group with
-    /// nothing applied, preserving acknowledged == durable.
-    fn commit_group(&self, group: &[Arc<CommitRequest>]) -> Result<()> {
-        let started = Instant::now();
-        let mem = self.mem.read();
-        let base = self.seqno.load(Ordering::Acquire);
-        let ts0 = self.clock.load(Ordering::Acquire);
-
-        let mut entries: Vec<InternalEntry> = Vec::new();
-        let mut payloads: Vec<Vec<u8>> = Vec::new();
-        let mut want_sync = false;
-        let mut i: u64 = 0;
-        for req in group {
-            let start_idx = entries.len();
-            for op in &req.ops {
-                let seqno = base + 1 + i;
-                let ts = ts0 + i;
-                i += 1;
-                entries.push(match op {
-                    BatchOp::Put(k, v) => InternalEntry::put(k.clone(), v.clone(), seqno, ts),
-                    BatchOp::Delete(k) => InternalEntry::delete(k.clone(), seqno, ts),
-                    BatchOp::SingleDelete(k) => InternalEntry::single_delete(k.clone(), seqno, ts),
-                    BatchOp::DeleteRange(s, e) => {
-                        InternalEntry::range_delete(s.clone(), e.clone(), seqno, ts)
-                    }
-                });
-            }
-            if req.wal && mem.active.wal.is_some() {
-                let mut payload = Vec::new();
-                for e in &entries[start_idx..] {
-                    e.encode_into(&mut payload);
-                }
-                payloads.push(payload);
-                want_sync |= req.sync;
-            }
-        }
-        let n = i;
-        if n == 0 {
-            return Ok(());
-        }
-        if let Some(wal_id) = mem.active.wal {
-            if !payloads.is_empty() {
-                // The WAL append must happen under `mem` so the segment
-                // cannot be frozen/deleted between append and insert.
-                // lsm-lint: allow(io-under-lock)
-                let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
-                // lsm-lint: allow(io-under-lock)
-                writer.append_records(&payloads)?;
-                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
-                if want_sync {
-                    // Acknowledged == durable: the group errors (and is not
-                    // applied to the memtable) if the sync fails.
-                    // lsm-lint: allow(io-under-lock)
-                    writer.sync()?;
-                    self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-        for entry in entries {
-            debug_assert!(entry.seqno() > base && entry.seqno() <= base + n);
-            if entry.kind() == EntryKind::RangeDelete {
-                let end = entry
-                    .range_delete_end()
-                    .ok_or_else(|| Error::Corruption("range tombstone without end key".into()))?;
-                mem.active
-                    .rts
-                    .write()
-                    .push((entry.user_key().clone(), end, entry.seqno()));
-            }
-            mem.active.table.insert(entry);
-        }
-        self.clock.fetch_add(n, Ordering::AcqRel);
-        // Publish: the group becomes visible as a unit.
-        self.seqno.store(base + n, Ordering::Release);
-        drop(mem);
-
-        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
-        self.obs.record(HistKind::GroupSize, n);
-        self.obs
-            .record(HistKind::GroupCommit, started.elapsed().as_nanos() as u64);
-        Ok(())
-    }
-
-    /// Applies entries while the caller holds `write_mx`.
-    fn apply_locked(&self, make: impl FnOnce(SeqNo, u64) -> Vec<InternalEntry>) -> Result<()> {
-        {
-            let mem = self.mem.read();
-            let base = self.seqno.load(Ordering::Acquire);
-            let ts = self.clock.load(Ordering::Acquire);
-            let entries = make(base, ts);
-            let n = entries.len() as u64;
-            if n == 0 {
-                return Ok(());
-            }
-            if self.opts.wal {
-                if let Some(wal_id) = mem.active.wal {
-                    let mut payload = Vec::new();
-                    for entry in &entries {
-                        entry.encode_into(&mut payload);
-                    }
-                    // The WAL append must happen under `mem` so the segment
-                    // cannot be frozen/deleted between append and insert.
-                    // lsm-lint: allow(io-under-lock)
-                    let writer = wal::WalWriter::open(self.backend.as_ref(), wal_id);
-                    // lsm-lint: allow(io-under-lock)
-                    writer.append(&payload)?;
-                    self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
-                    if self.opts.wal_sync {
-                        // Acknowledged == durable: the write errors (and is
-                        // not applied to the memtable) if the sync fails.
-                        // lsm-lint: allow(io-under-lock)
-                        writer.sync()?;
-                        self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            for entry in entries {
-                debug_assert!(entry.seqno() > base && entry.seqno() <= base + n);
-                if entry.kind() == EntryKind::RangeDelete {
-                    let end = entry.range_delete_end().ok_or_else(|| {
-                        Error::Corruption("range tombstone without end key".into())
-                    })?;
-                    mem.active
-                        .rts
-                        .write()
-                        .push((entry.user_key().clone(), end, entry.seqno()));
-                }
-                mem.active.table.insert(entry);
-            }
-            self.clock.fetch_add(n, Ordering::AcqRel);
-            // Publish: the batch becomes visible as a unit.
-            self.seqno.store(base + n, Ordering::Release);
-        }
-        Ok(())
-    }
-
-    /// Blocks (or inline-maintains) while the immutable queue is full.
-    fn maybe_stall(&self) -> Result<()> {
-        let mut stalled = false;
-        let result = loop {
-            let queued = self.mem.read().immutables.len();
-            if queued < self.opts.max_immutable_memtables {
-                break Ok(());
-            }
-            if !stalled {
-                stalled = true;
-                self.obs.emit(EventKind::StallBegin, None, queued as u64, 0);
-            }
-            let started = Instant::now();
-            self.stats.stall_count.fetch_add(1, Ordering::Relaxed);
-            let step = if self.opts.background_threads == 0 {
-                self.drain_maintenance()
-            } else {
-                self.kick_work();
-                let mut guard = self.stall_mx.lock();
-                // Re-check under the lock to avoid missed wakeups.
-                if self.mem.read().immutables.len() >= self.opts.max_immutable_memtables {
-                    self.stall_cv
-                        .wait_for(&mut guard, Duration::from_millis(10));
-                }
-                Ok(())
-            };
-            self.stats
-                .stall_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            if let Err(e) = step.and_then(|()| self.check_bg_error()) {
-                break Err(e);
-            }
-        };
-        if stalled {
-            self.obs.emit(EventKind::StallEnd, None, 0, 0);
-        }
-        result
-    }
-
-    /// Freezes the active memtable if it crossed the buffer size.
-    fn maybe_freeze(&self) -> Result<()> {
-        if self.mem.read().active.table.approximate_size() < self.opts.write_buffer_bytes {
-            return Ok(());
-        }
-        self.freeze_active(false)?;
-        if self.opts.background_threads == 0 {
-            self.drain_maintenance()
-        } else {
-            self.kick_work();
-            Ok(())
-        }
-    }
-
-    fn freeze_active(&self, even_if_small: bool) -> Result<()> {
-        // Lock order: manifest ticket (125) -> current (130, released
-        // immediately) -> mem (150). The manifest referencing the fresh
-        // WAL segment must be durable *before* any writer can commit into
-        // that segment — otherwise a crash on this save loses writes that
-        // were acknowledged into a segment no manifest names. Holding
-        // `mem` across the save is what closes that window.
-        let _ticket = self.manifest_mx.lock();
-        let version = self.current.lock().clone();
-        let mut mem = self.mem.write();
-        let size = mem.active.table.approximate_size();
-        if !even_if_small && size < self.opts.write_buffer_bytes {
-            return Ok(()); // raced with another freezer
-        }
-        if mem.active.table.is_empty() {
-            return Ok(());
-        }
-        let wal_id = if self.opts.wal {
-            // Created under `mem` so exactly one freezer wins the race and
-            // no orphan segment is created by the loser.
-            // lsm-lint: allow(io-under-lock)
-            Some(self.backend.create_appendable()?)
-        } else {
-            None
-        };
-        let id = mem.next_id;
-        mem.next_id += 1;
-        let fresh = Arc::new(MemHandle {
-            id,
-            table: make_memtable(self.opts.memtable_kind),
-            rts: OrderedRwLock::new(ranks::MEM_RTS, Vec::new()),
-            wal: wal_id,
-        });
-        let frozen = std::mem::replace(&mut mem.active, fresh);
-        mem.immutables.push_back(frozen);
-        if self.persist_manifest {
-            let bytes = self.manifest_from(&version, &mem).encode();
-            // lsm-lint: allow(io-under-lock)
-            self.backend.put_meta(MANIFEST_META, &bytes)?;
-        }
-        Ok(())
-    }
-
-    // ----------------------------------------------------------------- read
-
-    fn get_at(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Value>> {
-        self.stats.gets.fetch_add(1, Ordering::Relaxed);
-        let (mem_sources, version) = self.read_view();
-
-        // Range tombstones do not obey per-level recency under partial
-        // compaction, so coverage is computed across every source up front
-        // (the per-run lists are tiny and memory-resident).
-        let mut covering: SeqNo = 0;
-        for h in &mem_sources {
-            covering = covering.max(h.max_rt_covering(key, snapshot));
-        }
-        for run in version.runs_newest_first() {
-            covering = covering.max(run.max_rt_covering(key, snapshot));
-        }
-
-        for h in &mem_sources {
-            if let Some(e) = h.table.get(key, snapshot) {
-                if e.kind() == EntryKind::RangeDelete {
-                    // A range tombstone occupies its start key's slot but
-                    // says nothing about a point value; keep descending.
-                    continue;
-                }
-                return Ok(Self::interpret(e, covering));
-            }
-        }
-        for run in version.runs_newest_first() {
-            if let Some(e) = run.get(key, snapshot)? {
-                if e.kind() == EntryKind::RangeDelete {
-                    continue;
-                }
-                return Ok(Self::interpret(e, covering));
-            }
-        }
-        Ok(None)
-    }
-
-    fn interpret(e: InternalEntry, covering: SeqNo) -> Option<Value> {
-        if covering > e.seqno() {
-            return None; // masked by a newer range tombstone
-        }
-        match e.kind() {
-            EntryKind::Put | EntryKind::ValuePtr => Some(e.value),
-            _ => None,
-        }
-    }
-
-    /// Memtable handles (newest first) plus the current version.
-    fn read_view(&self) -> (Vec<Arc<MemHandle>>, Arc<Version>) {
-        let mem = self.mem.read();
-        let mut sources = Vec::with_capacity(1 + mem.immutables.len());
-        sources.push(Arc::clone(&mem.active));
-        for h in mem.immutables.iter().rev() {
-            sources.push(Arc::clone(h));
-        }
-        drop(mem);
-        let version = self.current.lock().clone();
-        (sources, version)
-    }
-
-    fn scan_at(&self, start: &[u8], end: Option<&[u8]>, snapshot: SeqNo) -> Result<DbScanIter> {
-        self.stats.scans.fetch_add(1, Ordering::Relaxed);
-        let (mem_sources, version) = self.read_view();
-        let mut rts: Vec<(UserKey, UserKey, SeqNo)> = Vec::new();
-        let mut mem_entries = Vec::with_capacity(mem_sources.len());
-        for h in &mem_sources {
-            rts.extend(h.rt_list());
-            mem_entries.push(h.table.range_entries(start, end));
-        }
-        for run in version.runs_newest_first() {
-            rts.extend(run.range_tombstones.iter().cloned());
-        }
-        let merge = build_scan_merge(mem_entries, &version, start, end);
-        Ok(DbScanIter {
-            vis: VisibleIter::new(merge, snapshot, rts, end.map(|e| e.to_vec())),
-        })
-    }
-
-    // ---------------------------------------------------------- maintenance
-
-    /// Runs `f`, retrying [`Error::Transient`] failures with doubling
-    /// backoff up to `opts.transient_retries` times. Background maintenance
-    /// goes through this so one flaky write doesn't kill a compaction
-    /// thread; any other error (or exhausted retries) surfaces unchanged.
-    fn with_transient_retry<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
-        let mut attempt: u32 = 0;
-        loop {
-            match f() {
-                Err(e) if e.is_transient() && attempt < self.opts.transient_retries => {
-                    attempt += 1;
-                    std::thread::sleep(Duration::from_millis(1u64 << attempt.min(6)));
-                }
-                other => return other,
-            }
-        }
-    }
-
-    fn drain_maintenance(&self) -> Result<()> {
-        loop {
-            if self.with_transient_retry(|| self.try_flush_one())? {
-                continue;
-            }
-            if self.with_transient_retry(|| self.try_compact_one())? {
-                continue;
-            }
-            return Ok(());
-        }
-    }
-
-    fn worker_loop(self: Arc<Self>) {
-        loop {
-            if self.shutdown.load(Ordering::Acquire) {
-                return;
-            }
-            let did = (|| -> Result<bool> {
-                Ok(self.with_transient_retry(|| self.try_flush_one())?
-                    || self.with_transient_retry(|| self.try_compact_one())?)
-            })();
-            match did {
-                Ok(true) => continue,
-                Ok(false) => {
-                    let mut flag = self.work_mx.lock();
-                    if !*flag {
-                        self.work_cv.wait_for(&mut flag, Duration::from_millis(20));
-                    }
-                    *flag = false;
-                }
-                Err(e) => {
-                    self.bg_error.lock().get_or_insert(e.to_string());
-                    self.notify_progress();
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Filter budget (bits/key) for a table landing at `level`.
-    fn bits_for_level(&self, version: &Version, level: usize) -> f64 {
-        if !self.opts.monkey_filters {
-            return self.opts.filter_bits_per_key;
-        }
-        let mut entries = version.entries_per_level();
-        while entries.len() <= level {
-            entries.push(0);
-        }
-        // Budget follows the classical total: bits/key times total entries.
-        let total: u64 = entries.iter().sum();
-        if total == 0 {
-            return self.opts.filter_bits_per_key;
-        }
-        let alloc =
-            lsm_filters::monkey::allocate(&entries, self.opts.filter_bits_per_key * total as f64);
-        alloc.get(level).copied().unwrap_or(0.0)
-    }
-
-    fn try_flush_one(&self) -> Result<bool> {
-        // Claim the oldest immutable memtable not already being flushed.
-        let handle = {
-            let mem = self.mem.read();
-            let mut sched = self.sched.lock();
-            let candidate = mem
-                .immutables
-                .iter()
-                .find(|h| !sched.flushing.contains(&h.id))
-                .cloned();
-            match candidate {
-                Some(h) => {
-                    sched.flushing.insert(h.id);
-                    h
-                }
-                None => return Ok(false),
-            }
-        };
-
-        let result = self.flush_handle(&handle);
-        self.sched.lock().flushing.remove(&handle.id);
-        self.notify_progress();
-        result?;
-        self.kick_work();
-        Ok(true)
-    }
-
-    fn flush_handle(&self, handle: &Arc<MemHandle>) -> Result<()> {
-        let _t = self.obs.timer(HistKind::Flush);
-        let entries = handle.table.sorted_entries();
-        self.obs.emit(
-            EventKind::FlushStart,
-            Some(0),
-            handle.table.approximate_size() as u64,
-            handle.id,
-        );
-        let mut flushed_bytes: u64 = 0;
-        let new_run = if entries.is_empty() {
-            None
-        } else {
-            let version = self.current.lock().clone();
-            let bits = self.bits_for_level(&version, 0);
-            let mut builder = TableBuilder::new(self.opts.table_options(bits));
-            let mut it = VecEntryIter::new(entries);
-            use lsm_sstable::EntryIter;
-            while let Some(e) = it.next_entry()? {
-                builder.add(&e)?;
-            }
-            let (file, _) = builder.finish(self.backend.as_ref())?;
-            let bytes = self.backend.len(file)?;
-            self.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
-            flushed_bytes = bytes;
-            let table = Table::open(self.backend.clone(), file, self.cache.clone())?;
-            Some(Run::new(vec![table]))
-        };
-
-        // Commit in memtable order: wait until this handle is the oldest
-        // remaining immutable so L0 runs stay recency-sorted. The front
-        // check is re-done under `stall_mx` (progress notifications are
-        // sent under the same lock) so a concurrent commit cannot slip
-        // between the check and the wait. Waiting is only sound while some
-        // other thread is responsible for the front handle: claiming is
-        // oldest-first, so a front that is neither ours nor in
-        // `sched.flushing` means its flusher failed and released the claim
-        // — parking would then wait forever. Abort with a transient error
-        // instead; the retry in the caller re-claims the front handle and
-        // either flushes it or surfaces its real error. (The table blob
-        // already written for this handle becomes an orphan, removed by
-        // `clean_orphans` on reopen.)
-        loop {
-            let mut guard = self.stall_mx.lock();
-            let front = self.mem.read().immutables.front().map(|h| h.id);
-            if front == Some(handle.id) {
-                break;
-            }
-            let front_claimed = front.is_some_and(|id| self.sched.lock().flushing.contains(&id));
-            if !front_claimed {
-                return Err(Error::Transient(
-                    "flush of an older memtable failed; retry from the front".into(),
-                ));
-            }
-            self.stall_cv
-                .wait_for(&mut guard, Duration::from_millis(20));
-        }
-
-        {
-            let mut current = self.current.lock();
-            if let Some(run) = new_run {
-                let edit = VersionEdit {
-                    add_runs: vec![(0, run)],
-                    ..Default::default()
-                };
-                *current = Arc::new(edit.apply(current.as_ref()));
-            }
-            let mut mem = self.mem.write();
-            let popped = mem.immutables.pop_front();
-            debug_assert_eq!(popped.map(|h| h.id), Some(handle.id));
-        }
-        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
-        // Persist the manifest (which now references the new table and no
-        // longer lists this memtable's WAL) *before* deleting the WAL — a
-        // crash between the two leaves an orphan segment (cleaned up on
-        // reopen), never a manifest pointing at a missing one.
-        self.save_manifest()?;
-        if let Some(wal_id) = handle.wal {
-            match self.backend.delete(wal_id) {
-                Ok(()) | Err(Error::NotFound(_)) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        self.obs
-            .emit(EventKind::FlushEnd, Some(0), flushed_bytes, handle.id);
-        self.notify_progress();
-        Ok(())
-    }
-
-    /// In-place bottom-level delete compactions are only safe (and only
-    /// guaranteed to make progress) when nothing can block the purge.
-    fn bottom_ok(&self) -> bool {
-        let snapshots_empty = self.snapshots.lock().is_empty();
-        let mem = self.mem.read();
-        snapshots_empty && mem.active.table.is_empty() && mem.immutables.is_empty()
-    }
-
-    fn next_plan(&self) -> Option<CompactionPlan> {
-        let version = self.current.lock().clone();
-        let bottom_ok = self.bottom_ok();
-        let sched = self.sched.lock();
-        let desc = version.describe();
-        let now = self.clock.load(Ordering::Acquire);
-        plan_observed(
-            &desc,
-            &self.opts.compaction,
-            now,
-            &sched.cursors,
-            bottom_ok,
-            &self.obs,
-        )
-    }
-
-    fn try_compact_one(&self) -> Result<bool> {
-        // Plan under the scheduler lock so busy levels are respected.
-        let (version, task) = {
-            let version = self.current.lock().clone();
-            let bottom_ok = self.bottom_ok();
-            let mut sched = self.sched.lock();
-            let desc = version.describe();
-            let now = self.clock.load(Ordering::Acquire);
-            let Some(task) = plan_observed(
-                &desc,
-                &self.opts.compaction,
-                now,
-                &sched.cursors,
-                bottom_ok,
-                &self.obs,
-            ) else {
-                return Ok(false);
-            };
-            if sched.busy_levels.contains(&task.src_level)
-                || sched.busy_levels.contains(&task.dst_level)
-            {
-                return Ok(false);
-            }
-            sched.busy_levels.insert(task.src_level);
-            sched.busy_levels.insert(task.dst_level);
-            (version, task)
-        };
-
-        let result = self.run_compaction(&version, &task);
-        {
-            let mut sched = self.sched.lock();
-            sched.busy_levels.remove(&task.src_level);
-            sched.busy_levels.remove(&task.dst_level);
-        }
-        self.notify_progress();
-        result?;
-        self.kick_work();
-        Ok(true)
-    }
-
-    fn run_compaction(&self, version: &Arc<Version>, task: &CompactionPlan) -> Result<()> {
-        let _t = self.obs.timer(HistKind::Compaction);
-        self.obs.emit(
-            EventKind::CompactionStart,
-            Some(task.src_level as u32),
-            0,
-            task.dst_level as u64,
-        );
-        let snapshots: Vec<SeqNo> = self.snapshots.lock().keys().copied().collect();
-        let bits = self.bits_for_level(version, task.dst_level);
-        let mem_nonempty = {
-            let mem = self.mem.read();
-            !mem.active.table.is_empty() || !mem.immutables.is_empty()
-        };
-        let outcome = execute_plan(
-            &self.backend,
-            self.cache.as_ref(),
-            version,
-            task,
-            &self.opts,
-            bits,
-            &snapshots,
-            mem_nonempty,
-        )?;
-
-        // Install.
-        let consumed: Vec<u64> = task
-            .src_tables
-            .iter()
-            .chain(task.dst_tables.iter())
-            .copied()
-            .collect();
-        {
-            let mut current = self.current.lock();
-            let mut edit = VersionEdit {
-                remove: consumed.iter().copied().collect(),
-                ..Default::default()
-            };
-            if !outcome.new_tables.is_empty() {
-                if task.dst_append {
-                    edit.add_runs
-                        .push((task.dst_level, Run::new(outcome.new_tables.clone())));
-                } else {
-                    edit.merge_into_run = Some((task.dst_level, outcome.new_tables.clone()));
-                }
-            }
-            // Mark inputs obsolete (deleted when the last reader drops).
-            for t in current.as_ref().all_tables() {
-                if edit.remove.contains(&t.file_id()) {
-                    t.mark_obsolete();
-                }
-            }
-            *current = Arc::new(edit.apply(current.as_ref()));
-        }
-
-        // Round-robin cursor: remember how far into the key space this
-        // level has been compacted.
-        if self.opts.compaction.pick == PickPolicy::RoundRobin
-            && self.opts.compaction.granularity == Granularity::File
-        {
-            let max_key = version
-                .levels
-                .get(task.src_level)
-                .into_iter()
-                .flat_map(|runs| runs.iter())
-                .flat_map(|r| r.tables.iter())
-                .filter(|t| task.src_tables.contains(&t.file_id()))
-                .map(|t| t.meta().key_range.max.as_bytes().to_vec())
-                .max();
-            let mut sched = self.sched.lock();
-            while sched.cursors.len() <= task.src_level {
-                sched.cursors.push(None);
-            }
-            sched.cursors[task.src_level] = max_key;
-        }
-
-        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .compact_bytes_read
-            .fetch_add(outcome.bytes_read, Ordering::Relaxed);
-        self.stats
-            .compact_bytes_written
-            .fetch_add(outcome.bytes_written, Ordering::Relaxed);
-        self.stats
-            .gc_dropped_entries
-            .fetch_add(outcome.dropped_entries, Ordering::Relaxed);
-        self.stats
-            .tombstones_purged
-            .fetch_add(outcome.tombstones_purged, Ordering::Relaxed);
-        self.obs.emit(
-            EventKind::CompactionEnd,
-            Some(task.src_level as u32),
-            outcome.bytes_written,
-            task.dst_level as u64,
-        );
-        self.save_manifest()?;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------- manifest
-
-    fn build_manifest(&self) -> Manifest {
-        let version = self.current.lock().clone();
-        let mem = self.mem.read();
-        self.manifest_from(&version, &mem)
-    }
-
-    /// Builds the manifest from already-locked state, for callers (the
-    /// freezer) that must persist it while still holding `mem`.
-    fn manifest_from(&self, version: &Version, mem: &MemState) -> Manifest {
-        let mut wal_segments = Vec::new();
-        for h in &mem.immutables {
-            if let Some(id) = h.wal {
-                wal_segments.push(id);
-            }
-        }
-        if let Some(id) = mem.active.wal {
-            wal_segments.push(id);
-        }
-        Manifest {
-            next_seqno: self.seqno.load(Ordering::Acquire),
-            next_ts: self.clock.load(Ordering::Acquire),
-            levels: version
-                .levels
-                .iter()
-                .map(|level| {
-                    level
-                        .iter()
-                        .map(|run| run.tables.iter().map(|t| t.file_id()).collect())
-                        .collect()
-                })
-                .collect(),
-            wal_segments,
-        }
-    }
-
-    fn save_manifest(&self) -> Result<()> {
-        if self.persist_manifest {
-            // Build + persist are one unit under the manifest ticket:
-            // without it, a save built before a concurrent freeze could
-            // land after the freezer's save and erase the fresh WAL
-            // segment from the manifest, losing acknowledged writes on
-            // the next recovery.
-            let _ticket = self.manifest_mx.lock();
-            let bytes = self.build_manifest().encode();
-            // lsm-lint: allow(io-under-lock)
-            self.backend.put_meta(MANIFEST_META, &bytes)?;
-        }
-        Ok(())
-    }
-
-    /// See [`Db::clean_orphans`].
-    fn clean_orphans(&self, protected: &[FileId]) -> Result<usize> {
-        let mut referenced: HashSet<FileId> = self.build_manifest().references().collect();
-        referenced.extend(protected.iter().copied());
-        let mut removed = 0;
-        for id in self.backend.list_files() {
-            if referenced.contains(&id) {
-                continue;
-            }
-            match self.backend.delete(id) {
-                Ok(()) => removed += 1,
-                // Someone else (a dropped obsolete table) beat us to it.
-                Err(Error::NotFound(_)) => {}
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(removed)
     }
 }

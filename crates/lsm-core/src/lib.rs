@@ -29,10 +29,12 @@
 
 mod compact;
 mod db;
+mod engine;
 mod manifest;
 mod metrics;
 mod options;
 mod scan;
+mod sharded;
 mod stats;
 mod version;
 
@@ -41,6 +43,7 @@ pub use db::{
 };
 pub use metrics::MetricsSnapshot;
 pub use options::Options;
+pub use sharded::{Partitioning, ShardedDb, ShardedDbBuilder};
 pub use stats::{DbStats, StatsSnapshot};
 pub use version::{Run, Version};
 

@@ -51,6 +51,27 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Accumulates `other` into `self`: counters and histogram buckets
+    /// add, level gauges add index-wise (total resident structure across
+    /// shards), and the cache column survives only if every merged
+    /// snapshot carries one. Used by
+    /// [`ShardedDb::metrics`](crate::ShardedDb::metrics) to present N
+    /// shard engines as one surface.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.db.merge(&other.db);
+        self.io.merge(&other.io);
+        self.cache = match (self.cache.as_ref(), other.cache.as_ref()) {
+            (Some(a), Some(b)) => {
+                let mut c = *a;
+                c.merge(b);
+                Some(c)
+            }
+            _ => None,
+        };
+        self.latency.merge(&other.latency);
+        lsm_obs::merge_level_gauges(&mut self.levels, &other.levels);
+    }
+
     /// Write amplification: physical bytes written per user byte ingested.
     pub fn write_amplification(&self) -> f64 {
         self.db.write_amplification()

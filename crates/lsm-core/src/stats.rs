@@ -138,6 +138,29 @@ impl StatsSnapshot {
             group_commits: self.group_commits - earlier.group_commits,
         }
     }
+
+    /// Accumulates `other` into `self` (aggregating per-shard engines into
+    /// one router-wide view; every field is a sum-friendly counter).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.deletes += other.deletes;
+        self.scans += other.scans;
+        self.user_bytes += other.user_bytes;
+        self.flushes += other.flushes;
+        self.flush_bytes += other.flush_bytes;
+        self.compactions += other.compactions;
+        self.compact_bytes_read += other.compact_bytes_read;
+        self.compact_bytes_written += other.compact_bytes_written;
+        self.stall_count += other.stall_count;
+        self.stall_nanos += other.stall_nanos;
+        self.idle_waits += other.idle_waits;
+        self.gc_dropped_entries += other.gc_dropped_entries;
+        self.tombstones_purged += other.tombstones_purged;
+        self.wal_appends += other.wal_appends;
+        self.wal_syncs += other.wal_syncs;
+        self.group_commits += other.group_commits;
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,8 @@
 //! Public-API golden test: pins the exported `Db` / `DbBuilder` /
-//! `WriteBatch` / `WriteOptions` surface so future breakage is deliberate.
+//! `WriteBatch` / `WriteOptions` surface — and the sharded mirror
+//! (`ShardedDb` / `ShardedDbBuilder` / `Partitioning`) — so future
+//! breakage is deliberate. The `Engine` extracted from `Db` is
+//! crate-private by design and must never appear here.
 //!
 //! Every binding below is a compile-time assertion — a function-pointer
 //! type ascription fails to compile the moment a signature drifts, a
@@ -14,8 +17,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lsm_core::{
-    Db, DbBuilder, DbScanIter, MetricsSnapshot, Observability, Options, ReadView, RecoverySummary,
-    Result, SeqNo, Snapshot, Value, Version, WriteBatch, WriteOptions,
+    Db, DbBuilder, DbScanIter, MetricsSnapshot, Observability, Options, Partitioning, ReadView,
+    RecoverySummary, Result, SeqNo, ShardedDb, ShardedDbBuilder, Snapshot, Value, Version,
+    WriteBatch, WriteOptions,
 };
 use lsm_storage::{Backend, FileId};
 
@@ -69,6 +73,74 @@ fn db_read_and_maintenance_surface_is_stable() {
     let _: fn(&Snapshot) -> SeqNo = Snapshot::seqno;
     let _: fn(&Snapshot, &[u8]) -> Result<Option<Value>> = Snapshot::get;
     let _: fn(&Snapshot, &[u8], Option<&[u8]>) -> Result<DbScanIter> = Snapshot::scan;
+}
+
+#[test]
+fn db_is_a_thin_one_shard_wrapper() {
+    // The engine refactor's contract: `Db` carries exactly a shared engine
+    // handle plus the worker-thread registry — nothing else. Any state
+    // added to `Db` (rather than the crate-private `Engine`) would be
+    // state the sharded router silently lacks, so this size pin fails the
+    // moment a field lands in the wrapper instead of the engine.
+    assert_eq!(
+        std::mem::size_of::<Db>(),
+        std::mem::size_of::<Arc<()>>()
+            + std::mem::size_of::<lsm_sync::OrderedMutex<Vec<std::thread::JoinHandle<()>>>>(),
+        "Db must stay a thin wrapper: Arc<Engine> + worker registry"
+    );
+}
+
+#[test]
+fn sharded_construction_surface_is_stable() {
+    let _: fn() -> ShardedDbBuilder = ShardedDb::builder;
+    let _: fn(ShardedDbBuilder, usize) -> ShardedDbBuilder = ShardedDbBuilder::shards;
+    let _: fn(ShardedDbBuilder, Partitioning) -> ShardedDbBuilder = ShardedDbBuilder::partitioning;
+    let _: fn(ShardedDbBuilder, PathBuf) -> ShardedDbBuilder = ShardedDbBuilder::dir;
+    let _: fn(ShardedDbBuilder, Vec<Arc<dyn Backend>>) -> ShardedDbBuilder =
+        ShardedDbBuilder::backends;
+    let _: fn(ShardedDbBuilder, Options) -> ShardedDbBuilder = ShardedDbBuilder::options;
+    let _: fn(ShardedDbBuilder, bool) -> ShardedDbBuilder = ShardedDbBuilder::persist_manifest;
+    let _: fn(ShardedDbBuilder, bool) -> ShardedDbBuilder = ShardedDbBuilder::recover;
+    let _: fn(ShardedDbBuilder, bool) -> ShardedDbBuilder = ShardedDbBuilder::clean_orphans;
+    let _: fn(ShardedDbBuilder, Observability) -> ShardedDbBuilder = ShardedDbBuilder::obs;
+    let _: fn(ShardedDbBuilder) -> Result<ShardedDb> = ShardedDbBuilder::open;
+
+    // `Partitioning` is matched exhaustively: a new variant (or a changed
+    // payload) must update this file.
+    fn _partitioning_is_exhaustive(p: &Partitioning) {
+        match p {
+            Partitioning::Hash => {}
+            Partitioning::Range { split_points: _ } => {}
+        }
+    }
+}
+
+#[test]
+fn sharded_db_surface_mirrors_db() {
+    let _: fn(&ShardedDb, &[u8], &[u8]) -> Result<()> = ShardedDb::put;
+    let _: fn(&ShardedDb, &[u8], &[u8], &WriteOptions) -> Result<()> = ShardedDb::put_opt;
+    let _: fn(&ShardedDb, &[u8]) -> Result<()> = ShardedDb::delete;
+    let _: fn(&ShardedDb, &[u8], &WriteOptions) -> Result<()> = ShardedDb::delete_opt;
+    let _: fn(&ShardedDb, &[u8]) -> Result<()> = ShardedDb::single_delete;
+    let _: fn(&ShardedDb, &[u8], &[u8]) -> Result<()> = ShardedDb::delete_range;
+    let _: fn(&ShardedDb, WriteBatch) -> Result<()> = ShardedDb::write;
+    let _: fn(&ShardedDb, WriteBatch, &WriteOptions) -> Result<()> = ShardedDb::write_opt;
+    let _: fn(&ShardedDb, &[u8]) -> Result<Option<Value>> = ShardedDb::get;
+    let _: fn(&ShardedDb, &[u8], Option<&[u8]>) -> Result<DbScanIter> = ShardedDb::scan;
+    let _: fn(&ShardedDb) -> Result<()> = ShardedDb::maintain;
+    let _: fn(&ShardedDb) -> Result<()> = ShardedDb::wait_idle;
+    let _: fn(&ShardedDb) -> Result<()> = ShardedDb::flush;
+    let _: fn(&ShardedDb) -> MetricsSnapshot = ShardedDb::metrics;
+    let _: fn(&ShardedDb, usize) -> MetricsSnapshot = ShardedDb::shard_metrics;
+    let _: fn(&ShardedDb) -> usize = ShardedDb::num_shards;
+    let _: fn(&ShardedDb, &[u8]) -> usize = ShardedDb::shard_of;
+    let _: fn(&ShardedDb, usize) -> &Db = ShardedDb::shard;
+    let _: fn(&ShardedDb) -> &Partitioning = ShardedDb::partitioning;
+    let _: fn(&ShardedDb) -> usize = ShardedDb::records_discarded;
+
+    // The router is a `ReadView` like `Db` and `Snapshot`.
+    let _: fn(&ShardedDb, &[u8]) -> Result<Option<Value>> = <ShardedDb as ReadView>::get;
+    let _: fn(&ShardedDb) -> SeqNo = <ShardedDb as ReadView>::seqno;
 }
 
 #[test]

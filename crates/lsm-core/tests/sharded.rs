@@ -1,0 +1,359 @@
+//! Integration tests for [`ShardedDb`]: routing, per-shard durability
+//! isolation, merged scans, cross-shard batch atomicity across reopen, and
+//! builder validation.
+
+use std::sync::Arc;
+
+use lsm_core::{
+    Options, Partitioning, ReadView, ShardedDb, ShardedDbBuilder, WriteBatch, WriteOptions,
+};
+use lsm_storage::{Backend, FaultBackend, MemBackend};
+
+fn walled() -> Options {
+    Options {
+        write_buffer_bytes: 64 << 10,
+        table_target_bytes: 64 << 10,
+        wal: true,
+        wal_sync: false,
+        block_cache_bytes: 0,
+        ..Options::default()
+    }
+}
+
+fn range_3() -> Partitioning {
+    Partitioning::Range {
+        split_points: vec![b"h".to_vec(), b"t".to_vec()],
+    }
+}
+
+#[test]
+fn hash_sharding_routes_and_reads_back() {
+    let db = ShardedDb::builder()
+        .shards(4)
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    assert_eq!(db.num_shards(), 4);
+    for i in 0..100u32 {
+        let k = format!("key-{i:03}");
+        db.put(k.as_bytes(), k.as_bytes()).unwrap();
+    }
+    for i in 0..100u32 {
+        let k = format!("key-{i:03}");
+        assert_eq!(db.get(k.as_bytes()).unwrap().as_deref(), Some(k.as_bytes()));
+    }
+    // Every shard should own some of 100 hashed keys.
+    for s in 0..4 {
+        assert!(
+            db.shard_metrics(s).db.puts > 0,
+            "hash partitioning left shard {s} empty"
+        );
+    }
+    // Aggregated counters see all 100 puts.
+    assert_eq!(db.metrics().db.puts, 100);
+}
+
+#[test]
+fn merged_scan_is_globally_ordered() {
+    let db = ShardedDb::builder()
+        .shards(3)
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    for i in (0..60u32).rev() {
+        let k = format!("k{i:02}");
+        db.put(k.as_bytes(), b"v").unwrap();
+    }
+    let keys: Vec<Vec<u8>> = db
+        .scan(b"", None)
+        .unwrap()
+        .map(|r| r.unwrap().0.as_bytes().to_vec())
+        .collect();
+    assert_eq!(keys.len(), 60);
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "scan out of order");
+    // Bounded scan stays bounded across the merge.
+    let bounded: Vec<_> = db
+        .scan(b"k10", Some(b"k20"))
+        .unwrap()
+        .map(|r| r.unwrap().0.as_bytes().to_vec())
+        .collect();
+    assert_eq!(bounded.len(), 10);
+    assert_eq!(bounded.first().map(|k| k.as_slice()), Some(&b"k10"[..]));
+}
+
+#[test]
+fn range_partitioning_places_keys_on_owning_shards() {
+    let db = ShardedDb::builder()
+        .shards(3)
+        .partitioning(range_3())
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    assert_eq!(db.shard_of(b"apple"), 0);
+    assert_eq!(db.shard_of(b"h"), 1); // split key belongs to the right side
+    assert_eq!(db.shard_of(b"melon"), 1);
+    assert_eq!(db.shard_of(b"zebra"), 2);
+    db.put(b"apple", b"1").unwrap();
+    db.put(b"melon", b"2").unwrap();
+    db.put(b"zebra", b"3").unwrap();
+    // The owning shard (and only it) holds each key.
+    assert_eq!(
+        db.shard(0).get(b"apple").unwrap().as_deref(),
+        Some(&b"1"[..])
+    );
+    assert_eq!(db.shard(1).get(b"apple").unwrap(), None);
+    assert_eq!(
+        db.shard(1).get(b"melon").unwrap().as_deref(),
+        Some(&b"2"[..])
+    );
+    assert_eq!(
+        db.shard(2).get(b"zebra").unwrap().as_deref(),
+        Some(&b"3"[..])
+    );
+}
+
+#[test]
+fn range_delete_range_touches_only_intersecting_shards() {
+    let db = ShardedDb::builder()
+        .shards(3)
+        .partitioning(range_3())
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    db.put(b"a", b"1").unwrap();
+    db.put(b"m", b"2").unwrap();
+    db.put(b"z", b"3").unwrap();
+    let before = db.shard_metrics(2).db.deletes;
+    // [b, n) intersects shards 0 and 1 only.
+    db.delete_range(b"b", b"n").unwrap();
+    assert_eq!(db.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+    assert_eq!(db.get(b"m").unwrap(), None);
+    assert_eq!(db.get(b"z").unwrap().as_deref(), Some(&b"3"[..]));
+    assert_eq!(
+        db.shard_metrics(2).db.deletes,
+        before,
+        "shard 2 does not intersect [b, n) and must see no tombstone"
+    );
+}
+
+#[test]
+fn hash_delete_range_broadcasts_and_deletes() {
+    let db = ShardedDb::builder()
+        .shards(4)
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    for i in 0..40u32 {
+        let k = format!("dr{i:02}");
+        db.put(k.as_bytes(), b"v").unwrap();
+    }
+    db.delete_range(b"dr10", b"dr30").unwrap();
+    let live = db.scan(b"dr", None).unwrap().count();
+    assert_eq!(live, 20);
+}
+
+/// Satellite: per-write durability options route to the owning shard
+/// alone — `no_wal` traffic on shard 0 neither appends nor syncs there,
+/// while an explicit-sync write on shard 1 syncs only shard 1.
+#[test]
+fn no_wal_on_one_shard_does_not_sync_another() {
+    let db = ShardedDb::builder()
+        .shards(2)
+        .partitioning(Partitioning::Range {
+            split_points: vec![b"m".to_vec()],
+        })
+        .options(walled())
+        .open()
+        .unwrap();
+    // Shard 0 gets WAL-less writes.
+    let no_wal = WriteOptions {
+        sync: None,
+        no_wal: true,
+    };
+    for i in 0..20u32 {
+        let k = format!("a{i:02}");
+        db.put_opt(k.as_bytes(), b"v", &no_wal).unwrap();
+    }
+    // Shard 1 gets explicitly synced writes.
+    let synced = WriteOptions {
+        sync: Some(true),
+        no_wal: false,
+    };
+    for i in 0..20u32 {
+        let k = format!("z{i:02}");
+        db.put_opt(k.as_bytes(), b"v", &synced).unwrap();
+    }
+    let s0 = db.shard_metrics(0).db;
+    let s1 = db.shard_metrics(1).db;
+    assert_eq!(s0.puts, 20);
+    assert_eq!(s1.puts, 20);
+    assert_eq!(
+        s0.wal_appends, 0,
+        "no_wal writes must not append on shard 0"
+    );
+    assert_eq!(s0.wal_syncs, 0, "shard 1's syncs must not leak to shard 0");
+    assert!(s1.wal_appends > 0);
+    assert!(s1.wal_syncs > 0, "explicit sync must reach shard 1's WAL");
+}
+
+#[test]
+fn multi_shard_batch_is_atomic_across_reopen() {
+    let backends: Vec<Arc<dyn Backend>> = (0..3)
+        .map(|_| Arc::new(MemBackend::new()) as Arc<dyn Backend>)
+        .collect();
+    let open = |backends: Vec<Arc<dyn Backend>>| {
+        ShardedDb::builder()
+            .shards(3)
+            .partitioning(range_3())
+            .options(walled())
+            .backends(backends)
+            .persist_manifest(true)
+            .recover(true)
+            .open()
+    };
+    let db = open(backends.clone()).unwrap();
+    db.put(b"before", b"1").unwrap();
+    let mut batch = WriteBatch::new();
+    batch.put(b"alpha", b"A"); // shard 0
+    batch.put(b"mid", b"M"); // shard 1
+    batch.put(b"zulu", b"Z"); // shard 2
+    db.write(batch).unwrap();
+    assert_eq!(db.get(b"mid").unwrap().as_deref(), Some(&b"M"[..]));
+    drop(db);
+
+    let db = open(backends).unwrap();
+    assert_eq!(db.records_discarded(), 0, "committed epoch must be kept");
+    assert_eq!(db.get(b"before").unwrap().as_deref(), Some(&b"1"[..]));
+    assert_eq!(db.get(b"alpha").unwrap().as_deref(), Some(&b"A"[..]));
+    assert_eq!(db.get(b"mid").unwrap().as_deref(), Some(&b"M"[..]));
+    assert_eq!(db.get(b"zulu").unwrap().as_deref(), Some(&b"Z"[..]));
+    // Survivors were re-logged untagged; a second reopen changes nothing.
+    let seq = ReadView::seqno(&db);
+    assert!(seq > 0);
+}
+
+/// A multi-shard batch whose COMMIT record never lands is discarded whole
+/// on reopen, and the involved shards are poisoned against further writes
+/// (which could otherwise flush the orphaned entries into SSTs).
+#[test]
+fn uncommitted_epoch_is_discarded_on_reopen() {
+    let faults: Vec<Arc<FaultBackend>> = (0..3)
+        .map(|_| Arc::new(FaultBackend::new(Arc::new(MemBackend::new()))))
+        .collect();
+    let backends: Vec<Arc<dyn Backend>> = faults
+        .iter()
+        .map(|f| Arc::clone(f) as Arc<dyn Backend>)
+        .collect();
+    let open = |backends: Vec<Arc<dyn Backend>>| {
+        ShardedDb::builder()
+            .shards(3)
+            .partitioning(range_3())
+            .options(walled())
+            .backends(backends)
+            .persist_manifest(true)
+            .recover(true)
+            .open()
+    };
+    let db = open(backends.clone()).unwrap();
+    db.put(b"keepme", b"1").unwrap(); // shard 1, plain write
+
+    // The coordinator (shard 0's backend) now refuses writes: sub-commits
+    // on shards 1 and 2 succeed, the COMMIT record fails.
+    faults[0].fail_writes_permanently(true);
+    let mut batch = WriteBatch::new();
+    batch.put(b"mango", b"M"); // shard 1
+    batch.put(b"zebra", b"Z"); // shard 2
+    let err = db.write(batch);
+    assert!(err.is_err(), "COMMIT-record failure must fail the batch");
+    // Applied-but-uncommitted entries are live until crash...
+    assert_eq!(db.get(b"mango").unwrap().as_deref(), Some(&b"M"[..]));
+    // ...and the involved shards refuse further writes (poisoned), so the
+    // orphaned entries can never reach an SST.
+    assert!(db.put(b"moon", b"x").is_err(), "shard 1 must be poisoned");
+    drop(db);
+
+    faults[0].fail_writes_permanently(false);
+    let db = open(backends).unwrap();
+    assert_eq!(
+        db.records_discarded(),
+        2,
+        "both sub-batches of the uncommitted epoch must be discarded"
+    );
+    assert_eq!(db.get(b"keepme").unwrap().as_deref(), Some(&b"1"[..]));
+    assert_eq!(db.get(b"mango").unwrap(), None, "all-or-none: none");
+    assert_eq!(db.get(b"zebra").unwrap(), None, "all-or-none: none");
+}
+
+#[test]
+fn builder_validation_rejects_bad_configs() {
+    assert!(ShardedDb::builder().shards(0).open().is_err());
+    // Wrong split count.
+    assert!(ShardedDb::builder()
+        .shards(3)
+        .partitioning(Partitioning::Range {
+            split_points: vec![b"h".to_vec()],
+        })
+        .open()
+        .is_err());
+    // Non-ascending splits.
+    assert!(ShardedDb::builder()
+        .shards(3)
+        .partitioning(Partitioning::Range {
+            split_points: vec![b"t".to_vec(), b"h".to_vec()],
+        })
+        .open()
+        .is_err());
+    // Backend count mismatch.
+    assert!(ShardedDb::builder()
+        .shards(2)
+        .backends(vec![Arc::new(MemBackend::new()) as Arc<dyn Backend>])
+        .open()
+        .is_err());
+}
+
+#[test]
+fn reopen_rejects_changed_shard_config() {
+    let backends: Vec<Arc<dyn Backend>> = (0..2)
+        .map(|_| Arc::new(MemBackend::new()) as Arc<dyn Backend>)
+        .collect();
+    let db = ShardedDb::builder()
+        .shards(2)
+        .options(walled())
+        .backends(backends.clone())
+        .persist_manifest(true)
+        .recover(true)
+        .open()
+        .unwrap();
+    db.put(b"k", b"v").unwrap();
+    drop(db);
+    // Same backends, different partitioning: refused.
+    let err = ShardedDb::builder()
+        .shards(2)
+        .partitioning(Partitioning::Range {
+            split_points: vec![b"m".to_vec()],
+        })
+        .options(walled())
+        .backends(backends)
+        .persist_manifest(true)
+        .recover(true)
+        .open();
+    assert!(
+        err.is_err(),
+        "partitioning change on reopen must be refused"
+    );
+}
+
+#[test]
+fn sharded_builder_default_is_one_shard() {
+    let db = ShardedDbBuilder::default()
+        .options(Options::small_for_benchmarks())
+        .open()
+        .unwrap();
+    assert_eq!(db.num_shards(), 1);
+    db.put(b"k", b"v").unwrap();
+    // One shard: every batch takes the single-shard fast path.
+    let mut batch = WriteBatch::new();
+    batch.put(b"a", b"1").put(b"b", b"2");
+    db.write(batch).unwrap();
+    assert_eq!(db.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+}

@@ -32,6 +32,26 @@ pub fn estimated_read_amp(levels: &[LevelGauge]) -> u64 {
     levels.iter().map(|l| l.runs).sum()
 }
 
+/// Accumulates `other`'s per-level shape into `acc` index-wise, extending
+/// `acc` when `other` is deeper. Used to aggregate the level gauges of
+/// several shard engines into one fleet-wide tree view: files, bytes, and
+/// runs add per level (a routed point lookup probes only its own shard, so
+/// the *aggregate* runs column overstates per-lookup read amplification —
+/// it describes total resident structure, not a single probe path).
+pub fn merge_level_gauges(acc: &mut Vec<LevelGauge>, other: &[LevelGauge]) {
+    for (i, o) in other.iter().enumerate() {
+        if acc.len() <= i {
+            acc.push(LevelGauge {
+                level: o.level,
+                ..LevelGauge::default()
+            });
+        }
+        acc[i].files += o.files;
+        acc[i].bytes += o.bytes;
+        acc[i].runs += o.runs;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ pub use event::{
     current_tid, fault, fault_name, recovery_phase, recovery_phase_name, to_chrome_trace, to_jsonl,
     Event, EventKind, EventRing,
 };
-pub use gauge::{estimated_read_amp, LevelGauge};
+pub use gauge::{estimated_read_amp, merge_level_gauges, LevelGauge};
 pub use hist::{HistSnapshot, Histogram, NUM_BUCKETS, SUB_BUCKETS};
 
 use std::sync::Arc;
@@ -133,9 +133,12 @@ impl HistKind {
 /// Sampling period for the foreground-operation histograms: one in this
 /// many get/put/delete/scan calls is timed, recorded with this weight so
 /// bucket counts still estimate true operation counts (see
-/// [`Histogram::record_weighted`]). Chosen so the recording tax on a
-/// ~400 ns vector-memtable put stays a few percent even where reading the
-/// clock costs tens of nanoseconds (virtualized TSC).
+/// [`Histogram::record_weighted`]). The commit pipeline's per-commit
+/// bookkeeping (group size/wait/commit) samples at the same rate via
+/// [`ObsHandle::fg_sample_weight`] — an uncontended commit is the same
+/// sub-microsecond scale as the put it carries. Chosen so the recording
+/// tax on a ~400 ns vector-memtable put stays a few percent even where
+/// reading the clock costs tens of nanoseconds (virtualized TSC).
 pub const FG_SAMPLE: u64 = 16;
 
 thread_local! {
@@ -253,6 +256,31 @@ impl ObsHandle {
     pub fn record(&self, kind: HistKind, nanos: u64) {
         if self.inner.enabled {
             self.inner.hists[kind as usize].record(nanos);
+        }
+    }
+
+    /// One 1-in-[`FG_SAMPLE`] decision for a whole piece of per-commit
+    /// bookkeeping: `Some(weight)` when this call should record (pass the
+    /// weight to [`ObsHandle::record_weighted`]), `None` otherwise — and
+    /// always `None` when disabled. Letting the caller branch once means
+    /// unsampled commits skip not just the histogram writes but the
+    /// timestamp reads that would feed them.
+    #[inline]
+    pub fn fg_sample_weight(&self) -> Option<u64> {
+        if self.inner.enabled && fg_sample_due() {
+            Some(FG_SAMPLE)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observed sample standing in for `weight` calls (pairs
+    /// with [`ObsHandle::fg_sample_weight`]); quantiles are unchanged and
+    /// `count` still estimates the true call count.
+    #[inline]
+    pub fn record_weighted(&self, kind: HistKind, value: u64, weight: u64) {
+        if self.inner.enabled {
+            self.inner.hists[kind as usize].record_weighted(value, weight);
         }
     }
 

@@ -259,6 +259,15 @@ impl Backend for MemBackend {
     }
 }
 
+/// The canonical on-disk layout of one shard of a sharded database:
+/// `<root>/shard-000`, `<root>/shard-001`, … Each shard directory holds a
+/// complete, self-contained [`FsBackend`] (its own WAL segments, tables,
+/// and manifest blob), so a single shard can also be opened standalone as
+/// a plain database for inspection.
+pub fn shard_dir(root: impl Into<PathBuf>, index: usize) -> PathBuf {
+    root.into().join(format!("shard-{index:03}"))
+}
+
 /// The same interface over real files in a directory.
 ///
 /// Each `FileId` maps to `<dir>/<id>.lsm`. Appendable files keep an open

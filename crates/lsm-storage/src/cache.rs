@@ -63,6 +63,15 @@ impl CacheStats {
             invalidations: self.invalidations - earlier.invalidations,
         }
     }
+
+    /// Accumulates `other` into `self` (aggregating per-shard caches).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 const NIL: usize = usize::MAX;

@@ -28,7 +28,7 @@ mod observe;
 mod stats;
 pub mod wal;
 
-pub use backend::{Backend, FileId, FsBackend, MemBackend};
+pub use backend::{shard_dir, Backend, FileId, FsBackend, MemBackend};
 // `Backend` signatures name `Bytes`; re-export it so implementors outside
 // the workspace dependency graph need not depend on the crate directly.
 pub use bytes::Bytes;

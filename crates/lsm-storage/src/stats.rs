@@ -126,6 +126,19 @@ impl IoSnapshot {
             files_deleted: self.files_deleted - earlier.files_deleted,
         }
     }
+
+    /// Accumulates `other` into `self` (aggregating per-shard backends
+    /// into one fleet-wide I/O view).
+    pub fn merge(&mut self, other: &IoSnapshot) {
+        self.read_ops += other.read_ops;
+        self.read_pages += other.read_pages;
+        self.read_bytes += other.read_bytes;
+        self.write_ops += other.write_ops;
+        self.write_pages += other.write_pages;
+        self.write_bytes += other.write_bytes;
+        self.files_created += other.files_created;
+        self.files_deleted += other.files_deleted;
+    }
 }
 
 #[cfg(test)]

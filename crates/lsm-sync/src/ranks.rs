@@ -17,6 +17,11 @@
 
 use crate::LockRank;
 
+/// `ShardedDb` cross-shard epoch ticket. Outermost lock in the whole
+/// hierarchy: the router holds it across a multi-shard batch — coordinator
+/// epoch-log writes plus one full commit per involved shard — so it must
+/// rank below every per-engine lock those commits acquire.
+pub const SHARDED_EPOCH: LockRank = LockRank::new("sharded.epoch_mx", 80);
 /// `Db` single-writer queue ticket. Outermost engine lock: held across the
 /// whole write path (WAL append, memtable insert, freeze).
 pub const DB_WRITE: LockRank = LockRank::new("db.write_mx", 100);
@@ -66,6 +71,7 @@ pub const CACHE_SHARD: LockRank = LockRank::new("cache.shard", 300);
 /// sites against this table (by parsing this file), and the workspace-root
 /// spec test asserts `lock_order.json` agrees with it.
 pub const REGISTRY: &[(&str, LockRank)] = &[
+    ("SHARDED_EPOCH", SHARDED_EPOCH),
     ("DB_WRITE", DB_WRITE),
     ("DB_COMMIT", DB_COMMIT),
     ("DB_STALL", DB_STALL),

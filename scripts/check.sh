@@ -74,6 +74,9 @@ run_step "crash"    cargo test -q --test crash_recovery
 # Debug profile on purpose: the lsm-sync rank assertions only exist with
 # debug assertions, so this is the run that proves the lock hierarchy.
 run_step "stress"   cargo test -q --test concurrent_stress
+# Same rank-asserted stress over the sharded router: cross-shard epoch
+# commits racing per-shard writers, readers, and merged scans.
+run_step "shard-stress" cargo test -q --test shard_stress
 # Exhaustive interleaving exploration of the leader/follower commit queue
 # (vendored loom, CHESS preemption bound 2): seqno contiguity, one
 # append/sync per group, no ack before durable, no lost wakeups.

@@ -14,15 +14,18 @@
 //!
 //! [`crash_sweep`] walks crash points over the plain [`Db`];
 //! [`kv_crash_sweep`] does the same over the WiscKey-separated store,
-//! including garbage-collection crash points. Both are deterministic: one
-//! seed fixes the fault schedule *and* the workload, so a failure report
-//! (layout, seed, crash op) reproduces exactly.
+//! including garbage-collection crash points; [`sharded_crash_sweep`]
+//! power-cuts a [`ShardedDb`] mid-epoch — one shard's backend dies while a
+//! cross-shard `WriteBatch` is partially sub-committed — and asserts the
+//! epoch protocol's all-or-none promise after reopen. All sweeps are
+//! deterministic: one seed fixes the fault schedule *and* the workload, so
+//! a failure report (layout, seed, crash op) reproduces exactly.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lsm_compaction::{CompactionConfig, DataLayout};
-use lsm_core::{Db, Observability, Options};
+use lsm_core::{Db, Observability, Options, Partitioning, ShardedDb, WriteBatch};
 use lsm_obs::ObsHandle;
 use lsm_storage::{Backend, FaultBackend, MemBackend};
 use lsm_types::Value;
@@ -584,6 +587,394 @@ fn kv_crash_sweep_obs(
 
         report.crash_points_tested += 1;
         crash_op += stride;
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Sharded sweep: power cuts mid-epoch across a ShardedDb.
+// ---------------------------------------------------------------------------
+
+/// Shards in the sharded sweep. Three is the smallest count where an epoch
+/// can crash *between* sub-commits with another still pending.
+const SHARD_COUNT: usize = 3;
+
+/// One step of the deterministic sharded workload.
+#[derive(Clone, Debug)]
+pub enum ShardedOp {
+    /// Insert or overwrite one key (routed to its owning shard).
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete one key.
+    Delete(Vec<u8>),
+    /// An atomic multi-key batch whose keys span several shards.
+    Batch(Vec<(Vec<u8>, Vec<u8>)>),
+    /// Drain pending flush/compaction work on every shard.
+    Maintain,
+}
+
+/// What a (possibly interrupted) sharded workload run acknowledged.
+pub struct ShardedRunOutcome {
+    /// Key-value state built from `Ok` operations only.
+    pub model: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// The operation that errored (the crash victim), when one did.
+    pub in_flight: Option<ShardedOp>,
+}
+
+fn pad_value(tag: &str, len: usize) -> Vec<u8> {
+    let mut v = tag.as_bytes().to_vec();
+    while v.len() < len {
+        v.push(b'.');
+    }
+    v
+}
+
+/// The deterministic sharded workload: single-key traffic over three key
+/// regions (`a…`, `n…`, `x…` — distinct shards under the canonical
+/// `["h", "t"]` range split and scattered under hash), with cross-shard
+/// `WriteBatch`es mixed in. Every value embeds its op index, so pre- and
+/// post-crash states are never byte-identical and the all-or-none check
+/// cannot alias an old value for a new one.
+pub fn sharded_workload() -> Vec<ShardedOp> {
+    let regions = [b'a', b'n', b'x'];
+    let mut ops = Vec::new();
+    for i in 0..120u32 {
+        let slot = i % 14;
+        if i % 13 == 5 {
+            let region = regions[(i % 3) as usize] as char;
+            ops.push(ShardedOp::Delete(format!("{region}{slot:02}").into_bytes()));
+        } else if i % 5 == 3 {
+            // One key per region: under range partitioning the batch is
+            // guaranteed to span all three shards, so a crash inside its
+            // epoch lands between sub-commits.
+            let len = 40 + (i as usize % 4) * 24;
+            let kvs = regions
+                .iter()
+                .map(|&r| {
+                    let key = format!("{}{slot:02}", r as char).into_bytes();
+                    (key, pad_value(&format!("b{i:03}-{}", r as char), len))
+                })
+                .collect();
+            ops.push(ShardedOp::Batch(kvs));
+        } else {
+            let region = regions[(i % 3) as usize] as char;
+            let len = 56 + (i as usize % 5) * 20;
+            ops.push(ShardedOp::Put(
+                format!("{region}{slot:02}").into_bytes(),
+                pad_value(&format!("s{i:03}"), len),
+            ));
+        }
+        if i % 29 == 17 {
+            ops.push(ShardedOp::Maintain);
+        }
+    }
+    ops.push(ShardedOp::Maintain);
+    ops
+}
+
+/// The canonical range split for [`SHARD_COUNT`] shards, matching the
+/// workload's three key regions.
+pub fn sharded_range_partitioning() -> Partitioning {
+    Partitioning::Range {
+        split_points: vec![b"h".to_vec(), b"t".to_vec()],
+    }
+}
+
+fn sharded_backends(seed: u64, obs: &ObsHandle) -> Vec<Arc<FaultBackend>> {
+    (0..SHARD_COUNT)
+        .map(|i| {
+            let fb = Arc::new(FaultBackend::with_seed(
+                Arc::new(MemBackend::new()),
+                seed.wrapping_add(i as u64),
+            ));
+            fb.set_obs(obs.clone());
+            fb
+        })
+        .collect()
+}
+
+fn as_dyn(fbs: &[Arc<FaultBackend>]) -> Vec<Arc<dyn Backend>> {
+    fbs.iter()
+        .map(|fb| Arc::clone(fb) as Arc<dyn Backend>)
+        .collect()
+}
+
+fn inners(fbs: &[Arc<FaultBackend>]) -> Vec<Arc<dyn Backend>> {
+    fbs.iter().map(|fb| fb.inner()).collect()
+}
+
+fn open_swept_sharded(
+    backends: Vec<Arc<dyn Backend>>,
+    partitioning: &Partitioning,
+    opts: &Options,
+    obs: &ObsHandle,
+) -> lsm_types::Result<ShardedDb> {
+    ShardedDb::builder()
+        .shards(backends.len())
+        .backends(backends)
+        .partitioning(partitioning.clone())
+        .options(opts.clone())
+        .persist_manifest(true)
+        .recover(true)
+        .clean_orphans(true)
+        .obs(Observability::Shared(obs.clone()))
+        .open()
+}
+
+/// Runs `ops` until the first error; the model records only acknowledged
+/// operations, and the erroring operation is reported as in-flight.
+fn run_sharded_workload(db: &ShardedDb, ops: &[ShardedOp]) -> ShardedRunOutcome {
+    let mut model = BTreeMap::new();
+    for op in ops {
+        let res = match op {
+            ShardedOp::Put(k, v) => db.put(k, v),
+            ShardedOp::Delete(k) => db.delete(k),
+            ShardedOp::Batch(kvs) => {
+                let mut wb = WriteBatch::new();
+                for (k, v) in kvs {
+                    wb.put(k, v);
+                }
+                db.write(wb)
+            }
+            ShardedOp::Maintain => db.maintain(),
+        };
+        if res.is_err() {
+            return ShardedRunOutcome {
+                model,
+                in_flight: Some(op.clone()),
+            };
+        }
+        match op {
+            ShardedOp::Put(k, v) => {
+                model.insert(k.clone(), v.clone());
+            }
+            ShardedOp::Delete(k) => {
+                model.remove(k);
+            }
+            ShardedOp::Batch(kvs) => {
+                for (k, v) in kvs {
+                    model.insert(k.clone(), v.clone());
+                }
+            }
+            ShardedOp::Maintain => {}
+        }
+    }
+    ShardedRunOutcome {
+        model,
+        in_flight: None,
+    }
+}
+
+/// Verifies a recovered sharded store: every acknowledged key reads back
+/// exactly; an in-flight single-key op may show old or new state; an
+/// in-flight cross-shard batch must be **all-or-none** — after recovery
+/// either every key carries the batch value or none does, even though its
+/// sub-commits hardened in different shards' WALs before the cut.
+fn verify_recovered_sharded(db: &ShardedDb, outcome: &ShardedRunOutcome, ctx: &str) {
+    let get = |k: &[u8]| {
+        db.get(k)
+            .unwrap_or_else(|e| panic!("{ctx}: get failed: {e}"))
+    };
+    // Resolve the in-flight op into one expected final map.
+    let mut expected = outcome.model.clone();
+    match &outcome.in_flight {
+        None | Some(ShardedOp::Maintain) => {}
+        Some(ShardedOp::Put(k, v)) => {
+            let got = get(k);
+            if got.as_deref() == Some(v.as_slice()) {
+                expected.insert(k.clone(), v.clone());
+            } else {
+                assert_eq!(
+                    got.as_deref(),
+                    expected.get(k).map(|v| v.as_slice()),
+                    "{ctx}: in-flight put on {} shows neither old nor new state",
+                    String::from_utf8_lossy(k),
+                );
+            }
+        }
+        Some(ShardedOp::Delete(k)) => match get(k) {
+            None => {
+                expected.remove(k);
+            }
+            Some(got) => assert_eq!(
+                Some(&got[..]),
+                expected.get(k).map(|v| v.as_slice()),
+                "{ctx}: in-flight delete on {} shows neither old nor new state",
+                String::from_utf8_lossy(k),
+            ),
+        },
+        Some(ShardedOp::Batch(kvs)) => {
+            let mut applied = 0usize;
+            for (k, v) in kvs {
+                let got = get(k);
+                if got.as_deref() == Some(v.as_slice()) {
+                    applied += 1;
+                } else {
+                    assert_eq!(
+                        got.as_deref(),
+                        expected.get(k).map(|v| v.as_slice()),
+                        "{ctx}: batch key {} shows neither old nor new state",
+                        String::from_utf8_lossy(k),
+                    );
+                }
+            }
+            assert!(
+                applied == 0 || applied == kvs.len(),
+                "{ctx}: cross-shard batch recovered torn: {applied}/{} keys applied",
+                kvs.len(),
+            );
+            if applied == kvs.len() {
+                for (k, v) in kvs {
+                    expected.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
+    // Every expected key point-reads back...
+    for (k, v) in &expected {
+        assert_eq!(
+            get(k).as_deref(),
+            Some(v.as_slice()),
+            "{ctx}: key {} diverged after recovery",
+            String::from_utf8_lossy(k),
+        );
+    }
+    // ...and the merged cross-shard scan agrees exactly.
+    let mut scanned = BTreeMap::new();
+    let iter = db
+        .scan(b"", None)
+        .unwrap_or_else(|e| panic!("{ctx}: recovered scan failed: {e}"));
+    for item in iter {
+        let (k, v) = item.unwrap_or_else(|e| panic!("{ctx}: recovered scan item failed: {e}"));
+        scanned.insert(k.0.to_vec(), v.to_vec());
+    }
+    for k in scanned.keys() {
+        assert!(
+            expected.contains_key(k),
+            "{ctx}: unexpected key {} in recovered scan",
+            String::from_utf8_lossy(k),
+        );
+    }
+    for (k, v) in &expected {
+        assert_eq!(
+            scanned.get(k),
+            Some(v),
+            "{ctx}: key {} missing or wrong in recovered scan",
+            String::from_utf8_lossy(k),
+        );
+    }
+}
+
+/// Sweeps crash points over a three-shard [`ShardedDb`] under the given
+/// partitioning.
+///
+/// Phase 1 runs the workload fault-free to count each shard's storage
+/// writes and prove a clean power cut of every shard is lossless. Phase 2
+/// then sweeps each shard as the crash victim in turn: crashing shard 0
+/// interrupts coordinator writes (the epoch-log COMMIT record among them),
+/// while crashing shards 1 and 2 kills mid-epoch sub-commits after earlier
+/// shards already hardened theirs. Every point power-cuts **all** shards,
+/// reopens, and verifies acknowledged state plus cross-shard batch
+/// all-or-none.
+pub fn sharded_crash_sweep(
+    partitioning: Partitioning,
+    label: &str,
+    seed: u64,
+    max_points: usize,
+) -> SweepReport {
+    let obs = ObsHandle::recording();
+    dump_trace_on_panic(&obs, label, || {
+        sharded_crash_sweep_obs(partitioning, label, seed, max_points, &obs)
+    })
+}
+
+fn sharded_crash_sweep_obs(
+    partitioning: Partitioning,
+    label: &str,
+    seed: u64,
+    max_points: usize,
+    obs: &ObsHandle,
+) -> SweepReport {
+    let opts = harness_options(DataLayout::Leveling);
+    let ops = sharded_workload();
+    let mut report = SweepReport::default();
+
+    // Phase 1: fault-free reference run, then a clean power cut everywhere.
+    let fbs = sharded_backends(seed, obs);
+    let ctx = format!("[sharded {label} seed={seed} fault-free]");
+    let db = open_swept_sharded(as_dyn(&fbs), &partitioning, &opts, obs)
+        .unwrap_or_else(|e| panic!("{ctx}: open failed: {e}"));
+    let outcome = run_sharded_workload(&db, &ops);
+    assert!(
+        outcome.in_flight.is_none(),
+        "{ctx}: fault-free run must not error"
+    );
+    let per_shard_ops: Vec<u64> = fbs.iter().map(|fb| fb.write_ops()).collect();
+    report.write_ops_total = per_shard_ops.iter().sum();
+    drop(db);
+    for fb in &fbs {
+        fb.power_cut()
+            .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+    }
+    let db = open_swept_sharded(inners(&fbs), &partitioning, &opts, obs)
+        .unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+    verify_recovered_sharded(&db, &outcome, &ctx);
+    drop(db);
+
+    // Phase 2: sweep each shard as the crash victim over its own write-op
+    // range. The workload and fault schedules are deterministic, so each
+    // point replays phase 1 exactly until the victim dies.
+    assert!(report.write_ops_total > 0, "{ctx}: workload wrote nothing");
+    let per_shard_points = (max_points / SHARD_COUNT).max(1);
+    for (victim, &total) in per_shard_ops.iter().enumerate() {
+        assert!(total > 0, "{ctx}: shard {victim} never wrote");
+        let stride = (total as usize / per_shard_points).max(1) as u64;
+        let mut crash_op = 1;
+        while crash_op <= total {
+            let ctx = format!(
+                "[sharded {label} seed={seed} victim-shard={victim} crash-at-op={crash_op}]"
+            );
+            let fbs = sharded_backends(seed, obs);
+            fbs[victim].crash_at_write_op(crash_op);
+
+            let outcome = match open_swept_sharded(as_dyn(&fbs), &partitioning, &opts, obs) {
+                Err(_) => {
+                    // The crash interrupted open itself: nothing was acked.
+                    assert!(fbs[victim].crashed(), "{ctx}: open error without crash");
+                    report.crashes_during_open += 1;
+                    ShardedRunOutcome {
+                        model: BTreeMap::new(),
+                        in_flight: None,
+                    }
+                }
+                Ok(db) => {
+                    let outcome = run_sharded_workload(&db, &ops);
+                    if outcome.in_flight.is_some() {
+                        assert!(fbs[victim].crashed(), "{ctx}: workload error without crash");
+                    }
+                    drop(db);
+                    outcome
+                }
+            };
+
+            for fb in &fbs {
+                fb.power_cut()
+                    .unwrap_or_else(|e| panic!("{ctx}: power cut failed: {e}"));
+            }
+            let db = open_swept_sharded(inners(&fbs), &partitioning, &opts, obs)
+                .unwrap_or_else(|e| panic!("{ctx}: reopen after crash failed: {e}"));
+            if (0..db.num_shards()).any(|s| {
+                db.shard(s)
+                    .recovery_summary()
+                    .is_some_and(|r| r.torn_segments > 0)
+            }) {
+                report.recoveries_with_torn_wal += 1;
+            }
+            verify_recovered_sharded(&db, &outcome, &ctx);
+            drop(db);
+
+            report.crash_points_tested += 1;
+            crash_op += stride;
+        }
     }
     report
 }

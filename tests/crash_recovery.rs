@@ -8,8 +8,11 @@
 use std::sync::Arc;
 
 use lsm_lab::compaction::DataLayout;
-use lsm_lab::core::{Db, WriteBatch};
-use lsm_lab::crash_harness::{crash_sweep, harness_options, kv_crash_sweep, open_durable_db};
+use lsm_lab::core::{Db, Partitioning, WriteBatch};
+use lsm_lab::crash_harness::{
+    crash_sweep, harness_options, kv_crash_sweep, open_durable_db, sharded_crash_sweep,
+    sharded_range_partitioning,
+};
 use lsm_lab::storage::{Backend, FaultBackend, MemBackend};
 
 /// The fixed seed of record for the suite.
@@ -88,6 +91,33 @@ fn kv_crash_sweep_all_layouts() {
             "[kv {label}] no crash points"
         );
     }
+}
+
+/// Power cuts mid-epoch: one shard's backend dies while a cross-shard
+/// `WriteBatch` may be partially sub-committed; after reopening all three
+/// shards, every multi-shard batch must be all-or-none (hash routing).
+#[test]
+fn sharded_crash_sweep_hash() {
+    let report = sharded_crash_sweep(Partitioning::Hash, "hash", SEED, MAX_POINTS);
+    assert!(report.crash_points_tested > 0);
+    assert!(
+        report.crashes_during_open > 0,
+        "the sweep starts at write op 1, inside open"
+    );
+}
+
+/// The same mid-epoch sweep under range partitioning, where the workload's
+/// cross-shard batches are guaranteed to span all three shards.
+#[test]
+fn sharded_crash_sweep_range() {
+    let report = sharded_crash_sweep(sharded_range_partitioning(), "range", SEED, MAX_POINTS);
+    assert!(report.crash_points_tested > 0);
+    assert!(
+        report.recoveries_with_torn_wal > 0,
+        "sweep must exercise torn-WAL recovery (tested {} points over {} ops)",
+        report.crash_points_tested,
+        report.write_ops_total
+    );
 }
 
 const BATCHES: usize = 24;
