@@ -717,8 +717,9 @@ fn walk_fn(
 
 /// Line of the outermost token of the receiver chain ending at `dot_idx`,
 /// so effects anchor where the statement starts and rustfmt's
-/// chain-splitting cannot strand an allow-comment.
-fn chain_root_line(toks: &[Token], dot_idx: usize) -> usize {
+/// chain-splitting cannot strand an allow-comment. (Shared with the L8
+/// atomics pass, which anchors its sites the same way.)
+pub(crate) fn chain_root_line(toks: &[Token], dot_idx: usize) -> usize {
     let fallback = toks[dot_idx].line;
     let mut j = match dot_idx.checked_sub(1) {
         Some(j) => j,
@@ -741,7 +742,7 @@ fn chain_root_line(toks: &[Token], dot_idx: usize) -> usize {
 }
 
 /// Index of the `)` matching the `(` at `open_idx`.
-fn forward_close(toks: &[Token], open_idx: usize) -> Option<usize> {
+pub(crate) fn forward_close(toks: &[Token], open_idx: usize) -> Option<usize> {
     let mut depth = 0i64;
     for (j, t) in toks.iter().enumerate().skip(open_idx) {
         if t.text == "(" {

@@ -26,22 +26,31 @@
 //!   `wal_append` (and `wal_sync` on sync paths), no release of `mem`
 //!   before the `manifest_persist` that names a fresh WAL segment, and
 //!   manifest build + `put_meta` atomic under `manifest_mx`.
+//! - **L8 `atomics-order`** — the publication protocol of the lock-free
+//!   layer (see [`atomics`]): publication stores `Release`-or-stronger and
+//!   their consume loads `Acquire`-or-stronger (A1), `SeqCst` only with an
+//!   annotated rationale (A2), no `Relaxed` load gating reads of non-atomic
+//!   fields (A3), and standalone fences naming their pairing site (A4).
 //! - **L0 `bad-allow`** — a malformed suppression: an unknown rule name in
-//!   an allow-comment, or `allow(durability-order)` without a rationale.
+//!   an allow-comment, or `allow(durability-order)` /
+//!   `allow(atomics-order)` without a rationale.
 //!
 //! Diagnostics can be suppressed with `// lsm-lint: allow(<rule>)` on the
 //! same line or the line above; `<rule>` is the `L<n>` id or the kebab name.
-//! Unknown rule names are rejected (L0), and `allow(durability-order)`
-//! additionally requires a rationale: a plain `//` comment on the line
-//! above the marker, or prose after the closing parenthesis.
+//! Unknown rule names are rejected (L0), and `allow(durability-order)` /
+//! `allow(atomics-order)` additionally require a rationale: a plain `//`
+//! comment on the line above the marker, or prose after the closing
+//! parenthesis.
 //! Since the build container is offline, parsing is done by a small
 //! hand-rolled tokenizer rather than `syn`; it understands strings, raw
 //! strings, char literals, lifetimes, and nested block comments, and tracks
 //! `#[cfg(test)]` / `#[test]` regions by brace depth.
 
+pub mod atomics;
 pub mod durability;
 pub mod lockgraph;
 
+pub use atomics::AtomicsReport;
 pub use durability::DurabilityReport;
 pub use lockgraph::{CondvarInfo, LockEdge, LockGraph, LockInfo};
 
@@ -68,14 +77,17 @@ pub enum Rule {
     /// L7: durable-before-visible ordering violation in the commit
     /// protocol.
     DurabilityOrder,
+    /// L8: atomics-publication violation in the lock-free layer (A1–A4).
+    AtomicsOrder,
     /// L0: malformed `lsm-lint: allow(..)` marker (unknown rule, or a
-    /// durability exemption without a rationale). Not itself allowable.
+    /// durability/atomics exemption without a rationale). Not itself
+    /// allowable.
     BadAllow,
 }
 
 impl Rule {
     /// All rules, in L-number order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::BadAllow,
         Rule::FsBoundary,
         Rule::NoPanic,
@@ -84,6 +96,7 @@ impl Rule {
         Rule::LockOrder,
         Rule::IoUnderLock,
         Rule::DurabilityOrder,
+        Rule::AtomicsOrder,
     ];
 
     /// The short `L<n>` identifier.
@@ -97,6 +110,7 @@ impl Rule {
             Rule::LockOrder => "L5",
             Rule::IoUnderLock => "L6",
             Rule::DurabilityOrder => "L7",
+            Rule::AtomicsOrder => "L8",
         }
     }
 
@@ -111,6 +125,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::IoUnderLock => "io-under-lock",
             Rule::DurabilityOrder => "durability-order",
+            Rule::AtomicsOrder => "atomics-order",
         }
     }
 
@@ -255,13 +270,16 @@ pub fn lint_tree(root: &Path) -> std::io::Result<LintReport> {
 /// Like [`lint_tree`], but also returns the workspace [`LockGraph`] so
 /// callers can emit or verify the `lock_order.json` spec.
 pub fn lint_tree_full(root: &Path) -> std::io::Result<(LintReport, LockGraph)> {
-    lint_tree_all(root).map(|(report, graph, _)| (report, graph))
+    lint_tree_all(root).map(|(report, graph, _, _)| (report, graph))
 }
 
 /// The full analysis: the lint report, the workspace [`LockGraph`]
-/// (`lock_order.json`), and the [`DurabilityReport`]
-/// (`durability_order.json`).
-pub fn lint_tree_all(root: &Path) -> std::io::Result<(LintReport, LockGraph, DurabilityReport)> {
+/// (`lock_order.json`), the [`DurabilityReport`]
+/// (`durability_order.json`), and the [`AtomicsReport`]
+/// (`atomics_order.json`).
+pub fn lint_tree_all(
+    root: &Path,
+) -> std::io::Result<(LintReport, LockGraph, DurabilityReport, AtomicsReport)> {
     let mut paths = Vec::new();
     collect_rs_files(root, root, &mut paths)?;
     paths.sort();
@@ -285,10 +303,12 @@ pub fn lint_tree_all(root: &Path) -> std::io::Result<(LintReport, LockGraph, Dur
 
     let graph = lockgraph::analyze(&files);
     let durability = durability::analyze(&files);
+    let atomics = atomics::analyze(&files);
     let analysis_diags = graph
         .diagnostics
         .iter()
-        .chain(durability.diagnostics.iter());
+        .chain(durability.diagnostics.iter())
+        .chain(atomics.diagnostics.iter());
     for d in analysis_diags {
         let suppressed = allows_by_file
             .get(d.path.as_str())
@@ -302,7 +322,7 @@ pub fn lint_tree_all(root: &Path) -> std::io::Result<(LintReport, LockGraph, Dur
     report
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.rule.id()).cmp(&(&b.path, b.line, b.rule.id())));
-    Ok((report, graph, durability))
+    Ok((report, graph, durability, atomics))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
@@ -361,8 +381,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 /// The strictly per-file rules (L1/L2/L4), allow-filtered, plus any L0
 /// `bad-allow` findings (never filtered: a malformed marker cannot excuse
 /// itself). Lock-graph rules (L3/L5/L6) come from [`lockgraph::analyze`],
-/// L7 from [`durability::analyze`]. Returns (remaining diagnostics,
-/// suppressed count).
+/// L7 from [`durability::analyze`], L8 from [`atomics::analyze`]. Returns
+/// (remaining diagnostics, suppressed count).
 fn per_file_diags(rel_path: &str, source: &str) -> (Vec<Diagnostic>, usize) {
     let ctx = FileContext::classify(rel_path);
     let allows = collect_allows(rel_path, source);
@@ -424,9 +444,10 @@ struct Allows {
 }
 
 /// Scans raw lines for `lsm-lint: allow(<rule>[, <rule>...])` markers.
-/// Unknown rule names and `allow(durability-order)` without a rationale
-/// are reported as L0 `bad-allow` and ignored; L0 itself cannot be
-/// suppressed (an allow-list naming `bad-allow` is malformed).
+/// Unknown rule names and `allow(durability-order)` /
+/// `allow(atomics-order)` without a rationale are reported as L0
+/// `bad-allow` and ignored; L0 itself cannot be suppressed (an allow-list
+/// naming `bad-allow` is malformed).
 fn collect_allows(rel_path: &str, source: &str) -> Allows {
     let lines: Vec<&str> = source.lines().collect();
     let mut allows = Allows {
@@ -475,15 +496,19 @@ fn collect_allows(rel_path: &str, source: &str) -> Allows {
                               marker it points at instead"
                         .into(),
                 }),
-                Some(Rule::DurabilityOrder) if !has_rationale(&lines, idx, rest) => {
+                Some(r @ (Rule::DurabilityOrder | Rule::AtomicsOrder))
+                    if !has_rationale(&lines, idx, rest) =>
+                {
                     allows.bad.push(Diagnostic {
                         rule: Rule::BadAllow,
                         path: rel_path.into(),
                         line: idx + 1,
-                        message: "`allow(durability-order)` requires a rationale: explain \
-                                  why the ordering is safe in a `//` comment on the line \
-                                  above the marker, or after the closing parenthesis"
-                            .into(),
+                        message: format!(
+                            "`allow({})` requires a rationale: explain why the \
+                             ordering is safe in a `//` comment on the line above \
+                             the marker, or after the closing parenthesis",
+                            r.name()
+                        ),
                     });
                 }
                 Some(rule) => allows.by_line.entry(idx + 1).or_default().push(rule),
@@ -503,9 +528,10 @@ fn known_rules() -> String {
         .join(", ")
 }
 
-/// Whether the `allow(durability-order)` marker on `lines[idx]` carries a
-/// rationale: prose after the marker's closing parenthesis, or a plain
-/// `//` comment (not itself a marker) on the line above.
+/// Whether the rationale-requiring marker (`allow(durability-order)` /
+/// `allow(atomics-order)`) on `lines[idx]` carries one: prose after the
+/// marker's closing parenthesis, or a plain `//` comment (not itself a
+/// marker) on the line above.
 fn has_rationale(lines: &[&str], idx: usize, rest_after_colon: &str) -> bool {
     if let Some(close) = rest_after_colon.find(')') {
         let trailing = rest_after_colon[close + 1..]
@@ -1153,6 +1179,26 @@ mod tests {
 
         // Prose after the closing parenthesis is a rationale.
         let inline = "// lsm-lint: allow(durability-order) — replay path, no readers\nfn f() {}\n";
+        assert!(lint("crates/lsm-core/src/db.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn atomics_allow_requires_rationale() {
+        // Bare marker: rejected, and the allow is not honored.
+        let bare = "// lsm-lint: allow(atomics-order)\nfn f() {}\n";
+        let diags = lint("crates/lsm-core/src/db.rs", bare);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadAllow);
+        assert!(diags[0].message.contains("atomics-order"));
+        assert!(diags[0].message.contains("rationale"));
+
+        // A comment line above the marker is a rationale.
+        let above = "// counter guards nothing; Relaxed is the protocol\n\
+             // lsm-lint: allow(atomics-order)\nfn f() {}\n";
+        assert!(lint("crates/lsm-core/src/db.rs", above).is_empty());
+
+        // Prose after the closing parenthesis is a rationale.
+        let inline = "// lsm-lint: allow(atomics-order) — init happens before spawn\nfn f() {}\n";
         assert!(lint("crates/lsm-core/src/db.rs", inline).is_empty());
     }
 }

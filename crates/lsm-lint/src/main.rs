@@ -9,6 +9,9 @@
 //! cargo run -p lsm-lint -- --check-lock-order lock_order.json
 //! cargo run -p lsm-lint -- --write-durability-order durability_order.json
 //! cargo run -p lsm-lint -- --check-durability-order durability_order.json
+//! cargo run -p lsm-lint -- --write-atomics-order atomics_order.json
+//! cargo run -p lsm-lint -- --check-atomics-order atomics_order.json
+//! cargo run -p lsm-lint -- --only atomics-order                # one rule
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings or stale/cyclic spec, 2 bad arguments.
@@ -66,6 +69,9 @@ fn main() -> ExitCode {
     let mut check_lock: Option<PathBuf> = None;
     let mut write_dur: Option<PathBuf> = None;
     let mut check_dur: Option<PathBuf> = None;
+    let mut write_atomics: Option<PathBuf> = None;
+    let mut check_atomics: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| match args.next() {
@@ -100,22 +106,40 @@ fn main() -> ExitCode {
                 Some(v) => check_dur = Some(v),
                 None => return ExitCode::from(2),
             },
+            "--write-atomics-order" => match value("--write-atomics-order") {
+                Some(v) => write_atomics = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--check-atomics-order" => match value("--check-atomics-order") {
+                Some(v) => check_atomics = Some(v),
+                None => return ExitCode::from(2),
+            },
+            "--only" => match value("--only") {
+                Some(v) => only = Some(v.to_string_lossy().into_owned()),
+                None => return ExitCode::from(2),
+            },
             "--help" | "-h" => {
                 println!(
                     "lsm-lint: architectural static analysis for lsm-lab\n\n\
-                     USAGE: lsm-lint [--path <dir>] [--json <file>]\n\
+                     USAGE: lsm-lint [--path <dir>] [--json <file>] [--only <rule>]\n\
                             [--write-lock-order <file>] [--check-lock-order <file>]\n\
-                            [--write-durability-order <file>] [--check-durability-order <file>]\n\n\
+                            [--write-durability-order <file>] [--check-durability-order <file>]\n\
+                            [--write-atomics-order <file>] [--check-atomics-order <file>]\n\n\
                      Rules: L0 bad-allow, L1 fs-boundary, L2 no-panic, L3 lock-nesting,\n\
-                     L4 knob-docs, L5 lock-order, L6 io-under-lock, L7 durability-order.\n\
+                     L4 knob-docs, L5 lock-order, L6 io-under-lock, L7 durability-order,\n\
+                     L8 atomics-order.\n\
                      Suppress a finding with `// lsm-lint: allow(<rule>)` on the same\n\
-                     line or the line above; `allow(durability-order)` additionally\n\
-                     requires a rationale comment.\n\n\
+                     line or the line above; `allow(durability-order)` and\n\
+                     `allow(atomics-order)` additionally require a rationale comment.\n\n\
+                     --only <rule> keeps findings of a single rule (by `L<n>` id or\n\
+                     kebab name) for fast iteration; spec checks still run if asked.\n\
                      --write-lock-order writes the discovered lock hierarchy (locks,\n\
                      condvars, inter-lock edges, cycles) as JSON; --check-lock-order\n\
                      fails if the checked-in spec is stale or the graph has cycles.\n\
                      --write-durability-order / --check-durability-order do the same\n\
-                     for the commit pipeline's effect sequences (L7).\n\n\
+                     for the commit pipeline's effect sequences (L7), and\n\
+                     --write-atomics-order / --check-atomics-order for the lock-free\n\
+                     layer's publication protocol (L8).\n\n\
                      Exit codes: 0 clean, 1 findings or stale spec, 2 bad arguments."
                 );
                 return ExitCode::SUCCESS;
@@ -136,13 +160,32 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let (report, graph, durability) = match lsm_lint::lint_tree_all(&root) {
+    // Resolve --only before the (slow) scan so a typo fails fast.
+    let only_rule = match only.as_deref() {
+        None => None,
+        Some(s) => match lsm_lint::Rule::parse(s) {
+            Some(r) => Some(r),
+            None => {
+                let known: Vec<&str> = lsm_lint::Rule::ALL.iter().map(|r| r.name()).collect();
+                eprintln!(
+                    "lsm-lint: unknown rule `{s}` for --only; known rules: {}",
+                    known.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let (mut report, graph, durability, atomics) = match lsm_lint::lint_tree_all(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lsm-lint: failed to scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(rule) = only_rule {
+        report.diagnostics.retain(|d| d.rule == rule);
+    }
 
     for d in &report.diagnostics {
         eprintln!("{d}");
@@ -177,6 +220,17 @@ fn main() -> ExitCode {
             "--write-durability-order",
             &path,
             &durability.spec_json(),
+        );
+    }
+    if let Some(path) = write_atomics {
+        spec_failed |= !write_spec("atomics-order", &path, &atomics.spec_json());
+    }
+    if let Some(path) = check_atomics {
+        spec_failed |= !check_spec(
+            "atomics-order",
+            "--write-atomics-order",
+            &path,
+            &atomics.spec_json(),
         );
     }
 

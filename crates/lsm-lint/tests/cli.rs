@@ -118,6 +118,9 @@ fn exits_two_on_flag_missing_its_value() {
         "--check-lock-order",
         "--write-durability-order",
         "--check-durability-order",
+        "--write-atomics-order",
+        "--check-atomics-order",
+        "--only",
     ] {
         let out = run(&[&flag]);
         assert_eq!(exit_code(&out), 2, "{flag} without a value must exit 2");
@@ -137,10 +140,83 @@ fn help_exits_zero_and_documents_the_contract() {
     for needle in [
         "L7 durability-order",
         "--check-durability-order",
+        "L8 atomics-order",
+        "--check-atomics-order",
+        "--only",
         "Exit codes: 0 clean, 1 findings or stale spec, 2 bad arguments",
     ] {
         assert!(text.contains(needle), "--help must mention `{needle}`");
     }
+}
+
+// ------------------------------------------------------------- `--only`
+
+/// A tree with one L2 finding (panic in a hot-path crate) and one L8
+/// finding (Relaxed store on a field consumed with Acquire).
+fn two_rule_tree(tag: &str) -> Tree {
+    let t = clean_tree(tag);
+    t.write(
+        "crates/lsm-core/src/hot.rs",
+        "//! Hot path.\n\n/// Boom.\npub fn boom() {\n    panic!(\"no\");\n}\n",
+    );
+    t.write(
+        "crates/lsm-core/src/flag.rs",
+        "//! Publication flag.\nuse std::sync::atomic::{AtomicU64, Ordering};\n\n\
+         /// Flag.\npub struct Flag {\n    ready: AtomicU64,\n}\n\n\
+         impl Flag {\n    /// Publish.\n    pub fn publish(&self) {\n        \
+         self.ready.store(1, Ordering::Relaxed);\n    }\n\n    \
+         /// Consume.\n    pub fn consume(&self) -> u64 {\n        \
+         self.ready.load(Ordering::Acquire)\n    }\n}\n",
+    );
+    t
+}
+
+#[test]
+fn only_filters_to_a_single_rule_by_name() {
+    let t = two_rule_tree("only-name");
+    let out = run(&[&"--path", &t.path(), &"--only", &"atomics-order"]);
+    assert_eq!(exit_code(&out), 1, "stderr:\n{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("L8"), "L8 finding survives the filter:\n{err}");
+    assert!(!err.contains("L2"), "other rules are filtered out:\n{err}");
+}
+
+#[test]
+fn only_filters_to_a_single_rule_by_id() {
+    let t = two_rule_tree("only-id");
+    let out = run(&[&"--path", &t.path(), &"--only", &"L2"]);
+    assert_eq!(exit_code(&out), 1, "stderr:\n{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("L2"), "L2 finding survives the filter:\n{err}");
+    assert!(!err.contains("L8"), "other rules are filtered out:\n{err}");
+}
+
+#[test]
+fn only_exits_zero_when_the_selected_rule_is_clean() {
+    let t = clean_tree("only-clean");
+    t.write(
+        "crates/lsm-core/src/hot.rs",
+        "//! Hot path.\n\n/// Boom.\npub fn boom() {\n    panic!(\"no\");\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--only", &"atomics-order"]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "the L2 finding is outside the filter; stderr:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn only_rejects_an_unknown_rule() {
+    let t = clean_tree("only-unknown");
+    let out = run(&[&"--path", &t.path(), &"--only", &"no-such-rule"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("no-such-rule") && stderr(&out).contains("atomics-order"),
+        "the error names the bad rule and lists known ones; got:\n{}",
+        stderr(&out)
+    );
 }
 
 // ------------------------------------------------------- spec round-trips
@@ -233,6 +309,49 @@ fn durability_order_spec_round_trips() {
     assert!(
         err.contains("L7") && err.contains("wal_path.rs:11"),
         "the reordering must also fire durability-order at the publish; got:\n{err}"
+    );
+}
+
+#[test]
+fn atomics_order_spec_round_trips() {
+    let t = clean_tree("atomics-roundtrip");
+    t.write(
+        "crates/lsm-core/src/flag.rs",
+        "//! Publication flag.\nuse std::sync::atomic::{AtomicU64, Ordering};\n\n\
+         /// Flag.\npub struct Flag {\n    ready: AtomicU64,\n}\n\n\
+         impl Flag {\n    /// Publish.\n    pub fn publish(&self) {\n        \
+         self.ready.store(1, Ordering::Release);\n    }\n\n    \
+         /// Consume.\n    pub fn consume(&self) -> u64 {\n        \
+         self.ready.load(Ordering::Acquire)\n    }\n}\n",
+    );
+    let spec = t.path().join("atomics_order.json");
+
+    let out = run(&[&"--path", &t.path(), &"--write-atomics-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+    let written = std::fs::read_to_string(&spec).expect("spec written");
+    for needle in ["\"ready\"", "publication", "\"publish\"", "\"consume\""] {
+        assert!(written.contains(needle), "spec must record `{needle}`");
+    }
+
+    // Fresh spec: check passes.
+    let out = run(&[&"--path", &t.path(), &"--check-atomics-order", &spec]);
+    assert_eq!(exit_code(&out), 0, "stderr:\n{}", stderr(&out));
+    assert!(stderr(&out).contains("up to date"));
+
+    // A new atomic field appears: the same spec is now stale.
+    t.write(
+        "crates/lsm-core/src/count.rs",
+        "//! A counter.\nuse std::sync::atomic::{AtomicUsize, Ordering};\n\n\
+         /// Counter.\npub struct Count {\n    hits: AtomicUsize,\n}\n\n\
+         impl Count {\n    /// Bump.\n    pub fn bump(&self) {\n        \
+         self.hits.fetch_add(1, Ordering::Relaxed);\n    }\n}\n",
+    );
+    let out = run(&[&"--path", &t.path(), &"--check-atomics-order", &spec]);
+    assert_eq!(exit_code(&out), 1, "stale spec must fail the check");
+    assert!(
+        stderr(&out).contains("stale") && stderr(&out).contains("--write-atomics-order"),
+        "stale message names the regeneration flag; got:\n{}",
+        stderr(&out)
     );
 }
 

@@ -1,0 +1,19 @@
+//! L0 fixture: `allow(atomics-order)` without a rationale is a bad-allow,
+//! and the A1 finding it sits on is *not* suppressed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct BareAllow {
+    turn: AtomicU64,
+}
+
+impl BareAllow {
+    pub fn publish(&self) {
+        // lsm-lint: allow(atomics-order)
+        self.turn.store(1, Ordering::Relaxed);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.turn.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,25 @@
+//! Suppressed atomics fixture: deliberate A1/A2 exceptions, each annotated
+//! with `allow(atomics-order)` plus a rationale, must produce no findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct AllowedAtomics {
+    init_flag: AtomicU64,
+}
+
+impl AllowedAtomics {
+    pub fn init(&self) {
+        // construction happens before any consumer thread is spawned
+        // lsm-lint: allow(atomics-order)
+        self.init_flag.store(1, Ordering::Relaxed);
+    }
+
+    pub fn strict_read(&self) -> u64 {
+        // lsm-lint: allow(atomics-order) — the cross-shard total order is load-bearing
+        self.init_flag.load(Ordering::SeqCst)
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.init_flag.load(Ordering::Acquire)
+    }
+}

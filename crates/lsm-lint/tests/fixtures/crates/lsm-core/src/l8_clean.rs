@@ -1,0 +1,27 @@
+//! Clean atomics fixture: a proper Release/Acquire publication pair, and a
+//! counter that guards nothing and stays `Relaxed` end to end.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Clean {
+    published: AtomicU64,
+    occupancy: AtomicUsize,
+}
+
+impl Clean {
+    pub fn publish(&self) {
+        self.published.store(1, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    pub fn bump(&self) {
+        self.occupancy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn occupancy_hint(&self) -> usize {
+        self.occupancy.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,13 @@
+//! A4 fixture: a standalone fence must name its pairing site; the second
+//! fence does and stays clean.
+
+use std::sync::atomic::{fence, Ordering};
+
+pub fn unpaired_fence() {
+    fence(Ordering::Release);
+}
+
+pub fn paired_fence() {
+    // pairs with the Release fence in unpaired_fence (fixture prose)
+    fence(Ordering::Acquire);
+}

@@ -1,0 +1,30 @@
+//! A3 fixture: a `Relaxed` load gating reads of non-atomic state — once
+//! directly in the guarded block, once through an intra-crate call that
+//! reads `self.table` without a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Gate {
+    initialized: AtomicU64,
+    table: Vec<u64>,
+}
+
+impl Gate {
+    pub fn direct(&self) -> u64 {
+        if self.initialized.load(Ordering::Relaxed) == 1 {
+            return self.table[0];
+        }
+        0
+    }
+
+    pub fn via_call(&self) -> u64 {
+        if self.initialized.load(Ordering::Relaxed) == 1 {
+            return self.first_entry();
+        }
+        0
+    }
+
+    fn first_entry(&self) -> u64 {
+        self.table[0]
+    }
+}

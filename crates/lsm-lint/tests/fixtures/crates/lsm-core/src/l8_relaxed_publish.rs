@@ -1,0 +1,28 @@
+//! A1 fixture: `Relaxed` accesses on publication fields. `ready` has an
+//! Acquire consumer, so its Relaxed store unpairs the publication;
+//! `committed` has a Release publisher, so its Relaxed load does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Publish {
+    ready: AtomicU64,
+    committed: AtomicU64,
+}
+
+impl Publish {
+    pub fn publish_relaxed(&self) {
+        self.ready.store(1, Ordering::Relaxed);
+    }
+
+    pub fn consume_acquire(&self) -> u64 {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn publish_release(&self) {
+        self.committed.store(1, Ordering::Release);
+    }
+
+    pub fn consume_relaxed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,13 @@
+//! A2 fixture: `SeqCst` without an annotated rationale.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Strict {
+    epoch: AtomicU64,
+}
+
+impl Strict {
+    pub fn bump(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst)
+    }
+}

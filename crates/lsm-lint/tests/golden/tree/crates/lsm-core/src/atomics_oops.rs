@@ -1,0 +1,21 @@
+//! Golden-report fixture for L8: a Relaxed store on a publication field
+//! (its consumer loads with Acquire).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Publication flag read by consumers with Acquire.
+pub struct Flag {
+    ready: AtomicU64,
+}
+
+impl Flag {
+    /// Publishes with Relaxed — the A1 finding in the golden report.
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Relaxed);
+    }
+
+    /// Consumes with Acquire, making `ready` a publication field.
+    pub fn consume(&self) -> u64 {
+        self.ready.load(Ordering::Acquire)
+    }
+}

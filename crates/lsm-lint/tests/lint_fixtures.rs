@@ -106,6 +106,51 @@ const EXPECTED: &[(Rule, &str, usize)] = &[
         "crates/lsm-core/src/l7_manifest_toctou.rs",
         36,
     ),
+    // L0: a rationale-less atomics suppression (which also fails to
+    // suppress the A1 it sits on).
+    (
+        Rule::BadAllow,
+        "crates/lsm-core/src/l8_allow_needs_rationale.rs",
+        12,
+    ),
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_allow_needs_rationale.rs",
+        13,
+    ),
+    // A1: Relaxed store under an Acquire consumer; Relaxed load under a
+    // Release publisher.
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_relaxed_publish.rs",
+        14,
+    ),
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_relaxed_publish.rs",
+        26,
+    ),
+    // A2: SeqCst without a rationale.
+    (Rule::AtomicsOrder, "crates/lsm-core/src/l8_seqcst.rs", 11),
+    // A3: Relaxed load gating a non-atomic read, directly and through a
+    // uniquely-resolved intra-crate call.
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_relaxed_gate.rs",
+        14,
+    ),
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_relaxed_gate.rs",
+        21,
+    ),
+    // A4: standalone fence with no named pairing site (the paired fence in
+    // the same fixture stays clean).
+    (
+        Rule::AtomicsOrder,
+        "crates/lsm-core/src/l8_fence_unpaired.rs",
+        7,
+    ),
 ];
 
 #[test]
@@ -140,6 +185,8 @@ fn allow_comments_and_test_code_are_exempt() {
         "l6_allowed.rs",
         "ordered_ok.rs",
         "l7_allowed.rs",
+        "l8_clean.rs",
+        "l8_allowed.rs",
     ] {
         assert!(
             !report.diagnostics.iter().any(|d| d.path.ends_with(clean)),

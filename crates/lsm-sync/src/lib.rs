@@ -41,6 +41,21 @@ pub use sync_impl::WaitTimeoutResult;
 
 pub mod ranks;
 
+pub mod atomic {
+    //! Atomics that swap with the lock-free layer's model checker.
+    //!
+    //! Code (and loom models) that uses `lsm_sync::atomic::{AtomicU64, ..}`
+    //! compiles against `std::sync::atomic` normally and against the
+    //! vendored loom's store-buffer-modeled atomics under the `loom`
+    //! feature, the same way the lock wrappers swap their backing. Only
+    //! the types the engine's lock-free structures use are re-exported.
+
+    #[cfg(feature = "loom")]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    #[cfg(not(feature = "loom"))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
 /// A named position in the workspace lock hierarchy (see [`ranks`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LockRank {

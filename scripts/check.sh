@@ -65,6 +65,9 @@ run_step "lockgraph" cargo run -q -p lsm-lint -- --check-lock-order lock_order.j
 # The checked-in durability spec (L7 effect sequences of the commit
 # pipeline) must match what the linter derives from the current tree.
 run_step "durability" cargo run -q -p lsm-lint -- --check-durability-order durability_order.json
+# The checked-in atomics spec (L8 publication pairs and ordering profiles
+# of every atomic field) must match what the linter derives.
+run_step "atomics"  cargo run -q -p lsm-lint -- --check-atomics-order atomics_order.json
 run_step "no-deprecated" check_no_deprecated
 # Compile-time pin of the public Db/DbBuilder/WriteBatch/WriteOptions
 # surface: breakage must be deliberate and land with the change.
@@ -81,6 +84,10 @@ run_step "shard-stress" cargo test -q --test shard_stress
 # (vendored loom, CHESS preemption bound 2): seqno contiguity, one
 # append/sync per group, no ack before durable, no lost wakeups.
 run_step "loom"     cargo test -q -p lsm-sync --features loom
+# The lock-free layer's publication protocols (memtable occupancy,
+# event-ring seqlock, epoch pins) under the store-buffer memory model,
+# with seeded-misordering variants proving the checker can see the bugs.
+run_step "loom-lockfree" cargo test -q -p lsm-sync --features loom --test loom_lockfree
 # Observability gate: lsm-obs unit tests and the trace-schema golden
 # fixtures, then the release-mode overhead smoke test (instrumented vs
 # Observability::Off within budget on the vector-memtable put path;

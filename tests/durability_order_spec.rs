@@ -30,7 +30,7 @@ fn durability_spec_is_current_and_the_commit_pipeline_is_ordered() {
     let on_disk = std::fs::read_to_string(root.join("durability_order.json"))
         .expect("durability_order.json is checked in at the workspace root");
 
-    let (report, _, durability) = lsm_lint::lint_tree_all(root).expect("workspace readable");
+    let (report, _, durability, _) = lsm_lint::lint_tree_all(root).expect("workspace readable");
     assert_eq!(
         durability.spec_json(),
         on_disk,

@@ -23,10 +23,18 @@
 //!   safety net rather than the progress mechanism, without multiplying
 //!   the schedule space by every possible timer firing.
 //!
-//! Memory-model caveat: all atomics are explored as sequentially
-//! consistent (the requested `Ordering` is accepted and upgraded), so
-//! relaxed-memory reorderings are *not* explored — this checker finds
-//! interleaving bugs, not fence bugs.
+//! Memory-model caveat: the model explores a TSO-like store-buffer
+//! relaxation. Each thread owns a buffer of delayed `Relaxed` stores: at
+//! every `Relaxed` store the explorer branches (cost-free) between
+//! committing it to shared memory immediately and parking it in the
+//! buffer, where it stays visible to the storing thread (loads forward
+//! from the own buffer) but invisible to everyone else until the thread's
+//! next *release point* — a Release/SeqCst store, any RMW, a lock
+//! release, a condvar wait, a spawn, or thread exit — flushes the buffer
+//! in order. Release/Acquire/SeqCst accesses and all RMWs are explored as
+//! sequentially consistent. This catches missing-`Release` publication
+//! bugs in addition to interleaving bugs; relaxed *load* reordering
+//! (a missing `Acquire` on the consumer side) is not modeled.
 //!
 //! Unlike real loom there is no `UnsafeCell` modeling and no `lazy_static`
 //! support; the surface here is exactly what `lsm-sync`'s primitives and
@@ -277,72 +285,106 @@ pub mod sync {
     }
 
     pub mod atomic {
-        //! Model-checked atomics. Every access is a scheduling point;
-        //! all orderings are explored as sequentially consistent.
+        //! Model-checked atomics. Every access is a scheduling point.
+        //! Values live in a shared `Arc<AtomicU64>` cell so per-thread
+        //! store buffers can name them; `Relaxed` stores may be delayed
+        //! (see the crate docs), everything else is explored as
+        //! sequentially consistent.
 
         pub use std::sync::atomic::Ordering;
 
         use super::super::rt;
+        use std::sync::Arc;
 
         macro_rules! atomic {
-            ($name:ident, $std:ident, $ty:ty, $doc:literal) => {
+            ($name:ident, $ty:ty, $to:expr, $from:expr, $doc:literal) => {
                 #[doc = $doc]
                 #[derive(Debug, Default)]
                 pub struct $name {
-                    inner: std::sync::atomic::$std,
+                    inner: Arc<std::sync::atomic::AtomicU64>,
                 }
 
                 impl $name {
                     /// Creates the atomic with an initial value.
                     pub fn new(v: $ty) -> Self {
                         Self {
-                            inner: std::sync::atomic::$std::new(v),
+                            inner: Arc::new(std::sync::atomic::AtomicU64::new($to(v))),
                         }
                     }
 
-                    /// Atomic load (scheduling point).
-                    pub fn load(&self, _o: Ordering) -> $ty {
-                        rt::yield_point("atomic load");
-                        self.inner.load(Ordering::SeqCst)
+                    /// Atomic load (scheduling point). Forwards from this
+                    /// thread's own store buffer when it holds a newer
+                    /// value for this cell.
+                    pub fn load(&self, o: Ordering) -> $ty {
+                        $from(rt::atomic_load(&self.inner, o))
                     }
 
-                    /// Atomic store (scheduling point).
-                    pub fn store(&self, v: $ty, _o: Ordering) {
-                        rt::yield_point("atomic store");
-                        self.inner.store(v, Ordering::SeqCst);
+                    /// Atomic store (scheduling point). A `Relaxed` store
+                    /// may be parked in the store buffer.
+                    pub fn store(&self, v: $ty, o: Ordering) {
+                        rt::atomic_store(&self.inner, $to(v), o);
                     }
 
-                    /// Atomic swap (scheduling point).
+                    /// Atomic swap (scheduling point; flushes the store
+                    /// buffer, explored as SeqCst like every RMW).
                     pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
-                        rt::yield_point("atomic swap");
-                        self.inner.swap(v, Ordering::SeqCst)
+                        $from(rt::atomic_rmw(&self.inner, "atomic swap", |_| $to(v)))
                     }
                 }
             };
         }
 
-        atomic!(AtomicBool, AtomicBool, bool, "Model-checked `AtomicBool`.");
-        atomic!(AtomicU64, AtomicU64, u64, "Model-checked `AtomicU64`.");
+        atomic!(
+            AtomicBool,
+            bool,
+            (|v: bool| v as u64),
+            (|v: u64| v != 0),
+            "Model-checked `AtomicBool`."
+        );
+        atomic!(
+            AtomicU64,
+            u64,
+            (|v: u64| v),
+            (|v: u64| v),
+            "Model-checked `AtomicU64`."
+        );
         atomic!(
             AtomicUsize,
-            AtomicUsize,
             usize,
+            (|v: usize| v as u64),
+            (|v: u64| v as usize),
             "Model-checked `AtomicUsize`."
         );
 
         impl AtomicU64 {
-            /// Atomic add, returning the previous value (scheduling point).
+            /// Atomic add, returning the previous value (scheduling
+            /// point; flushes the store buffer).
             pub fn fetch_add(&self, v: u64, _o: Ordering) -> u64 {
-                rt::yield_point("atomic fetch_add");
-                self.inner.fetch_add(v, Ordering::SeqCst)
+                rt::atomic_rmw(&self.inner, "atomic fetch_add", |c| c.wrapping_add(v))
+            }
+
+            /// Atomic subtract, returning the previous value (scheduling
+            /// point; flushes the store buffer).
+            pub fn fetch_sub(&self, v: u64, _o: Ordering) -> u64 {
+                rt::atomic_rmw(&self.inner, "atomic fetch_sub", |c| c.wrapping_sub(v))
             }
         }
 
         impl AtomicUsize {
-            /// Atomic add, returning the previous value (scheduling point).
+            /// Atomic add, returning the previous value (scheduling
+            /// point; flushes the store buffer).
             pub fn fetch_add(&self, v: usize, _o: Ordering) -> usize {
-                rt::yield_point("atomic fetch_add");
-                self.inner.fetch_add(v, Ordering::SeqCst)
+                rt::atomic_rmw(&self.inner, "atomic fetch_add", |c| {
+                    c.wrapping_add(v as u64)
+                }) as usize
+            }
+
+            /// Atomic subtract, returning the previous value (scheduling
+            /// point; flushes the store buffer).
+            pub fn fetch_sub(&self, v: usize, _o: Ordering) -> usize {
+                rt::atomic_rmw(&self.inner, "atomic fetch_sub", |c| {
+                    c.wrapping_sub(v as u64)
+                }) as usize
             }
         }
     }
@@ -413,7 +455,7 @@ mod rt {
     use std::cell::RefCell;
     use std::collections::HashMap;
     use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU64 as StdAtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
     use std::sync::{Once, PoisonError};
 
@@ -481,6 +523,10 @@ mod rt {
         wake: Vec<Wake>,
         active: usize,
         locks: HashMap<usize, LockSt>,
+        /// Per-thread store buffers: `Relaxed` stores the explorer chose
+        /// to delay, in commit order. Entries name the shared cell by
+        /// `Arc` identity and are drained at every release point.
+        buffers: Vec<Vec<(Arc<StdAtomicU64>, u64)>>,
         path: Vec<Branch>,
         step: usize,
         preemptions: usize,
@@ -646,6 +692,100 @@ mod rt {
         st.trace.push((me, op));
     }
 
+    /// Records a cost-free value decision with `n` options at the current
+    /// point in the path and returns the option taken on this execution.
+    /// `current: None` marks the branch as free for the preemption
+    /// accounting, so every option is explored regardless of the bound.
+    fn decide_locked(st: &mut State, n: usize) -> usize {
+        if st.step < st.path.len() {
+            let b = &st.path[st.step];
+            debug_assert_eq!(b.options.len(), n, "non-deterministic replay");
+            let c = b.options[b.chosen];
+            st.step += 1;
+            c
+        } else {
+            st.path.push(Branch {
+                options: (0..n).collect(),
+                chosen: 0,
+                current: None,
+            });
+            st.step += 1;
+            0
+        }
+    }
+
+    /// Commits every delayed store of thread `me` to shared memory, in
+    /// buffer (program) order. Called at release points.
+    fn flush_buffer(st: &mut State, me: usize) {
+        let entries = std::mem::take(&mut st.buffers[me]);
+        for (cell, v) in entries {
+            cell.store(v, Ordering::SeqCst);
+        }
+    }
+
+    /// Atomic load: forwards the newest own-buffer entry for this cell,
+    /// falling back to shared memory. Acquire/SeqCst need no extra model
+    /// behavior — only stores are ever delayed.
+    pub(crate) fn atomic_load(cell: &Arc<StdAtomicU64>, _o: Ordering) -> u64 {
+        yield_point("atomic load");
+        with_current(|sched, me| {
+            let st = lock_state(sched);
+            if let Some((_, v)) = st.buffers[me]
+                .iter()
+                .rev()
+                .find(|(c, _)| Arc::ptr_eq(c, cell))
+            {
+                return *v;
+            }
+            cell.load(Ordering::SeqCst)
+        })
+    }
+
+    /// Atomic store. A `Relaxed` store branches (cost-free) between
+    /// committing immediately and parking in the store buffer until the
+    /// next release point; stronger stores flush the buffer first and
+    /// commit in place.
+    pub(crate) fn atomic_store(cell: &Arc<StdAtomicU64>, v: u64, o: Ordering) {
+        yield_point("atomic store");
+        with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            if o == Ordering::Relaxed && decide_locked(&mut st, 2) == 1 {
+                // Delay: supersede any older delayed store to the same
+                // cell (per-location coherence) and park the new value.
+                st.buffers[me].retain(|(c, _)| !Arc::ptr_eq(c, cell));
+                st.buffers[me].push((cell.clone(), v));
+                push_trace(&mut st, me, "store delayed in buffer");
+            } else {
+                if o == Ordering::Relaxed {
+                    // Commit now, but a superseded older delayed store
+                    // must never surface later.
+                    st.buffers[me].retain(|(c, _)| !Arc::ptr_eq(c, cell));
+                } else {
+                    flush_buffer(&mut st, me);
+                }
+                cell.store(v, Ordering::SeqCst);
+            }
+        });
+    }
+
+    /// Atomic read-modify-write. RMWs always see the latest value and are
+    /// release points (explored as SeqCst regardless of the requested
+    /// ordering — see the crate docs).
+    pub(crate) fn atomic_rmw(
+        cell: &Arc<StdAtomicU64>,
+        op: &'static str,
+        f: impl Fn(u64) -> u64,
+    ) -> u64 {
+        yield_point(op);
+        with_current(|sched, me| {
+            let mut st = lock_state(sched);
+            flush_buffer(&mut st, me);
+            let prev = cell.load(Ordering::SeqCst);
+            cell.store(f(prev), Ordering::SeqCst);
+            prev
+        })
+    }
+
     /// Cooperatively acquires a model lock (`write` = exclusive).
     pub(crate) fn lock_acquire(id: usize, write: bool, op: &'static str) {
         loop {
@@ -687,6 +827,9 @@ mod rt {
             let (sched, me) = (sched.clone(), *me);
             drop(borrow);
             let mut st = lock_state(&sched);
+            // Unlocking is a release point: delayed stores become visible
+            // to whoever acquires the lock next.
+            flush_buffer(&mut st, me);
             if let Some(l) = st.locks.get_mut(&id) {
                 if write {
                     l.writer = None;
@@ -720,6 +863,8 @@ mod rt {
         yield_point(if timed { "wait_for" } else { "wait" });
         let timed_out = with_current(|sched, me| {
             let mut st = lock_state(sched);
+            // The wait releases the paired mutex: a release point.
+            flush_buffer(&mut st, me);
             if let Some(l) = st.locks.get_mut(&mutex) {
                 l.writer = None;
             }
@@ -764,11 +909,14 @@ mod rt {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        let (sched, id) = with_current(|sched, _me| {
+        let (sched, id) = with_current(|sched, me| {
             let mut st = lock_state(sched);
+            // Spawning releases the parent's writes to the child.
+            flush_buffer(&mut st, me);
             let id = st.threads.len();
             st.threads.push(TState::Runnable);
             st.wake.push(Wake::None);
+            st.buffers.push(Vec::new());
             (sched.clone(), id)
         });
         let handle = std::thread::Builder::new()
@@ -803,11 +951,25 @@ mod rt {
             let st = lock_state(&sched);
             let _st = wait_my_turn(&sched, st, me);
         }
-        let result = catch_unwind(AssertUnwindSafe(f));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let v = f();
+            // A thread exiting with delayed stores still pending must let
+            // others observe the pre-flush window (a real thread can be
+            // preempted between its last store and anything after it);
+            // without this point the exit flush below would make the
+            // buffered stores visible atomically with the last operation.
+            let dirty = with_current(|sched, me| !lock_state(sched).buffers[me].is_empty());
+            if dirty {
+                yield_point("exit with store buffer pending");
+            }
+            v
+        }));
         CURRENT.with(|c| *c.borrow_mut() = None);
         match result {
             Ok(v) => {
                 let mut st = lock_state(&sched);
+                // Thread exit is a release point: joiners see everything.
+                flush_buffer(&mut st, me);
                 st.threads[me] = TState::Finished;
                 for t in 0..st.threads.len() {
                     if matches!(st.threads[t], TState::BlockedJoin { target } if target == me) {
@@ -906,6 +1068,7 @@ mod rt {
                     wake: vec![Wake::None],
                     active: 0,
                     locks: HashMap::new(),
+                    buffers: vec![Vec::new()],
                     path: std::mem::take(&mut path),
                     step: 0,
                     preemptions: 0,
