@@ -44,6 +44,9 @@ fn main() {
         // Tail latency from the engine's put histogram: stalls that the
         // mean hides show up directly in p99/p999.
         let put = db.obs().histogram(HistKind::Put);
+        // Stall time attributed by reason (the taxonomy's per-reason
+        // histograms): which trigger actually gated the foreground.
+        let stall_ms = |kind: HistKind| f2(db.obs().histogram(kind).sum as f64 / 1e6);
         rows.push(vec![
             if threads == 0 {
                 "sync".to_string()
@@ -54,6 +57,12 @@ fn main() {
             f2(total_secs),
             s.stall_count.to_string(),
             f2(s.stall_nanos as f64 / 1e6),
+            format!(
+                "{}/{}/{}",
+                stall_ms(HistKind::StallMemtableFull),
+                stall_ms(HistKind::StallL0Files),
+                stall_ms(HistKind::StallCompactionDebt)
+            ),
             f2(put.p50() as f64 / 1000.0),
             f2(put.p99() as f64 / 1000.0),
             f2(put.p999() as f64 / 1000.0),
@@ -69,6 +78,7 @@ fn main() {
             "total secs",
             "stalls",
             "stall ms",
+            "mem/l0/debt ms",
             "put p50 us",
             "put p99 us",
             "put p999 us",

@@ -20,7 +20,7 @@ use std::thread;
 use std::time::Instant;
 
 use lsm_bench::{arg_u64, bench_options, f2, print_table, SyncCostBackend};
-use lsm_core::{DataLayout, HistKind, Options, Partitioning, ShardedDb, WriteBatch};
+use lsm_core::{DataLayout, EventKind, HistKind, Options, Partitioning, ShardedDb, WriteBatch};
 use lsm_storage::Backend;
 use lsm_workload::{format_key, format_value};
 
@@ -29,6 +29,10 @@ fn e14_options() -> Options {
     opts.background_threads = 2;
     opts.wal = true;
     opts.wal_sync = true;
+    // Emit a slow-op receipt for any sampled put over 1ms: under the
+    // synthetic fsync cost, puts that absorb a sync (or a stall) cross
+    // this easily, so the column tracks foreground pain per shard count.
+    opts.slow_op_threshold = std::time::Duration::from_millis(1);
     opts
 }
 
@@ -88,12 +92,20 @@ fn main() {
             // and the put tail from that shard's own histograms.
             let mut syncs_op_max = 0.0f64;
             let mut p99_max = 0u64;
+            let mut slow_ops = 0usize;
             for s in 0..shards {
                 let m = db.shard_metrics(s);
                 if m.db.puts > 0 {
                     syncs_op_max = syncs_op_max.max(m.db.wal_syncs as f64 / m.db.puts as f64);
                 }
                 p99_max = p99_max.max(m.latency.get(HistKind::Put).p99());
+                slow_ops += db
+                    .shard(s)
+                    .obs()
+                    .events()
+                    .iter()
+                    .filter(|e| e.kind == EventKind::SlowOp)
+                    .count();
             }
             rows.push(vec![
                 shards.to_string(),
@@ -102,6 +114,7 @@ fn main() {
                 f2(agg.wal_syncs as f64 / ops),
                 f2(syncs_op_max),
                 f2(p99_max as f64 / 1000.0),
+                slow_ops.to_string(),
             ]);
         }
     }
@@ -118,6 +131,7 @@ fn main() {
             "syncs/op",
             "max shard syncs/op",
             "max shard put p99 us",
+            "slow ops",
         ],
         &rows,
     );

@@ -195,6 +195,13 @@ impl CompactionConfig {
         self.level1_bytes
             .saturating_mul(self.size_ratio.saturating_pow(exp))
     }
+
+    /// Level 0's run cap in a tree currently `num_levels` deep. Flushes
+    /// stacking past this mean compaction has fallen behind the ingest
+    /// rate — the classifier behind the `l0_files` stall reason.
+    pub fn l0_run_trigger(&self, num_levels: usize) -> usize {
+        self.layout.max_runs(0, num_levels)
+    }
 }
 
 #[cfg(test)]

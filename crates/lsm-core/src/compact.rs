@@ -16,6 +16,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use lsm_compaction::CompactionPlan;
+use lsm_obs::{EventKind, ObsHandle};
 use lsm_sstable::{EntryIter, MergeIter, Table, TableBuilder};
 use lsm_storage::{Backend, BlockCache};
 use lsm_types::{EntryKind, Error, InternalEntry, Result, SeqNo, UserKey};
@@ -104,6 +105,7 @@ struct OutputWriter<'a> {
     tables: Vec<Arc<Table>>,
     bytes_written: u64,
     last_user_key: Option<UserKey>,
+    obs: &'a ObsHandle,
 }
 
 impl<'a> OutputWriter<'a> {
@@ -134,13 +136,25 @@ impl<'a> OutputWriter<'a> {
             if builder.is_empty() {
                 return Ok(());
             }
-            let (file, _) = builder.finish(self.backend.as_ref())?;
-            self.bytes_written += self.backend.len(file)?;
-            let table = Table::open(Arc::clone(self.backend), file, self.cache.map(Arc::clone))?;
-            if self.opts.warm_cache_after_compaction {
-                table.warm_cache()?;
-            }
-            self.tables.push(table);
+            // Each output file is a child span of the running compaction:
+            // write, open, and optional cache warm-up.
+            let span = self.obs.span_begin(EventKind::FileWriteStart, None, 0, 0);
+            let result = (|| -> Result<(u64, u64)> {
+                let (file, _) = builder.finish(self.backend.as_ref())?;
+                let len = self.backend.len(file)?;
+                self.bytes_written += len;
+                let table =
+                    Table::open(Arc::clone(self.backend), file, self.cache.map(Arc::clone))?;
+                if self.opts.warm_cache_after_compaction {
+                    table.warm_cache()?;
+                }
+                self.tables.push(table);
+                Ok((file, len))
+            })();
+            let (file, len) = *result.as_ref().unwrap_or(&(0, 0));
+            self.obs
+                .span_end(span, EventKind::FileWriteEnd, None, file, len);
+            result?;
         }
         Ok(())
     }
@@ -158,9 +172,29 @@ pub(crate) fn execute_plan(
     bits_per_key: f64,
     snapshots: &[SeqNo],
     mem_nonempty: bool,
+    obs: &ObsHandle,
 ) -> Result<CompactionOutcome> {
     let src_ids: HashSet<u64> = plan.src_tables.iter().copied().collect();
     let dst_ids: HashSet<u64> = plan.dst_tables.iter().copied().collect();
+
+    // Each selected input file gets a child read span under the compaction
+    // span (the actual block reads stream lazily during the merge; the
+    // span records which file and how many data bytes joined the merge).
+    let note_input = |t: &Arc<Table>| {
+        let span = obs.span_begin(
+            EventKind::FileReadStart,
+            None,
+            t.file_id(),
+            t.meta().data_bytes,
+        );
+        obs.span_end(
+            span,
+            EventKind::FileReadEnd,
+            None,
+            t.file_id(),
+            t.meta().data_bytes,
+        );
+    };
 
     // Gather input tables, preserving recency: src level runs newest-first,
     // each run one merge source; dst tables one (oldest) source.
@@ -183,6 +217,7 @@ pub(crate) fn execute_plan(
         }
         for t in &selected {
             bytes_read += t.meta().data_bytes;
+            note_input(t);
             input_tables.push(t.clone());
         }
         sources.push(Box::new(ChainedTables::new(selected)));
@@ -201,6 +236,7 @@ pub(crate) fn execute_plan(
             .collect();
         for t in &selected {
             bytes_read += t.meta().data_bytes;
+            note_input(t);
             input_tables.push(t.clone());
         }
         sources.push(Box::new(ChainedTables::new(selected)));
@@ -261,6 +297,7 @@ pub(crate) fn execute_plan(
         tables: Vec::new(),
         bytes_written: 0,
         last_user_key: None,
+        obs,
     };
 
     let mut dropped = 0u64;

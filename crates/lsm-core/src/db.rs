@@ -7,7 +7,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lsm_obs::{recovery_phase, EventKind, HistKind, ObsHandle, Observability};
+use lsm_obs::{
+    key_hash, recovery_phase, slow_op, EventKind, HistKind, ObsHandle, Observability, OpKind,
+    ReadProbe,
+};
 use lsm_sstable::{Table, TableBuilder};
 use lsm_storage::{Backend, FileId, FsBackend, MemBackend, ObservedBackend};
 use lsm_sync::{ranks, OrderedMutex};
@@ -264,31 +267,45 @@ impl DbBuilder {
             None if want_recover => backend.get_meta(MANIFEST_META)?.map(|b| b.to_vec()),
             None => None,
         };
-        let inner = match manifest_bytes {
-            Some(bytes) => Engine::recover(
-                backend,
-                self.opts,
-                &bytes,
-                persist,
-                obs,
-                self.epoch_filter.as_ref(),
-            )?,
-            None => {
-                let inner = Engine::new(backend, self.opts, persist, obs)?;
-                inner.save_manifest()?;
-                inner
+        // Recovery is a span: the phase instants (manifest, WAL replay,
+        // relog, orphan sweep) emitted inside attach to it as children,
+        // so a trace shows startup as one bracketed region.
+        let recovering = manifest_bytes.is_some() || self.clean_orphans;
+        let span = recovering.then(|| obs.span_begin(EventKind::RecoveryStart, None, 0, 0));
+        let end_obs = obs.clone();
+        let mut swept = 0u64;
+        let opened = (|| -> Result<Arc<Engine>> {
+            let inner = match manifest_bytes {
+                Some(bytes) => Engine::recover(
+                    backend,
+                    self.opts,
+                    &bytes,
+                    persist,
+                    obs,
+                    self.epoch_filter.as_ref(),
+                )?,
+                None => {
+                    let inner = Engine::new(backend, self.opts, persist, obs)?;
+                    inner.save_manifest()?;
+                    inner
+                }
+            };
+            if self.clean_orphans {
+                let removed = inner.clean_orphans(&[])?;
+                swept = removed as u64;
+                inner.obs.emit(
+                    EventKind::RecoveryPhase,
+                    None,
+                    recovery_phase::ORPHAN_SWEEP,
+                    removed as u64,
+                );
             }
-        };
-        if self.clean_orphans {
-            let removed = inner.clean_orphans(&[])?;
-            inner.obs.emit(
-                EventKind::RecoveryPhase,
-                None,
-                recovery_phase::ORPHAN_SWEEP,
-                removed as u64,
-            );
+            Ok(inner)
+        })();
+        if let Some(span) = span {
+            end_obs.span_end(span, EventKind::RecoveryEnd, None, swept, 0);
         }
-        Db::finish_open(inner)
+        Db::finish_open(opened?)
     }
 }
 
@@ -320,6 +337,44 @@ impl Db {
         self.inner.build_manifest().encode()
     }
 
+    /// Runs one foreground op under a single 1-in-16 sampling decision:
+    /// a sampled op feeds its latency histogram, the workload sampler
+    /// (hashing `key` only then — never on the unsampled fast path), and
+    /// the slow-op check (emitting a receipt with the read-path breakdown
+    /// when it crosses `Options::slow_op_threshold`); the unsampled
+    /// 15-in-16 pay one branch and no clock read.
+    #[inline]
+    fn instrument_fg<T>(
+        &self,
+        hist: HistKind,
+        op: OpKind,
+        key: &[u8],
+        run: impl FnOnce(Option<&mut ReadProbe>) -> Result<T>,
+    ) -> Result<T> {
+        let obs = &self.inner.obs;
+        let Some(weight) = obs.fg_sample_weight() else {
+            return run(None);
+        };
+        // An empty key (unbounded scan) has nothing to attribute.
+        let kh = if key.is_empty() { 0 } else { key_hash(key) };
+        obs.workload_record(op, kh, weight);
+        let mut probe = ReadProbe::default();
+        let start = obs.now_nanos();
+        let result = run(Some(&mut probe));
+        let dur = obs.now_nanos().saturating_sub(start);
+        obs.record_weighted(hist, dur, weight);
+        if dur >= self.inner.opts.slow_op_threshold.as_nanos() as u64 {
+            let code = match op {
+                OpKind::Get => slow_op::GET,
+                OpKind::Put => slow_op::PUT,
+                OpKind::Delete => slow_op::DELETE,
+                OpKind::Scan => slow_op::SCAN,
+            };
+            obs.emit_slow_op(code, dur, &probe);
+        }
+        result
+    }
+
     /// Inserts or updates `key -> value`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.put_opt(key, value, &WriteOptions::default())
@@ -327,14 +382,15 @@ impl Db {
 
     /// [`Db::put`] with per-write durability options.
     pub fn put_opt(&self, key: &[u8], value: &[u8], w: &WriteOptions) -> Result<()> {
-        let _t = self.inner.obs.timer(HistKind::Put);
         self.inner.stats.puts.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .user_bytes
             .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
-        self.inner
-            .commit_write(vec![BatchOp::Put(key.to_vec(), value.to_vec())], w, None)
+        self.instrument_fg(HistKind::Put, OpKind::Put, key, |_| {
+            self.inner
+                .commit_write(vec![BatchOp::Put(key.to_vec(), value.to_vec())], w, None)
+        })
     }
 
     /// Deletes `key` (writes a point tombstone).
@@ -344,14 +400,15 @@ impl Db {
 
     /// [`Db::delete`] with per-write durability options.
     pub fn delete_opt(&self, key: &[u8], w: &WriteOptions) -> Result<()> {
-        let _t = self.inner.obs.timer(HistKind::Delete);
         self.inner.stats.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .user_bytes
             .fetch_add(key.len() as u64, Ordering::Relaxed);
-        self.inner
-            .commit_write(vec![BatchOp::Delete(key.to_vec())], w, None)
+        self.instrument_fg(HistKind::Delete, OpKind::Delete, key, |_| {
+            self.inner
+                .commit_write(vec![BatchOp::Delete(key.to_vec())], w, None)
+        })
     }
 
     /// Deletes `key`, promising it was written at most once since the last
@@ -625,18 +682,20 @@ impl Db {
 
     /// Returns the newest value of `key`, if it exists.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>> {
-        let _t = self.inner.obs.timer(HistKind::Get);
-        self.inner
-            .get_at(key, self.inner.seqno.load(Ordering::Acquire))
+        self.instrument_fg(HistKind::Get, OpKind::Get, key, |probe| {
+            self.inner
+                .get_at_probed(key, self.inner.seqno.load(Ordering::Acquire), probe)
+        })
     }
 
     /// Scans `[start, end)` (`None` = unbounded above) at the current
     /// sequence number. The scan histogram records iterator construction
     /// (source collection + merge setup), not iteration.
     pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
-        let _t = self.inner.obs.timer(HistKind::Scan);
-        self.inner
-            .scan_at(start, end, self.inner.seqno.load(Ordering::Acquire))
+        self.instrument_fg(HistKind::Scan, OpKind::Scan, start, |probe| {
+            self.inner
+                .scan_at_probed(start, end, self.inner.seqno.load(Ordering::Acquire), probe)
+        })
     }
 
     /// Pins a consistent read view.
@@ -701,14 +760,34 @@ impl Db {
     /// cache), with a [`MetricsSnapshot::delta`] combinator for phase
     /// measurements.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let version = self.inner.current.lock().clone();
-        MetricsSnapshot {
-            db: self.inner.stats.snapshot(),
-            io: self.inner.backend.stats().snapshot(),
-            cache: self.inner.cache.as_ref().map(|c| c.stats()),
-            latency: self.inner.obs.latency(),
-            levels: version.describe().level_gauges(),
-        }
+        engine_metrics(&self.inner)
+    }
+
+    /// Spawns a [`MetricsExporter`] appending one metrics-delta JSONL line
+    /// per [`Options::metrics_export_interval`] to `sink`. The exporter
+    /// holds only the engine (not the worker threads), so it keeps running
+    /// until stopped or dropped even if this `Db` handle is dropped first.
+    pub fn metrics_exporter<W>(&self, sink: W) -> crate::MetricsExporter
+    where
+        W: std::io::Write + Send + 'static,
+    {
+        let engine = Arc::clone(&self.inner);
+        crate::MetricsExporter::spawn(
+            move || engine_metrics(&engine),
+            self.inner.opts.metrics_export_interval,
+            sink,
+        )
+    }
+
+    /// The full metrics surface rendered as Prometheus text exposition:
+    /// counters, gauges, and latency quantiles from [`Db::metrics`], plus
+    /// the observability-side series (event drops, workload op mix, hot
+    /// keys) that live outside [`MetricsSnapshot`].
+    pub fn metrics_text(&self) -> String {
+        let mut prom = lsm_obs::PromText::new();
+        self.metrics().prometheus_render(&mut prom, &[]);
+        self.inner.obs.prometheus_render_aux(&mut prom, &[]);
+        prom.finish()
     }
 
     /// The observability handle: latency histograms and the structured
@@ -764,6 +843,22 @@ impl Drop for Db {
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// [`Db::metrics`] against a bare engine, so the metrics exporter can
+/// keep polling without holding (and without keeping alive) the worker
+/// threads a full [`Db`] handle owns.
+pub(crate) fn engine_metrics(inner: &Engine) -> MetricsSnapshot {
+    let version = inner.current.lock().clone();
+    let levels = version.describe().level_gauges();
+    MetricsSnapshot {
+        db: inner.stats.snapshot(),
+        io: inner.backend.stats().snapshot(),
+        cache: inner.cache.as_ref().map(|c| c.stats()),
+        latency: inner.obs.latency(),
+        read_amp_estimate: lsm_obs::estimated_read_amp(&levels) as f64,
+        levels,
     }
 }
 

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use lsm_compaction::{plan_observed, CompactionPlan, Granularity, PickPolicy};
 use lsm_memtable::{make_memtable, MemTable};
-use lsm_obs::{recovery_phase, EventKind, HistKind, ObsHandle};
+use lsm_obs::{recovery_phase, stall_reason, EventKind, HistKind, ObsHandle, ReadProbe};
 use lsm_sstable::{Table, TableBuilder, VecEntryIter};
 use lsm_storage::{wal, Backend, BlockCache, FileId};
 use lsm_sync::{ranks, Condvar, OrderedMutex, OrderedRwLock};
@@ -542,11 +542,12 @@ impl Engine {
         });
         // Queue-wait is per-request bookkeeping on a sub-microsecond path:
         // decide sampling once at enqueue so unsampled requests skip both
-        // clock reads, not just the histogram write.
+        // clock reads, not just the histogram write — and read the obs
+        // clock, which is a fraction of an `Instant::now` here.
         let enqueued = self
             .obs
             .fg_sample_weight()
-            .map(|weight| (Instant::now(), weight));
+            .map(|weight| (self.obs.now_nanos(), weight));
         self.commit_mx.lock().push_back(Arc::clone(&req));
 
         loop {
@@ -588,7 +589,7 @@ impl Engine {
                 if let Some((t, weight)) = enqueued {
                     self.obs.record_weighted(
                         HistKind::GroupWait,
-                        t.elapsed().as_nanos() as u64,
+                        self.obs.now_nanos().saturating_sub(t),
                         weight,
                     );
                 }
@@ -605,8 +606,11 @@ impl Engine {
             self.commit_cv.wait_for(&mut q, Duration::from_millis(50));
         }
         if let Some((t, weight)) = enqueued {
-            self.obs
-                .record_weighted(HistKind::GroupWait, t.elapsed().as_nanos() as u64, weight);
+            self.obs.record_weighted(
+                HistKind::GroupWait,
+                self.obs.now_nanos().saturating_sub(t),
+                weight,
+            );
         }
         if let Some(msg) = req.error.get() {
             return Err(Error::Corruption(format!("group commit failed: {msg}")));
@@ -652,11 +656,45 @@ impl Engine {
     pub(crate) fn commit_group(&self, group: &[Arc<CommitRequest>]) -> Result<()> {
         // Per-group bookkeeping samples 1-in-FG_SAMPLE like the foreground
         // ops: an uncontended group is one sub-microsecond put, and timing
-        // every one of them would tax the very path being measured.
+        // every one of them would tax the very path being measured. A
+        // sampled group is also a span, so WAL rotations triggered by the
+        // freeze it causes nest under it in the trace — opened with the
+        // same clock reading that starts the latency sample.
         let started = self
             .obs
             .fg_sample_weight()
-            .map(|weight| (Instant::now(), weight));
+            .map(|weight| (self.obs.now_nanos(), weight));
+        let span = started.map(|(t0, _)| {
+            self.obs
+                .span_begin_at(t0, EventKind::GroupCommitStart, None, group.len() as u64, 0)
+        });
+        let mut committed = (0u64, 0u64);
+        let result = self.commit_group_inner(group, started, &mut committed);
+        if let (Some((t0, weight)), Some(span)) = (started, span) {
+            // One clock read closes both the latency sample and the span.
+            let t1 = self.obs.now_nanos();
+            if result.is_ok() {
+                self.obs
+                    .record_weighted(HistKind::GroupCommit, t1.saturating_sub(t0), weight);
+            }
+            self.obs.span_end_at(
+                t1,
+                span,
+                EventKind::GroupCommitEnd,
+                None,
+                committed.0,
+                committed.1,
+            );
+        }
+        result
+    }
+
+    fn commit_group_inner(
+        &self,
+        group: &[Arc<CommitRequest>],
+        started: Option<(u64, u64)>,
+        committed: &mut (u64, u64),
+    ) -> Result<()> {
         let mem = self.mem.read();
         let base = self.seqno.load(Ordering::Acquire);
         let ts0 = self.clock.load(Ordering::Acquire);
@@ -696,6 +734,8 @@ impl Engine {
         if n == 0 {
             return Ok(());
         }
+        committed.0 = n;
+        committed.1 = payloads.iter().map(|p| p.len() as u64).sum();
         if let Some(wal_id) = mem.active.wal {
             if !payloads.is_empty() {
                 // The WAL append must happen under `mem` so the segment
@@ -733,10 +773,10 @@ impl Engine {
         drop(mem);
 
         self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
-        if let Some((t, weight)) = started {
+        // The commit latency itself is recorded by the wrapper, which
+        // closes the span with the same clock read.
+        if let Some((_, weight)) = started {
             self.obs.record_weighted(HistKind::GroupSize, n, weight);
-            self.obs
-                .record_weighted(HistKind::GroupCommit, t.elapsed().as_nanos() as u64, weight);
         }
         Ok(())
     }
@@ -798,16 +838,24 @@ impl Engine {
     }
 
     /// Blocks (or inline-maintains) while the immutable queue is full.
+    /// Each stall is a span carrying its classified reason, and every
+    /// waited chunk lands in that reason's stalled-time histogram — so a
+    /// trace shows *why* writers stopped, not just that they did.
     pub(crate) fn maybe_stall(&self) -> Result<()> {
-        let mut stalled = false;
+        let mut span: Option<(lsm_obs::SpanId, u64)> = None;
+        let mut total_waited = 0u64;
         let result = loop {
             let queued = self.mem.read().immutables.len();
             if queued < self.opts.max_immutable_memtables {
                 break Ok(());
             }
-            if !stalled {
-                stalled = true;
-                self.obs.emit(EventKind::StallBegin, None, queued as u64, 0);
+            let reason = self.classify_stall();
+            if span.is_none() {
+                span = Some((
+                    self.obs
+                        .span_begin(EventKind::StallBegin, None, queued as u64, reason),
+                    reason,
+                ));
             }
             let started = Instant::now();
             self.stats.stall_count.fetch_add(1, Ordering::Relaxed);
@@ -823,17 +871,39 @@ impl Engine {
                 }
                 Ok(())
             };
-            self.stats
-                .stall_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let waited = started.elapsed().as_nanos() as u64;
+            total_waited += waited;
+            self.stats.stall_nanos.fetch_add(waited, Ordering::Relaxed);
+            self.obs.record(HistKind::for_stall_reason(reason), waited);
             if let Err(e) = step.and_then(|()| self.check_bg_error()) {
                 break Err(e);
             }
         };
-        if stalled {
-            self.obs.emit(EventKind::StallEnd, None, 0, 0);
+        if let Some((span, reason)) = span {
+            self.obs
+                .span_end(span, EventKind::StallEnd, None, total_waited, reason);
         }
         result
+    }
+
+    /// Why writers are stalled right now: flushes stacking at level 0
+    /// ([`stall_reason::L0_FILES`]), deeper levels over capacity
+    /// ([`stall_reason::COMPACTION_DEBT`]), or simply a full immutable
+    /// queue the flusher hasn't drained ([`stall_reason::MEMTABLE_FULL`]).
+    fn classify_stall(&self) -> u64 {
+        let version = self.current.lock().clone();
+        let depth = version.levels.len();
+        let l0_runs = version.levels.first().map_or(0, |l| l.len());
+        if l0_runs >= self.opts.compaction.l0_run_trigger(depth) {
+            return stall_reason::L0_FILES;
+        }
+        for (i, level) in version.levels.iter().enumerate().skip(1) {
+            let bytes: u64 = level.iter().map(|r| r.size_bytes()).sum();
+            if bytes > self.opts.compaction.level_capacity_bytes(i) {
+                return stall_reason::COMPACTION_DEBT;
+            }
+        }
+        stall_reason::MEMTABLE_FULL
     }
 
     /// Freezes the active memtable if it crossed the buffer size.
@@ -876,9 +946,18 @@ impl Engine {
         }
         let wal_id = if self.opts.wal {
             // Created under `mem` so exactly one freezer wins the race and
-            // no orphan segment is created by the loser.
+            // no orphan segment is created by the loser. The rotation is a
+            // span: during a flush-triggered freeze it nests under the
+            // flush, tying the fresh segment to what caused it.
+            let span = self
+                .obs
+                .span_begin(EventKind::WalRotateStart, None, 0, size as u64);
             // lsm-lint: allow(io-under-lock)
-            Some(self.backend.create_appendable()?)
+            let created = self.backend.create_appendable();
+            let id = *created.as_ref().unwrap_or(&0);
+            self.obs
+                .span_end(span, EventKind::WalRotateEnd, None, id, size as u64);
+            Some(created?)
         } else {
             None
         };
@@ -903,6 +982,18 @@ impl Engine {
     // ----------------------------------------------------------------- read
 
     pub(crate) fn get_at(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Value>> {
+        self.get_at_probed(key, snapshot, None)
+    }
+
+    /// [`Self::get_at`] with an optional [`ReadProbe`] attributing where
+    /// the lookup spent its effort. Only sampled foreground gets pass one;
+    /// the probe-free path compiles to the same code as before.
+    pub(crate) fn get_at_probed(
+        &self,
+        key: &[u8],
+        snapshot: SeqNo,
+        mut probe: Option<&mut ReadProbe>,
+    ) -> Result<Option<Value>> {
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         let (mem_sources, version) = self.read_view();
 
@@ -918,6 +1009,9 @@ impl Engine {
         }
 
         for h in &mem_sources {
+            if let Some(p) = probe.as_deref_mut() {
+                p.memtables_probed += 1;
+            }
             if let Some(e) = h.table.get(key, snapshot) {
                 if e.kind() == EntryKind::RangeDelete {
                     // A range tombstone occupies its start key's slot but
@@ -927,12 +1021,22 @@ impl Engine {
                 return Ok(Self::interpret(e, covering));
             }
         }
-        for run in version.runs_newest_first() {
-            if let Some(e) = run.get(key, snapshot)? {
-                if e.kind() == EntryKind::RangeDelete {
-                    continue;
+        for level in &version.levels {
+            if level.is_empty() {
+                continue;
+            }
+            if let Some(p) = probe.as_deref_mut() {
+                p.levels_touched += 1;
+            }
+            // Runs within a level are newest-first, matching
+            // `runs_newest_first()`.
+            for run in level {
+                if let Some(e) = run.get_probed(key, snapshot, probe.as_deref_mut())? {
+                    if e.kind() == EntryKind::RangeDelete {
+                        continue;
+                    }
+                    return Ok(Self::interpret(e, covering));
                 }
-                return Ok(Self::interpret(e, covering));
             }
         }
         Ok(None)
@@ -967,8 +1071,25 @@ impl Engine {
         end: Option<&[u8]>,
         snapshot: SeqNo,
     ) -> Result<DbScanIter> {
+        self.scan_at_probed(start, end, snapshot, None)
+    }
+
+    /// [`Self::scan_at`] attributing the sources opened to `probe` on
+    /// sampled scans (memtables and non-empty levels; block fetches happen
+    /// lazily during iteration and are not attributed).
+    pub(crate) fn scan_at_probed(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        snapshot: SeqNo,
+        probe: Option<&mut ReadProbe>,
+    ) -> Result<DbScanIter> {
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
         let (mem_sources, version) = self.read_view();
+        if let Some(p) = probe {
+            p.memtables_probed += mem_sources.len() as u32;
+            p.levels_touched += version.levels.iter().filter(|l| !l.is_empty()).count() as u32;
+        }
         let mut rts: Vec<(UserKey, UserKey, SeqNo)> = Vec::new();
         let mut mem_entries = Vec::with_capacity(mem_sources.len());
         for h in &mem_sources {
@@ -1093,14 +1214,26 @@ impl Engine {
 
     pub(crate) fn flush_handle(&self, handle: &Arc<MemHandle>) -> Result<()> {
         let _t = self.obs.timer(HistKind::Flush);
-        let entries = handle.table.sorted_entries();
-        self.obs.emit(
+        let span = self.obs.span_begin(
             EventKind::FlushStart,
             Some(0),
             handle.table.approximate_size() as u64,
             handle.id,
         );
         let mut flushed_bytes: u64 = 0;
+        let result = self.flush_handle_inner(handle, &mut flushed_bytes);
+        // Always close the span — an error mid-flush must not leave the
+        // thread's span stack (and the Chrome B/E pairing) unbalanced.
+        self.obs
+            .span_end(span, EventKind::FlushEnd, Some(0), flushed_bytes, handle.id);
+        if result.is_ok() {
+            self.notify_progress();
+        }
+        result
+    }
+
+    fn flush_handle_inner(&self, handle: &Arc<MemHandle>, flushed_bytes: &mut u64) -> Result<()> {
+        let entries = handle.table.sorted_entries();
         let new_run = if entries.is_empty() {
             None
         } else {
@@ -1115,7 +1248,7 @@ impl Engine {
             let (file, _) = builder.finish(self.backend.as_ref())?;
             let bytes = self.backend.len(file)?;
             self.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
-            flushed_bytes = bytes;
+            *flushed_bytes = bytes;
             let table = Table::open(self.backend.clone(), file, self.cache.clone())?;
             Some(Run::new(vec![table]))
         };
@@ -1174,9 +1307,6 @@ impl Engine {
                 Err(e) => return Err(e),
             }
         }
-        self.obs
-            .emit(EventKind::FlushEnd, Some(0), flushed_bytes, handle.id);
-        self.notify_progress();
         Ok(())
     }
 
@@ -1250,12 +1380,32 @@ impl Engine {
         task: &CompactionPlan,
     ) -> Result<()> {
         let _t = self.obs.timer(HistKind::Compaction);
-        self.obs.emit(
+        let span = self.obs.span_begin(
             EventKind::CompactionStart,
             Some(task.src_level as u32),
             0,
             task.dst_level as u64,
         );
+        let mut bytes_written = 0u64;
+        let result = self.run_compaction_inner(version, task, &mut bytes_written);
+        // Always close the span so per-file child spans stay nested and
+        // the Chrome B/E pairing survives errors.
+        self.obs.span_end(
+            span,
+            EventKind::CompactionEnd,
+            Some(task.src_level as u32),
+            bytes_written,
+            task.dst_level as u64,
+        );
+        result
+    }
+
+    fn run_compaction_inner(
+        &self,
+        version: &Arc<Version>,
+        task: &CompactionPlan,
+        out_bytes_written: &mut u64,
+    ) -> Result<()> {
         let snapshots: Vec<SeqNo> = self.snapshots.lock().keys().copied().collect();
         let bits = self.bits_for_level(version, task.dst_level);
         let mem_nonempty = {
@@ -1271,7 +1421,9 @@ impl Engine {
             bits,
             &snapshots,
             mem_nonempty,
+            &self.obs,
         )?;
+        *out_bytes_written = outcome.bytes_written;
 
         // Install.
         let consumed: Vec<u64> = task
@@ -1337,12 +1489,6 @@ impl Engine {
         self.stats
             .tombstones_purged
             .fetch_add(outcome.tombstones_purged, Ordering::Relaxed);
-        self.obs.emit(
-            EventKind::CompactionEnd,
-            Some(task.src_level as u32),
-            outcome.bytes_written,
-            task.dst_level as u64,
-        );
         self.save_manifest()?;
         Ok(())
     }

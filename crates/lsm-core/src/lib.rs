@@ -30,6 +30,7 @@
 mod compact;
 mod db;
 mod engine;
+mod exporter;
 mod manifest;
 mod metrics;
 mod options;
@@ -41,6 +42,7 @@ mod version;
 pub use db::{
     Db, DbBuilder, DbScanIter, ReadView, RecoverySummary, Snapshot, WriteBatch, WriteOptions,
 };
+pub use exporter::{MetricsExporter, MetricsSource};
 pub use metrics::MetricsSnapshot;
 pub use options::Options;
 pub use sharded::{Partitioning, ShardedDb, ShardedDbBuilder};
@@ -53,6 +55,7 @@ pub use lsm_compaction::{CompactionConfig, DataLayout, Granularity, PickPolicy, 
 pub use lsm_filters::PointFilterKind;
 pub use lsm_memtable::MemTableKind;
 pub use lsm_obs::{
-    EventKind, HistKind, HistSnapshot, LatencySnapshot, LevelGauge, ObsHandle, Observability,
+    Event, EventKind, HistKind, HistSnapshot, HotKey, LatencySnapshot, LevelGauge, ObsHandle,
+    Observability, PromText, ReadProbe, WorkloadSnapshot,
 };
 pub use lsm_types::{Error, Result, SeqNo, Value};

@@ -10,7 +10,7 @@
 //! [`delta`]: MetricsSnapshot::delta
 //! [`to_json`]: MetricsSnapshot::to_json
 
-use lsm_obs::{HistKind, LatencySnapshot, LevelGauge};
+use lsm_obs::{HistKind, LatencySnapshot, LevelGauge, PromText};
 use lsm_storage::{CacheStats, IoSnapshot};
 
 use crate::stats::StatsSnapshot;
@@ -29,6 +29,11 @@ pub struct MetricsSnapshot {
     pub latency: LatencySnapshot,
     /// Per-level tree shape at snapshot time (files, bytes, sorted runs).
     pub levels: Vec<LevelGauge>,
+    /// Estimated point-read amplification (sorted runs a lookup may probe)
+    /// at snapshot time. An *intensive* quantity: merging shard snapshots
+    /// averages it weighted by each shard's read traffic — a lookup is
+    /// routed to exactly one shard, so shard read-amps must never add.
+    pub read_amp_estimate: f64,
 }
 
 impl MetricsSnapshot {
@@ -48,6 +53,7 @@ impl MetricsSnapshot {
             },
             latency: self.latency.delta(&earlier.latency),
             levels: self.levels.clone(),
+            read_amp_estimate: self.read_amp_estimate,
         }
     }
 
@@ -58,6 +64,16 @@ impl MetricsSnapshot {
     /// [`ShardedDb::metrics`](crate::ShardedDb::metrics) to present N
     /// shard engines as one surface.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
+        // Weighted average by read traffic, captured before the counter
+        // merge below folds the weights together. A snapshot pair with no
+        // reads on either side averages uniformly.
+        let (wa, wb) = (self.db.gets + self.db.scans, other.db.gets + other.db.scans);
+        self.read_amp_estimate = if wa + wb == 0 {
+            (self.read_amp_estimate + other.read_amp_estimate) / 2.0
+        } else {
+            (self.read_amp_estimate * wa as f64 + other.read_amp_estimate * wb as f64)
+                / (wa + wb) as f64
+        };
         self.db.merge(&other.db);
         self.io.merge(&other.io);
         self.cache = match (self.cache.as_ref(), other.cache.as_ref()) {
@@ -177,7 +193,7 @@ impl MetricsSnapshot {
         out.push(']');
         out.push_str(&format!(
             ",\"read_amp_estimate\":{}",
-            lsm_obs::estimated_read_amp(&self.levels)
+            self.read_amp_estimate
         ));
         out.push_str(&format!(
             ",\"write_amplification\":{:.4}",
@@ -185,6 +201,123 @@ impl MetricsSnapshot {
         ));
         out.push('}');
         out
+    }
+
+    /// Renders the snapshot's families into a Prometheus text exposition.
+    /// `labels` (e.g. `shard="2"`) are prepended to every sample, so a
+    /// sharded database can emit its aggregate (no labels) followed by one
+    /// labelled render per shard against the same family declarations.
+    pub fn prometheus_render(&self, prom: &mut PromText, labels: &[(&str, &str)]) {
+        fn join<'a>(
+            base: &[(&'a str, &'a str)],
+            extra: &[(&'a str, &'a str)],
+        ) -> Vec<(&'a str, &'a str)> {
+            let mut l = base.to_vec();
+            l.extend_from_slice(extra);
+            l
+        }
+        prom.family(
+            "lsm_db_ops_total",
+            "counter",
+            "Foreground operations by class.",
+        );
+        for (op, v) in [
+            ("get", self.db.gets),
+            ("put", self.db.puts),
+            ("delete", self.db.deletes),
+            ("scan", self.db.scans),
+        ] {
+            prom.sample("lsm_db_ops_total", &join(labels, &[("op", op)]), v as f64);
+        }
+        prom.family(
+            "lsm_maintenance_total",
+            "counter",
+            "Background maintenance runs by kind.",
+        );
+        for (kind, v) in [
+            ("flush", self.db.flushes),
+            ("compaction", self.db.compactions),
+        ] {
+            prom.sample(
+                "lsm_maintenance_total",
+                &join(labels, &[("kind", kind)]),
+                v as f64,
+            );
+        }
+        prom.family(
+            "lsm_stalls_total",
+            "counter",
+            "Write stalls entered by foreground writers.",
+        );
+        prom.sample("lsm_stalls_total", labels, self.db.stall_count as f64);
+        prom.family(
+            "lsm_stall_seconds_total",
+            "counter",
+            "Total time foreground writers spent stalled.",
+        );
+        prom.sample(
+            "lsm_stall_seconds_total",
+            labels,
+            self.db.stall_nanos as f64 / 1e9,
+        );
+        prom.family(
+            "lsm_io_bytes_total",
+            "counter",
+            "Backend bytes moved by direction.",
+        );
+        for (dir, v) in [("read", self.io.read_bytes), ("write", self.io.write_bytes)] {
+            prom.sample(
+                "lsm_io_bytes_total",
+                &join(labels, &[("dir", dir)]),
+                v as f64,
+            );
+        }
+        if let Some(c) = &self.cache {
+            prom.family(
+                "lsm_cache_lookups_total",
+                "counter",
+                "Block-cache lookups by outcome.",
+            );
+            for (outcome, v) in [("hit", c.hits), ("miss", c.misses)] {
+                prom.sample(
+                    "lsm_cache_lookups_total",
+                    &join(labels, &[("outcome", outcome)]),
+                    v as f64,
+                );
+            }
+        }
+        prom.family("lsm_level_bytes", "gauge", "Resident bytes per LSM level.");
+        prom.family("lsm_level_runs", "gauge", "Sorted runs per LSM level.");
+        for l in &self.levels {
+            let level = l.level.to_string();
+            prom.sample(
+                "lsm_level_bytes",
+                &join(labels, &[("level", &level)]),
+                l.bytes as f64,
+            );
+            prom.sample(
+                "lsm_level_runs",
+                &join(labels, &[("level", &level)]),
+                l.runs as f64,
+            );
+        }
+        prom.family(
+            "lsm_read_amp_estimate",
+            "gauge",
+            "Estimated sorted runs a point lookup may probe.",
+        );
+        prom.sample("lsm_read_amp_estimate", labels, self.read_amp_estimate);
+        prom.family(
+            "lsm_write_amplification",
+            "gauge",
+            "Physical bytes written per user byte ingested.",
+        );
+        prom.sample(
+            "lsm_write_amplification",
+            labels,
+            self.write_amplification(),
+        );
+        lsm_obs::prom::render_latency(prom, &self.latency, labels);
     }
 }
 
@@ -240,6 +373,51 @@ mod tests {
         let without = MetricsSnapshot::default();
         assert!(with.delta(&without).cache.is_none());
         assert!(without.delta(&without).cache.is_none());
+    }
+
+    #[test]
+    fn merge_averages_read_amp_weighted_by_read_traffic() {
+        // Shard A: 30 reads at read-amp 4; shard B: 10 reads at read-amp 8.
+        // The merged estimate is the traffic-weighted mean (5), never the
+        // sum (12) — a lookup probes exactly one shard.
+        let mut a = MetricsSnapshot {
+            read_amp_estimate: 4.0,
+            ..Default::default()
+        };
+        a.db.gets = 30;
+        let mut b = MetricsSnapshot {
+            read_amp_estimate: 8.0,
+            ..Default::default()
+        };
+        b.db.gets = 10;
+        a.merge(&b);
+        assert!((a.read_amp_estimate - 5.0).abs() < 1e-12);
+        assert_eq!(a.db.gets, 40);
+
+        // No reads anywhere: uniform average, still not a sum.
+        let mut x = MetricsSnapshot {
+            read_amp_estimate: 2.0,
+            ..Default::default()
+        };
+        let y = MetricsSnapshot {
+            read_amp_estimate: 4.0,
+            ..Default::default()
+        };
+        x.merge(&y);
+        assert!((x.read_amp_estimate - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_render_labels_every_sample() {
+        let mut m = MetricsSnapshot::default();
+        m.db.gets = 5;
+        m.read_amp_estimate = 3.0;
+        let mut prom = PromText::new();
+        m.prometheus_render(&mut prom, &[("shard", "1")]);
+        let text = prom.finish();
+        assert!(text.contains("lsm_db_ops_total{shard=\"1\",op=\"get\"} 5\n"));
+        assert!(text.contains("lsm_read_amp_estimate{shard=\"1\"} 3\n"));
+        assert_eq!(text.matches("# TYPE lsm_db_ops_total").count(), 1);
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub struct Options {
     /// Maximum size of one output table during flush/compaction; larger
     /// outputs split at user-key boundaries (partial-compaction substrate).
     pub table_target_bytes: u64,
+    /// A sampled foreground op slower than this emits a
+    /// [`lsm_obs::EventKind::SlowOp`] receipt into the event ring with its
+    /// read-path breakdown. Only the 1-in-16 sampled ops are checked, so
+    /// the threshold costs nothing on the rest.
+    pub slow_op_threshold: std::time::Duration,
+    /// How often a [`crate::MetricsExporter`] attached to this database
+    /// snapshots and writes metrics. Must be non-zero.
+    pub metrics_export_interval: std::time::Duration,
 }
 
 impl Default for Options {
@@ -78,6 +86,8 @@ impl Default for Options {
             transient_retries: 4,
             background_threads: 0,
             table_target_bytes: 2 << 20, // 2 MiB
+            slow_op_threshold: std::time::Duration::from_millis(100),
+            metrics_export_interval: std::time::Duration::from_secs(10),
         }
     }
 }
@@ -110,6 +120,11 @@ impl Options {
         if self.filter_bits_per_key < 0.0 {
             return Err(Error::InvalidArgument(
                 "filter_bits_per_key must be >= 0".into(),
+            ));
+        }
+        if self.metrics_export_interval.is_zero() {
+            return Err(Error::InvalidArgument(
+                "metrics_export_interval must be > 0".into(),
             ));
         }
         Ok(())
@@ -190,6 +205,12 @@ mod tests {
 
         let o = Options {
             max_group_bytes: 0,
+            ..Options::default()
+        };
+        assert!(o.validate().is_err());
+
+        let o = Options {
+            metrics_export_interval: std::time::Duration::ZERO,
             ..Options::default()
         };
         assert!(o.validate().is_err());

@@ -748,6 +748,66 @@ impl ShardedDb {
         self.shards[i].metrics()
     }
 
+    /// The full sharded metrics surface as Prometheus text exposition: the
+    /// aggregate (unlabelled, via [`ShardedDb::metrics`]'s weighted merge)
+    /// followed by every shard's samples labelled `shard="i"` against the
+    /// same family declarations, plus the observability-side series (event
+    /// drops, workload mix, hot keys).
+    pub fn metrics_text(&self) -> String {
+        let mut prom = lsm_obs::PromText::new();
+        self.metrics().prometheus_render(&mut prom, &[]);
+        let mut shard_label = String::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard_label.clear();
+            shard_label.push_str(&i.to_string());
+            shard
+                .metrics()
+                .prometheus_render(&mut prom, &[("shard", &shard_label)]);
+        }
+        // With a shared handle every shard reports the same sampler and
+        // event ring; render the obs-side series once, unlabelled.
+        if self.shared_obs {
+            self.shards[0].obs().prometheus_render_aux(&mut prom, &[]);
+        } else {
+            for (i, shard) in self.shards.iter().enumerate() {
+                shard_label.clear();
+                shard_label.push_str(&i.to_string());
+                shard
+                    .obs()
+                    .prometheus_render_aux(&mut prom, &[("shard", &shard_label)]);
+            }
+        }
+        prom.finish()
+    }
+
+    /// Spawns a [`crate::MetricsExporter`] appending one *aggregate*
+    /// metrics-delta JSONL line per shard-0
+    /// [`Options::metrics_export_interval`] to `sink`. Holds the shard
+    /// engines only, mirroring [`Db::metrics_exporter`].
+    pub fn metrics_exporter<W>(&self, sink: W) -> crate::MetricsExporter
+    where
+        W: std::io::Write + Send + 'static,
+    {
+        let engines: Vec<Arc<Engine>> = self.shards.iter().map(|s| Arc::clone(&s.inner)).collect();
+        let shared_obs = self.shared_obs;
+        let interval = self.shards[0].options().metrics_export_interval;
+        crate::MetricsExporter::spawn(
+            move || {
+                let mut acc = crate::db::engine_metrics(&engines[0]);
+                for engine in &engines[1..] {
+                    let mut m = crate::db::engine_metrics(engine);
+                    if shared_obs {
+                        m.latency = lsm_obs::LatencySnapshot::default();
+                    }
+                    acc.merge(&m);
+                }
+                acc
+            },
+            interval,
+            sink,
+        )
+    }
+
     /// Total WAL records every shard's recovery discarded because their
     /// cross-shard epoch never committed (zero for a fresh database).
     pub fn records_discarded(&self) -> usize {

@@ -52,13 +52,24 @@ impl Run {
 
     /// The newest version of `key` visible at `snapshot` within this run.
     pub fn get(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<InternalEntry>> {
+        self.get_probed(key, snapshot, None)
+    }
+
+    /// [`Self::get`] with a [`lsm_obs::ReadProbe`] riding along on sampled
+    /// foreground lookups.
+    pub fn get_probed(
+        &self,
+        key: &[u8],
+        snapshot: SeqNo,
+        probe: Option<&mut lsm_obs::ReadProbe>,
+    ) -> Result<Option<InternalEntry>> {
         // Tables are key-ordered and disjoint: binary search for the one
         // table whose range can contain the key.
         let idx = self
             .tables
             .partition_point(|t| t.meta().key_range.max.as_bytes() < key);
         match self.tables.get(idx) {
-            Some(t) if t.meta().key_range.contains(key) => t.get(key, snapshot),
+            Some(t) if t.meta().key_range.contains(key) => t.get_probed(key, snapshot, probe),
             _ => Ok(None),
         }
     }

@@ -70,7 +70,29 @@ fn populated() -> MetricsSnapshot {
             runs: 1,
         },
     ];
+    m.read_amp_estimate = lsm_obs::estimated_read_amp(&m.levels) as f64;
     m
+}
+
+/// Pins the Prometheus text exposition the same way: family declarations,
+/// label order, and value formatting are scrape-pipeline interface.
+#[test]
+fn metrics_prometheus_matches_golden_file() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_prom.txt");
+    let mut prom = lsm_obs::PromText::new();
+    populated().prometheus_render(&mut prom, &[]);
+    populated().prometheus_render(&mut prom, &[("shard", "0")]);
+    let actual = prom.finish();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden file readable");
+    assert_eq!(
+        actual, golden,
+        "Prometheus exposition drifted; if intentional, regenerate with\n  \
+         REGEN_GOLDEN=1 cargo test -p lsm-core --test metrics_golden"
+    );
 }
 
 #[test]

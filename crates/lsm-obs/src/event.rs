@@ -43,10 +43,39 @@ pub enum EventKind {
     /// A storage fault fired (`a` = fault code, see [`fault_name`],
     /// `b` = the backend write/read op index it hit).
     FaultInjected = 9,
+    /// A WAL segment rotation began inside a memtable freeze
+    /// (`a` = fresh segment file id, `b` = frozen memtable bytes).
+    WalRotateStart = 10,
+    /// The WAL segment rotation finished (same payload words).
+    WalRotateEnd = 11,
+    /// A maintenance job began consuming one input table
+    /// (`a` = file id, `b` = table data bytes).
+    FileReadStart = 12,
+    /// The input table was fully set up for the merge (same payload).
+    FileReadEnd = 13,
+    /// A maintenance job began finishing one output table
+    /// (`a` = file id — 0 until known, `b` = data bytes so far).
+    FileWriteStart = 14,
+    /// The output table landed on the backend (`a` = file id,
+    /// `b` = bytes written).
+    FileWriteEnd = 15,
+    /// A sampled group commit began (`a` = ops in the group,
+    /// `b` = payload bytes).
+    GroupCommitStart = 16,
+    /// The sampled group commit published (`a` = ops, `b` = bytes).
+    GroupCommitEnd = 17,
+    /// Engine recovery began (`a` = WAL segments found).
+    RecoveryStart = 18,
+    /// Engine recovery finished (`a` = records recovered).
+    RecoveryEnd = 19,
+    /// A sampled foreground op exceeded the slow-op threshold
+    /// (`a` = duration nanos, `b` = packed [`crate::ReadProbe`]
+    /// breakdown + op code, see [`slow_op_name`]).
+    SlowOp = 20,
 }
 
 impl EventKind {
-    const ALL: [EventKind; 10] = [
+    const ALL: [EventKind; 21] = [
         EventKind::FlushStart,
         EventKind::FlushEnd,
         EventKind::CompactionStart,
@@ -57,6 +86,17 @@ impl EventKind {
         EventKind::VlogGcEnd,
         EventKind::RecoveryPhase,
         EventKind::FaultInjected,
+        EventKind::WalRotateStart,
+        EventKind::WalRotateEnd,
+        EventKind::FileReadStart,
+        EventKind::FileReadEnd,
+        EventKind::FileWriteStart,
+        EventKind::FileWriteEnd,
+        EventKind::GroupCommitStart,
+        EventKind::GroupCommitEnd,
+        EventKind::RecoveryStart,
+        EventKind::RecoveryEnd,
+        EventKind::SlowOp,
     ];
 
     fn from_u8(v: u8) -> Option<EventKind> {
@@ -76,6 +116,17 @@ impl EventKind {
             EventKind::VlogGcEnd => "vlog_gc_end",
             EventKind::RecoveryPhase => "recovery_phase",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::WalRotateStart => "wal_rotate_start",
+            EventKind::WalRotateEnd => "wal_rotate_end",
+            EventKind::FileReadStart => "file_read_start",
+            EventKind::FileReadEnd => "file_read_end",
+            EventKind::FileWriteStart => "file_write_start",
+            EventKind::FileWriteEnd => "file_write_end",
+            EventKind::GroupCommitStart => "group_commit_start",
+            EventKind::GroupCommitEnd => "group_commit_end",
+            EventKind::RecoveryStart => "recovery_start",
+            EventKind::RecoveryEnd => "recovery_end",
+            EventKind::SlowOp => "slow_op",
         }
     }
 
@@ -88,6 +139,12 @@ impl EventKind {
             EventKind::VlogGcStart | EventKind::VlogGcEnd => "vlog_gc",
             EventKind::RecoveryPhase => "recovery_phase",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::WalRotateStart | EventKind::WalRotateEnd => "wal_rotate",
+            EventKind::FileReadStart | EventKind::FileReadEnd => "file_read",
+            EventKind::FileWriteStart | EventKind::FileWriteEnd => "file_write",
+            EventKind::GroupCommitStart | EventKind::GroupCommitEnd => "group_commit",
+            EventKind::RecoveryStart | EventKind::RecoveryEnd => "recovery",
+            EventKind::SlowOp => "slow_op",
         }
     }
 
@@ -97,12 +154,22 @@ impl EventKind {
             EventKind::FlushStart
             | EventKind::CompactionStart
             | EventKind::StallBegin
-            | EventKind::VlogGcStart => "B",
+            | EventKind::VlogGcStart
+            | EventKind::WalRotateStart
+            | EventKind::FileReadStart
+            | EventKind::FileWriteStart
+            | EventKind::GroupCommitStart
+            | EventKind::RecoveryStart => "B",
             EventKind::FlushEnd
             | EventKind::CompactionEnd
             | EventKind::StallEnd
-            | EventKind::VlogGcEnd => "E",
-            EventKind::RecoveryPhase | EventKind::FaultInjected => "i",
+            | EventKind::VlogGcEnd
+            | EventKind::WalRotateEnd
+            | EventKind::FileReadEnd
+            | EventKind::FileWriteEnd
+            | EventKind::GroupCommitEnd
+            | EventKind::RecoveryEnd => "E",
+            EventKind::RecoveryPhase | EventKind::FaultInjected | EventKind::SlowOp => "i",
         }
     }
 }
@@ -168,6 +235,55 @@ pub fn fault_name(code: u64) -> &'static str {
     }
 }
 
+/// Why a writer stalled — carried in `b` by [`EventKind::StallBegin`] /
+/// [`EventKind::StallEnd`] events, and selecting the per-reason
+/// stalled-time histogram ([`crate::HistKind::StallMemtableFull`] etc.).
+pub mod stall_reason {
+    /// The immutable backlog is full and flushing simply hasn't caught
+    /// up: no deeper bottleneck is visible.
+    pub const MEMTABLE_FULL: u64 = 0;
+    /// Level 0 carries at least the layout's run budget, so flushes are
+    /// blocked behind L0 shrink work.
+    pub const L0_FILES: u64 = 1;
+    /// The planner still sees compaction work elsewhere in the tree;
+    /// the backlog is debt further down, not the memtable itself.
+    pub const COMPACTION_DEBT: u64 = 2;
+}
+
+/// Stable name for a [`stall_reason`] code.
+pub fn stall_reason_name(code: u64) -> &'static str {
+    match code {
+        stall_reason::MEMTABLE_FULL => "memtable_full",
+        stall_reason::L0_FILES => "l0_files",
+        stall_reason::COMPACTION_DEBT => "compaction_debt",
+        _ => "unknown",
+    }
+}
+
+/// Foreground op codes carried (packed) in `b` by [`EventKind::SlowOp`]
+/// receipts — see [`crate::ReadProbe::pack`].
+pub mod slow_op {
+    /// Point lookup.
+    pub const GET: u64 = 0;
+    /// Single put.
+    pub const PUT: u64 = 1;
+    /// Delete (any flavor).
+    pub const DELETE: u64 = 2;
+    /// Range-scan construction.
+    pub const SCAN: u64 = 3;
+}
+
+/// Stable name for a [`slow_op`] code.
+pub fn slow_op_name(code: u64) -> &'static str {
+    match code {
+        slow_op::GET => "get",
+        slow_op::PUT => "put",
+        slow_op::DELETE => "delete",
+        slow_op::SCAN => "scan",
+        _ => "unknown",
+    }
+}
+
 /// A decoded event, as returned by [`EventRing::events`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
@@ -183,6 +299,10 @@ pub struct Event {
     pub a: u64,
     /// Second payload word (kind-specific, see [`EventKind`]).
     pub b: u64,
+    /// Span id for `*Start`/`*End` pairs (0 = not a span record).
+    pub span: u64,
+    /// Enclosing span id at emission time (0 = top level).
+    pub parent: u64,
 }
 
 // Packed word 0 layout: kind (8 bits) | level+1 (16 bits) | tid (40 bits).
@@ -194,6 +314,8 @@ struct Slot {
     t: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
 }
 
 /// The bounded lock-free ring. Capacity is rounded up to a power of two.
@@ -225,6 +347,8 @@ impl EventRing {
                 t: AtomicU64::new(0),
                 a: AtomicU64::new(0),
                 b: AtomicU64::new(0),
+                span: AtomicU64::new(0),
+                parent: AtomicU64::new(0),
             })
             .collect();
         EventRing {
@@ -245,6 +369,24 @@ impl EventRing {
         a: u64,
         b: u64,
     ) {
+        self.push_span_at(t_nanos, tid, kind, level, a, b, 0, 0);
+    }
+
+    /// Records an event carrying span linkage: `span` is this record's
+    /// own span id (for `*Start`/`*End` pairs; 0 for plain instants) and
+    /// `parent` the enclosing span's id (0 = top level).
+    #[allow(clippy::too_many_arguments)] // a flat record write, not an API to compose
+    pub fn push_span_at(
+        &self,
+        t_nanos: u64,
+        tid: u64,
+        kind: EventKind,
+        level: Option<u32>,
+        a: u64,
+        b: u64,
+        span: u64,
+        parent: u64,
+    ) {
         let idx = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(idx & self.mask) as usize];
         let level_code = level.map_or(LEVEL_NONE, |l| u64::from(l.min(0xfffe)) + 1);
@@ -256,6 +398,8 @@ impl EventRing {
         slot.t.store(t_nanos, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.span.store(span, Ordering::Relaxed);
+        slot.parent.store(parent, Ordering::Relaxed);
         slot.seq.store(idx + 1, Ordering::Release);
     }
 
@@ -281,6 +425,8 @@ impl EventRing {
             let t = slot.t.load(Ordering::Relaxed);
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
+            let span = slot.span.load(Ordering::Relaxed);
+            let parent = slot.parent.load(Ordering::Relaxed);
             if slot.seq.load(Ordering::Acquire) != seq1 {
                 continue; // torn: a writer replaced the slot mid-read
             }
@@ -301,6 +447,8 @@ impl EventRing {
                     },
                     a,
                     b,
+                    span,
+                    parent,
                 },
             ));
         }
@@ -310,18 +458,32 @@ impl EventRing {
 }
 
 /// Renders events as JSONL: one flat JSON object per line, stable keys
-/// (`t`, `tid`, `event`, `level`, `a`, `b`).
+/// (`t`, `tid`, `event`, `level`, `a`, `b`, `span`, `parent`).
 pub fn to_jsonl(events: &[Event]) -> String {
+    to_jsonl_with_dropped(events, 0)
+}
+
+/// [`to_jsonl`], prefixed — when `dropped > 0` — with one metadata line
+/// (`{"meta":"dropped_events","count":N}`) so a truncated export is
+/// self-describing instead of silently incomplete.
+pub fn to_jsonl_with_dropped(events: &[Event], dropped: u64) -> String {
     let mut out = String::new();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "{{\"meta\":\"dropped_events\",\"count\":{dropped}}}\n"
+        ));
+    }
     for e in events {
         out.push_str(&format!(
-            "{{\"t\":{},\"tid\":{},\"event\":\"{}\",\"level\":{},\"a\":{},\"b\":{}}}\n",
+            "{{\"t\":{},\"tid\":{},\"event\":\"{}\",\"level\":{},\"a\":{},\"b\":{},\"span\":{},\"parent\":{}}}\n",
             e.t_nanos,
             e.tid,
             e.kind.name(),
             e.level.map_or("null".to_string(), |l| l.to_string()),
             e.a,
-            e.b
+            e.b,
+            e.span,
+            e.parent
         ));
     }
     out
@@ -331,11 +493,27 @@ pub fn to_jsonl(events: &[Event]) -> String {
 /// `{"traceEvents": [...]}`) loadable in chrome://tracing or Perfetto.
 /// Timestamps are microseconds with nanosecond decimals.
 pub fn to_chrome_trace(events: &[Event]) -> String {
+    to_chrome_trace_with_dropped(events, 0)
+}
+
+/// [`to_chrome_trace`], prefixed — when `dropped > 0` — with one
+/// global-scoped instant named `dropped_events` carrying the overwrite
+/// count, so chrome://tracing shows the truncation on the timeline.
+pub fn to_chrome_trace_with_dropped(events: &[Event], dropped: u64) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first_record = true;
+    if dropped > 0 {
+        first_record = false;
+        out.push_str(&format!(
+            "\n{{\"name\":\"dropped_events\",\"cat\":\"lsm\",\"ph\":\"i\",\"ts\":0.000,\
+             \"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{{\"count\":{dropped}}}}}"
+        ));
+    }
+    for e in events.iter() {
+        if !first_record {
             out.push(',');
         }
+        first_record = false;
         let ts_us = e.t_nanos / 1000;
         let ts_frac = e.t_nanos % 1000;
         out.push_str(&format!(
@@ -382,9 +560,61 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                 arg(&mut out, "bytes", e.a.to_string());
                 arg(&mut out, "dst_level", e.b.to_string());
             }
+            EventKind::StallBegin => {
+                arg(&mut out, "queued", e.a.to_string());
+                arg(
+                    &mut out,
+                    "reason",
+                    format!("\"{}\"", stall_reason_name(e.b)),
+                );
+            }
+            EventKind::StallEnd => {
+                arg(&mut out, "stalled_ns", e.a.to_string());
+                arg(
+                    &mut out,
+                    "reason",
+                    format!("\"{}\"", stall_reason_name(e.b)),
+                );
+            }
+            EventKind::WalRotateStart | EventKind::WalRotateEnd => {
+                arg(&mut out, "wal", e.a.to_string());
+                arg(&mut out, "bytes", e.b.to_string());
+            }
+            EventKind::FileReadStart
+            | EventKind::FileReadEnd
+            | EventKind::FileWriteStart
+            | EventKind::FileWriteEnd => {
+                arg(&mut out, "file", e.a.to_string());
+                arg(&mut out, "bytes", e.b.to_string());
+            }
+            EventKind::GroupCommitStart | EventKind::GroupCommitEnd => {
+                arg(&mut out, "ops", e.a.to_string());
+                arg(&mut out, "bytes", e.b.to_string());
+            }
+            EventKind::SlowOp => {
+                let probe = crate::ReadProbe::unpack(e.b);
+                arg(
+                    &mut out,
+                    "op",
+                    format!("\"{}\"", slow_op_name(crate::ReadProbe::unpack_op(e.b))),
+                );
+                arg(&mut out, "dur_ns", e.a.to_string());
+                arg(&mut out, "memtables", probe.memtables_probed.to_string());
+                arg(&mut out, "filters", probe.filters_consulted.to_string());
+                arg(&mut out, "blocks", probe.blocks_fetched.to_string());
+                arg(&mut out, "cache_hits", probe.cache_hits.to_string());
+                arg(&mut out, "cache_misses", probe.cache_misses.to_string());
+                arg(&mut out, "levels", probe.levels_touched.to_string());
+            }
             _ => {
                 arg(&mut out, "bytes", e.a.to_string());
             }
+        }
+        if e.span != 0 {
+            arg(&mut out, "span", e.span.to_string());
+        }
+        if e.parent != 0 {
+            arg(&mut out, "parent", e.parent.to_string());
         }
         out.push_str("}}");
     }
@@ -431,11 +661,23 @@ mod tests {
                 kind: EventKind::CompactionEnd,
                 level: Some(3),
                 a: 4096,
-                b: 4
+                b: 4,
+                span: 0,
+                parent: 0
             }
         );
         assert_eq!(events[1].level, None);
         assert_eq!(events[1].kind, EventKind::RecoveryPhase);
+    }
+
+    #[test]
+    fn span_linkage_roundtrips() {
+        let ring = EventRing::with_capacity(8);
+        ring.push_span_at(10, 1, EventKind::CompactionStart, Some(1), 0, 2, 7, 0);
+        ring.push_span_at(20, 1, EventKind::FileReadStart, None, 42, 4096, 8, 7);
+        let events = ring.events();
+        assert_eq!((events[0].span, events[0].parent), (7, 0));
+        assert_eq!((events[1].span, events[1].parent), (8, 7));
     }
 
     #[test]
@@ -469,7 +711,37 @@ mod tests {
         let jsonl = to_jsonl(&ring.events());
         assert_eq!(
             jsonl,
-            "{\"t\":1500,\"tid\":2,\"event\":\"flush_end\",\"level\":0,\"a\":4096,\"b\":0}\n"
+            "{\"t\":1500,\"tid\":2,\"event\":\"flush_end\",\"level\":0,\"a\":4096,\"b\":0,\
+             \"span\":0,\"parent\":0}\n"
+        );
+    }
+
+    #[test]
+    fn dropped_events_surface_as_metadata_records() {
+        let ring = EventRing::with_capacity(8);
+        for i in 0..20u64 {
+            ring.push_at(i, 1, EventKind::FlushStart, Some(0), i, 0);
+        }
+        assert_eq!(ring.dropped(), 12);
+        let jsonl = to_jsonl_with_dropped(&ring.events(), ring.dropped());
+        assert!(
+            jsonl.starts_with("{\"meta\":\"dropped_events\",\"count\":12}\n"),
+            "jsonl must lead with the truncation record:\n{jsonl}"
+        );
+        let trace = to_chrome_trace_with_dropped(&ring.events(), ring.dropped());
+        assert!(
+            trace.contains("\"name\":\"dropped_events\"") && trace.contains("\"count\":12"),
+            "chrome trace must carry the truncation instant:\n{trace}"
+        );
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+
+        // An un-truncated export carries no metadata record.
+        let small = EventRing::with_capacity(8);
+        small.push_at(1, 1, EventKind::FlushStart, Some(0), 1, 0);
+        assert!(!to_jsonl_with_dropped(&small.events(), small.dropped()).contains("meta"));
+        assert!(
+            !to_chrome_trace_with_dropped(&small.events(), small.dropped())
+                .contains("dropped_events")
         );
     }
 

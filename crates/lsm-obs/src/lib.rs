@@ -23,14 +23,22 @@ pub mod clock;
 mod event;
 mod gauge;
 mod hist;
+mod probe;
+pub mod prom;
+mod workload;
 
 pub use event::{
-    current_tid, fault, fault_name, recovery_phase, recovery_phase_name, to_chrome_trace, to_jsonl,
-    Event, EventKind, EventRing,
+    current_tid, fault, fault_name, recovery_phase, recovery_phase_name, slow_op, slow_op_name,
+    stall_reason, stall_reason_name, to_chrome_trace, to_chrome_trace_with_dropped, to_jsonl,
+    to_jsonl_with_dropped, Event, EventKind, EventRing,
 };
 pub use gauge::{estimated_read_amp, merge_level_gauges, LevelGauge};
 pub use hist::{HistSnapshot, Histogram, NUM_BUCKETS, SUB_BUCKETS};
+pub use probe::ReadProbe;
+pub use prom::PromText;
+pub use workload::{key_hash, HotKey, OpKind, WorkloadSampler, WorkloadSnapshot, HOT_KEY_SLOTS};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The latency surfaces the engine records, one histogram each.
@@ -70,10 +78,19 @@ pub enum HistKind {
     /// Leader-side group flush duration: one WAL append, at most one sync,
     /// and every memtable apply for the whole group.
     GroupCommit = 14,
+    /// Time writers spent stalled with no deeper bottleneck than the
+    /// flush pipeline itself (see [`stall_reason::MEMTABLE_FULL`]).
+    StallMemtableFull = 15,
+    /// Time writers spent stalled behind a fat level 0
+    /// (see [`stall_reason::L0_FILES`]).
+    StallL0Files = 16,
+    /// Time writers spent stalled behind pending compaction debt
+    /// (see [`stall_reason::COMPACTION_DEBT`]).
+    StallCompactionDebt = 17,
 }
 
 /// Number of [`HistKind`] surfaces.
-pub const NUM_HISTS: usize = 15;
+pub const NUM_HISTS: usize = 18;
 
 impl HistKind {
     /// Every kind, in index order.
@@ -93,6 +110,9 @@ impl HistKind {
         HistKind::GroupSize,
         HistKind::GroupWait,
         HistKind::GroupCommit,
+        HistKind::StallMemtableFull,
+        HistKind::StallL0Files,
+        HistKind::StallCompactionDebt,
     ];
 
     /// Stable snake_case name (JSON key).
@@ -113,6 +133,18 @@ impl HistKind {
             HistKind::GroupSize => "group_size",
             HistKind::GroupWait => "group_wait",
             HistKind::GroupCommit => "group_commit",
+            HistKind::StallMemtableFull => "stall_memtable_full",
+            HistKind::StallL0Files => "stall_l0_files",
+            HistKind::StallCompactionDebt => "stall_compaction_debt",
+        }
+    }
+
+    /// The stalled-time histogram for a [`stall_reason`] code.
+    pub fn for_stall_reason(code: u64) -> HistKind {
+        match code {
+            stall_reason::L0_FILES => HistKind::StallL0Files,
+            stall_reason::COMPACTION_DEBT => HistKind::StallCompactionDebt,
+            _ => HistKind::StallMemtableFull,
         }
     }
 
@@ -145,6 +177,25 @@ thread_local! {
     /// Per-thread rotation for foreground sampling: deterministic within a
     /// thread, no shared cache line.
     static FG_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// Open spans on this thread, innermost last. `emit` reads the top to
+    /// attach instants to their enclosing span; begin/end push and pop.
+    static SPAN_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Process-wide span id allocator (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An open span's id, returned by [`ObsHandle::span_begin`] and consumed
+/// by [`ObsHandle::span_end`]. Id 0 means "not recording" (disabled
+/// handle) and makes the end call a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id (0 = none).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
 }
 
 fn fg_sample_due() -> bool {
@@ -186,6 +237,7 @@ struct Inner {
     enabled: bool,
     hists: [Histogram; NUM_HISTS],
     ring: EventRing,
+    workload: WorkloadSampler,
 }
 
 /// The shared recording handle: clone freely (one `Arc` bump), record
@@ -219,6 +271,7 @@ impl ObsHandle {
                 enabled: true,
                 hists: std::array::from_fn(|_| Histogram::new()),
                 ring: EventRing::with_capacity(capacity),
+                workload: WorkloadSampler::new(),
             }),
         }
     }
@@ -230,6 +283,7 @@ impl ObsHandle {
                 enabled: false,
                 hists: std::array::from_fn(|_| Histogram::new()),
                 ring: EventRing::with_capacity(8),
+                workload: WorkloadSampler::new(),
             }),
         }
     }
@@ -298,14 +352,124 @@ impl ObsHandle {
         }
     }
 
-    /// Emits a structured event with the current timestamp and thread id.
+    /// Emits a structured instant event with the current timestamp and
+    /// thread id, linked to the thread's enclosing span (if any).
     #[inline]
     pub fn emit(&self, kind: EventKind, level: Option<u32>, a: u64, b: u64) {
         if self.inner.enabled {
-            self.inner
-                .ring
-                .push_at(clock::now_nanos(), current_tid(), kind, level, a, b);
+            let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+            self.inner.ring.push_span_at(
+                clock::now_nanos(),
+                current_tid(),
+                kind,
+                level,
+                a,
+                b,
+                0,
+                parent,
+            );
         }
+    }
+
+    /// Opens a causal span: emits the `*Start` record carrying a fresh
+    /// span id plus the enclosing span as parent, and pushes the id onto
+    /// the thread's span stack so nested begins (and [`ObsHandle::emit`]
+    /// instants) link to it. Spans must be closed by the same thread via
+    /// [`ObsHandle::span_end`], innermost first — the begin/end pairs
+    /// then render as properly nested Chrome duration events.
+    pub fn span_begin(&self, kind: EventKind, level: Option<u32>, a: u64, b: u64) -> SpanId {
+        if !self.inner.enabled {
+            return SpanId(0);
+        }
+        self.span_begin_at(clock::now_nanos(), kind, level, a, b)
+    }
+
+    /// [`ObsHandle::span_begin`] with a caller-supplied timestamp, for
+    /// hot paths that already read the clock for an adjacent measurement
+    /// — the sampled group-commit leader opens its span with the same
+    /// reading that starts its latency sample, so the span costs no
+    /// extra clock read.
+    pub fn span_begin_at(
+        &self,
+        t_nanos: u64,
+        kind: EventKind,
+        level: Option<u32>,
+        a: u64,
+        b: u64,
+    ) -> SpanId {
+        if !self.inner.enabled {
+            return SpanId(0);
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        self.inner
+            .ring
+            .push_span_at(t_nanos, current_tid(), kind, level, a, b, id, parent);
+        SpanId(id)
+    }
+
+    /// Closes a span opened by [`ObsHandle::span_begin`]: pops it (and —
+    /// defensively — anything opened above it that leaked) off the
+    /// thread's stack and emits the `*End` record with the same span id.
+    pub fn span_end(&self, span: SpanId, kind: EventKind, level: Option<u32>, a: u64, b: u64) {
+        if !self.inner.enabled || span.0 == 0 {
+            return;
+        }
+        self.span_end_at(clock::now_nanos(), span, kind, level, a, b);
+    }
+
+    /// [`ObsHandle::span_end`] with a caller-supplied timestamp — the
+    /// closing half of [`ObsHandle::span_begin_at`], for callers whose
+    /// adjacent latency sample already read the clock.
+    pub fn span_end_at(
+        &self,
+        t_nanos: u64,
+        span: SpanId,
+        kind: EventKind,
+        level: Option<u32>,
+        a: u64,
+        b: u64,
+    ) {
+        if !self.inner.enabled || span.0 == 0 {
+            return;
+        }
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&x| x == span.0) {
+                stack.truncate(pos);
+            }
+            stack.last().copied().unwrap_or(0)
+        });
+        self.inner
+            .ring
+            .push_span_at(t_nanos, current_tid(), kind, level, a, b, span.0, parent);
+    }
+
+    /// Emits a slow-op receipt: the sampled foreground op took
+    /// `dur_nanos` and spent its read path as `probe` says (`op` is a
+    /// [`slow_op`] code).
+    pub fn emit_slow_op(&self, op: u64, dur_nanos: u64, probe: &ReadProbe) {
+        self.emit(EventKind::SlowOp, None, dur_nanos, probe.pack(op));
+    }
+
+    /// Records one sampled foreground op into the workload sampler
+    /// (pairs with [`ObsHandle::fg_sample_weight`]; `key_hash` of 0
+    /// skips the hot-key sketch).
+    #[inline]
+    pub fn workload_record(&self, op: OpKind, key_hash: u64, weight: u64) {
+        if self.inner.enabled {
+            self.inner.workload.record(op, key_hash, weight);
+        }
+    }
+
+    /// A point-in-time reading of the op mix and heavy hitters.
+    pub fn workload(&self) -> WorkloadSnapshot {
+        self.inner.workload.snapshot()
     }
 
     /// Snapshot of one latency surface.
@@ -330,14 +494,77 @@ impl ObsHandle {
         self.inner.ring.dropped()
     }
 
-    /// The resident events as JSONL.
+    /// The resident events as JSONL, led by a
+    /// `{"meta":"dropped_events",...}` record when the ring wrapped.
     pub fn events_jsonl(&self) -> String {
-        to_jsonl(&self.events())
+        to_jsonl_with_dropped(&self.events(), self.dropped_events())
     }
 
-    /// The resident events as a Chrome `trace_event` JSON document.
+    /// The resident events as a Chrome `trace_event` JSON document, led
+    /// by a `dropped_events` metadata instant when the ring wrapped.
     pub fn chrome_trace(&self) -> String {
-        to_chrome_trace(&self.events())
+        to_chrome_trace_with_dropped(&self.events(), self.dropped_events())
+    }
+
+    /// Renders this handle's state — latency summaries, the workload
+    /// mix, hot keys, and the dropped-event count — as Prometheus text
+    /// exposition.
+    pub fn prometheus_text(&self) -> String {
+        let mut prom = PromText::new();
+        self.prometheus_render(&mut prom, &[]);
+        prom.finish()
+    }
+
+    /// [`ObsHandle::prometheus_text`] into an existing builder, with
+    /// `labels` (e.g. `shard="2"`) prepended to every sample.
+    pub fn prometheus_render(&self, prom: &mut PromText, labels: &[(&str, &str)]) {
+        prom::render_latency(prom, &self.latency(), labels);
+        self.prometheus_render_aux(prom, labels);
+    }
+
+    /// The non-latency families only (dropped events, workload mix, hot
+    /// keys) — for callers that already rendered latency from a
+    /// [`LatencySnapshot`] of their own and must not emit duplicate rows.
+    pub fn prometheus_render_aux(&self, prom: &mut PromText, labels: &[(&str, &str)]) {
+        prom.family(
+            "lsm_events_dropped_total",
+            "counter",
+            "Trace events overwritten because the event ring wrapped.",
+        );
+        prom.sample(
+            "lsm_events_dropped_total",
+            labels,
+            self.dropped_events() as f64,
+        );
+        let w = self.workload();
+        prom.family(
+            "lsm_workload_ops_total",
+            "counter",
+            "Estimated foreground op mix (sampled 1-in-16, weight-corrected).",
+        );
+        for (op, v) in [
+            ("get", w.gets),
+            ("put", w.puts),
+            ("delete", w.deletes),
+            ("scan", w.scans),
+        ] {
+            let mut l: Vec<(&str, &str)> = labels.to_vec();
+            l.push(("op", op));
+            prom.sample("lsm_workload_ops_total", &l, v as f64);
+        }
+        prom.family(
+            "lsm_workload_hot_key",
+            "gauge",
+            "SpaceSaving heavy-hitter estimates, keyed by FNV-1a key hash.",
+        );
+        for (rank, hk) in w.hot_keys.iter().enumerate() {
+            let rank_s = rank.to_string();
+            let hash_s = format!("{:016x}", hk.hash);
+            let mut l: Vec<(&str, &str)> = labels.to_vec();
+            l.push(("rank", &rank_s));
+            l.push(("hash", &hash_s));
+            prom.sample("lsm_workload_hot_key", &l, hk.count as f64);
+        }
     }
 }
 
@@ -477,6 +704,56 @@ mod tests {
         h.record(HistKind::Get, 1);
         let shared = Observability::Shared(h.clone()).into_handle();
         assert_eq!(shared.histogram(HistKind::Get).count(), 1);
+    }
+
+    #[test]
+    fn spans_nest_and_instants_attach_to_the_open_span() {
+        let obs = ObsHandle::recording();
+        let outer = obs.span_begin(EventKind::CompactionStart, Some(0), 0, 1);
+        let inner = obs.span_begin(EventKind::FileReadStart, None, 42, 4096);
+        obs.emit(EventKind::FaultInjected, None, fault::READ_TRANSIENT, 3);
+        obs.span_end(inner, EventKind::FileReadEnd, None, 42, 4096);
+        obs.span_end(outer, EventKind::CompactionEnd, Some(0), 100, 1);
+        obs.emit(EventKind::RecoveryPhase, None, recovery_phase::MANIFEST, 0);
+
+        let events = obs.events();
+        assert_eq!(events.len(), 6);
+        let (o, i) = (outer.raw(), inner.raw());
+        assert!(o != 0 && i != 0 && o != i);
+        assert_eq!((events[0].span, events[0].parent), (o, 0));
+        assert_eq!((events[1].span, events[1].parent), (i, o));
+        assert_eq!((events[2].span, events[2].parent), (0, i), "instant links");
+        assert_eq!((events[3].span, events[3].parent), (i, o));
+        assert_eq!((events[4].span, events[4].parent), (o, 0));
+        assert_eq!(
+            (events[5].span, events[5].parent),
+            (0, 0),
+            "stack empty again"
+        );
+    }
+
+    #[test]
+    fn disabled_handle_spans_are_no_ops() {
+        let obs = ObsHandle::disabled();
+        let s = obs.span_begin(EventKind::FlushStart, Some(0), 1, 2);
+        assert_eq!(s.raw(), 0);
+        obs.span_end(s, EventKind::FlushEnd, Some(0), 1, 2);
+        obs.workload_record(OpKind::Get, key_hash(b"k"), 16);
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.workload().total(), 0);
+    }
+
+    #[test]
+    fn prometheus_text_carries_latency_workload_and_drops() {
+        let obs = ObsHandle::recording();
+        obs.record(HistKind::Flush, 1_000_000);
+        obs.workload_record(OpKind::Put, key_hash(b"hot"), 16);
+        let text = obs.prometheus_text();
+        assert!(text.contains("# TYPE lsm_latency_nanos summary"));
+        assert!(text.contains("lsm_latency_nanos_count{surface=\"flush\"} 1"));
+        assert!(text.contains("lsm_workload_ops_total{op=\"put\"} 16"));
+        assert!(text.contains("lsm_events_dropped_total 0"));
+        assert!(text.contains("lsm_workload_hot_key{rank=\"0\",hash="));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Read-path attribution for slow-op receipts.
+//!
+//! A [`ReadProbe`] rides down a sampled foreground lookup as plain (non-
+//! atomic) counters — the read path increments them unconditionally, so
+//! the cost is a handful of register adds on the 1-in-16 sampled ops and
+//! zero on the rest. When the op turns out slow, the probe is packed into
+//! the `b` word of a [`crate::EventKind::SlowOp`] receipt: six saturating
+//! 8-bit counters plus the op code, so one ring slot carries the whole
+//! breakdown.
+
+/// Where a sampled read spent its probes. All counters saturate at 255
+/// when packed (a lookup touching >255 of anything is diagnosable from
+/// the saturated value alone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadProbe {
+    /// Memtables (active + immutables) probed before the hit.
+    pub memtables_probed: u32,
+    /// Point filters consulted across tables.
+    pub filters_consulted: u32,
+    /// Data blocks fetched (from cache or backend).
+    pub blocks_fetched: u32,
+    /// Block fetches served by the block cache.
+    pub cache_hits: u32,
+    /// Block fetches that went to the backend.
+    pub cache_misses: u32,
+    /// On-disk levels whose runs were probed.
+    pub levels_touched: u32,
+}
+
+/// Bit offset of the op code inside the packed word.
+const OP_SHIFT: u32 = 56;
+
+#[inline]
+fn sat8(v: u32) -> u64 {
+    u64::from(v.min(255))
+}
+
+impl ReadProbe {
+    /// Packs the probe plus a [`crate::slow_op`] code into one `u64`:
+    /// op code in the top byte, the six counters (saturating at 255) in
+    /// the low six bytes.
+    pub fn pack(&self, op: u64) -> u64 {
+        sat8(self.memtables_probed)
+            | (sat8(self.filters_consulted) << 8)
+            | (sat8(self.blocks_fetched) << 16)
+            | (sat8(self.cache_hits) << 24)
+            | (sat8(self.cache_misses) << 32)
+            | (sat8(self.levels_touched) << 40)
+            | ((op & 0xff) << OP_SHIFT)
+    }
+
+    /// Recovers the counters from a packed `b` word.
+    pub fn unpack(word: u64) -> ReadProbe {
+        ReadProbe {
+            memtables_probed: (word & 0xff) as u32,
+            filters_consulted: ((word >> 8) & 0xff) as u32,
+            blocks_fetched: ((word >> 16) & 0xff) as u32,
+            cache_hits: ((word >> 24) & 0xff) as u32,
+            cache_misses: ((word >> 32) & 0xff) as u32,
+            levels_touched: ((word >> 40) & 0xff) as u32,
+        }
+    }
+
+    /// Recovers the [`crate::slow_op`] code from a packed `b` word.
+    pub fn unpack_op(word: u64) -> u64 {
+        word >> OP_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrips_and_saturates() {
+        let p = ReadProbe {
+            memtables_probed: 3,
+            filters_consulted: 7,
+            blocks_fetched: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+            levels_touched: 4,
+        };
+        let w = p.pack(crate::slow_op::SCAN);
+        assert_eq!(ReadProbe::unpack(w), p);
+        assert_eq!(ReadProbe::unpack_op(w), crate::slow_op::SCAN);
+
+        let big = ReadProbe {
+            memtables_probed: 10_000,
+            ..ReadProbe::default()
+        };
+        assert_eq!(ReadProbe::unpack(big.pack(0)).memtables_probed, 255);
+    }
+}

@@ -1,0 +1,135 @@
+//! Prometheus text-exposition rendering.
+//!
+//! [`PromText`] is a tiny append-only builder for the classic
+//! `text/plain; version=0.0.4` format: each metric family gets one
+//! `# HELP` / `# TYPE` header the first time it is named, and every
+//! subsequent sample for it — with any label set, e.g. per-shard
+//! `shard="N"` rows next to the unlabelled aggregate — reuses the
+//! declaration. Output is deterministic (insertion-ordered), so renders
+//! can be pinned by golden tests.
+
+use crate::{HistKind, LatencySnapshot};
+
+/// An in-progress Prometheus text exposition.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+    declared: Vec<String>,
+}
+
+/// Formats a value the way the exposition format expects: integral
+/// values without a fraction, everything else with six decimals.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Declares a metric family (`# HELP` + `# TYPE`) once; repeat calls
+    /// for the same name are no-ops so multi-source renders (aggregate +
+    /// per-shard) stay well-formed.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        if self.declared.iter().any(|d| d == name) {
+            return;
+        }
+        self.declared.push(name.to_string());
+        self.out.push_str(&format!("# HELP {name} {help}\n"));
+        self.out.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Appends one sample row. `labels` render in the given order.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{v}\""));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// The rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders a [`LatencySnapshot`] as one summary family,
+/// `lsm_latency_nanos{surface=...,quantile=...}` plus `_count` / `_sum`,
+/// skipping surfaces with no samples. `extra` labels (e.g. a shard id)
+/// are prepended to every row.
+pub fn render_latency(prom: &mut PromText, latency: &LatencySnapshot, extra: &[(&str, &str)]) {
+    prom.family(
+        "lsm_latency_nanos",
+        "summary",
+        "Per-surface latency quantiles in nanoseconds.",
+    );
+    for kind in HistKind::ALL {
+        let h = latency.get(kind);
+        if h.is_empty() {
+            continue;
+        }
+        let surface = kind.name();
+        for (q, v) in [
+            ("0.5", h.p50()),
+            ("0.9", h.p90()),
+            ("0.99", h.p99()),
+            ("0.999", h.p999()),
+        ] {
+            let mut labels: Vec<(&str, &str)> = extra.to_vec();
+            labels.push(("surface", surface));
+            labels.push(("quantile", q));
+            prom.sample("lsm_latency_nanos", &labels, v as f64);
+        }
+        let mut labels: Vec<(&str, &str)> = extra.to_vec();
+        labels.push(("surface", surface));
+        prom.sample("lsm_latency_nanos_count", &labels, h.count() as f64);
+        prom.sample("lsm_latency_nanos_sum", &labels, h.sum as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_declare_once_and_values_format_deterministically() {
+        let mut p = PromText::new();
+        p.family("lsm_x_total", "counter", "An x.");
+        p.family("lsm_x_total", "counter", "An x.");
+        p.sample("lsm_x_total", &[], 3.0);
+        p.sample("lsm_x_total", &[("shard", "0")], 1.5);
+        let text = p.finish();
+        assert_eq!(text.matches("# HELP lsm_x_total").count(), 1);
+        assert!(text.contains("lsm_x_total 3\n"));
+        assert!(text.contains("lsm_x_total{shard=\"0\"} 1.500000\n"));
+    }
+
+    #[test]
+    fn latency_render_skips_empty_surfaces() {
+        use crate::ObsHandle;
+        let obs = ObsHandle::recording();
+        obs.record(HistKind::Get, 1_000);
+        let mut p = PromText::new();
+        render_latency(&mut p, &obs.latency(), &[]);
+        let text = p.finish();
+        assert!(text.contains("surface=\"get\""));
+        assert!(!text.contains("surface=\"put\""));
+        assert!(text.contains("lsm_latency_nanos_count{surface=\"get\"} 1\n"));
+    }
+}

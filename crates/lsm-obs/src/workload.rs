@@ -1,0 +1,265 @@
+//! Live workload sensing: lock-free op-mix counters and a fixed-size
+//! hot-key sketch.
+//!
+//! Both surfaces feed from the engine's existing 1-in-16 foreground
+//! sampling decision (see [`crate::ObsHandle::fg_sample_weight`]): a
+//! sampled op adds its weight to one op counter and offers its key hash
+//! to the sketch, so the unsampled 15/16 of traffic pays nothing. The
+//! counters therefore *estimate* the true mix, exactly like the sampled
+//! latency histograms estimate counts.
+//!
+//! The sketch is a SpaceSaving-style heavy-hitters table over key hashes:
+//! `K` slots of `(hash, count)`. A sampled key that matches a slot
+//! increments it; one that misses evicts the minimum-count slot and
+//! inherits `min + weight` as its count (the classic over-estimate bound:
+//! a reported count exceeds the true count by at most the evicted
+//! minimum). All accesses are `Relaxed` atomics — a racing eviction can
+//! lose one update or briefly attribute a count to the wrong hash, which
+//! costs accuracy (already approximate by design), never safety.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slots in the hot-key sketch. Small on purpose: the consumer
+/// (`lsm-tune`, dashboards) wants "the handful of dominant keys", and the
+/// SpaceSaving error bound only holds usefully while eviction is rare.
+pub const HOT_KEY_SLOTS: usize = 8;
+
+/// Foreground op classes tracked by the mix counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum OpKind {
+    /// Point lookup.
+    Get = 0,
+    /// Single put (including batch puts).
+    Put = 1,
+    /// Delete of any flavor.
+    Delete = 2,
+    /// Range scan.
+    Scan = 3,
+}
+
+const NUM_OPS: usize = 4;
+
+/// FNV-1a over `bytes` — the sketch's key hash. Also usable by callers
+/// that need a matching hash to label a reported hot key.
+pub fn key_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // 0 marks an empty sketch slot; remap the (vanishingly rare) real 0.
+    if h == 0 {
+        0x9e3779b97f4a7c15
+    } else {
+        h
+    }
+}
+
+struct SketchSlot {
+    hash: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Lock-free op-mix counters plus the hot-key sketch. One per
+/// [`crate::ObsHandle`]; record from any thread.
+pub struct WorkloadSampler {
+    ops: [AtomicU64; NUM_OPS],
+    slots: [SketchSlot; HOT_KEY_SLOTS],
+}
+
+impl Default for WorkloadSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadSampler {
+    /// An empty sampler.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const EMPTY: SketchSlot = SketchSlot {
+            hash: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        };
+        WorkloadSampler {
+            ops: [ZERO; NUM_OPS],
+            slots: [EMPTY; HOT_KEY_SLOTS],
+        }
+    }
+
+    /// Records one sampled op standing in for `weight` real ops.
+    /// `key_hash` is [`key_hash`] of the user key (0 = no key, e.g. a
+    /// scan with an empty start bound skips the sketch).
+    pub fn record(&self, op: OpKind, key_hash: u64, weight: u64) {
+        self.ops[op as usize].fetch_add(weight, Ordering::Relaxed);
+        if key_hash != 0 {
+            self.offer(key_hash, weight);
+        }
+    }
+
+    /// SpaceSaving insert: match → increment; miss → evict the minimum.
+    fn offer(&self, h: u64, weight: u64) {
+        let mut min_idx = 0;
+        let mut min_count = u64::MAX;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let sh = slot.hash.load(Ordering::Relaxed);
+            if sh == h {
+                slot.count.fetch_add(weight, Ordering::Relaxed);
+                return;
+            }
+            let c = if sh == 0 {
+                0
+            } else {
+                slot.count.load(Ordering::Relaxed)
+            };
+            if c < min_count {
+                min_count = c;
+                min_idx = i;
+            }
+        }
+        let victim = &self.slots[min_idx];
+        // Two racing evictions of the same slot: one hash wins, the other
+        // update is misattributed — an accuracy loss the sketch's
+        // over-estimate semantics already absorb.
+        victim.hash.store(h, Ordering::Relaxed);
+        victim
+            .count
+            .store(min_count.saturating_add(weight), Ordering::Relaxed);
+    }
+
+    /// A point-in-time reading of the mix and the heavy hitters.
+    pub fn snapshot(&self) -> WorkloadSnapshot {
+        let mut hot_keys: Vec<HotKey> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                let hash = s.hash.load(Ordering::Relaxed);
+                (hash != 0).then(|| HotKey {
+                    hash,
+                    count: s.count.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        hot_keys.sort_by(|x, y| y.count.cmp(&x.count).then(x.hash.cmp(&y.hash)));
+        WorkloadSnapshot {
+            gets: self.ops[OpKind::Get as usize].load(Ordering::Relaxed),
+            puts: self.ops[OpKind::Put as usize].load(Ordering::Relaxed),
+            deletes: self.ops[OpKind::Delete as usize].load(Ordering::Relaxed),
+            scans: self.ops[OpKind::Scan as usize].load(Ordering::Relaxed),
+            hot_keys,
+        }
+    }
+}
+
+/// One heavy hitter: the key's hash and its (over-)estimated op count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotKey {
+    /// [`key_hash`] of the user key.
+    pub hash: u64,
+    /// Estimated sampled-op count attributed to the key (upper bound).
+    pub count: u64,
+}
+
+/// What the workload looks like right now: estimated op mix plus the
+/// dominant keys. The input surface online tuning reads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadSnapshot {
+    /// Estimated point lookups.
+    pub gets: u64,
+    /// Estimated puts.
+    pub puts: u64,
+    /// Estimated deletes (all flavors).
+    pub deletes: u64,
+    /// Estimated scans.
+    pub scans: u64,
+    /// Heavy hitters, hottest first.
+    pub hot_keys: Vec<HotKey>,
+}
+
+impl WorkloadSnapshot {
+    /// Total estimated ops across the four classes.
+    pub fn total(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.scans
+    }
+
+    /// Fraction of the mix that are reads (gets + scans); 0 when empty.
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.gets + self.scans) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_counters_accumulate_weighted() {
+        let w = WorkloadSampler::new();
+        for _ in 0..10 {
+            w.record(OpKind::Put, key_hash(b"k"), 16);
+        }
+        w.record(OpKind::Get, key_hash(b"k"), 16);
+        w.record(OpKind::Scan, 0, 16);
+        let s = w.snapshot();
+        assert_eq!((s.gets, s.puts, s.deletes, s.scans), (16, 160, 0, 16));
+        assert_eq!(s.total(), 192);
+        assert!((s.read_fraction() - 32.0 / 192.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_finds_the_heavy_hitter() {
+        let w = WorkloadSampler::new();
+        // 3× more traffic on "hot" than on each of 20 cold keys that
+        // churn the 8 slots.
+        for round in 0..30 {
+            w.record(OpKind::Get, key_hash(b"hot"), 16);
+            let cold = format!("cold-{}", round % 20);
+            w.record(OpKind::Get, key_hash(cold.as_bytes()), 16);
+        }
+        let s = w.snapshot();
+        assert_eq!(s.hot_keys.first().map(|h| h.hash), Some(key_hash(b"hot")));
+        // SpaceSaving over-estimates, never under-estimates, a survivor.
+        assert!(s.hot_keys[0].count >= 30 * 16);
+    }
+
+    #[test]
+    fn sketch_bounds_slots_and_sorts_desc() {
+        let w = WorkloadSampler::new();
+        for i in 0..100u32 {
+            w.record(OpKind::Put, key_hash(&i.to_le_bytes()), 1);
+        }
+        let s = w.snapshot();
+        assert!(s.hot_keys.len() <= HOT_KEY_SLOTS);
+        for pair in s.hot_keys.windows(2) {
+            assert!(pair[0].count >= pair[1].count);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let w = Arc::new(WorkloadSampler::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    w.record(OpKind::Get, key_hash(&(i % 64 + t).to_le_bytes()), 16);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("recorder");
+        }
+        let s = w.snapshot();
+        assert_eq!(s.gets, 4 * 10_000 * 16);
+    }
+}

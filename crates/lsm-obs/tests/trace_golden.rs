@@ -1,40 +1,87 @@
 //! Pins the trace export schemas: a fixed event sequence (explicit
-//! timestamps and thread ids via [`EventRing::push_at`]) must render to
-//! the checked-in JSONL and Chrome `trace_event` fixtures byte-for-byte.
-//! Trace consumers — chrome://tracing, Perfetto, and the repo's own
-//! scripts — parse these shapes, so any drift is a deliberate, reviewed
-//! diff.
+//! timestamps, thread ids, and span linkage via [`EventRing::push_at`] /
+//! [`EventRing::push_span_at`]) must render to the checked-in JSONL and
+//! Chrome `trace_event` fixtures byte-for-byte. Trace consumers —
+//! chrome://tracing, Perfetto, and the repo's own scripts — parse these
+//! shapes, so any drift is a deliberate, reviewed diff.
 
 use std::path::PathBuf;
 
-use lsm_obs::{fault, recovery_phase, to_chrome_trace, to_jsonl, EventKind, EventRing};
+use lsm_obs::{
+    fault, recovery_phase, slow_op, stall_reason, to_chrome_trace, to_jsonl, EventKind, EventRing,
+    ReadProbe,
+};
 
 /// One event of every kind, timestamps fixed, spans properly nested —
 /// the whole taxonomy in a timeline chrome://tracing renders meaningfully.
+///
+/// Span ids are hand-assigned: recovery=1, flush=2 (child wal-rotate=3),
+/// compaction=4 (children file-read=5, file-write=6), group-commit=7,
+/// vlog-gc=8. Stalls and instants stay span-free except the slow-op,
+/// which links to the stall's enclosing context via parent only.
 fn fixture_ring() -> EventRing {
-    let ring = EventRing::with_capacity(16);
-    ring.push_at(
+    let ring = EventRing::with_capacity(32);
+    // Recovery span wrapping its phase instants.
+    ring.push_span_at(500, 1, EventKind::RecoveryStart, None, 0, 0, 1, 0);
+    ring.push_span_at(
         1_000,
         1,
         EventKind::RecoveryPhase,
         None,
         recovery_phase::MANIFEST,
         2,
+        0,
+        1,
     );
-    ring.push_at(
+    ring.push_span_at(
         2_000,
         1,
         EventKind::RecoveryPhase,
         None,
         recovery_phase::WAL_REPLAY,
         150,
+        0,
+        1,
     );
-    ring.push_at(10_000, 2, EventKind::FlushStart, Some(0), 65536, 3);
-    ring.push_at(25_500, 2, EventKind::FlushEnd, Some(0), 61440, 3);
-    ring.push_at(30_000, 1, EventKind::StallBegin, None, 2, 0);
-    ring.push_at(31_250, 1, EventKind::StallEnd, None, 1_250, 0);
-    ring.push_at(40_000, 3, EventKind::CompactionStart, Some(0), 0, 1);
-    ring.push_at(90_000, 3, EventKind::CompactionEnd, Some(0), 196608, 1);
+    ring.push_span_at(2_500, 1, EventKind::RecoveryEnd, None, 2, 0, 1, 0);
+    // Flush span with a nested WAL rotation.
+    ring.push_span_at(10_000, 2, EventKind::FlushStart, Some(0), 65536, 3, 2, 0);
+    ring.push_span_at(11_000, 2, EventKind::WalRotateStart, None, 7, 65536, 3, 2);
+    ring.push_span_at(12_500, 2, EventKind::WalRotateEnd, None, 8, 0, 3, 2);
+    ring.push_span_at(25_500, 2, EventKind::FlushEnd, Some(0), 61440, 3, 2, 0);
+    // A classified write stall (reason code in `b`).
+    ring.push_at(
+        30_000,
+        1,
+        EventKind::StallBegin,
+        None,
+        2,
+        stall_reason::L0_FILES,
+    );
+    ring.push_at(
+        31_250,
+        1,
+        EventKind::StallEnd,
+        None,
+        1_250,
+        stall_reason::L0_FILES,
+    );
+    // Compaction span with child file-read and file-write spans.
+    ring.push_span_at(40_000, 3, EventKind::CompactionStart, Some(0), 0, 1, 4, 0);
+    ring.push_span_at(41_000, 3, EventKind::FileReadStart, None, 12, 98304, 5, 4);
+    ring.push_span_at(47_000, 3, EventKind::FileReadEnd, None, 12, 98304, 5, 4);
+    ring.push_span_at(50_000, 3, EventKind::FileWriteStart, None, 19, 0, 6, 4);
+    ring.push_span_at(83_000, 3, EventKind::FileWriteEnd, None, 19, 196608, 6, 4);
+    ring.push_span_at(
+        90_000,
+        3,
+        EventKind::CompactionEnd,
+        Some(0),
+        196608,
+        1,
+        4,
+        0,
+    );
     ring.push_at(
         95_000,
         2,
@@ -43,8 +90,28 @@ fn fixture_ring() -> EventRing {
         fault::WRITE_TRANSIENT,
         17,
     );
-    ring.push_at(100_000, 3, EventKind::VlogGcStart, None, 4, 0);
-    ring.push_at(140_000, 3, EventKind::VlogGcEnd, None, 4, 32768);
+    // Group commit span on the writer thread.
+    ring.push_span_at(96_000, 1, EventKind::GroupCommitStart, None, 4, 1024, 7, 0);
+    ring.push_span_at(97_500, 1, EventKind::GroupCommitEnd, None, 4, 1024, 7, 0);
+    // A slow-op receipt carrying the packed read-path breakdown.
+    let probe = ReadProbe {
+        memtables_probed: 2,
+        filters_consulted: 5,
+        blocks_fetched: 4,
+        cache_hits: 1,
+        cache_misses: 3,
+        levels_touched: 3,
+    };
+    ring.push_at(
+        98_000,
+        1,
+        EventKind::SlowOp,
+        None,
+        1_900_000,
+        probe.pack(slow_op::GET),
+    );
+    ring.push_span_at(100_000, 3, EventKind::VlogGcStart, None, 4, 0, 8, 0);
+    ring.push_span_at(140_000, 3, EventKind::VlogGcEnd, None, 4, 32768, 8, 0);
     ring
 }
 
@@ -72,4 +139,46 @@ fn jsonl_export_matches_golden_file() {
 #[test]
 fn chrome_trace_export_matches_golden_file() {
     check_golden("trace.json", &to_chrome_trace(&fixture_ring().events()));
+}
+
+/// The Chrome export must produce balanced B/E pairs per thread in
+/// timestamp order — the invariant chrome://tracing needs to nest
+/// durations — with the file-read/write children strictly inside the
+/// compaction span on the same tid.
+#[test]
+fn chrome_trace_spans_nest_per_thread() {
+    let events = fixture_ring().events();
+    let trace = to_chrome_trace(&events);
+    let mut depth_by_tid = std::collections::HashMap::new();
+    for line in trace.lines() {
+        let Some(tid) = line.split("\"tid\":").nth(1) else {
+            continue;
+        };
+        let tid: u64 = tid
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let depth = depth_by_tid.entry(tid).or_insert(0i64);
+        if line.contains("\"ph\":\"B\"") {
+            *depth += 1;
+        } else if line.contains("\"ph\":\"E\"") {
+            *depth -= 1;
+            assert!(*depth >= 0, "unbalanced E on tid {tid}: {line}");
+        }
+    }
+    for (tid, depth) in depth_by_tid {
+        assert_eq!(depth, 0, "tid {tid} left {depth} spans open");
+    }
+    // The compaction's children link to it explicitly.
+    let compaction = events
+        .iter()
+        .find(|e| e.kind == EventKind::CompactionStart)
+        .unwrap();
+    for kind in [EventKind::FileReadStart, EventKind::FileWriteEnd] {
+        let child = events.iter().find(|e| e.kind == kind).unwrap();
+        assert_eq!(child.parent, compaction.span, "{kind:?} links to parent");
+        assert!(trace.contains(&format!("\"parent\":{}", compaction.span)));
+    }
 }

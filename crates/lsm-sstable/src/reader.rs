@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use lsm_filters::{point_filter_from_bytes, PointFilter, PointFilterKind};
+use lsm_obs::ReadProbe;
 use lsm_storage::{Backend, BlockCache, BlockKey, FileId};
 use lsm_types::{InternalEntry, InternalKey, Result, SeqNo};
 
@@ -114,20 +115,38 @@ impl Table {
 
     /// Reads data block `idx`, through the cache when one is configured.
     fn read_block(&self, idx: usize) -> Result<Bytes> {
+        self.read_block_probed(idx, None)
+    }
+
+    /// [`Self::read_block`] attributing the fetch to `probe` when one is
+    /// riding along (sampled foreground lookups).
+    fn read_block_probed(&self, idx: usize, mut probe: Option<&mut ReadProbe>) -> Result<Bytes> {
         let fence = &self.fences[idx];
+        if let Some(p) = probe.as_deref_mut() {
+            p.blocks_fetched += 1;
+        }
         if let Some(cache) = &self.cache {
             let key = BlockKey {
                 file: self.file,
                 offset: fence.offset,
             };
             if let Some(block) = cache.get(&key) {
+                if let Some(p) = probe.as_deref_mut() {
+                    p.cache_hits += 1;
+                }
                 return Ok(block);
+            }
+            if let Some(p) = probe.as_deref_mut() {
+                p.cache_misses += 1;
             }
             let block = self
                 .backend
                 .read(self.file, fence.offset, fence.len as usize)?;
             cache.insert(key, block.clone());
             return Ok(block);
+        }
+        if let Some(p) = probe {
+            p.cache_misses += 1;
         }
         self.backend
             .read(self.file, fence.offset, fence.len as usize)
@@ -163,10 +182,26 @@ impl Table {
     /// The newest version of `key` visible at `snapshot`, if this table has
     /// one. Tombstones are returned, not interpreted.
     pub fn get(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<InternalEntry>> {
+        self.get_probed(key, snapshot, None)
+    }
+
+    /// [`Self::get`] with a [`ReadProbe`] riding along: filter consults,
+    /// block fetches, and cache hit/miss attribution accumulate into
+    /// `probe` so sampled foreground lookups can explain where they spent
+    /// their time.
+    pub fn get_probed(
+        &self,
+        key: &[u8],
+        snapshot: SeqNo,
+        mut read_probe: Option<&mut ReadProbe>,
+    ) -> Result<Option<InternalEntry>> {
         if !self.meta.key_range.contains(key) {
             return Ok(None);
         }
         if let Some(filter) = &self.filter {
+            if let Some(p) = read_probe.as_deref_mut() {
+                p.filters_consulted += 1;
+            }
             if !filter.may_contain(key) {
                 self.stats.filter_negatives.fetch_add(1, Ordering::Relaxed);
                 return Ok(None);
@@ -179,7 +214,8 @@ impl Table {
         // of the next block when the probe falls past the chosen block's
         // last entry.
         loop {
-            let mut it = crate::block::BlockIter::new(self.read_block(idx)?)?;
+            let block = self.read_block_probed(idx, read_probe.as_deref_mut())?;
+            let mut it = crate::block::BlockIter::new(block)?;
             it.seek(&probe)?;
             match it.next().transpose()? {
                 Some(entry) => {
@@ -372,6 +408,31 @@ mod tests {
         let delta = backend.stats().snapshot().delta(&before);
         assert_eq!(delta.read_ops, 0, "hot block must come from cache");
         assert!(cache.stats().hits >= 50);
+    }
+
+    #[test]
+    fn probed_lookup_attributes_filters_blocks_and_cache() {
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let (_, t) = build_table(2000, Some(cache));
+        let mut probe = ReadProbe::default();
+        t.get_probed(b"key000777", SeqNo::MAX, Some(&mut probe))
+            .unwrap();
+        assert_eq!(probe.filters_consulted, 1);
+        assert_eq!(probe.blocks_fetched, 1);
+        assert_eq!((probe.cache_hits, probe.cache_misses), (0, 1));
+
+        // Repeat lookup: same block now comes from the cache.
+        let mut probe = ReadProbe::default();
+        t.get_probed(b"key000777", SeqNo::MAX, Some(&mut probe))
+            .unwrap();
+        assert_eq!((probe.cache_hits, probe.cache_misses), (1, 0));
+
+        // Filter-rejected probe consults the filter but fetches nothing.
+        let mut probe = ReadProbe::default();
+        t.get_probed(b"key000777xx", SeqNo::MAX, Some(&mut probe))
+            .unwrap();
+        assert_eq!(probe.filters_consulted, 1);
+        assert_eq!(probe.blocks_fetched, 0);
     }
 
     #[test]

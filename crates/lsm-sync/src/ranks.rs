@@ -22,6 +22,11 @@ use crate::LockRank;
 /// epoch-log writes plus one full commit per involved shard — so it must
 /// rank below every per-engine lock those commits acquire.
 pub const SHARDED_EPOCH: LockRank = LockRank::new("sharded.epoch_mx", 80);
+/// Metrics-exporter control mutex (interval/shutdown condvar). The export
+/// thread parks on it holding nothing else, and `stop()` signals it from
+/// outside the engine's lock stack, so it ranks above the per-engine
+/// hierarchy next to the sharding router.
+pub const DB_METRICS_EXPORT: LockRank = LockRank::new("db.metrics_export_mx", 90);
 /// `Db` single-writer queue ticket. Outermost engine lock: held across the
 /// whole write path (WAL append, memtable insert, freeze).
 pub const DB_WRITE: LockRank = LockRank::new("db.write_mx", 100);
@@ -72,6 +77,7 @@ pub const CACHE_SHARD: LockRank = LockRank::new("cache.shard", 300);
 /// spec test asserts `lock_order.json` agrees with it.
 pub const REGISTRY: &[(&str, LockRank)] = &[
     ("SHARDED_EPOCH", SHARDED_EPOCH),
+    ("DB_METRICS_EXPORT", DB_METRICS_EXPORT),
     ("DB_WRITE", DB_WRITE),
     ("DB_COMMIT", DB_COMMIT),
     ("DB_STALL", DB_STALL),

@@ -194,33 +194,39 @@ impl KvSeparatedDb {
         let Some((segment, records)) = self.vlog.seal_oldest_segment()? else {
             return Ok(None);
         };
-        obs.emit(EventKind::VlogGcStart, None, segment, 0);
-        let mut live = 0;
-        let mut dead = 0;
+        // A span, not bare events: the relocation puts below nest as its
+        // children in the trace. The closure guarantees the end record (and
+        // a balanced chrome B/E pair) even when a relocation errors out.
+        let span = obs.span_begin(EventKind::VlogGcStart, None, segment, 0);
         let mut relocated_bytes: u64 = 0;
-        for (key, value, old_ptr) in records {
-            let still_live = match self.db.get(&key)? {
-                Some(stored) if stored.first() == Some(&TAG_POINTER) => {
-                    ValuePointer::decode(&stored[1..])? == old_ptr
+        let result = (|| -> Result<(usize, usize)> {
+            let mut live = 0;
+            let mut dead = 0;
+            for (key, value, old_ptr) in records {
+                let still_live = match self.db.get(&key)? {
+                    Some(stored) if stored.first() == Some(&TAG_POINTER) => {
+                        ValuePointer::decode(&stored[1..])? == old_ptr
+                    }
+                    _ => false,
+                };
+                if still_live {
+                    live += 1;
+                    relocated_bytes += (key.len() + value.len()) as u64;
+                    // Relocate: append at the head and re-point the key.
+                    let ptr = self.vlog.append(&key, &value)?;
+                    let mut stored = Vec::with_capacity(25);
+                    stored.push(TAG_POINTER);
+                    ptr.encode_into(&mut stored);
+                    self.db.put(&key, &stored)?;
+                } else {
+                    dead += 1;
                 }
-                _ => false,
-            };
-            if still_live {
-                live += 1;
-                relocated_bytes += (key.len() + value.len()) as u64;
-                // Relocate: append at the head and re-point the key.
-                let ptr = self.vlog.append(&key, &value)?;
-                let mut stored = Vec::with_capacity(25);
-                stored.push(TAG_POINTER);
-                ptr.encode_into(&mut stored);
-                self.db.put(&key, &stored)?;
-            } else {
-                dead += 1;
             }
-        }
-        self.vlog.delete_segment(segment)?;
-        obs.emit(EventKind::VlogGcEnd, None, segment, relocated_bytes);
-        Ok(Some((live, dead)))
+            self.vlog.delete_segment(segment)?;
+            Ok((live, dead))
+        })();
+        obs.span_end(span, EventKind::VlogGcEnd, None, segment, relocated_bytes);
+        result.map(Some)
     }
 
     /// Runs pending flushes and compactions on the underlying tree.

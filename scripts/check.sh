@@ -93,6 +93,10 @@ run_step "loom-lockfree" cargo test -q -p lsm-sync --features loom --test loom_l
 # Observability::Off within budget on the vector-memtable put path;
 # release because timing asserts are meaningless at opt-level 0).
 run_step "obs"      cargo test -q -p lsm-obs
+# Full-stack export pipeline: causal span nesting through real compactions,
+# the metrics exporter's JSONL delta round-trip, and the Prometheus
+# surfaces (Db + ShardedDb per-shard labels), plus the exposition goldens.
+run_step "obs-export" cargo test -q -p lsm-core --test obs_export --test metrics_golden
 run_step "obs-overhead" cargo test -q --release --test obs_overhead -- --ignored
 
 if [ -n "$ONLY" ] && [ "$ONLY_MATCHED" -eq 0 ]; then

@@ -75,7 +75,7 @@ fn atomics_spec_is_current_and_the_publication_protocol_holds() {
     let seq = field_of(&atomics, "lsm-obs", "seq");
     assert_eq!(seq.role, "publication");
     assert!(
-        seq.publishers.iter().any(|p| p == "push_at"),
+        seq.publishers.iter().any(|p| p == "push_span_at"),
         "the seqlock writer publishes slot sequence numbers: {:?}",
         seq.publishers
     );

@@ -56,6 +56,11 @@ fn durability_spec_is_current_and_the_commit_pipeline_is_ordered() {
     // sequence means an *added* effect (not just a reorder) also fails.
     assert_eq!(
         effects_of(&durability, "lsm-core", "commit_group"),
+        ["call:commit_group_inner"],
+        "the group-commit span wrapper adds no durability effects"
+    );
+    assert_eq!(
+        effects_of(&durability, "lsm-core", "commit_group_inner"),
         ["wal_append", "wal_sync", "seqno_publish"],
         "group commit must log, sync, then publish"
     );
