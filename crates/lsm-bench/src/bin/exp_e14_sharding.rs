@@ -86,7 +86,8 @@ fn main() {
             let ops = (writers * per) as f64;
             let kops = ops / ingest_secs / 1000.0;
             ingest.insert((shards, writers), kops);
-            let agg = db.metrics().db;
+            let snap = db.metrics();
+            let agg = snap.db;
 
             // Per-shard attribution: syncs per put routed to that shard,
             // and the put tail from that shard's own histograms.
@@ -115,6 +116,13 @@ fn main() {
                 f2(syncs_op_max),
                 f2(p99_max as f64 / 1000.0),
                 slow_ops.to_string(),
+                // Tree-shape read amplification after ingest: sorted runs a
+                // point lookup would probe, traffic-weighted across shards
+                // (a lookup routes to exactly one shard, so shards never
+                // add). Sharding splits data, not structure — the per-shard
+                // tree stays the same depth band, and this column proves
+                // the write-path win is not bought with a deeper read path.
+                f2(snap.read_amp_estimate),
             ]);
         }
     }
@@ -132,6 +140,7 @@ fn main() {
             "max shard syncs/op",
             "max shard put p99 us",
             "slow ops",
+            "read-amp",
         ],
         &rows,
     );

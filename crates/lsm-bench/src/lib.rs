@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use lsm_core::{CompactionConfig, DataLayout, Db, Options};
+use lsm_core::{CacheConfig, CompactionConfig, DataLayout, Db, Options};
 use lsm_storage::{Backend, Bytes, FileId, IoStats, MemBackend};
 use lsm_workload::{format_key, format_value, KeyDist, KeyGen};
 
@@ -87,6 +87,20 @@ pub fn open_bench_db(opts: Options) -> Db {
     Db::builder()
         .backend(backend)
         .options(opts)
+        .open()
+        .expect("open")
+}
+
+/// Opens an in-memory database with an explicit cache policy — capacity,
+/// shard count, and aux (index/filter) pinning — instead of the legacy
+/// `Options::block_cache_bytes` knob. Experiments sweeping the pinning
+/// policy (E9) go through here.
+pub fn open_bench_db_with_cache(opts: Options, cache: CacheConfig) -> Db {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    Db::builder()
+        .backend(backend)
+        .options(opts)
+        .cache_config(cache)
         .open()
         .expect("open")
 }

@@ -106,6 +106,9 @@ struct OutputWriter<'a> {
     bytes_written: u64,
     last_user_key: Option<UserKey>,
     obs: &'a ObsHandle,
+    /// Pin output tables' index/filter partitions in the cache (outputs
+    /// destined for a hot level under a pinning cache policy).
+    pin_aux: bool,
 }
 
 impl<'a> OutputWriter<'a> {
@@ -143,8 +146,12 @@ impl<'a> OutputWriter<'a> {
                 let (file, _) = builder.finish(self.backend.as_ref())?;
                 let len = self.backend.len(file)?;
                 self.bytes_written += len;
-                let table =
-                    Table::open(Arc::clone(self.backend), file, self.cache.map(Arc::clone))?;
+                let table = Table::open_pinned(
+                    Arc::clone(self.backend),
+                    file,
+                    self.cache.map(Arc::clone),
+                    self.pin_aux,
+                )?;
                 if self.opts.warm_cache_after_compaction {
                     table.warm_cache()?;
                 }
@@ -288,6 +295,7 @@ pub(crate) fn execute_plan(
     };
 
     let mut merge = MergeIter::new(sources);
+    let pin_aux = plan.dst_level <= 1 && cache.is_some_and(|c| c.config().pin_index_filter);
     let mut writer = OutputWriter {
         backend,
         cache,
@@ -298,6 +306,7 @@ pub(crate) fn execute_plan(
         bytes_written: 0,
         last_user_key: None,
         obs,
+        pin_aux,
     };
 
     let mut dropped = 0u64;

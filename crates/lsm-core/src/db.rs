@@ -11,8 +11,10 @@ use lsm_obs::{
     key_hash, recovery_phase, slow_op, EventKind, HistKind, ObsHandle, Observability, OpKind,
     ReadProbe,
 };
-use lsm_sstable::{Table, TableBuilder};
-use lsm_storage::{Backend, FileId, FsBackend, MemBackend, ObservedBackend};
+use lsm_sstable::{Table, TableBuilder, TableReadOpts};
+use lsm_storage::{
+    Backend, BlockCache, CacheConfig, FileId, FsBackend, MemBackend, ObservedBackend,
+};
 use lsm_sync::{ranks, OrderedMutex};
 use lsm_types::{Error, InternalEntry, Result, SeqNo, UserKey, Value};
 
@@ -50,10 +52,33 @@ impl Snapshot {
         self.inner.get_at(key, self.seqno)
     }
 
+    /// [`Snapshot::get`] with per-read options. The snapshot's pinned
+    /// seqno wins; [`ReadOptions::snapshot`] may only narrow it further
+    /// (read even further into the past), never widen it.
+    pub fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        let _t = self.inner.obs.timer(HistKind::Get);
+        let at = opts.snapshot.map_or(self.seqno, |s| s.min(self.seqno));
+        self.inner.get_at_opts(key, at, None, &opts.table_opts())
+    }
+
     /// Range scan at this snapshot.
     pub fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
         let _t = self.inner.obs.timer(HistKind::Scan);
         self.inner.scan_at(start, end, self.seqno)
+    }
+
+    /// [`Snapshot::scan`] with per-read options (seqno resolution as in
+    /// [`Snapshot::get_opt`]).
+    pub fn scan_opt(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        opts: &ReadOptions,
+    ) -> Result<DbScanIter> {
+        let _t = self.inner.obs.timer(HistKind::Scan);
+        let at = opts.snapshot.map_or(self.seqno, |s| s.min(self.seqno));
+        self.inner
+            .scan_at_opts(start, end, at, None, &opts.table_opts())
     }
 }
 
@@ -86,6 +111,52 @@ pub struct WriteOptions {
     /// lost on any crash before the memtable flushes. Ignored when the
     /// database runs without a WAL anyway.
     pub no_wal: bool,
+}
+
+/// Per-read options, threaded through the `*_opt` read methods
+/// ([`Db::get_opt`], [`Db::scan_opt`], and the [`Snapshot`] /
+/// [`crate::ShardedDb`] counterparts) — the read-side mirror of
+/// [`WriteOptions`]. The plain methods use [`ReadOptions::default`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Insert data blocks fetched for this read into the block cache
+    /// (RocksDB `fill_cache`). Turn off for one-shot analytical scans so
+    /// they do not evict the point-lookup working set.
+    pub fill_cache: bool,
+    /// Pin index/filter partitions this read faults in, keeping them
+    /// outside the LRU list (deliberate warming of a cold level; the
+    /// engine already pins hot-level partitions at table-open time).
+    pub pin_index_filter: bool,
+    /// Re-verify block checksums on cache hits. Fills always verify once;
+    /// the fast path then trusts cached bytes, so this trades speed for
+    /// detection of in-memory corruption.
+    pub verify_checksums: bool,
+    /// Read at this sequence number instead of the latest. Through a
+    /// [`Snapshot`], the pinned seqno caps whatever is given here.
+    pub snapshot: Option<SeqNo>,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            fill_cache: true,
+            pin_index_filter: false,
+            verify_checksums: false,
+            snapshot: None,
+        }
+    }
+}
+
+impl ReadOptions {
+    /// The sstable-layer slice of these options (everything but the
+    /// snapshot, which the engine resolves before tables are consulted).
+    pub(crate) fn table_opts(&self) -> TableReadOpts {
+        TableReadOpts {
+            fill_cache: self.fill_cache,
+            pin_index_filter: self.pin_index_filter,
+            verify_checksums: self.verify_checksums,
+        }
+    }
 }
 
 /// A group of writes applied atomically: one WAL record, contiguous
@@ -165,6 +236,10 @@ pub struct DbBuilder {
     recover: Option<bool>,
     clean_orphans: bool,
     obs: Observability,
+    cache_config: Option<CacheConfig>,
+    /// Pre-built cache shared across databases; set (crate-internally) by
+    /// `ShardedDbBuilder` so every shard charges one capacity pool.
+    pub(crate) shared_cache: Option<Arc<BlockCache>>,
     /// Cross-shard epoch filter for recovery; set (crate-internally) by
     /// `ShardedDbBuilder` so each shard's replay can discard WAL records
     /// of epochs the coordinator never committed.
@@ -236,6 +311,15 @@ impl DbBuilder {
         self
     }
 
+    /// Block-cache configuration: capacity, shard count, and the
+    /// index/filter pinning policy. Takes precedence over the legacy
+    /// [`Options::block_cache_bytes`] knob; a zero-capacity config runs
+    /// without a cache.
+    pub fn cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.cache_config = Some(cfg);
+        self
+    }
+
     /// Opens the database.
     pub fn open(self) -> Result<Db> {
         self.opts.validate()?;
@@ -274,18 +358,35 @@ impl DbBuilder {
         let span = recovering.then(|| obs.span_begin(EventKind::RecoveryStart, None, 0, 0));
         let end_obs = obs.clone();
         let mut swept = 0u64;
+        // Cache resolution: an explicitly shared cache wins (sharded
+        // router), then an explicit config, then the legacy capacity knob
+        // (which inherits the default sharding/pinning policy).
+        let cache: Option<Arc<BlockCache>> = match self.shared_cache {
+            Some(c) => Some(c),
+            None => self
+                .cache_config
+                .or_else(|| {
+                    (self.opts.block_cache_bytes > 0).then(|| CacheConfig {
+                        capacity_bytes: self.opts.block_cache_bytes,
+                        ..CacheConfig::default()
+                    })
+                })
+                .filter(|c| c.capacity_bytes > 0)
+                .map(|c| Arc::new(BlockCache::with_config(c))),
+        };
         let opened = (|| -> Result<Arc<Engine>> {
             let inner = match manifest_bytes {
                 Some(bytes) => Engine::recover(
                     backend,
                     self.opts,
+                    cache,
                     &bytes,
                     persist,
                     obs,
                     self.epoch_filter.as_ref(),
                 )?,
                 None => {
-                    let inner = Engine::new(backend, self.opts, persist, obs)?;
+                    let inner = Engine::new(backend, self.opts, cache, persist, obs)?;
                     inner.save_manifest()?;
                     inner
                 }
@@ -688,6 +789,17 @@ impl Db {
         })
     }
 
+    /// [`Db::get`] with per-read options ([`ReadOptions::snapshot`] reads
+    /// at a pinned seqno without holding a [`Snapshot`]).
+    pub fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        self.instrument_fg(HistKind::Get, OpKind::Get, key, |probe| {
+            let at = opts
+                .snapshot
+                .unwrap_or_else(|| self.inner.seqno.load(Ordering::Acquire));
+            self.inner.get_at_opts(key, at, probe, &opts.table_opts())
+        })
+    }
+
     /// Scans `[start, end)` (`None` = unbounded above) at the current
     /// sequence number. The scan histogram records iterator construction
     /// (source collection + merge setup), not iteration.
@@ -695,6 +807,23 @@ impl Db {
         self.instrument_fg(HistKind::Scan, OpKind::Scan, start, |probe| {
             self.inner
                 .scan_at_probed(start, end, self.inner.seqno.load(Ordering::Acquire), probe)
+        })
+    }
+
+    /// [`Db::scan`] with per-read options — e.g. `fill_cache: false` for
+    /// analytical scans that must not evict the hot set.
+    pub fn scan_opt(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        opts: &ReadOptions,
+    ) -> Result<DbScanIter> {
+        self.instrument_fg(HistKind::Scan, OpKind::Scan, start, |probe| {
+            let at = opts
+                .snapshot
+                .unwrap_or_else(|| self.inner.seqno.load(Ordering::Acquire));
+            self.inner
+                .scan_at_opts(start, end, at, probe, &opts.table_opts())
         })
     }
 
@@ -868,8 +997,12 @@ pub(crate) fn engine_metrics(inner: &Engine) -> MetricsSnapshot {
 pub trait ReadView {
     /// Point lookup.
     fn get(&self, key: &[u8]) -> Result<Option<Value>>;
+    /// Point lookup with per-read options.
+    fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>>;
     /// Range scan over `[start, end)` (`None` = unbounded above).
     fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter>;
+    /// Range scan with per-read options.
+    fn scan_opt(&self, start: &[u8], end: Option<&[u8]>, opts: &ReadOptions) -> Result<DbScanIter>;
     /// The sequence number reads through this view observe.
     fn seqno(&self) -> SeqNo;
 }
@@ -879,8 +1012,16 @@ impl ReadView for Db {
         Db::get(self, key)
     }
 
+    fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        Db::get_opt(self, key, opts)
+    }
+
     fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
         Db::scan(self, start, end)
+    }
+
+    fn scan_opt(&self, start: &[u8], end: Option<&[u8]>, opts: &ReadOptions) -> Result<DbScanIter> {
+        Db::scan_opt(self, start, end, opts)
     }
 
     fn seqno(&self) -> SeqNo {
@@ -893,8 +1034,16 @@ impl ReadView for Snapshot {
         Snapshot::get(self, key)
     }
 
+    fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        Snapshot::get_opt(self, key, opts)
+    }
+
     fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
         Snapshot::scan(self, start, end)
+    }
+
+    fn scan_opt(&self, start: &[u8], end: Option<&[u8]>, opts: &ReadOptions) -> Result<DbScanIter> {
+        Snapshot::scan_opt(self, start, end, opts)
     }
 
     fn seqno(&self) -> SeqNo {

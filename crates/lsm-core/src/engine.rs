@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use lsm_compaction::{plan_observed, CompactionPlan, Granularity, PickPolicy};
 use lsm_memtable::{make_memtable, MemTable};
 use lsm_obs::{recovery_phase, stall_reason, EventKind, HistKind, ObsHandle, ReadProbe};
-use lsm_sstable::{Table, TableBuilder, VecEntryIter};
+use lsm_sstable::{Table, TableBuilder, TableReadOpts, VecEntryIter};
 use lsm_storage::{wal, Backend, BlockCache, FileId};
 use lsm_sync::{ranks, Condvar, OrderedMutex, OrderedRwLock};
 use lsm_types::encoding::{put_varint, Decoder};
@@ -23,7 +23,7 @@ use crate::compact::execute_plan;
 use crate::db::{DbScanIter, WriteOptions};
 use crate::manifest::Manifest;
 use crate::options::Options;
-use crate::scan::{build_scan_merge, VisibleIter};
+use crate::scan::{build_scan_merge_with, VisibleIter};
 use crate::stats::DbStats;
 use crate::version::{Run, Version, VersionEdit};
 
@@ -240,11 +240,10 @@ impl Engine {
     pub(crate) fn new(
         backend: Arc<dyn Backend>,
         opts: Options,
+        cache: Option<Arc<BlockCache>>,
         persist_manifest: bool,
         obs: ObsHandle,
     ) -> Result<Arc<Engine>> {
-        let cache =
-            (opts.block_cache_bytes > 0).then(|| Arc::new(BlockCache::new(opts.block_cache_bytes)));
         let wal_id = if opts.wal {
             Some(backend.create_appendable()?)
         } else {
@@ -301,13 +300,14 @@ impl Engine {
     pub(crate) fn recover(
         backend: Arc<dyn Backend>,
         opts: Options,
+        cache: Option<Arc<BlockCache>>,
         manifest_bytes: &[u8],
         persist_manifest: bool,
         obs: ObsHandle,
         epoch_filter: Option<&EpochFilter>,
     ) -> Result<Arc<Engine>> {
         let manifest = Manifest::decode(manifest_bytes)?;
-        let inner = Engine::new(backend.clone(), opts, persist_manifest, obs)?;
+        let inner = Engine::new(backend.clone(), opts, cache, persist_manifest, obs)?;
         inner.obs.emit(
             EventKind::RecoveryPhase,
             None,
@@ -315,14 +315,20 @@ impl Engine {
             manifest.wal_segments.len() as u64,
         );
 
-        // Rebuild the tree.
+        // Rebuild the tree. Hot-level tables (L0/L1) come back with their
+        // index/filter partitions pinned, same as freshly flushed ones.
         let mut levels = Vec::with_capacity(manifest.levels.len());
-        for level in &manifest.levels {
+        for (level_idx, level) in manifest.levels.iter().enumerate() {
             let mut runs = Vec::with_capacity(level.len());
             for run_ids in level {
                 let mut tables = Vec::with_capacity(run_ids.len());
                 for &id in run_ids {
-                    tables.push(Table::open(backend.clone(), id, inner.cache.clone())?);
+                    tables.push(Table::open_pinned(
+                        backend.clone(),
+                        id,
+                        inner.cache.clone(),
+                        inner.pin_for_level(level_idx),
+                    )?);
                 }
                 runs.push(Run::new(tables));
             }
@@ -981,18 +987,43 @@ impl Engine {
 
     // ----------------------------------------------------------------- read
 
+    /// Whether tables opened for `level` should pin their index/filter
+    /// partitions in the cache. The hot set is L0 plus L1 (the levels every
+    /// lookup probes first and the cheapest to keep routed), matching
+    /// RocksDB's `pin_l0_filter_and_index_blocks_in_cache` recipe; the
+    /// policy switch lives in [`lsm_storage::CacheConfig`].
+    pub(crate) fn pin_for_level(&self, level: usize) -> bool {
+        level <= 1
+            && self
+                .cache
+                .as_ref()
+                .is_some_and(|c| c.config().pin_index_filter)
+    }
+
     pub(crate) fn get_at(&self, key: &[u8], snapshot: SeqNo) -> Result<Option<Value>> {
         self.get_at_probed(key, snapshot, None)
     }
 
-    /// [`Self::get_at`] with an optional [`ReadProbe`] attributing where
-    /// the lookup spent its effort. Only sampled foreground gets pass one;
-    /// the probe-free path compiles to the same code as before.
     pub(crate) fn get_at_probed(
         &self,
         key: &[u8],
         snapshot: SeqNo,
+        probe: Option<&mut ReadProbe>,
+    ) -> Result<Option<Value>> {
+        self.get_at_opts(key, snapshot, probe, &TableReadOpts::default())
+    }
+
+    /// [`Self::get_at`] with an optional [`ReadProbe`] attributing where
+    /// the lookup spent its effort (only sampled foreground gets pass one;
+    /// the probe-free path compiles to the same code as before) and the
+    /// per-read [`TableReadOpts`] threaded down from
+    /// [`crate::ReadOptions`].
+    pub(crate) fn get_at_opts(
+        &self,
+        key: &[u8],
+        snapshot: SeqNo,
         mut probe: Option<&mut ReadProbe>,
+        ropts: &TableReadOpts,
     ) -> Result<Option<Value>> {
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         let (mem_sources, version) = self.read_view();
@@ -1031,7 +1062,7 @@ impl Engine {
             // Runs within a level are newest-first, matching
             // `runs_newest_first()`.
             for run in level {
-                if let Some(e) = run.get_probed(key, snapshot, probe.as_deref_mut())? {
+                if let Some(e) = run.get_with(key, snapshot, probe.as_deref_mut(), ropts)? {
                     if e.kind() == EntryKind::RangeDelete {
                         continue;
                     }
@@ -1074,15 +1105,27 @@ impl Engine {
         self.scan_at_probed(start, end, snapshot, None)
     }
 
-    /// [`Self::scan_at`] attributing the sources opened to `probe` on
-    /// sampled scans (memtables and non-empty levels; block fetches happen
-    /// lazily during iteration and are not attributed).
     pub(crate) fn scan_at_probed(
         &self,
         start: &[u8],
         end: Option<&[u8]>,
         snapshot: SeqNo,
         probe: Option<&mut ReadProbe>,
+    ) -> Result<DbScanIter> {
+        self.scan_at_opts(start, end, snapshot, probe, &TableReadOpts::default())
+    }
+
+    /// [`Self::scan_at`] attributing the sources opened to `probe` on
+    /// sampled scans (memtables and non-empty levels; block fetches happen
+    /// lazily during iteration and are not attributed), honoring per-read
+    /// options for every table iterator the scan opens.
+    pub(crate) fn scan_at_opts(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        snapshot: SeqNo,
+        probe: Option<&mut ReadProbe>,
+        ropts: &TableReadOpts,
     ) -> Result<DbScanIter> {
         self.stats.scans.fetch_add(1, Ordering::Relaxed);
         let (mem_sources, version) = self.read_view();
@@ -1099,7 +1142,7 @@ impl Engine {
         for run in version.runs_newest_first() {
             rts.extend(run.range_tombstones.iter().cloned());
         }
-        let merge = build_scan_merge(mem_entries, &version, start, end);
+        let merge = build_scan_merge_with(mem_entries, &version, start, end, *ropts);
         Ok(DbScanIter::single(VisibleIter::new(
             merge,
             snapshot,
@@ -1249,7 +1292,12 @@ impl Engine {
             let bytes = self.backend.len(file)?;
             self.stats.flush_bytes.fetch_add(bytes, Ordering::Relaxed);
             *flushed_bytes = bytes;
-            let table = Table::open(self.backend.clone(), file, self.cache.clone())?;
+            let table = Table::open_pinned(
+                self.backend.clone(),
+                file,
+                self.cache.clone(),
+                self.pin_for_level(0),
+            )?;
             Some(Run::new(vec![table]))
         };
 

@@ -40,7 +40,8 @@ mod stats;
 mod version;
 
 pub use db::{
-    Db, DbBuilder, DbScanIter, ReadView, RecoverySummary, Snapshot, WriteBatch, WriteOptions,
+    Db, DbBuilder, DbScanIter, ReadOptions, ReadView, RecoverySummary, Snapshot, WriteBatch,
+    WriteOptions,
 };
 pub use exporter::{MetricsExporter, MetricsSource};
 pub use metrics::MetricsSnapshot;
@@ -58,4 +59,5 @@ pub use lsm_obs::{
     Event, EventKind, HistKind, HistSnapshot, HotKey, LatencySnapshot, LevelGauge, ObsHandle,
     Observability, PromText, ReadProbe, WorkloadSnapshot,
 };
+pub use lsm_storage::{BlockCache, CacheConfig, CacheStats};
 pub use lsm_types::{Error, Result, SeqNo, Value};

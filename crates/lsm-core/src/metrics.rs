@@ -147,6 +147,8 @@ impl MetricsSnapshot {
                 &[
                     ("hits", c.hits),
                     ("misses", c.misses),
+                    ("index_hits", c.index_hits),
+                    ("filter_hits", c.filter_hits),
                     ("insertions", c.insertions),
                     ("evictions", c.evictions),
                     ("invalidations", c.invalidations),
@@ -282,6 +284,18 @@ impl MetricsSnapshot {
                 prom.sample(
                     "lsm_cache_lookups_total",
                     &join(labels, &[("outcome", outcome)]),
+                    v as f64,
+                );
+            }
+            prom.family(
+                "lsm_cache_aux_hits_total",
+                "counter",
+                "Block-cache hits served by pinned/cached index and filter partitions.",
+            );
+            for (kind, v) in [("index", c.index_hits), ("filter", c.filter_hits)] {
+                prom.sample(
+                    "lsm_cache_aux_hits_total",
+                    &join(labels, &[("kind", kind)]),
                     v as f64,
                 );
             }

@@ -29,7 +29,11 @@ pub struct Options {
     /// Allocate the filter budget across levels Monkey-style (deep levels
     /// get fewer bits) instead of uniformly.
     pub monkey_filters: bool,
-    /// Block-cache capacity in bytes (0 disables caching).
+    /// Block-cache capacity in bytes (0 disables caching). A convenience
+    /// knob: [`crate::DbBuilder::cache_config`] supersedes it with the full
+    /// [`lsm_storage::CacheConfig`] surface (shard bits, pinning policy,
+    /// cross-shard sharing); when a cache config or shared cache is given to
+    /// the builder, this field is ignored.
     pub block_cache_bytes: usize,
     /// Re-load the output blocks of every compaction into the cache
     /// (the Leaper mitigation for compaction-induced cache misses).
@@ -143,6 +147,7 @@ impl Options {
             block_size: self.block_size,
             filter_kind,
             bits_per_key,
+            ..TableBuilderOptions::default()
         }
     }
 

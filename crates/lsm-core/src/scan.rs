@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lsm_sstable::{EntryIter, MergeIter, Table, TableIter, VecEntryIter};
+use lsm_sstable::{EntryIter, MergeIter, Table, TableIter, TableReadOpts, VecEntryIter};
 use lsm_types::{EntryKind, InternalEntry, InternalKey, Result, SeqNo, UserKey, Value};
 
 use crate::version::{Run, Version};
@@ -16,8 +16,17 @@ pub(crate) struct BoundedTableIter {
 
 impl BoundedTableIter {
     pub(crate) fn new(table: &Arc<Table>, start: &[u8], end: Option<&[u8]>) -> Self {
+        Self::new_with(table, start, end, TableReadOpts::default())
+    }
+
+    pub(crate) fn new_with(
+        table: &Arc<Table>,
+        start: &[u8],
+        end: Option<&[u8]>,
+        ropts: TableReadOpts,
+    ) -> Self {
         BoundedTableIter {
-            inner: table.scan_from(InternalKey::lookup(start, SeqNo::MAX)),
+            inner: table.scan_from_with(InternalKey::lookup(start, SeqNo::MAX), ropts),
             end: end.map(|e| e.to_vec()),
             done: false,
         }
@@ -52,16 +61,23 @@ pub(crate) struct RunScanIter {
     next_idx: usize,
     start: Vec<u8>,
     end: Option<Vec<u8>>,
+    ropts: TableReadOpts,
 }
 
 impl RunScanIter {
-    pub(crate) fn new(run: &Run, start: &[u8], end: Option<&[u8]>) -> Self {
+    pub(crate) fn new_with(
+        run: &Run,
+        start: &[u8],
+        end: Option<&[u8]>,
+        ropts: TableReadOpts,
+    ) -> Self {
         RunScanIter {
             tables: run.overlapping_tables(start, end),
             current: None,
             next_idx: 0,
             start: start.to_vec(),
             end: end.map(|e| e.to_vec()),
+            ropts,
         }
     }
 }
@@ -80,10 +96,11 @@ impl EntryIter for RunScanIter {
             }
             let table = &self.tables[self.next_idx];
             self.next_idx += 1;
-            self.current = Some(BoundedTableIter::new(
+            self.current = Some(BoundedTableIter::new_with(
                 table,
                 &self.start,
                 self.end.as_deref(),
+                self.ropts,
             ));
         }
     }
@@ -91,18 +108,31 @@ impl EntryIter for RunScanIter {
 
 /// Builds the merged source list for a scan over `version` plus memtable
 /// snapshots (`mem_sources`, newest first).
+#[cfg(test)]
 pub(crate) fn build_scan_merge(
     mem_sources: Vec<Vec<InternalEntry>>,
     version: &Version,
     start: &[u8],
     end: Option<&[u8]>,
 ) -> MergeIter {
+    build_scan_merge_with(mem_sources, version, start, end, TableReadOpts::default())
+}
+
+/// [`build_scan_merge`] threading per-read options into every table
+/// iterator the merge opens.
+pub(crate) fn build_scan_merge_with(
+    mem_sources: Vec<Vec<InternalEntry>>,
+    version: &Version,
+    start: &[u8],
+    end: Option<&[u8]>,
+    ropts: TableReadOpts,
+) -> MergeIter {
     let mut sources: Vec<Box<dyn EntryIter>> = Vec::new();
     for entries in mem_sources {
         sources.push(Box::new(VecEntryIter::new(entries)));
     }
     for run in version.runs_newest_first() {
-        sources.push(Box::new(RunScanIter::new(run, start, end)));
+        sources.push(Box::new(RunScanIter::new_with(run, start, end, ropts)));
     }
     MergeIter::new(sources)
 }

@@ -29,12 +29,12 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use lsm_obs::Observability;
-use lsm_storage::{shard_dir, Backend, FsBackend, MemBackend};
+use lsm_storage::{shard_dir, Backend, BlockCache, CacheConfig, FsBackend, MemBackend};
 use lsm_sync::{ranks, OrderedMutex};
 use lsm_types::encoding::{put_len_prefixed, put_varint, Decoder};
 use lsm_types::{Error, Result, SeqNo, Value};
 
-use crate::db::{Db, DbScanIter, ReadView, WriteBatch, WriteOptions};
+use crate::db::{Db, DbScanIter, ReadOptions, ReadView, WriteBatch, WriteOptions};
 use crate::engine::{BatchOp, Engine, EpochFilter};
 use crate::metrics::MetricsSnapshot;
 use crate::options::Options;
@@ -276,6 +276,7 @@ pub struct ShardedDbBuilder {
     recover: Option<bool>,
     clean_orphans: bool,
     obs: Observability,
+    cache_config: Option<CacheConfig>,
 }
 
 impl Default for ShardedDbBuilder {
@@ -290,6 +291,7 @@ impl Default for ShardedDbBuilder {
             recover: None,
             clean_orphans: false,
             obs: Observability::default(),
+            cache_config: None,
         }
     }
 }
@@ -366,6 +368,15 @@ impl ShardedDbBuilder {
         self
     }
 
+    /// Block-cache configuration for one cache **shared by every shard**
+    /// (so capacity is a database-wide budget, not per shard N times
+    /// over). Without it, each shard builds its own cache from the legacy
+    /// [`Options::block_cache_bytes`] knob, exactly like [`crate::Db`].
+    pub fn cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.cache_config = Some(cfg);
+        self
+    }
+
     /// Opens (or recovers) the sharded database.
     pub fn open(self) -> Result<ShardedDb> {
         self.opts.validate()?;
@@ -437,6 +448,12 @@ impl ShardedDbBuilder {
             });
         }
 
+        // One cache serving every shard keeps capacity a database-wide
+        // budget and lets a hot shard borrow room from cold ones.
+        let shared_cache = self
+            .cache_config
+            .filter(|c| c.capacity_bytes > 0)
+            .map(|c| Arc::new(BlockCache::with_config(c)));
         let mut shards = Vec::with_capacity(self.shards);
         for backend in &backends {
             let mut builder = Db::builder()
@@ -447,6 +464,7 @@ impl ShardedDbBuilder {
                 .clean_orphans(self.clean_orphans)
                 .obs(self.obs.clone());
             builder.epoch_filter = filter.clone();
+            builder.shared_cache = shared_cache.clone();
             shards.push(builder.open()?);
         }
 
@@ -689,6 +707,14 @@ impl ShardedDb {
         self.shards[self.shard_of(key)].get(key)
     }
 
+    /// [`ShardedDb::get`] with per-read options, honoured by the owning
+    /// shard. Note [`ReadOptions::snapshot`] is a per-shard seqno — shards
+    /// allocate independently, so it is only meaningful with a seqno
+    /// previously read from the same key's shard.
+    pub fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        self.shards[self.shard_of(key)].get_opt(key, opts)
+    }
+
     /// Scans `[start, end)` (`None` = unbounded above) across every shard,
     /// merged into one ascending stream. Each shard's iterator is pinned
     /// at that shard's current seqno; the merged view is consistent per
@@ -697,6 +723,27 @@ impl ShardedDb {
         let mut iters = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             iters.push(shard.scan(start, end)?);
+        }
+        DbScanIter::merged(iters)
+    }
+
+    /// [`ShardedDb::scan`] with per-read options applied to every shard's
+    /// iterator ([`ReadOptions::snapshot`] is ignored here — shard seqnos
+    /// are independent, so no single value names a cross-shard point in
+    /// time; use per-shard snapshots for that).
+    pub fn scan_opt(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        opts: &ReadOptions,
+    ) -> Result<DbScanIter> {
+        let opts = ReadOptions {
+            snapshot: None,
+            ..*opts
+        };
+        let mut iters = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            iters.push(shard.scan_opt(start, end, &opts)?);
         }
         DbScanIter::merged(iters)
     }
@@ -824,8 +871,16 @@ impl ReadView for ShardedDb {
         ShardedDb::get(self, key)
     }
 
+    fn get_opt(&self, key: &[u8], opts: &ReadOptions) -> Result<Option<Value>> {
+        ShardedDb::get_opt(self, key, opts)
+    }
+
     fn scan(&self, start: &[u8], end: Option<&[u8]>) -> Result<DbScanIter> {
         ShardedDb::scan(self, start, end)
+    }
+
+    fn scan_opt(&self, start: &[u8], end: Option<&[u8]>, opts: &ReadOptions) -> Result<DbScanIter> {
+        ShardedDb::scan_opt(self, start, end, opts)
     }
 
     /// Sum of every shard's published seqno: a monotone high-water mark of

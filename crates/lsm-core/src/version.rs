@@ -63,13 +63,25 @@ impl Run {
         snapshot: SeqNo,
         probe: Option<&mut lsm_obs::ReadProbe>,
     ) -> Result<Option<InternalEntry>> {
+        self.get_with(key, snapshot, probe, &lsm_sstable::TableReadOpts::default())
+    }
+
+    /// [`Self::get_probed`] honoring per-read options (cache fill/pin,
+    /// checksum verification).
+    pub fn get_with(
+        &self,
+        key: &[u8],
+        snapshot: SeqNo,
+        probe: Option<&mut lsm_obs::ReadProbe>,
+        ropts: &lsm_sstable::TableReadOpts,
+    ) -> Result<Option<InternalEntry>> {
         // Tables are key-ordered and disjoint: binary search for the one
         // table whose range can contain the key.
         let idx = self
             .tables
             .partition_point(|t| t.meta().key_range.max.as_bytes() < key);
         match self.tables.get(idx) {
-            Some(t) if t.meta().key_range.contains(key) => t.get_probed(key, snapshot, probe),
+            Some(t) if t.meta().key_range.contains(key) => t.get_with(key, snapshot, probe, ropts),
             _ => Ok(None),
         }
     }

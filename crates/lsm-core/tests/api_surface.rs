@@ -17,9 +17,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lsm_core::{
-    Db, DbBuilder, DbScanIter, MetricsSnapshot, Observability, Options, Partitioning, ReadView,
-    RecoverySummary, Result, SeqNo, ShardedDb, ShardedDbBuilder, Snapshot, Value, Version,
-    WriteBatch, WriteOptions,
+    CacheConfig, Db, DbBuilder, DbScanIter, MetricsSnapshot, Observability, Options, Partitioning,
+    ReadOptions, ReadView, RecoverySummary, Result, SeqNo, ShardedDb, ShardedDbBuilder, Snapshot,
+    Value, Version, WriteBatch, WriteOptions,
 };
 use lsm_storage::{Backend, FileId};
 
@@ -35,6 +35,7 @@ fn db_construction_surface_is_stable() {
     let _: fn(DbBuilder, bool) -> DbBuilder = DbBuilder::recover;
     let _: fn(DbBuilder, bool) -> DbBuilder = DbBuilder::clean_orphans;
     let _: fn(DbBuilder, Observability) -> DbBuilder = DbBuilder::obs;
+    let _: fn(DbBuilder, CacheConfig) -> DbBuilder = DbBuilder::cache_config;
     let _: fn(DbBuilder) -> Result<Db> = DbBuilder::open;
 }
 
@@ -53,7 +54,9 @@ fn db_write_surface_is_stable() {
 #[test]
 fn db_read_and_maintenance_surface_is_stable() {
     let _: fn(&Db, &[u8]) -> Result<Option<Value>> = Db::get;
+    let _: fn(&Db, &[u8], &ReadOptions) -> Result<Option<Value>> = Db::get_opt;
     let _: fn(&Db, &[u8], Option<&[u8]>) -> Result<DbScanIter> = Db::scan;
+    let _: fn(&Db, &[u8], Option<&[u8]>, &ReadOptions) -> Result<DbScanIter> = Db::scan_opt;
     let _: fn(&Db) -> Snapshot = Db::snapshot;
     let _: fn(&Db) -> Result<()> = Db::maintain;
     let _: fn(&Db) -> Result<()> = Db::wait_idle;
@@ -72,7 +75,10 @@ fn db_read_and_maintenance_surface_is_stable() {
 
     let _: fn(&Snapshot) -> SeqNo = Snapshot::seqno;
     let _: fn(&Snapshot, &[u8]) -> Result<Option<Value>> = Snapshot::get;
+    let _: fn(&Snapshot, &[u8], &ReadOptions) -> Result<Option<Value>> = Snapshot::get_opt;
     let _: fn(&Snapshot, &[u8], Option<&[u8]>) -> Result<DbScanIter> = Snapshot::scan;
+    let _: fn(&Snapshot, &[u8], Option<&[u8]>, &ReadOptions) -> Result<DbScanIter> =
+        Snapshot::scan_opt;
 }
 
 #[test]
@@ -103,6 +109,7 @@ fn sharded_construction_surface_is_stable() {
     let _: fn(ShardedDbBuilder, bool) -> ShardedDbBuilder = ShardedDbBuilder::recover;
     let _: fn(ShardedDbBuilder, bool) -> ShardedDbBuilder = ShardedDbBuilder::clean_orphans;
     let _: fn(ShardedDbBuilder, Observability) -> ShardedDbBuilder = ShardedDbBuilder::obs;
+    let _: fn(ShardedDbBuilder, CacheConfig) -> ShardedDbBuilder = ShardedDbBuilder::cache_config;
     let _: fn(ShardedDbBuilder) -> Result<ShardedDb> = ShardedDbBuilder::open;
 
     // `Partitioning` is matched exhaustively: a new variant (or a changed
@@ -126,7 +133,10 @@ fn sharded_db_surface_mirrors_db() {
     let _: fn(&ShardedDb, WriteBatch) -> Result<()> = ShardedDb::write;
     let _: fn(&ShardedDb, WriteBatch, &WriteOptions) -> Result<()> = ShardedDb::write_opt;
     let _: fn(&ShardedDb, &[u8]) -> Result<Option<Value>> = ShardedDb::get;
+    let _: fn(&ShardedDb, &[u8], &ReadOptions) -> Result<Option<Value>> = ShardedDb::get_opt;
     let _: fn(&ShardedDb, &[u8], Option<&[u8]>) -> Result<DbScanIter> = ShardedDb::scan;
+    let _: fn(&ShardedDb, &[u8], Option<&[u8]>, &ReadOptions) -> Result<DbScanIter> =
+        ShardedDb::scan_opt;
     let _: fn(&ShardedDb) -> Result<()> = ShardedDb::maintain;
     let _: fn(&ShardedDb) -> Result<()> = ShardedDb::wait_idle;
     let _: fn(&ShardedDb) -> Result<()> = ShardedDb::flush;
@@ -140,6 +150,10 @@ fn sharded_db_surface_mirrors_db() {
 
     // The router is a `ReadView` like `Db` and `Snapshot`.
     let _: fn(&ShardedDb, &[u8]) -> Result<Option<Value>> = <ShardedDb as ReadView>::get;
+    let _: fn(&ShardedDb, &[u8], &ReadOptions) -> Result<Option<Value>> =
+        <ShardedDb as ReadView>::get_opt;
+    let _: fn(&ShardedDb, &[u8], Option<&[u8]>, &ReadOptions) -> Result<DbScanIter> =
+        <ShardedDb as ReadView>::scan_opt;
     let _: fn(&ShardedDb) -> SeqNo = <ShardedDb as ReadView>::seqno;
 }
 
@@ -177,6 +191,52 @@ fn write_options_surface_is_stable() {
             no_wal: false
         }
     );
+}
+
+#[test]
+fn read_options_surface_is_stable() {
+    // Public fields, exhaustively: a struct literal fails to compile if a
+    // field is added, removed, or retyped.
+    let r = ReadOptions {
+        fill_cache: false,
+        pin_index_filter: true,
+        verify_checksums: true,
+        snapshot: Some(7),
+    };
+    assert_eq!(
+        r,
+        ReadOptions {
+            fill_cache: false,
+            pin_index_filter: true,
+            verify_checksums: true,
+            snapshot: Some(7),
+        }
+    );
+    assert_eq!(
+        ReadOptions::default(),
+        ReadOptions {
+            fill_cache: true,
+            pin_index_filter: false,
+            verify_checksums: false,
+            snapshot: None,
+        }
+    );
+}
+
+#[test]
+fn cache_config_surface_is_stable() {
+    let c = CacheConfig {
+        capacity_bytes: 1 << 20,
+        shard_bits: 2,
+        pin_index_filter: false,
+    };
+    assert_eq!(c.capacity_bytes, 1 << 20);
+    // The default policy is load-bearing: the legacy `block_cache_bytes`
+    // knob inherits it, so changing these defaults changes every caller
+    // that never saw `CacheConfig`.
+    let d = CacheConfig::default();
+    assert_eq!(d.shard_bits, 4);
+    assert!(d.pin_index_filter);
 }
 
 #[test]

@@ -44,6 +44,8 @@ fn populated() -> MetricsSnapshot {
     m.cache = Some(CacheStats {
         hits: 400,
         misses: 100,
+        index_hits: 60,
+        filter_hits: 20,
         insertions: 90,
         evictions: 30,
         invalidations: 5,

@@ -25,6 +25,10 @@ pub struct ReadProbe {
     pub cache_misses: u32,
     /// On-disk levels whose runs were probed.
     pub levels_touched: u32,
+    /// Index/filter partition blocks fetched through the cache (only
+    /// tables whose auxiliary blocks are cache-resident rather than pinned
+    /// charge these).
+    pub aux_fetches: u32,
 }
 
 /// Bit offset of the op code inside the packed word.
@@ -37,8 +41,8 @@ fn sat8(v: u32) -> u64 {
 
 impl ReadProbe {
     /// Packs the probe plus a [`crate::slow_op`] code into one `u64`:
-    /// op code in the top byte, the six counters (saturating at 255) in
-    /// the low six bytes.
+    /// op code in the top byte, the seven counters (saturating at 255) in
+    /// the low seven bytes.
     pub fn pack(&self, op: u64) -> u64 {
         sat8(self.memtables_probed)
             | (sat8(self.filters_consulted) << 8)
@@ -46,6 +50,7 @@ impl ReadProbe {
             | (sat8(self.cache_hits) << 24)
             | (sat8(self.cache_misses) << 32)
             | (sat8(self.levels_touched) << 40)
+            | (sat8(self.aux_fetches) << 48)
             | ((op & 0xff) << OP_SHIFT)
     }
 
@@ -58,7 +63,15 @@ impl ReadProbe {
             cache_hits: ((word >> 24) & 0xff) as u32,
             cache_misses: ((word >> 32) & 0xff) as u32,
             levels_touched: ((word >> 40) & 0xff) as u32,
+            aux_fetches: ((word >> 48) & 0xff) as u32,
         }
+    }
+
+    /// The lookup's observed read amplification: every block this op
+    /// fetched (data blocks plus index/filter partitions), from cache or
+    /// backend alike.
+    pub fn read_amp(&self) -> u32 {
+        self.blocks_fetched + self.aux_fetches
     }
 
     /// Recovers the [`crate::slow_op`] code from a packed `b` word.
@@ -80,10 +93,12 @@ mod tests {
             cache_hits: 1,
             cache_misses: 1,
             levels_touched: 4,
+            aux_fetches: 5,
         };
         let w = p.pack(crate::slow_op::SCAN);
         assert_eq!(ReadProbe::unpack(w), p);
         assert_eq!(ReadProbe::unpack_op(w), crate::slow_op::SCAN);
+        assert_eq!(p.read_amp(), 7);
 
         let big = ReadProbe {
             memtables_probed: 10_000,

@@ -101,6 +101,7 @@ fn fixture_ring() -> EventRing {
         cache_hits: 1,
         cache_misses: 3,
         levels_touched: 3,
+        aux_fetches: 2,
     };
     ring.push_at(
         98_000,

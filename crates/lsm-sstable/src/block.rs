@@ -85,6 +85,23 @@ impl BlockIter {
         })
     }
 
+    /// Wraps a block that was already verified when it entered the cache,
+    /// skipping the CRC pass. Cache hits use this on the point-lookup fast
+    /// path (the block was checksummed when read from the backend); callers
+    /// wanting end-to-end verification opt back into [`Self::new`] via
+    /// `verify_checksums`.
+    pub fn new_trusted(block: Bytes) -> Result<Self> {
+        if block.len() < 4 {
+            return Err(Error::Corruption("block shorter than its trailer".into()));
+        }
+        let payload_len = block.len() - 4;
+        Ok(BlockIter {
+            data: block,
+            pos: 0,
+            payload_len,
+        })
+    }
+
     /// Advances past entries whose internal key sorts before `probe`.
     pub fn seek(&mut self, probe: &InternalKey) -> Result<()> {
         // Entries are variable-length; a block holds only a page's worth,

@@ -19,6 +19,12 @@ pub struct TableBuilderOptions {
     pub filter_kind: PointFilterKind,
     /// Filter budget in bits per key.
     pub bits_per_key: f64,
+    /// Data blocks per index/filter partition (RocksDB's partitioned
+    /// index: the top-level index fences over partitions, each partition
+    /// fences over this many blocks). With 4 KiB blocks the default keeps a
+    /// partition at ~256 KiB of data — small enough to cache, large enough
+    /// that the top-level index stays tiny.
+    pub index_partition_blocks: usize,
 }
 
 impl Default for TableBuilderOptions {
@@ -27,6 +33,7 @@ impl Default for TableBuilderOptions {
             block_size: BLOCK_SIZE,
             filter_kind: PointFilterKind::Bloom,
             bits_per_key: 10.0,
+            index_partition_blocks: 64,
         }
     }
 }
@@ -98,6 +105,11 @@ pub struct TableBuilder {
     min_ts: u64,
     max_ts: u64,
     filter_keys: Vec<Vec<u8>>,
+    /// `filter_marks[b]` = number of filter keys accumulated once block `b`
+    /// was sealed, so `finish` can slice `filter_keys` per partition. A key
+    /// whose versions span blocks is attributed to the block where it first
+    /// appeared, matching the `(key, SeqNo::MAX)` routing readers use.
+    filter_marks: Vec<usize>,
 }
 
 impl TableBuilder {
@@ -120,6 +132,7 @@ impl TableBuilder {
             min_ts: u64::MAX,
             max_ts: 0,
             filter_keys: Vec::new(),
+            filter_marks: Vec::new(),
         }
     }
 
@@ -207,6 +220,7 @@ impl TableBuilder {
             offset,
             len: block.len() as u64,
         });
+        self.filter_marks.push(self.filter_keys.len());
         self.file.extend_from_slice(&block);
     }
 
@@ -219,17 +233,50 @@ impl TableBuilder {
         self.seal_block();
         let data_bytes = self.file.len() as u64;
 
-        let index = encode_index(&self.fences);
+        // Partition the fence index: chunks of `index_partition_blocks`
+        // fences become their own index blocks, and the top-level index
+        // fences over the partitions.
+        let part_blocks = self.opts.index_partition_blocks.max(1);
+        let mut top_fences: Vec<Fence> = Vec::new();
+        for chunk in self.fences.chunks(part_blocks) {
+            let encoded = encode_index(chunk);
+            top_fences.push(Fence {
+                first_key: chunk[0].first_key.clone(),
+                offset: self.file.len() as u64,
+                len: encoded.len() as u64,
+            });
+            self.file.extend_from_slice(&encoded);
+        }
+        let index = encode_index(&top_fences);
         let index_offset = self.file.len() as u64;
         self.file.extend_from_slice(&index);
 
+        // Filter partitions align 1:1 with index partitions: partition `j`
+        // holds the filter keys first seen in its blocks.
         let filter_offset = self.file.len() as u64;
-        let key_refs: Vec<&[u8]> = self.filter_keys.iter().map(|k| k.as_slice()).collect();
-        let filter_bytes =
-            build_point_filter(self.opts.filter_kind, &key_refs, self.opts.bits_per_key)
-                .map(|f| f.to_bytes())
-                .unwrap_or_default();
-        self.file.extend_from_slice(&filter_bytes);
+        let mut filter_partitions: Vec<(u64, u64)> = Vec::with_capacity(top_fences.len());
+        let mut filter_len = 0u64;
+        for (j, chunk) in self.fences.chunks(part_blocks).enumerate() {
+            let first_block = j * part_blocks;
+            let last_block = first_block + chunk.len() - 1;
+            let key_start = if first_block == 0 {
+                0
+            } else {
+                self.filter_marks[first_block - 1]
+            };
+            let key_end = self.filter_marks[last_block];
+            let key_refs: Vec<&[u8]> = self.filter_keys[key_start..key_end]
+                .iter()
+                .map(|k| k.as_slice())
+                .collect();
+            let part_bytes =
+                build_point_filter(self.opts.filter_kind, &key_refs, self.opts.bits_per_key)
+                    .map(|f| f.to_bytes())
+                    .unwrap_or_default();
+            filter_partitions.push((self.file.len() as u64, part_bytes.len() as u64));
+            filter_len += part_bytes.len() as u64;
+            self.file.extend_from_slice(&part_bytes);
+        }
 
         let meta = TableMeta {
             entry_count: self.entry_count,
@@ -247,9 +294,11 @@ impl TableBuilder {
             index_offset,
             index_len: index.len() as u64,
             filter_offset,
-            filter_len: filter_bytes.len() as u64,
+            filter_len,
             filter_kind: self.opts.filter_kind.as_u8(),
             range_tombstones: self.range_tombstones,
+            data_blocks: self.fences.len() as u64,
+            filter_partitions,
         };
         let meta_bytes = meta.encode();
         let meta_offset = self.file.len() as u64;

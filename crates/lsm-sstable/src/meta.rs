@@ -32,13 +32,14 @@ pub struct TableMeta {
     pub max_ts: u64,
     /// Total encoded size of data blocks in bytes.
     pub data_bytes: u64,
-    /// Byte offset of the index block.
+    /// Byte offset of the top-level index block (the fence over index
+    /// partitions).
     pub index_offset: u64,
-    /// Byte length of the index block.
+    /// Byte length of the top-level index block.
     pub index_len: u64,
-    /// Byte offset of the filter block (0-length when absent).
+    /// Byte offset of the filter region (0-length when absent).
     pub filter_offset: u64,
-    /// Byte length of the filter block.
+    /// Total byte length of the filter region (all partitions).
     pub filter_len: u64,
     /// Discriminant of the filter implementation
     /// ([`lsm_filters::PointFilterKind::as_u8`]).
@@ -47,6 +48,12 @@ pub struct TableMeta {
     /// duplicated out of the data blocks so readers can mask deleted ranges
     /// without any extra I/O (range deletes are rare; this stays tiny).
     pub range_tombstones: Vec<(UserKey, UserKey, SeqNo)>,
+    /// Total number of data blocks (so readers need not decode every index
+    /// partition to size the table).
+    pub data_blocks: u64,
+    /// Per-partition filter handles `(offset, len)`, parallel to the index
+    /// partitions; a 0-length handle means that partition has no filter.
+    pub filter_partitions: Vec<(u64, u64)>,
 }
 
 impl TableMeta {
@@ -83,6 +90,12 @@ impl TableMeta {
             put_len_prefixed(&mut buf, start.as_bytes());
             put_len_prefixed(&mut buf, end.as_bytes());
             put_varint(&mut buf, *seqno);
+        }
+        put_varint(&mut buf, self.data_blocks);
+        put_varint(&mut buf, self.filter_partitions.len() as u64);
+        for (offset, len) in &self.filter_partitions {
+            put_varint(&mut buf, *offset);
+            put_varint(&mut buf, *len);
         }
         let crc = checksum::crc32c(&buf);
         put_u32(&mut buf, crc);
@@ -127,6 +140,14 @@ impl TableMeta {
             let seqno = dec.varint()?;
             range_tombstones.push((start, end, seqno));
         }
+        let data_blocks = dec.varint()?;
+        let n_fp = dec.varint()? as usize;
+        let mut filter_partitions = Vec::with_capacity(n_fp.min(1 << 16));
+        for _ in 0..n_fp {
+            let offset = dec.varint()?;
+            let len = dec.varint()?;
+            filter_partitions.push((offset, len));
+        }
         Ok(TableMeta {
             entry_count,
             tombstone_count,
@@ -143,6 +164,8 @@ impl TableMeta {
             filter_len,
             filter_kind,
             range_tombstones,
+            data_blocks,
+            filter_partitions,
         })
     }
 }
@@ -204,6 +227,8 @@ mod tests {
                 (UserKey::from(b"bbb"), UserKey::from(b"ccc"), 900),
                 (UserKey::from(b"x"), UserKey::from(b"y"), 950),
             ],
+            data_blocks: 16,
+            filter_partitions: vec![(66048, 600), (66648, 600)],
         }
     }
 

@@ -32,7 +32,7 @@ pub use backend::{shard_dir, Backend, FileId, FsBackend, MemBackend};
 // `Backend` signatures name `Bytes`; re-export it so implementors outside
 // the workspace dependency graph need not depend on the crate directly.
 pub use bytes::Bytes;
-pub use cache::{BlockCache, BlockKey, CacheStats};
+pub use cache::{BlockCache, BlockKey, BlockKind, CacheConfig, CacheStats};
 pub use fault::FaultBackend;
 pub use observe::ObservedBackend;
 pub use stats::{IoSnapshot, IoStats};

@@ -98,6 +98,10 @@ run_step "obs"      cargo test -q -p lsm-obs
 # surfaces (Db + ShardedDb per-shard labels), plus the exposition goldens.
 run_step "obs-export" cargo test -q -p lsm-core --test obs_export --test metrics_golden
 run_step "obs-overhead" cargo test -q --release --test obs_overhead -- --ignored
+# Read-path gate: pinned index/filter partitions must keep skewed point-get
+# p99 ahead of the unpinned-aux policy (paired A/B, median of round ratios;
+# release for the same reason as obs-overhead).
+run_step "read-regression" cargo test -q --release --test read_regression -- --ignored
 
 if [ -n "$ONLY" ] && [ "$ONLY_MATCHED" -eq 0 ]; then
     echo "CHECK_ONLY=$ONLY matches no step" >&2
